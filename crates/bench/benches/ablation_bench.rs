@@ -1,0 +1,90 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! CodeGen+ with and without if-merging (the paper's second algorithm),
+//! effort-level sweep (first algorithm), and CLooG compaction on/off.
+
+use bench_harness::statements_of;
+use codegenplus::CodeGen;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_merge_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_merge_ifs");
+    group.sample_size(10);
+    let cfg = polyir::ExecConfig {
+        record_trace: false,
+        ..Default::default()
+    };
+    for kernel in chill::recipes::all(32) {
+        let stmts = statements_of(&kernel);
+        for merge in [true, false] {
+            let g = CodeGen::new()
+                .statements(stmts.clone())
+                .merge_ifs(merge)
+                .generate()
+                .unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(
+                    format!("exec_{}", if merge { "merged" } else { "unmerged" }),
+                    kernel.name,
+                ),
+                &g.code,
+                |b, code| b.iter(|| polyir::execute_with(code, &kernel.params, &cfg).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_effort_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_effort");
+    group.sample_size(10);
+    let cfg = polyir::ExecConfig {
+        record_trace: false,
+        ..Default::default()
+    };
+    let kernel = chill::recipes::swim(32);
+    let stmts = statements_of(&kernel);
+    for effort in 0..=3usize {
+        let g = CodeGen::new()
+            .statements(stmts.clone())
+            .effort(effort)
+            .generate()
+            .unwrap();
+        group.bench_with_input(BenchmarkId::new("swim_exec", effort), &g.code, |b, code| {
+            b.iter(|| polyir::execute_with(code, &kernel.params, &cfg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_compaction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_cloog_compaction");
+    group.sample_size(10);
+    for kernel in chill::recipes::all(32) {
+        let stmts = statements_of(&kernel);
+        for compact in [true, false] {
+            group.bench_with_input(
+                BenchmarkId::new(
+                    format!("codegen_{}", if compact { "compact" } else { "raw" }),
+                    kernel.name,
+                ),
+                &stmts,
+                |b, stmts| {
+                    b.iter(|| {
+                        cloog::Cloog::new()
+                            .statements(stmts.clone())
+                            .options(cloog::Options {
+                                compact,
+                                stop_level: None,
+                            })
+                            .generate()
+                            .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_merge_ablation, bench_effort_sweep, bench_compaction);
+criterion_main!(benches);

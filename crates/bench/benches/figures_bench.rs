@@ -1,0 +1,123 @@
+//! Criterion benchmarks for the Figure 7 and Figure 8 experiments: the
+//! overhead/code-size trade-off across effort levels, and the stride /
+//! if-simplification examples.
+
+use codegenplus::{CodeGen, Statement};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use omega::Set;
+
+fn figure7_statements() -> Vec<Statement> {
+    [
+        "[n] -> { [i,j] : 1 <= i <= 100 && j = 0 && n >= 2 }",
+        "[n] -> { [i,j] : 1 <= i <= 100 && 1 <= j <= 100 && n >= 2 }",
+        "[n] -> { [i,j] : 1 <= i <= 100 && 1 <= j <= 100 }",
+    ]
+    .iter()
+    .enumerate()
+    .map(|(i, d)| Statement::new(format!("s{i}"), Set::parse(d).unwrap()))
+    .collect()
+}
+
+fn bench_fig7_tradeoff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_tradeoff");
+    let stmts = figure7_statements();
+    for effort in 0..=2usize {
+        group.bench_with_input(
+            BenchmarkId::new("codegen", effort),
+            &effort,
+            |b, &effort| {
+                b.iter(|| {
+                    CodeGen::new()
+                        .statements(stmts.clone())
+                        .effort(effort)
+                        .generate()
+                        .unwrap()
+                })
+            },
+        );
+        // Execution cost of the generated variant.
+        let g = CodeGen::new()
+            .statements(stmts.clone())
+            .effort(effort)
+            .generate()
+            .unwrap();
+        let cfg = polyir::ExecConfig {
+            record_trace: false,
+            ..Default::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("execute", effort),
+            &g.code,
+            |b, code| b.iter(|| polyir::execute_with(code, &[50], &cfg).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_fig8_strides(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_strides");
+    let fig8a = Statement::new(
+        "s0",
+        Set::parse(
+            "[n] -> { [i,j] : 1 <= i && i <= n && i <= j && j <= n && exists(a, b : i = 1 + 4a && j = i + 3b) }",
+        )
+        .unwrap(),
+    );
+    group.bench_function("fig8a_codegenplus", |b| {
+        b.iter(|| {
+            CodeGen::new()
+                .statement(fig8a.clone())
+                .generate()
+                .unwrap()
+        })
+    });
+    group.bench_function("fig8a_cloog", |b| {
+        b.iter(|| {
+            cloog::Cloog::new()
+                .statement(fig8a.clone())
+                .generate()
+                .unwrap()
+        })
+    });
+    let fig8d: Vec<Statement> = [
+        "[n] -> { [i] : 1 <= i <= n && exists(a : i = 4a) }",
+        "[n] -> { [i] : 1 <= i <= n && exists(a : i = 4a + 2) }",
+    ]
+    .iter()
+    .enumerate()
+    .map(|(i, d)| Statement::new(format!("s{i}"), Set::parse(d).unwrap()))
+    .collect();
+    group.bench_function("fig8d_codegenplus", |b| {
+        b.iter(|| {
+            CodeGen::new()
+                .statements(fig8d.clone())
+                .generate()
+                .unwrap()
+        })
+    });
+    group.bench_function("fig8d_cloog", |b| {
+        b.iter(|| {
+            cloog::Cloog::new()
+                .statements(fig8d.clone())
+                .generate()
+                .unwrap()
+        })
+    });
+    // Runtime comparison: CodeGen+'s if/else vs CLooG's two mod guards.
+    let cfg = polyir::ExecConfig {
+        record_trace: false,
+        ..Default::default()
+    };
+    let cg = CodeGen::new().statements(fig8d.clone()).generate().unwrap();
+    let cl = cloog::Cloog::new().statements(fig8d).generate().unwrap();
+    group.bench_with_input(BenchmarkId::new("fig8d_exec", "codegenplus"), &cg.code, |b, code| {
+        b.iter(|| polyir::execute_with(code, &[2000], &cfg).unwrap())
+    });
+    group.bench_with_input(BenchmarkId::new("fig8d_exec", "cloog"), &cl.code, |b, code| {
+        b.iter(|| polyir::execute_with(code, &[2000], &cfg).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7_tradeoff, bench_fig8_strides);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion benchmarks for the Presburger substrate (§2.2 operations):
+//! satisfiability, Project, Gist, Hull on representative systems.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use omega::Set;
+
+fn bench_core_ops(c: &mut Criterion) {
+    let tri = Set::parse("[n] -> { [i,j,k] : 0 <= i < n && i <= j < n && j <= k < n }").unwrap();
+    let strided =
+        Set::parse("[n] -> { [i,j] : 1 <= i <= n && i <= j <= n && exists(a, b : i = 1 + 4a && j = i + 3b) }")
+            .unwrap();
+    let union = Set::parse(
+        "{ [i,j] : 1 <= i <= 100 && 1 <= j <= 100 && exists(a : j = i + 4a) } \
+         | { [i,j] : 1 <= i <= 50 && 1 <= j <= 200 && exists(a : j = i + 6a) }",
+    )
+    .unwrap();
+
+    c.bench_function("omega_is_empty_triangle", |b| {
+        b.iter(|| tri.is_empty())
+    });
+    c.bench_function("omega_project_strided", |b| {
+        b.iter(|| strided.project_out(1, 1))
+    });
+    c.bench_function("omega_hull_union", |b| b.iter(|| union.hull()));
+    let ctx = Set::parse("[n] -> { [i,j] : exists(a : i = 2a) }").unwrap();
+    let a = Set::parse("[n] -> { [i,j] : exists(a : i = 6a) && 0 <= i <= n }").unwrap();
+    c.bench_function("omega_gist_congruence", |b| b.iter(|| a.gist(&ctx)));
+    c.bench_function("omega_subtract_stride", |b| {
+        let whole = Set::parse("{ [i,j] : 0 <= i <= 99 }").unwrap();
+        let evens = Set::parse("{ [i,j] : exists(a : i = 2a) }").unwrap();
+        b.iter(|| whole.subtract(&evens))
+    });
+    c.bench_function("omega_parse_complex", |b| {
+        b.iter(|| {
+            Set::parse(
+                "[n,m] -> { [i,j,k] : 0 <= i < n && 2i <= j < m + 3i && exists(a : k = 8a + 3) && k <= i + j }",
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_core_ops);
+criterion_main!(benches);

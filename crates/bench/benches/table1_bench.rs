@@ -1,0 +1,74 @@
+//! Criterion benchmarks for the Table 1 code-generation-time column: both
+//! tools on all five kernels, plus the downstream compile-time stand-in and
+//! the dynamic execution of the generated code.
+
+use bench_harness::{generate, statements_of, Tool};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_codegen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_codegen");
+    group.sample_size(10);
+    for kernel in chill::recipes::all(32) {
+        let stmts = statements_of(&kernel);
+        group.bench_with_input(
+            BenchmarkId::new("codegenplus", kernel.name),
+            &stmts,
+            |b, stmts| b.iter(|| generate(stmts, Tool::codegenplus())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cloog", kernel.name),
+            &stmts,
+            |b, stmts| b.iter(|| generate(stmts, Tool::cloog())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_compile");
+    group.sample_size(20);
+    for kernel in chill::recipes::all(32) {
+        let stmts = statements_of(&kernel);
+        let (cg, _) = generate(&stmts, Tool::codegenplus());
+        let (cl, _) = generate(&stmts, Tool::cloog());
+        group.bench_with_input(
+            BenchmarkId::new("codegenplus", kernel.name),
+            &cg.code,
+            |b, code| b.iter(|| polyir::passes::compile(code)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cloog", kernel.name),
+            &cl.code,
+            |b, code| b.iter(|| polyir::passes::compile(code)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_execution");
+    group.sample_size(10);
+    let cfg = polyir::ExecConfig {
+        record_trace: false,
+        ..Default::default()
+    };
+    for kernel in chill::recipes::all(32) {
+        let stmts = statements_of(&kernel);
+        let (cg, _) = generate(&stmts, Tool::codegenplus());
+        let (cl, _) = generate(&stmts, Tool::cloog());
+        group.bench_with_input(
+            BenchmarkId::new("codegenplus", kernel.name),
+            &(cg.code, kernel.params.clone()),
+            |b, (code, params)| b.iter(|| polyir::execute_with(code, params, &cfg).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cloog", kernel.name),
+            &(cl.code, kernel.params.clone()),
+            |b, (code, params)| b.iter(|| polyir::execute_with(code, params, &cfg).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codegen, bench_compile, bench_execution);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+use bench_harness::{measure, statements_of, Tool};
+fn main() {
+    let k = chill::recipes::swim(24);
+    for effort in [0usize, 1, 2, 3] {
+        let r = measure(&k, Tool::CodeGenPlus { effort });
+        println!(
+            "cg+ d={effort}: {} lines, {} ifs-in-loops, cost {}",
+            r.lines, r.metrics.ifs_inside_loops, r.dynamic_cost
+        );
+    }
+    let r = measure(&k, Tool::cloog());
+    println!("cloog   : {} lines, {} ifs-in-loops, cost {}", r.lines, r.metrics.ifs_inside_loops, r.dynamic_cost);
+    // print codes at effort 1 for inspection
+    let stmts = statements_of(&k);
+    let (g, _) = bench_harness::generate(&stmts, Tool::CodeGenPlus { effort: 1 });
+    std::fs::write("/tmp/swim_cg.c", polyir::to_c(&g.code, &g.names)).unwrap();
+    let (g, _) = bench_harness::generate(&stmts, Tool::cloog());
+    std::fs::write("/tmp/swim_cloog.c", polyir::to_c(&g.code, &g.names)).unwrap();
+    println!("codes written to /tmp/swim_cg.c /tmp/swim_cloog.c");
+}

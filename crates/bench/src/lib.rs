@@ -1,0 +1,211 @@
+//! # bench-harness — regenerating the PLDI 2012 evaluation
+//!
+//! Shared measurement pipeline for the Table 1 / Figure 7 / Figure 8
+//! experiments: run a [`chill::Kernel`] through both generators, collect
+//! the paper's four metric columns (lines of generated code, code
+//! generation time, downstream compile time, code performance), and verify
+//! both tools execute identical statement traces.
+//!
+//! Substitutions relative to the paper's testbed are documented in
+//! `DESIGN.md`: gcc compile time → the timed `polyir::passes::compile`
+//! pipeline; hardware execution time → the `polyir` dynamic-cost model.
+//! When a real `gcc` is on PATH, the [`gcc`] module additionally measures
+//! actual `gcc -O3` compile times and compiled-binary run times — the
+//! paper's literal methodology (`table1 --gcc`).
+
+pub mod gcc;
+
+use chill::Kernel;
+use codegenplus::{pad_statements, CodeGen, Generated, Statement};
+use cloog::{Cloog, Options};
+use polyir::{CodeMetrics, CostModel, ExecConfig};
+use std::time::{Duration, Instant};
+
+/// Which generator to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tool {
+    /// The paper's contribution at a given overhead-removal effort.
+    CodeGenPlus {
+        /// Loop nesting depth for overhead removal (paper default 1).
+        effort: usize,
+    },
+    /// The Quilleré/CLooG-style baseline.
+    Cloog {
+        /// Baseline options.
+        options: Options,
+    },
+}
+
+impl Tool {
+    /// The paper's default CodeGen+ configuration.
+    pub fn codegenplus() -> Tool {
+        Tool::CodeGenPlus { effort: 1 }
+    }
+
+    /// The baseline with default options.
+    pub fn cloog() -> Tool {
+        Tool::Cloog {
+            options: Options::default(),
+        }
+    }
+}
+
+/// Measurements for one (kernel, tool) pair — one cell group of Table 1.
+#[derive(Clone, Debug)]
+pub struct ToolReport {
+    /// Lines of generated code.
+    pub lines: usize,
+    /// Wall-clock code generation time.
+    pub codegen_time: Duration,
+    /// Wall-clock of the stand-in compiler pipeline.
+    pub compile_time: Duration,
+    /// Static metrics of the generated code.
+    pub metrics: CodeMetrics,
+    /// Dynamic cost under the default [`CostModel`] (performance proxy).
+    pub dynamic_cost: u64,
+    /// Statement instances executed (sanity: equal across tools).
+    pub instances: u64,
+}
+
+/// Pads and converts a kernel's statements for the generators.
+pub fn statements_of(kernel: &Kernel) -> Vec<Statement> {
+    let stmts: Vec<Statement> = kernel
+        .nest
+        .statements()
+        .iter()
+        .map(|s| Statement::new(s.name.clone(), s.domain.clone()).with_args(s.args.clone()))
+        .collect();
+    pad_statements(&stmts, 0)
+}
+
+/// Runs one tool on prepared statements.
+///
+/// # Panics
+///
+/// Panics if generation fails (the kernels are known-good inputs).
+pub fn generate(stmts: &[Statement], tool: Tool) -> (Generated, Duration) {
+    let t0 = Instant::now();
+    let g = match tool {
+        Tool::CodeGenPlus { effort } => CodeGen::new()
+            .statements(stmts.to_vec())
+            .effort(effort)
+            .generate()
+            .expect("codegen+ generation failed"),
+        Tool::Cloog { options } => Cloog::new()
+            .statements(stmts.to_vec())
+            .options(options)
+            .generate()
+            .expect("cloog generation failed"),
+    };
+    (g, t0.elapsed())
+}
+
+/// Full measurement of one kernel under one tool.
+///
+/// # Panics
+///
+/// Panics when generation or execution fails.
+pub fn measure(kernel: &Kernel, tool: Tool) -> ToolReport {
+    let stmts = statements_of(kernel);
+    let (g, codegen_time) = generate(&stmts, tool);
+    let t0 = Instant::now();
+    let compiled = polyir::passes::compile(&g.code);
+    let compile_time = t0.elapsed();
+    let cfg = ExecConfig {
+        record_trace: false,
+        ..ExecConfig::default()
+    };
+    let run = polyir::execute_with(&compiled.optimized, &kernel.params, &cfg)
+        .expect("generated code must execute");
+    let cost = CostModel::default().cost(&run.counters);
+    ToolReport {
+        lines: polyir::lines_of_code(&g.code, &g.names),
+        codegen_time,
+        compile_time,
+        metrics: CodeMetrics::of(&g.code, &g.names),
+        dynamic_cost: cost,
+        instances: run.counters.stmt_execs,
+    }
+}
+
+/// One Table 1 row: both tools measured on the same spaces, with the
+/// derived ratios the paper reports.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Kernel name.
+    pub name: &'static str,
+    /// CLooG baseline measurements.
+    pub cloog: ToolReport,
+    /// CodeGen+ measurements.
+    pub cgplus: ToolReport,
+}
+
+impl Row {
+    /// Lines-of-code reduction (CLooG / CodeGen+).
+    pub fn loc_reduction(&self) -> f64 {
+        self.cloog.lines as f64 / self.cgplus.lines.max(1) as f64
+    }
+
+    /// Code-generation speedup (CLooG time / CodeGen+ time).
+    pub fn codegen_speedup(&self) -> f64 {
+        self.cloog.codegen_time.as_secs_f64() / self.cgplus.codegen_time.as_secs_f64().max(1e-9)
+    }
+
+    /// Compile-time speedup.
+    pub fn compile_speedup(&self) -> f64 {
+        self.cloog.compile_time.as_secs_f64() / self.cgplus.compile_time.as_secs_f64().max(1e-9)
+    }
+
+    /// Performance speedup (CLooG dynamic cost / CodeGen+ dynamic cost).
+    pub fn perf_speedup(&self) -> f64 {
+        self.cloog.dynamic_cost as f64 / self.cgplus.dynamic_cost.max(1) as f64
+    }
+}
+
+/// Measures one kernel with both tools (a full Table 1 row).
+pub fn compare(kernel: &Kernel) -> Row {
+    let cgplus = measure(kernel, Tool::codegenplus());
+    let cloog = measure(kernel, Tool::cloog());
+    Row {
+        name: kernel.name,
+        cloog,
+        cgplus,
+    }
+}
+
+/// Verifies both tools execute the identical statement trace (the
+/// correctness precondition for every Table 1 comparison).
+///
+/// # Panics
+///
+/// Panics on generation or execution failure.
+pub fn traces_match(kernel: &Kernel) -> bool {
+    let stmts = statements_of(kernel);
+    let (a, _) = generate(&stmts, Tool::codegenplus());
+    let (b, _) = generate(&stmts, Tool::cloog());
+    let ra = polyir::execute(&a.code, &kernel.params).expect("cg+ execution");
+    let rb = polyir::execute(&b.code, &kernel.params).expect("cloog execution");
+    ra.trace == rb.trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemv_row_shape() {
+        let k = chill::recipes::gemv(16);
+        assert!(traces_match(&k));
+        let row = compare(&k);
+        assert!(row.loc_reduction() >= 1.0, "CLooG must not be smaller");
+        assert_eq!(row.cgplus.instances, row.cloog.instances);
+        assert!(row.cgplus.dynamic_cost > 0);
+    }
+
+    #[test]
+    fn all_kernels_traces_match_small() {
+        for k in chill::recipes::all(9) {
+            assert!(traces_match(&k), "trace mismatch for {}", k.name);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # chill — a CHiLL-style polyhedral transformation framework
+//!
+//! The substrate that *produces* the iteration spaces of the PLDI 2012
+//! CodeGen+ evaluation: composable polyhedral loop transformations
+//! (permutation, shifting, skewing, strip-mining, multi-level tiling,
+//! unroll / unroll-and-jam, index-set splitting, peeling, distribution and
+//! fusion) over [`LoopNest`]s, plus the [`recipes`] reproducing the five
+//! Table 1 kernels (gemv, qr, swim, gemm, lu).
+//!
+//! The transformed nests are handed *identically* to the `codegenplus`
+//! scanner and the `cloog` baseline, exactly as the paper's methodology
+//! captures CHiLL's spaces and feeds them to both tools.
+//!
+//! # Examples
+//!
+//! ```
+//! use chill::LoopNest;
+//! use omega::Set;
+//!
+//! let d = Set::parse("[n] -> { [i,j] : 0 <= i < n && 0 <= j < n }")?;
+//! let mut nest = LoopNest::new(d.space().clone());
+//! nest.add("s0", d);
+//! let tiled = nest.tile(0, &[8, 8]);
+//! assert_eq!(tiled.space().n_vars(), 4); // (it, jt, i, j)
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod nest;
+pub mod recipes;
+mod xform;
+
+pub use nest::{LoopNest, NestStatement};
+pub use recipes::Kernel;

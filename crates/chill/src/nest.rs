@@ -1,0 +1,150 @@
+//! Loop nests as sets of statements over a common scanning space — the
+//! object the transformation framework rewrites.
+
+use omega::{LinExpr, Set, Space};
+
+/// One statement of a loop nest: its iteration domain over the current
+/// scanning space, and the expressions giving its *original* iteration
+/// coordinates in terms of the current (transformed) space — the variable
+/// substitution the paper's §3 assumes the surrounding system performs.
+#[derive(Clone, Debug)]
+pub struct NestStatement {
+    /// Display name.
+    pub name: String,
+    /// Iteration domain (may be a union).
+    pub domain: Set,
+    /// Original coordinates as affine expressions over the scanning space.
+    pub args: Vec<LinExpr>,
+}
+
+/// A loop nest: statements over one scanning [`Space`], executed in
+/// lexicographic order of that space (ties broken by statement order).
+#[derive(Clone, Debug)]
+pub struct LoopNest {
+    space: Space,
+    stmts: Vec<NestStatement>,
+}
+
+impl LoopNest {
+    /// An empty nest over `space`.
+    pub fn new(space: Space) -> LoopNest {
+        LoopNest {
+            space,
+            stmts: Vec::new(),
+        }
+    }
+
+    /// Adds a statement with identity original coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the domain's space differs from the nest's.
+    pub fn add(&mut self, name: impl Into<String>, domain: Set) -> &mut Self {
+        assert_eq!(domain.space(), &self.space, "statement space mismatch");
+        let args = (0..self.space.n_vars())
+            .map(|v| LinExpr::var(&self.space, v))
+            .collect();
+        self.stmts.push(NestStatement {
+            name: name.into(),
+            domain,
+            args,
+        });
+        self
+    }
+
+    /// Adds a statement with explicit original-coordinate expressions.
+    ///
+    /// # Panics
+    ///
+    /// Panics on space mismatches.
+    pub fn add_with_args(
+        &mut self,
+        name: impl Into<String>,
+        domain: Set,
+        args: Vec<LinExpr>,
+    ) -> &mut Self {
+        assert_eq!(domain.space(), &self.space);
+        for a in &args {
+            assert_eq!(a.space(), &self.space);
+        }
+        self.stmts.push(NestStatement {
+            name: name.into(),
+            domain,
+            args,
+        });
+        self
+    }
+
+    /// The scanning space.
+    pub fn space(&self) -> &Space {
+        &self.space
+    }
+
+    /// The statements.
+    pub fn statements(&self) -> &[NestStatement] {
+        &self.stmts
+    }
+
+    /// Number of statements.
+    pub fn len(&self) -> usize {
+        self.stmts.len()
+    }
+
+    /// True if the nest has no statements.
+    pub fn is_empty(&self) -> bool {
+        self.stmts.is_empty()
+    }
+
+    pub(crate) fn stmts_mut(&mut self) -> &mut Vec<NestStatement> {
+        &mut self.stmts
+    }
+
+    pub(crate) fn with_parts(space: Space, stmts: Vec<NestStatement>) -> LoopNest {
+        LoopNest { space, stmts }
+    }
+
+    /// Exact union of all instances executed by statement `s` — used by
+    /// tests to check transformations preserve instance sets.
+    pub fn instances(&self, s: usize, params: &[i64], lo: i64, hi: i64) -> Vec<Vec<i64>> {
+        let nv = self.space.n_vars();
+        let pts = self.stmts[s]
+            .domain
+            .enumerate(params, &vec![lo; nv], &vec![hi; nv]);
+        // Map through args to original coordinates.
+        pts.iter()
+            .map(|p| {
+                self.stmts[s]
+                    .args
+                    .iter()
+                    .map(|a| a.eval(params, p))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_query() {
+        let d = Set::parse("[n] -> { [i,j] : 0 <= i < n && 0 <= j < n }").unwrap();
+        let mut nest = LoopNest::new(d.space().clone());
+        nest.add("s0", d);
+        assert_eq!(nest.len(), 1);
+        assert!(!nest.is_empty());
+        assert_eq!(nest.statements()[0].args.len(), 2);
+        assert_eq!(nest.statements()[0].args[0].to_string(), "i");
+    }
+
+    #[test]
+    fn instances_map_args() {
+        let d = Set::parse("{ [i] : 0 <= i <= 2 }").unwrap();
+        let sp = d.space().clone();
+        let mut nest = LoopNest::new(sp.clone());
+        nest.add_with_args("s0", d, vec![LinExpr::var(&sp, 0) * 2 + 1]);
+        let inst = nest.instances(0, &[], -1, 4);
+        assert_eq!(inst, vec![vec![1], vec![3], vec![5]]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Integration tests for composed transformations: algebraic identities
+//! the framework must satisfy regardless of composition order.
+
+use chill::LoopNest;
+use omega::{LinExpr, Set};
+
+fn square_nest(n_sym: bool) -> LoopNest {
+    let d = if n_sym {
+        Set::parse("[n] -> { [i,j] : 0 <= i < n && 0 <= j < n }").unwrap()
+    } else {
+        Set::parse("{ [i,j] : 0 <= i <= 11 && 0 <= j <= 11 }").unwrap()
+    };
+    let mut nest = LoopNest::new(d.space().clone());
+    nest.add("s0", d);
+    nest
+}
+
+fn instances(nest: &LoopNest, params: &[i64], lo: i64, hi: i64) -> Vec<Vec<i64>> {
+    let mut out = Vec::new();
+    for s in 0..nest.len() {
+        out.extend(nest.instances(s, params, lo, hi));
+    }
+    out.sort();
+    out
+}
+
+#[test]
+fn permute_is_involutive() {
+    let nest = square_nest(true);
+    let twice = nest.permute(&[1, 0]).permute(&[1, 0]);
+    assert_eq!(
+        instances(&nest, &[5], -1, 6),
+        instances(&twice, &[5], -1, 6)
+    );
+}
+
+#[test]
+fn shift_then_unshift_roundtrips() {
+    let nest = square_nest(true);
+    let d = LinExpr::constant(nest.space(), 7);
+    let shifted = nest.shift(0, 0, &d);
+    let back = shifted.shift(0, 0, &(-LinExpr::constant(shifted.space(), 7)));
+    assert_eq!(
+        instances(&nest, &[4], -9, 15),
+        instances(&back, &[4], -9, 15)
+    );
+}
+
+#[test]
+fn tile_sizes_one_change_nothing_semantically() {
+    let nest = square_nest(false);
+    let tiled = nest.tile(0, &[1, 1]);
+    // Dimensionality changes but instance sets are identical.
+    assert_eq!(tiled.space().n_vars(), 4);
+    assert_eq!(
+        instances(&nest, &[], -1, 13),
+        instances(&tiled, &[], -1, 13)
+    );
+}
+
+#[test]
+fn tile_then_untile_instances_preserved_various_sizes() {
+    for (a, b) in [(2, 3), (4, 4), (5, 2)] {
+        let nest = square_nest(false);
+        let tiled = nest.tile(0, &[a, b]);
+        assert_eq!(
+            instances(&nest, &[], -1, 13),
+            instances(&tiled, &[], -1, 13),
+            "tile sizes ({a},{b})"
+        );
+    }
+}
+
+#[test]
+fn skew_then_unskew_roundtrips() {
+    let nest = square_nest(true);
+    let skewed = nest.skew(1, 0, 2);
+    let back = skewed.skew(1, 0, -2);
+    assert_eq!(
+        instances(&nest, &[4], -12, 16),
+        instances(&back, &[4], -12, 16)
+    );
+}
+
+#[test]
+fn unroll_partitions_instances() {
+    let nest = square_nest(false);
+    for f in [2i64, 3, 4] {
+        let u = nest.unroll(0, f);
+        assert_eq!(u.len(), f as usize);
+        assert_eq!(
+            instances(&nest, &[], -1, 13),
+            instances(&u, &[], -1, 13),
+            "factor {f}"
+        );
+        // Copies are pairwise disjoint.
+        for x in 0..u.len() {
+            for y in x + 1..u.len() {
+                assert!(u.statements()[x]
+                    .domain
+                    .is_disjoint(&u.statements()[y].domain));
+            }
+        }
+    }
+}
+
+#[test]
+fn split_partitions_exactly() {
+    let nest = square_nest(true);
+    let sp = nest.space().clone();
+    let c = (LinExpr::var(&sp, 0) - LinExpr::var(&sp, 1)).geq0(); // i >= j
+    let s = nest.split_stmt(0, &c);
+    assert_eq!(s.len(), 2);
+    assert!(s.statements()[0]
+        .domain
+        .is_disjoint(&s.statements()[1].domain));
+    assert_eq!(instances(&nest, &[5], -1, 6), instances(&s, &[5], -1, 6));
+}
+
+#[test]
+fn distribute_orders_groups() {
+    let d = Set::parse("{ [i] : 0 <= i <= 3 }").unwrap();
+    let mut nest = LoopNest::new(d.space().clone());
+    nest.add("a", d.clone());
+    nest.add("b", d);
+    let dist = nest.distribute(&[1, 0]); // b's group first
+    // In the distributed space, b executes at ord=0 and a at ord=1.
+    assert!(dist.statements()[1].domain.contains(&[], &[0, 2]));
+    assert!(dist.statements()[0].domain.contains(&[], &[1, 2]));
+    let fused = dist.fuse_leading();
+    assert_eq!(fused.space().n_vars(), 1);
+    assert_eq!(instances(&nest, &[], -1, 5), instances(&fused, &[], -1, 5));
+}
+
+#[test]
+fn unroll_and_jam_equals_unroll_plus_permute_semantically() {
+    let nest = square_nest(true);
+    let a = nest.unroll_and_jam(0, 2);
+    let b = nest.unroll(0, 2);
+    assert_eq!(instances(&a, &[6], -1, 8), instances(&b, &[6], -1, 8));
+}

@@ -1,0 +1,75 @@
+//! Cross-validation of the transformation framework against the
+//! first-class `omega::AffineMap` mappings: chill's permute/shift/skew must
+//! equal the corresponding map's exact image.
+
+use chill::LoopNest;
+use omega::{AffineMap, LinExpr, Set, Space};
+
+fn nest(domain: &str) -> LoopNest {
+    let d = Set::parse(domain).unwrap();
+    let mut n = LoopNest::new(d.space().clone());
+    n.add("s0", d);
+    n
+}
+
+fn same_points(a: &Set, b: &Set, params: &[i64], lo: i64, hi: i64) {
+    let nv = a.space().n_vars();
+    assert_eq!(
+        a.enumerate(params, &vec![lo; nv], &vec![hi; nv]),
+        b.enumerate(params, &vec![lo; nv], &vec![hi; nv]),
+        "a = {a}, b = {b}"
+    );
+}
+
+#[test]
+fn permute_equals_map_image() {
+    let n = nest("[n] -> { [i,j] : 0 <= i < n && 0 <= j < i }");
+    let permuted = n.permute(&[1, 0]);
+    let src = n.space().clone();
+    let dst = Space::new(&["n"], &["j", "i"]);
+    let m = AffineMap::new(
+        src.clone(),
+        dst,
+        vec![LinExpr::var(&src, 1), LinExpr::var(&src, 0)],
+    );
+    let image = m.apply(&n.statements()[0].domain);
+    // Same point sets (the spaces differ only in names).
+    let renamed = permuted.statements()[0]
+        .domain
+        .remap_vars(image.space(), &[0, 1]);
+    same_points(&renamed, &image, &[6], -1, 7);
+}
+
+#[test]
+fn shift_equals_map_image() {
+    let n = nest("[n] -> { [i,j] : 0 <= i < n && 0 <= j < n }");
+    let shifted = n.shift(0, 1, &LinExpr::constant(n.space(), 5));
+    let src = n.space().clone();
+    let m = AffineMap::new(
+        src.clone(),
+        src.clone(),
+        vec![LinExpr::var(&src, 0), LinExpr::var(&src, 1) + 5],
+    );
+    let image = m.apply(&n.statements()[0].domain);
+    same_points(&shifted.statements()[0].domain, &image, &[4], -2, 10);
+}
+
+#[test]
+fn skew_equals_map_image_and_inverts() {
+    let n = nest("[n] -> { [i,j] : 0 <= i < n && 0 <= j < n }");
+    let skewed = n.skew(1, 0, 3);
+    let src = n.space().clone();
+    let m = AffineMap::new(
+        src.clone(),
+        src.clone(),
+        vec![
+            LinExpr::var(&src, 0),
+            LinExpr::var(&src, 1) + LinExpr::var(&src, 0) * 3,
+        ],
+    );
+    let image = m.apply(&n.statements()[0].domain);
+    same_points(&skewed.statements()[0].domain, &image, &[3], -2, 12);
+    // The inverse map restores the original domain.
+    let back = m.inverse().unwrap().apply(&image);
+    same_points(&back, &n.statements()[0].domain, &[3], -2, 12);
+}

@@ -1,0 +1,192 @@
+//! Quilleré–Rajopadhye–Wilde separation: at each dimension, split the
+//! projections of the active statements into disjoint regions, ordered
+//! lexicographically.
+
+use omega::{Conjunct, LinExpr, Set, Space};
+
+/// A disjoint region at one level: the conjunct describing it and the
+/// statement pieces active inside.
+#[derive(Clone, Debug)]
+pub(crate) struct Region {
+    pub domain: Conjunct,
+    pub active: Vec<usize>,
+}
+
+/// Separates the (already approximated) per-piece projections into disjoint
+/// regions. Region count grows with overlap complexity — the code-explosion
+/// behaviour the paper attributes to this algorithm family.
+pub(crate) fn separate(projections: &[(usize, Set)], space: &Space) -> Vec<Region> {
+    let mut regions: Vec<(Set, Vec<usize>)> = Vec::new();
+    for (piece, p) in projections {
+        if p.is_empty() {
+            continue;
+        }
+        let mut next: Vec<(Set, Vec<usize>)> = Vec::new();
+        let mut remainder = p.clone();
+        for (dom, active) in regions {
+            let inter = dom.intersect(p);
+            let only_old = dom.subtract(p);
+            if !inter.is_empty() {
+                let mut a = active.clone();
+                a.push(*piece);
+                next.push((inter.clone(), a));
+                remainder = remainder.subtract(&dom);
+            }
+            if !only_old.is_empty() {
+                next.push((only_old, active));
+            }
+        }
+        if !remainder.is_empty() {
+            next.push((remainder, vec![*piece]));
+        }
+        regions = next;
+    }
+    // Fragment region unions into conjuncts (further code growth).
+    let mut out = Vec::new();
+    for (dom, active) in regions {
+        for c in dom.make_disjoint() {
+            let c = c.simplified();
+            if c.is_sat() {
+                out.push(Region {
+                    domain: c,
+                    active: active.clone(),
+                });
+            }
+        }
+    }
+    let _ = space;
+    out
+}
+
+/// Orders regions along dimension `v`: `a` strictly precedes `b` when no
+/// point of `a` has a `v` value ≥ some point of `b` under a common prefix.
+/// Falls back to stable input order for incomparable pairs.
+pub(crate) fn sort_regions(regions: &mut Vec<Region>, v: usize) {
+    let n = regions.len();
+    if n <= 1 {
+        return;
+    }
+    // Insertion sort with the partial order (stable for incomparables).
+    for i in 1..n {
+        let mut j = i;
+        while j > 0 && strictly_before(&regions[j].domain, &regions[j - 1].domain, v) {
+            regions.swap(j, j - 1);
+            j -= 1;
+        }
+    }
+}
+
+/// Is every `v` of `a` strictly below every `v` of `b` sharing the same
+/// outer coordinates (variables before `v`)?
+pub(crate) fn strictly_before(a: &Conjunct, b: &Conjunct, v: usize) -> bool {
+    let space = a.space();
+    // Extended space: original vars plus a shadow of var v.
+    let mut vars: Vec<String> = space.var_names().to_vec();
+    let shadow = format!("__{}shadow", space.var_name(v));
+    vars.push(shadow);
+    let pr: Vec<&str> = space.param_names().iter().map(String::as_str).collect();
+    let vr: Vec<&str> = vars.iter().map(String::as_str).collect();
+    let ext = Space::new(&pr, &vr);
+    let shadow_idx = ext.n_vars() - 1;
+    let a_ext = a.embed_into(&ext);
+    let b_ext = b.embed_into(&ext).swap_vars(v, shadow_idx);
+    // Inner variables (deeper than v) are unconstrained couplings; project
+    // them away from both sides first? They are independent copies already
+    // because b's inner vars got b's constraints on shared columns — avoid
+    // accidental coupling by projecting inner dims out of both.
+    let inner_from = v + 1;
+    let inner_count = space.n_vars().saturating_sub(inner_from);
+    let a_set = if inner_count > 0 {
+        a_ext.to_set().project_out(inner_from, inner_count)
+    } else {
+        a_ext.to_set()
+    };
+    let b_set = if inner_count > 0 {
+        b_ext.to_set().project_out(inner_from, inner_count)
+    } else {
+        b_ext.to_set()
+    };
+    // a.v >= b.shadow for shared outer prefix → NOT strictly before.
+    let ge = LinExpr::var(&ext, v).geq(LinExpr::var(&ext, shadow_idx));
+    let joint = a_set.intersect(&b_set).intersect_constraint(&ge);
+    joint.is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(t: &str) -> Set {
+        Set::parse(t).unwrap()
+    }
+
+    #[test]
+    fn separate_overlap_three_ways() {
+        let space = set("{ [i] }").space().clone();
+        let a = set("{ [i] : 0 <= i <= 6 }");
+        let b = set("{ [i] : 4 <= i <= 9 }");
+        let mut regions = separate(&[(0, a), (1, b)], &space);
+        sort_regions(&mut regions, 0);
+        assert_eq!(regions.len(), 3);
+        assert_eq!(regions[0].active, vec![0]);
+        assert_eq!(regions[1].active, vec![0, 1]);
+        assert_eq!(regions[2].active, vec![1]);
+        assert!(regions[0].domain.contains(&[], &[3]));
+        assert!(regions[1].domain.contains(&[], &[5]));
+        assert!(regions[2].domain.contains(&[], &[8]));
+    }
+
+    #[test]
+    fn separate_identical_domains_single_region() {
+        let space = set("{ [i] }").space().clone();
+        let a = set("{ [i] : 0 <= i <= 6 }");
+        let regions = separate(&[(0, a.clone()), (1, a)], &space);
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].active, vec![0, 1]);
+    }
+
+    #[test]
+    fn strictly_before_basic() {
+        let a = set("{ [i] : 0 <= i <= 3 }").conjuncts()[0].clone();
+        let b = set("{ [i] : 5 <= i <= 9 }").conjuncts()[0].clone();
+        assert!(strictly_before(&a, &b, 0));
+        assert!(!strictly_before(&b, &a, 0));
+        assert!(!strictly_before(&a, &a, 0));
+    }
+
+    #[test]
+    fn strictly_before_parametric() {
+        let a = set("[n] -> { [i] : 0 <= i < n }").conjuncts()[0].clone();
+        let b = set("[n] -> { [i] : i = n }").conjuncts()[0].clone();
+        assert!(strictly_before(&a, &b, 0));
+        assert!(!strictly_before(&b, &a, 0));
+    }
+
+    #[test]
+    fn strictly_before_inner_dim_uses_prefix() {
+        // Along j (dim 1) with shared i: a: j < i, b: j >= i.
+        let a = set("[n] -> { [i,j] : 0 <= j < i }").conjuncts()[0].clone();
+        let b = set("[n] -> { [i,j] : i <= j <= n }").conjuncts()[0].clone();
+        assert!(strictly_before(&a, &b, 1));
+        assert!(!strictly_before(&b, &a, 1));
+    }
+
+    #[test]
+    fn sort_orders_three_fragments() {
+        let space = set("{ [i] }").space().clone();
+        let mk = |t: &str| Region {
+            domain: set(t).conjuncts()[0].clone(),
+            active: vec![0],
+        };
+        let mut rs = vec![
+            mk("{ [i] : 10 <= i <= 12 }"),
+            mk("{ [i] : 0 <= i <= 2 }"),
+            mk("{ [i] : 5 <= i <= 7 }"),
+        ];
+        sort_regions(&mut rs, 0);
+        let _ = &space;
+        assert!(rs[0].domain.contains(&[], &[1]));
+        assert!(rs[1].domain.contains(&[], &[6]));
+        assert!(rs[2].domain.contains(&[], &[11]));
+    }
+}

@@ -1,0 +1,590 @@
+//! Lowering the optimized AST to the `polyir` output language (paper §3.3),
+//! including the if-statement simplification of Figure 5 (`mergeIfInOrder`)
+//! and the guard propagation through degenerate loops of Figure 6.
+
+use crate::ast::{Node, Problem};
+use crate::input::{CodeGenError, Statement};
+use polyir::{Cond, CondAtom, Expr, Stmt};
+
+use omega::{Conjunct, ConstraintKind, LinExpr};
+
+pub(crate) struct LowerCtx<'a> {
+    pub pb: &'a Problem,
+    pub stmts: &'a [Statement],
+    /// When false, skip Figure 5 if-merging: each item gets its own guard
+    /// (ablation of the paper's second contribution).
+    pub merge_ifs: bool,
+    /// Reorder same-position statements to improve merging (the paper's
+    /// out-of-order merge for leaf statements).
+    pub reorder_leaves: bool,
+}
+
+/// Recursion backstop for the merge algorithm.
+const MAX_MERGE_DEPTH: usize = 4_096;
+
+impl LowerCtx<'_> {
+    /// Lowers the whole AST under the initial known context.
+    pub fn lower_root(&self, root: &Node, known: &Conjunct) -> Result<Stmt, CodeGenError> {
+        let items = self.items_of(root);
+        self.merge(items, None, known, 0)
+    }
+
+    /// Flattens a node into mergeable items: split children are inlined
+    /// (Figure 6 allows merging across multiple split nodes) and leaves
+    /// expand into per-statement items.
+    fn items_of<'n>(&self, node: &'n Node) -> Vec<Item<'n>> {
+        match node {
+            Node::Split { parts, .. } => parts
+                .iter()
+                .flat_map(|(_, child)| self.items_of(child))
+                .collect(),
+            Node::Leaf { guards, .. } => {
+                let mut items: Vec<Item<'n>> = guards
+                    .iter()
+                    .map(|(p, g)| Item {
+                        guard: g.clone(),
+                        payload: Payload::Piece(*p),
+                    })
+                    .collect();
+                if self.reorder_leaves {
+                    // Statements in one leaf share a lexicographic position
+                    // (paper §3.1), so they may be reordered freely: group
+                    // equal/structurally similar guards to maximize merging.
+                    items.sort_by_key(|i| i.guard.to_string());
+                }
+                items
+            }
+            Node::Loop { .. } => vec![Item {
+                guard: self.effective_guard(node),
+                payload: Payload::Node(node),
+            }],
+        }
+    }
+
+    /// The guard to test before entering this node's code, including guards
+    /// propagated up through degenerate loops (Figure 6, with variable
+    /// substitution along the defining equalities).
+    fn effective_guard(&self, node: &Node) -> Conjunct {
+        match node {
+            Node::Loop {
+                guard,
+                degenerate,
+                bounds,
+                level,
+                body,
+                ..
+            } => {
+                let mut g = guard.clone();
+                if *degenerate {
+                    if let Some((c, e)) = bounds.equality_on(level - 1) {
+                        let inner = self.effective_guard(body);
+                        if !inner.is_universe() && !inner.is_known_false() {
+                            let sub =
+                                crate::lift::substitute_scaled(&inner, level - 1, c, &e);
+                            g = g.intersect(&sub);
+                        }
+                    }
+                }
+                g
+            }
+            Node::Leaf { guards, .. } if guards.len() == 1 => guards[0].1.clone(),
+            _ => Conjunct::universe(&self.pb.space),
+        }
+    }
+
+    /// Figure 5: merges neighboring guard conditions into if-then-else
+    /// trees, in lexicographic order.
+    fn merge(
+        &self,
+        items: Vec<Item<'_>>,
+        postponed: Option<Conjunct>,
+        known: &Conjunct,
+        depth: usize,
+    ) -> Result<Stmt, CodeGenError> {
+        assert!(depth < MAX_MERGE_DEPTH, "mergeIfInOrder failed to converge");
+        if items.is_empty() {
+            return Ok(Stmt::Nop);
+        }
+        if !self.merge_ifs {
+            // Ablation mode: emit every guard separately.
+            let mut out = Vec::new();
+            for item in &items {
+                let g = item.guard.gist(known);
+                if g.is_known_false() {
+                    continue;
+                }
+                let inner = self.lower_item(item, &known.intersect(&g))?;
+                out.push(Stmt::guarded(self.cond_of(&g), inner));
+            }
+            return Ok(self.wrap(postponed, Stmt::seq(out)));
+        }
+        let g0 = items[0].guard.gist(known);
+        if g0.is_known_false() {
+            // Dead item under this context.
+            let rest: Vec<Item<'_>> = items.into_iter().skip(1).collect();
+            return self.merge(rest, postponed, known, depth + 1);
+        }
+        if g0.is_universe() {
+            // Leading run of guard-free items.
+            let mut out = Vec::new();
+            let mut rest = Vec::new();
+            let mut bare = true;
+            for item in items {
+                if bare && item.guard.gist(known).is_universe() {
+                    out.push(self.lower_item(&item, known)?);
+                } else {
+                    bare = false;
+                    rest.push(item);
+                }
+            }
+            out.push(self.merge(rest, None, known, depth + 1)?);
+            return Ok(self.wrap(postponed, Stmt::seq(out)));
+        }
+        // Select the atom of g0 maximizing the contiguous then/else region.
+        let atoms = g0.guard_atoms();
+        let mut best: Option<(Conjunct, Option<Conjunct>, usize, usize)> = None;
+        for atom in &atoms {
+            let comp = atom.complement_single();
+            // The first item satisfies its own gist atom by construction;
+            // the implication test may be undecidable for exotic
+            // existential atoms, so do not rely on it for item 0.
+            let mut len1 = 1;
+            for item in items.iter().skip(1) {
+                if self.implies(&item.guard, atom, known) {
+                    len1 += 1;
+                } else {
+                    break;
+                }
+            }
+            let mut len2 = 0;
+            if let Some(c) = &comp {
+                for item in items.iter().skip(len1) {
+                    if self.implies(&item.guard, c, known) {
+                        len2 += 1;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            let score = len1 + len2;
+            if best.as_ref().map_or(true, |b| score > b.2 + b.3) {
+                best = Some((atom.clone(), comp, len1, len2));
+            }
+        }
+        let (c, comp, len1, len2) = best.expect("non-universe gist has atoms");
+        debug_assert!(len1 >= 1, "first item must satisfy its own guard atom");
+        let known_c = known.intersect(&c);
+        let mut it = items.into_iter();
+        let nodes1: Vec<Item<'_>> = it.by_ref().take(len1).collect();
+        let nodes2: Vec<Item<'_>> = it.by_ref().take(len2).collect();
+        let nodes3: Vec<Item<'_>> = it.collect();
+        if nodes2.is_empty() && nodes3.is_empty() {
+            // Postpone c: everything satisfies it; emit a single if later.
+            let postponed = Some(match postponed {
+                Some(p) => p.intersect(&c),
+                None => c,
+            });
+            return self.merge(nodes1, postponed, &known_c, depth + 1);
+        }
+        if nodes2.is_empty() {
+            let s1 = self.merge(nodes1, Some(c), &known_c, depth + 1)?;
+            let s2 = self.merge(nodes3, None, known, depth + 1)?;
+            return Ok(self.wrap(postponed, Stmt::seq(vec![s1, s2])));
+        }
+        let comp = comp.expect("nodes2 non-empty requires a complement");
+        let known_nc = known.intersect(&comp);
+        let s1 = self.merge(nodes1, None, &known_c, depth + 1)?;
+        let s2 = self.merge(nodes2, None, &known_nc, depth + 1)?;
+        let s4 = Stmt::If {
+            cond: self.cond_of(&c),
+            then_: Box::new(s1),
+            else_: match s2 {
+                Stmt::Nop => None,
+                other => Some(Box::new(other)),
+            },
+        };
+        let s3 = self.merge(nodes3, None, known, depth + 1)?;
+        Ok(self.wrap(postponed, Stmt::seq(vec![s4, s3])))
+    }
+
+    /// Does `guard` (under `known`) imply the atom `a`? Conservatively
+    /// `false` when the subset test cannot be decided exactly.
+    fn implies(&self, guard: &Conjunct, a: &Conjunct, known: &Conjunct) -> bool {
+        known
+            .intersect(guard)
+            .to_set()
+            .try_is_subset(&a.to_set())
+            .unwrap_or(false)
+    }
+
+    /// Emits the postponed guard (already gisted at selection time) around
+    /// the merged block.
+    fn wrap(&self, postponed: Option<Conjunct>, body: Stmt) -> Stmt {
+        match postponed {
+            None => body,
+            Some(p) if p.is_universe() => body,
+            Some(p) => Stmt::guarded(self.cond_of(&p), body),
+        }
+    }
+
+    fn lower_item(&self, item: &Item<'_>, known: &Conjunct) -> Result<Stmt, CodeGenError> {
+        // `known` already carries this item's emitted guard.
+        match item.payload {
+            Payload::Piece(p) => {
+                let piece = &self.pb.pieces[p];
+                let stmt = &self.stmts[piece.stmt];
+                let args = stmt.args.iter().map(|a| conv(a)).collect();
+                Ok(Stmt::Call {
+                    stmt: piece.stmt,
+                    args,
+                })
+            }
+            Payload::Node(n) => self.lower_loop(n, known),
+        }
+    }
+
+    /// Lowers a loop node (its guard has already been emitted by `merge`).
+    fn lower_loop(&self, node: &Node, known: &Conjunct) -> Result<Stmt, CodeGenError> {
+        let Node::Loop {
+            level,
+            bounds,
+            guard,
+            degenerate,
+            body,
+            active,
+            restriction,
+            ..
+        } = node
+        else {
+            unreachable!("lower_loop expects a loop node");
+        };
+        let v = level - 1;
+        let known_in = known.intersect(guard).intersect(bounds);
+        if *degenerate {
+            let (c, e) = bounds
+                .equality_on(v)
+                .expect("degenerate loop has a defining equality");
+            let value = conv(&e);
+            let body_items = self.items_of(body);
+            let inner = self.merge(body_items, None, &known_in, 0)?;
+            if matches!(inner, Stmt::Nop) {
+                return Ok(Stmt::Nop);
+            }
+            if c == 1 {
+                return Ok(Stmt::Assign {
+                    var: v,
+                    value,
+                    body: Box::new(inner),
+                });
+            }
+            // c > 1: t = e / c, guarded by divisibility unless provable.
+            let assign = Stmt::Assign {
+                var: v,
+                value: Expr::FloorDiv(Box::new(value.clone()), c),
+                body: Box::new(inner),
+            };
+            if self.implies_congruence(known, &e, c) {
+                return Ok(assign);
+            }
+            return Ok(Stmt::guarded(
+                Cond::atom(CondAtom::ModZero(value, c)),
+                assign,
+            ));
+        }
+        let (lowers, uppers) = bounds.bounds_on(v);
+        let lower_exprs: Vec<Expr> = lowers.iter().map(|b| lower_bound_expr(b)).collect();
+        let upper_exprs: Vec<Expr> = uppers.iter().map(|b| upper_bound_expr(b)).collect();
+        // When the hull cannot bound the union in a single conjunct (e.g.
+        // `i ≤ max(n-1, 8)`), fall back to min/max over the per-piece
+        // bounds, as in Omega code generation (Kelly et al.); residual
+        // guards re-establish exactness inside the loop.
+        let mut lower = match (lower_exprs.is_empty(), self.piece_bounds(active, restriction, *level, true)) {
+            (false, _) => Expr::max_of(lower_exprs),
+            (true, Some(fallback)) => Expr::min_of(fallback),
+            (true, None) => return Err(CodeGenError::UnboundedLoop { level: *level }),
+        };
+        let upper = match (upper_exprs.is_empty(), self.piece_bounds(active, restriction, *level, false)) {
+            (false, _) => Expr::min_of(upper_exprs),
+            (true, Some(fallback)) => Expr::max_of(fallback),
+            (true, None) => return Err(CodeGenError::UnboundedLoop { level: *level }),
+        };
+        let mut step = 1;
+        if let Some((m, r)) = bounds.stride_on(v) {
+            step = m;
+            // Does the lower bound already satisfy the stride? (§3.3's two
+            // Gist tests collapse to: known ∧ bounds implies lb ≡ r mod m,
+            // testable when there is a single unit-coefficient lower bound.)
+            let aligned = lowers.len() == 1
+                && lowers[0].coeff == 1
+                && self.implies_congruence(
+                    &known_in,
+                    &(lowers[0].expr.clone() - r.clone()),
+                    m,
+                );
+            if !aligned {
+                // lb + ((r - lb) mod m), folded when the bound is constant.
+                let delta = Expr::Mod(
+                    Box::new(Expr::sub(conv(&r), lower.clone())),
+                    m,
+                );
+                lower = polyir::passes::fold_expr(&Expr::add(lower, delta));
+            }
+        }
+        let body_items = self.items_of(body);
+        let inner = self.merge(body_items, None, &known_in, 0)?;
+        if matches!(inner, Stmt::Nop) {
+            return Ok(Stmt::Nop);
+        }
+        Ok(Stmt::Loop {
+            var: v,
+            lower,
+            upper,
+            step,
+            body: Box::new(inner),
+        })
+    }
+
+    /// Per-piece loop bounds at `level`, for the min/max fallback: one
+    /// expression per active piece (the max of its lower bounds when
+    /// `lower`, the min of its upper bounds otherwise). `None` when some
+    /// piece is itself unbounded.
+    fn piece_bounds(
+        &self,
+        active: &[usize],
+        restriction: &Conjunct,
+        level: usize,
+        lower: bool,
+    ) -> Option<Vec<Expr>> {
+        let v = level - 1;
+        let mut out = Vec::new();
+        for &p in active {
+            let projected = self
+                .pb
+                .project_inner(p, level)
+                .intersect_conjunct(restriction);
+            for c in projected.conjuncts() {
+                let c = c.simplified().without_redundant();
+                if !c.is_sat() {
+                    continue;
+                }
+                if let Some((coeff, e)) = c.equality_on(v) {
+                    let expr = if coeff == 1 {
+                        conv(&e)
+                    } else if lower {
+                        Expr::CeilDiv(Box::new(conv(&e)), coeff)
+                    } else {
+                        Expr::FloorDiv(Box::new(conv(&e)), coeff)
+                    };
+                    out.push(expr);
+                    continue;
+                }
+                let (lo, hi) = c.bounds_on(v);
+                let bounds = if lower { lo } else { hi };
+                if bounds.is_empty() {
+                    return None;
+                }
+                let exprs: Vec<Expr> = bounds
+                    .iter()
+                    .map(|b| if lower { lower_bound_expr(b) } else { upper_bound_expr(b) })
+                    .collect();
+                out.push(if lower {
+                    Expr::max_of(exprs)
+                } else {
+                    Expr::min_of(exprs)
+                });
+            }
+        }
+        if out.is_empty() {
+            None
+        } else {
+            Some(out)
+        }
+    }
+
+    /// Does `known` imply `e ≡ 0 (mod m)`?
+    fn implies_congruence(&self, known: &Conjunct, e: &LinExpr, m: i64) -> bool {
+        let mut cc = Conjunct::universe(&self.pb.space);
+        cc.add_congruence(e, 0, m);
+        let Some(comp) = cc.complement_single() else {
+            return false;
+        };
+        !known.intersect(&comp).is_sat()
+    }
+
+    /// Converts a guard conjunct to a runtime condition.
+    pub(crate) fn cond_of(&self, g: &Conjunct) -> Cond {
+        cond_of_conjunct(g)
+    }
+}
+
+/// Converts a guard conjunct to a runtime [`Cond`] (shared by the baseline
+/// generator): local-free constraints become comparisons, congruences
+/// become `%` tests, and general single-existential groups lower to
+/// floor/ceil bound comparisons.
+///
+/// # Panics
+///
+/// Panics on a guard with several coupled existential variables (cannot
+/// arise from this crate's scanning pipeline).
+pub fn cond_of_conjunct(g: &Conjunct) -> Cond {
+    let mut atoms = Vec::new();
+    for atom in g.guard_atoms() {
+        if atom.n_locals() == 0 {
+            for k in atom.local_free_constraints() {
+                let e = conv(k.expr());
+                atoms.push(match k.kind() {
+                    ConstraintKind::Geq => CondAtom::GeqZero(e),
+                    ConstraintKind::Eq => CondAtom::EqZero(e),
+                });
+            }
+        } else if let Some((expr, m, lo, hi)) = atom.range_mod() {
+            let shifted = conv(&(expr - lo));
+            if lo == hi {
+                atoms.push(CondAtom::ModZero(shifted, m));
+            } else {
+                atoms.push(CondAtom::ModLeq(shifted, m, hi - lo));
+            }
+        } else if let Some(a) = exotic_single_local(&atom) {
+            atoms.push(a);
+        } else {
+            panic!("cannot lower existential guard atom: {atom}");
+        }
+    }
+    Cond::from_atoms(atoms)
+}
+
+/// Lowers `∃α: rows(x, α)` with a single local to a runtime test: α is an
+/// integer in `[max(ceils), min(floors)]`, so the guard is
+/// `min(floors) - max(ceils) >= 0` (equalities contribute both sides, which
+/// encodes their divisibility requirement for free).
+fn exotic_single_local(atom: &Conjunct) -> Option<CondAtom> {
+    if atom.n_locals() != 1 {
+        return None;
+    }
+    let space = atom.space().clone();
+    let named = 1 + space.n_named();
+    let mut floors: Vec<Expr> = Vec::new(); // α <= floord(e, b)
+    let mut ceils: Vec<Expr> = Vec::new(); // α >= ceild(e, a)
+    for (kind, row) in atom.rows_raw() {
+        let c = row[named];
+        let e = omega::LinExpr::from_raw(&space, &row[..named]);
+        let kinds: &[i64] = match kind {
+            omega::ConstraintKind::Geq => &[1],
+            omega::ConstraintKind::Eq => &[1, -1],
+        };
+        for &sgn in kinds {
+            let (c, e) = (sgn * c, if sgn == 1 { e.clone() } else { -e.clone() });
+            if c > 0 {
+                // e + c·α >= 0  →  α >= ceild(-e, c)
+                ceils.push(Expr::CeilDiv(Box::new(conv(&-e.clone())), c));
+            } else if c < 0 {
+                // e - |c|·α >= 0  →  α <= floord(e, |c|)
+                floors.push(Expr::FloorDiv(Box::new(conv(&e)), -c));
+            }
+        }
+    }
+    if floors.is_empty() || ceils.is_empty() {
+        return None; // unbounded α: simplification should have removed it
+    }
+    let hi = Expr::min_of(floors);
+    let lo = Expr::max_of(ceils);
+    Some(CondAtom::GeqZero(Expr::sub(hi, lo)))
+}
+
+struct Item<'n> {
+    guard: Conjunct,
+    payload: Payload<'n>,
+}
+
+enum Payload<'n> {
+    Node(&'n Node),
+    Piece(usize),
+}
+
+/// `coeff·v ≥ expr` as a runtime lower-bound expression for `v`.
+fn lower_bound_expr(b: &omega::VarBound) -> Expr {
+    if b.coeff == 1 {
+        conv(&b.expr)
+    } else {
+        Expr::CeilDiv(Box::new(conv(&b.expr)), b.coeff)
+    }
+}
+
+/// `coeff·v ≤ expr` as a runtime upper-bound expression for `v`.
+fn upper_bound_expr(b: &omega::VarBound) -> Expr {
+    if b.coeff == 1 {
+        conv(&b.expr)
+    } else {
+        Expr::FloorDiv(Box::new(conv(&b.expr)), b.coeff)
+    }
+}
+
+/// Converts an affine expression over the scanning space to a runtime
+/// expression (parameters and loop-variable slots).
+pub(crate) fn conv(e: &LinExpr) -> Expr {
+    let space = e.space().clone();
+    // Variables first, then parameters, constant last — matches the style
+    // of generated C (`2*t1+n-3`).
+    let mut acc = Expr::Const(0);
+    for v in 0..space.n_vars() {
+        let c = e.var_coeff(v);
+        if c != 0 {
+            acc = Expr::add(acc, Expr::mul(c, Expr::Var(v)));
+        }
+    }
+    for p in 0..space.n_params() {
+        let c = e.param_coeff(p);
+        if c != 0 {
+            acc = Expr::add(acc, Expr::mul(c, Expr::Param(p)));
+        }
+    }
+    Expr::add(acc, Expr::Const(e.constant_term()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omega::{Set, Space};
+
+    #[test]
+    fn conv_builds_readable_exprs() {
+        let sp = Space::new(&["n"], &["i", "j"]);
+        let e = LinExpr::var(&sp, 0) * 2 + LinExpr::param(&sp, 0) - 3;
+        let x = conv(&e);
+        let names = polyir::Names {
+            params: vec!["n".into()],
+            vars: vec!["i".into(), "j".into()],
+            stmts: vec![],
+        };
+        assert_eq!(polyir::print::expr_to_string(&x, &names), "2*i+n-3");
+    }
+
+    #[test]
+    fn cond_of_handles_strides() {
+        let g = Set::parse("{ [i] : exists(a : i = 4a + 1) && i >= 3 }")
+            .unwrap()
+            .conjuncts()[0]
+            .clone();
+        let pb = crate::ast::Problem {
+            space: g.space().clone(),
+            pieces: Vec::new(),
+            max_level: 1,
+        };
+        let ctx = LowerCtx {
+            pb: &pb,
+            stmts: &[],
+            merge_ifs: true,
+            reorder_leaves: false,
+        };
+        let cond = ctx.cond_of(&g);
+        assert_eq!(cond.atoms().len(), 2);
+        let names = polyir::Names {
+            params: vec![],
+            vars: vec!["i".into()],
+            stmts: vec![],
+        };
+        let txt = polyir::print::cond_to_string(&cond, &names);
+        assert!(txt.contains("%4 == 0"), "{txt}");
+        assert!(txt.contains("i >= 3") || txt.contains("i-3 >= 0"), "{txt}");
+    }
+}

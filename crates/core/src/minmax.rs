@@ -1,0 +1,212 @@
+//! Min/max bound removal (paper §3.2.2, final paragraph): the paper does
+//! not treat `min`/`max` loop bounds as overhead by default, but notes the
+//! algorithm extends directly, "controlled by a different nesting depth
+//! parameter". This module implements that extension: loops of nesting
+//! depth ≤ `dm` whose bounds carry several lower (or upper) bounds are
+//! split on the affine comparison of two bounds, after which recomputation
+//! drops the dominated bound on each side.
+
+use crate::ast::{Node, Problem};
+use omega::Conjunct;
+
+/// Repeatedly removes min/max bounds from subloops of nesting depth ≤ `dm`.
+pub(crate) fn remove_minmax(pb: &Problem, mut root: Node, dm: usize) -> Node {
+    // Each split strictly reduces the number of (loop, bound-pair)
+    // combinations on some path; the cap is a defensive backstop.
+    for _ in 0..1_000 {
+        let (changed, new_root) = pass(pb, root, dm);
+        root = new_root;
+        if !changed {
+            return root;
+        }
+    }
+    // Non-convergence can only follow from budget-exhausted implication
+    // tests; the AST is still correct, just with min/max bounds remaining.
+    root
+}
+
+fn pass(pb: &Problem, node: Node, dm: usize) -> (bool, Node) {
+    match node {
+        Node::Split { active, parts } => {
+            let mut changed = false;
+            let mut new_parts = Vec::with_capacity(parts.len());
+            for (r, child) in parts {
+                if changed {
+                    new_parts.push((r, child));
+                    continue;
+                }
+                let (c, n2) = pass(pb, child, dm);
+                changed = c;
+                new_parts.push((r, n2));
+            }
+            (
+                changed,
+                Node::Split {
+                    active,
+                    parts: new_parts,
+                },
+            )
+        }
+        Node::Leaf { .. } => (false, node),
+        Node::Loop {
+            active,
+            level,
+            known,
+            restriction,
+            bounds,
+            guard,
+            degenerate,
+            body,
+        } => {
+            let depth = body.nesting_depth() + usize::from(!degenerate);
+            if depth <= dm && !degenerate {
+                let cand = split_condition(&bounds, level - 1)
+                    .or_else(|| fallback_split_condition(pb, &active, &restriction, level))
+                    .filter(|c| useful_split(c, &restriction));
+                if let Some(cond) = cand {
+                    let comp = cond
+                        .complement_single()
+                        .expect("affine inequality complements to one conjunct");
+                    let node = Node::Loop {
+                        active: active.clone(),
+                        level,
+                        known: known.clone(),
+                        restriction: restriction.clone(),
+                        bounds,
+                        guard,
+                        degenerate,
+                        body,
+                    };
+                    let copy = node.clone();
+                    let r1 = restriction.intersect(&cond);
+                    let r2 = restriction.intersect(&comp);
+                    let c1 = node.recompute(pb, &active, &known, &r1);
+                    let c2 = copy.recompute(pb, &active, &known, &r2);
+                    let mut parts = Vec::new();
+                    if let Some(c) = c1 {
+                        parts.push((cond, c));
+                    }
+                    if let Some(c) = c2 {
+                        parts.push((comp, c));
+                    }
+                    let out = match parts.len() {
+                        0 => unreachable!("both min/max split sides empty"),
+                        1 => parts.into_iter().next().unwrap().1,
+                        _ => Node::Split {
+                            active: active.clone(),
+                            parts,
+                        },
+                    };
+                    return (true, out);
+                }
+            }
+            let (changed, b) = pass(pb, *body, dm);
+            (
+                changed,
+                Node::Loop {
+                    active,
+                    level,
+                    known,
+                    restriction,
+                    bounds,
+                    guard,
+                    degenerate,
+                    body: Box::new(b),
+                },
+            )
+        }
+    }
+}
+
+/// If variable `v` has several lower (or upper) bounds, the affine
+/// condition under which the first dominates the second:
+/// `e1/a1 ≥ e2/a2  ⟺  a2·e1 - a1·e2 ≥ 0` (rational dominance implies
+/// integer ceil/floor dominance). The condition references only outer
+/// variables, so splitting on it above this loop is always legal.
+fn split_condition(bounds: &Conjunct, v: usize) -> Option<Conjunct> {
+    let (lowers, uppers) = bounds.bounds_on(v);
+    let pick = |xs: &[omega::VarBound], lower: bool| -> Option<Conjunct> {
+        if xs.len() < 2 {
+            return None;
+        }
+        let (b1, b2) = (&xs[0], &xs[1]);
+        // lower: split on "b1 dominates b2" (b1 is the effective max);
+        // upper: split on "b1 dominates b2" meaning b1 is the effective min.
+        let e = if lower {
+            b1.expr.clone() * b2.coeff - b2.expr.clone() * b1.coeff
+        } else {
+            b2.expr.clone() * b1.coeff - b1.expr.clone() * b2.coeff
+        };
+        let space = bounds.space().clone();
+        let mut c = Conjunct::universe(&space);
+        c.add_constraint(&e.geq0());
+        Some(c)
+    };
+    pick(&lowers, true).or_else(|| pick(&uppers, false))
+}
+
+/// When the hull cannot bound the level in one conjunct (so lowering
+/// falls back to min/max over per-piece bounds), derive the dominance
+/// condition from the pieces' own bounds instead.
+fn fallback_split_condition(
+    pb: &Problem,
+    active: &[usize],
+    restriction: &Conjunct,
+    level: usize,
+) -> Option<Conjunct> {
+    let v = level - 1;
+    let mut lowers: Vec<omega::VarBound> = Vec::new();
+    let mut uppers: Vec<omega::VarBound> = Vec::new();
+    for &p in active {
+        let projected = pb.project_inner(p, level).intersect_conjunct(restriction);
+        for c in projected.conjuncts() {
+            let c = c.simplified().without_redundant();
+            if !c.is_sat() {
+                continue;
+            }
+            let (lo, hi) = c.bounds_on(v);
+            for b in lo {
+                if !lowers.contains(&b) {
+                    lowers.push(b);
+                }
+            }
+            for b in hi {
+                if !uppers.contains(&b) {
+                    uppers.push(b);
+                }
+            }
+        }
+    }
+    let space = pb.space.clone();
+    let pick = |xs: &[omega::VarBound], lower: bool| -> Option<Conjunct> {
+        if xs.len() < 2 {
+            return None;
+        }
+        let (b1, b2) = (&xs[0], &xs[1]);
+        let e = if lower {
+            b1.expr.clone() * b2.coeff - b2.expr.clone() * b1.coeff
+        } else {
+            b2.expr.clone() * b1.coeff - b1.expr.clone() * b2.coeff
+        };
+        let mut c = Conjunct::universe(&space);
+        c.add_constraint(&e.geq0());
+        Some(c)
+    };
+    pick(&uppers, false).or_else(|| pick(&lowers, true))
+}
+
+/// A split is only useful when both sides are non-trivial under the
+/// current restriction (otherwise recomputation returns the same node and
+/// the pass would spin).
+fn useful_split(cond: &Conjunct, restriction: &Conjunct) -> bool {
+    if cond.is_universe() || cond.is_known_false() {
+        return false;
+    }
+    let both = restriction.intersect(cond);
+    let Some(comp) = cond.complement_single() else {
+        return false;
+    };
+    let other = restriction.intersect(&comp);
+    both.is_sat() && other.is_sat()
+}
+

@@ -1,0 +1,404 @@
+//! The Omega `Gist` operation: `Gist(A, B) ∧ B = A ∧ B`, i.e. "given that B
+//! is known, what extra information does A carry?" — including the Omega+
+//! enhancement that reduces the strength of modulo constraints using
+//! Chinese-remainder reasoning.
+
+use crate::conjunct::{Conjunct, Row};
+use crate::linexpr::ConstraintKind;
+use crate::num;
+use crate::set::{atoms, Set};
+
+/// Gist over sets. The context is collapsed to its hull if it is a union.
+pub(crate) fn gist(a: &Set, ctx: &Set) -> Set {
+    let ctx_conj: Conjunct = match ctx.as_single_conjunct() {
+        Some(c) => c.clone(),
+        None => ctx.hull(),
+    };
+    let mut out = Set::empty(a.space());
+    for c in a.conjuncts() {
+        let g = gist_conjunct(c, &ctx_conj);
+        if !g.is_known_false() {
+            out.push_conjunct(g);
+        }
+    }
+    out
+}
+
+/// Gist of one conjunct against a conjunct context. Returns a conjunct that
+/// is TRUE when `a` adds nothing, or a known-FALSE conjunct when
+/// `a ∧ ctx` is empty.
+pub(crate) fn gist_conjunct(a: &Conjunct, ctx: &Conjunct) -> Conjunct {
+    assert_eq!(a.space(), ctx.space(), "space mismatch in gist");
+    if ctx.is_known_false() {
+        // Everything is known in an impossible context.
+        return Conjunct::universe(a.space());
+    }
+    if a.is_known_false() || !a.intersect(ctx).is_sat() {
+        return Conjunct::empty(a.space());
+    }
+    let a = crate::project::simplify_conjunct(a);
+    let ctx_simpl = crate::project::simplify_conjunct(ctx);
+
+    let space = a.space().clone();
+    let named = 1 + space.n_named();
+
+    // Split `a` into atoms; process congruences specially.
+    let ctx_congruences = congruence_keys(&ctx_simpl);
+    let mut result = Conjunct::universe(&space);
+    let mut pending_local_free: Vec<Row> = Vec::new();
+    for atom in atoms(&a) {
+        if atom.n_locals() == 0 {
+            pending_local_free.extend(atom.rows().iter().cloned());
+            continue;
+        }
+        if let Some(ck) = congruence_key_of_atom(&atom) {
+            // Reduce against every context congruence over the same
+            // expression (the context may know several moduli at once).
+            let mut cur = Some((ck.r, ck.m));
+            let mut handled = false;
+            for bk in &ctx_congruences {
+                if bk.w != ck.w {
+                    continue;
+                }
+                handled = true;
+                let (r, m) = match cur {
+                    Some(rm) => rm,
+                    None => break,
+                };
+                match num::gist_congruence(r, m, bk.r, bk.m) {
+                    None => return Conjunct::empty(&space),
+                    Some((rho, mu)) => {
+                        cur = if mu > 1 { Some((rho, mu)) } else { None };
+                    }
+                }
+            }
+            match (handled, cur) {
+                (true, None) => {} // fully absorbed by context congruences
+                (true, Some((rho, mu))) | (false, Some((rho, mu))) => {
+                    // The context may still imply the (possibly reduced)
+                    // congruence through a *combination* of constraints
+                    // (e.g. a stride plus a range-mod window).
+                    let mut reduced = Conjunct::universe(&space);
+                    let expr = key_to_expr(&space, &ck.w, rho);
+                    reduced.add_congruence(&expr, 0, mu);
+                    if !implied_by(&ctx_simpl, &reduced) {
+                        result.add_congruence(&expr, 0, mu);
+                    }
+                }
+                (false, None) => copy_atom_into(&mut result, &atom),
+            }
+            continue;
+        }
+        // Range-mod or other existential atoms: keep unless implied by ctx.
+        if implied_by(&ctx_simpl, &atom) {
+            continue;
+        }
+        copy_atom_into(&mut result, &atom);
+    }
+
+    // Greedy redundancy elimination for local-free rows: drop each row
+    // implied by ctx ∧ (other kept rows of a) ∧ (existential part kept).
+    let mut kept: Vec<Row> = pending_local_free;
+    let mut i = 0;
+    while i < kept.len() {
+        let row = kept[i].clone();
+        let mut test = ctx_simpl.intersect(&result);
+        for (j, r) in kept.iter().enumerate() {
+            if j != i {
+                let mut c = r.c[..named].to_vec();
+                c.resize(test.ncols(), 0);
+                test.push_row(Row::new(r.kind, c));
+            }
+        }
+        if row_implied(&test, &row, named) {
+            kept.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    for r in kept {
+        let mut c = r.c[..named].to_vec();
+        c.resize(result.ncols(), 0);
+        result.push_row(Row::new(r.kind, c));
+    }
+    result.compress_locals();
+    result.canonicalize();
+    result
+}
+
+/// Drops rows of `c` implied by the remaining rows (gist against TRUE).
+pub(crate) fn drop_self_redundant(c: &Conjunct) -> Conjunct {
+    if c.is_known_false() {
+        return c.clone();
+    }
+    let named = 1 + c.space().n_named();
+    let mut out = c.clone();
+    let mut i = 0;
+    while i < out.rows().len() {
+        let row = out.rows()[i].clone();
+        // Inequality rows only; equalities and congruences carry structural
+        // information the scanner wants to keep.
+        if row.kind != ConstraintKind::Geq {
+            i += 1;
+            continue;
+        }
+        let mut test = out.clone();
+        test.rows_mut().remove(i);
+        if row_implied_full(&test, &row) {
+            out.rows_mut().remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    let _ = named;
+    out
+}
+
+/// Is the full-width inequality `row` implied by `test` (locals included)?
+fn row_implied_full(test: &Conjunct, row: &Row) -> bool {
+    debug_assert_eq!(row.kind, ConstraintKind::Geq);
+    let mut t = test.clone();
+    let mut neg: Vec<i64> = row.c.iter().map(|&x| -x).collect();
+    neg[0] -= 1;
+    neg.resize(t.ncols(), 0);
+    t.push_row(Row::new(ConstraintKind::Geq, neg));
+    !t.is_sat()
+}
+
+/// Does `ctx` imply every row of `atom` (aligned over fresh locals)? Sound
+/// but approximate for existential atoms: we test `ctx ∧ ¬atom` emptiness
+/// when the atom is complementable, and fall back to syntactic membership
+/// (an identical atom in the context) otherwise.
+fn implied_by(ctx: &Conjunct, atom: &Conjunct) -> bool {
+    if let Some(neg) = crate::set::try_complement_atom(atom) {
+        return neg.iter().all(|piece| !ctx.intersect(piece).is_sat());
+    }
+    let canon = {
+        let mut a = atom.clone();
+        a.canonicalize();
+        a.to_string()
+    };
+    atoms(ctx).iter().any(|c| {
+        let mut c = c.clone();
+        c.canonicalize();
+        c.to_string() == canon
+    })
+}
+
+/// Is the (local-free) `row` implied by the conjunct `test`?
+fn row_implied(test: &Conjunct, row: &Row, named: usize) -> bool {
+    match row.kind {
+        ConstraintKind::Geq => {
+            let mut t = test.clone();
+            let mut neg: Vec<i64> = row.c[..named].iter().map(|&x| -x).collect();
+            neg[0] -= 1;
+            neg.resize(t.ncols(), 0);
+            t.push_row(Row::new(ConstraintKind::Geq, neg));
+            !t.is_sat()
+        }
+        ConstraintKind::Eq => {
+            let mut t1 = test.clone();
+            let mut c1: Vec<i64> = row.c[..named].to_vec();
+            c1[0] -= 1;
+            c1.resize(t1.ncols(), 0);
+            t1.push_row(Row::new(ConstraintKind::Geq, c1));
+            if t1.is_sat() {
+                return false;
+            }
+            let mut t2 = test.clone();
+            let mut c2: Vec<i64> = row.c[..named].iter().map(|&x| -x).collect();
+            c2[0] -= 1;
+            c2.resize(t2.ncols(), 0);
+            t2.push_row(Row::new(ConstraintKind::Geq, c2));
+            !t2.is_sat()
+        }
+    }
+}
+
+/// Copies an atom's rows into `dst`, remapping its locals onto fresh ones.
+fn copy_atom_into(dst: &mut Conjunct, atom: &Conjunct) {
+    let named = 1 + atom.space().n_named();
+    let base: Vec<usize> = (0..atom.n_locals()).map(|_| dst.add_local()).collect();
+    for r in atom.rows() {
+        let mut c = r.c[..named].to_vec();
+        c.resize(dst.ncols(), 0);
+        for (l, &bl) in base.iter().enumerate() {
+            c[named + bl] = r.c[named + l];
+        }
+        dst.push_row(Row::new(r.kind, c));
+    }
+}
+
+/// A congruence `w·x ≡ r (mod m)` with a sign-normalized non-constant part.
+#[derive(Debug, PartialEq, Eq)]
+struct CongruenceKey {
+    /// Coefficients over `[params..., vars...]` (no constant), first
+    /// non-zero entry positive.
+    w: Vec<i64>,
+    m: i64,
+    r: i64,
+}
+
+fn congruence_key_of_atom(atom: &Conjunct) -> Option<CongruenceKey> {
+    let named = 1 + atom.space().n_named();
+    if atom.n_locals() != 1 || atom.rows().len() != 1 {
+        return None;
+    }
+    let row = &atom.rows()[0];
+    if row.kind != ConstraintKind::Eq {
+        return None;
+    }
+    let m = row.c[named].abs();
+    if m <= 1 {
+        return None;
+    }
+    let mut w: Vec<i64> = row.c[1..named].to_vec();
+    let mut c0 = row.c[0];
+    if let Some(&first) = w.iter().find(|&&x| x != 0) {
+        if first < 0 {
+            for x in &mut w {
+                *x = -*x;
+            }
+            c0 = -c0;
+        }
+    }
+    // w·x + c0 ≡ 0 (mod m) ⟺ w·x ≡ -c0 (mod m)
+    Some(CongruenceKey {
+        w,
+        m,
+        r: num::mod_floor(-c0, m),
+    })
+}
+
+fn congruence_keys(c: &Conjunct) -> Vec<CongruenceKey> {
+    atoms(c).iter().filter_map(congruence_key_of_atom).collect()
+}
+
+fn key_to_expr(space: &crate::space::Space, w: &[i64], rho: i64) -> crate::linexpr::LinExpr {
+    let mut raw = vec![0i64; 1 + space.n_named()];
+    raw[0] = -rho;
+    raw[1..].copy_from_slice(w);
+    crate::linexpr::LinExpr::from_raw(space, &raw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linexpr::LinExpr;
+    use crate::space::Space;
+
+    fn sp() -> Space {
+        Space::new::<&str>(&[], &["i", "j"])
+    }
+
+    fn set(text: &str) -> Set {
+        Set::parse(text).unwrap()
+    }
+
+    #[test]
+    fn paper_gist_examples() {
+        // Gist({i>10 && j>10}, {j>10}) = {i>10}
+        let a = set("{ [i,j] : i > 10 && j > 10 }");
+        let b = set("{ [i,j] : j > 10 }");
+        let g = a.gist(&b);
+        assert_eq!(g.conjuncts().len(), 1);
+        assert_eq!(g.conjuncts()[0].to_string(), "i - 11 >= 0");
+
+        // Gist({1<=i<=100}, {i>10}) = {i<=100}
+        let a = set("{ [i,j] : 1 <= i <= 100 }");
+        let b = set("{ [i,j] : i > 10 }");
+        let g = a.gist(&b);
+        assert_eq!(g.conjuncts()[0].to_string(), "-i + 100 >= 0");
+    }
+
+    #[test]
+    fn paper_gist_modulo_strength_reduction() {
+        // Gist({∃a(i=6a)}, {∃a(i=2a)}) = {∃a(i=3a)}
+        let a = set("{ [i,j] : exists(a : i = 6a) }");
+        let b = set("{ [i,j] : exists(a : i = 2a) }");
+        let g = a.gist(&b);
+        assert_eq!(g.conjuncts().len(), 1);
+        let cg = g.conjuncts()[0].congruences();
+        assert_eq!(cg.len(), 1);
+        assert_eq!(cg[0].1, 3);
+        // Soundness: gist ∧ b == a ∧ b pointwise
+        let gb = g.intersect(&b);
+        let ab = a.intersect(&b);
+        for i in -24..=24 {
+            assert_eq!(gb.contains(&[], &[i, 0]), ab.contains(&[], &[i, 0]), "i={i}");
+        }
+    }
+
+    #[test]
+    fn gist_incompatible_congruence_is_false() {
+        let a = set("{ [i,j] : exists(a : i = 2a) }");
+        let b = set("{ [i,j] : exists(a : i = 2a+1) }");
+        let g = a.gist(&b);
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn gist_of_empty_intersection_is_false() {
+        let a = set("{ [i,j] : i >= 10 }");
+        let b = set("{ [i,j] : i <= 5 }");
+        assert!(a.gist(&b).is_empty());
+    }
+
+    #[test]
+    fn gist_with_true_context_keeps_all() {
+        let s = sp();
+        let a = set("{ [i,j] : 0 <= i <= 9 }");
+        let g = a.gist(&Set::universe(&s));
+        for i in -2..12 {
+            assert_eq!(
+                g.contains(&[], &[i, 0]),
+                (0..=9).contains(&i),
+                "i={i}"
+            );
+        }
+    }
+
+    #[test]
+    fn gist_identical_congruence_drops() {
+        let a = set("{ [i,j] : exists(a : i = 4a+1) }");
+        let g = a.gist(&a);
+        assert!(g.conjuncts().len() == 1 && g.conjuncts()[0].is_universe(), "{g}");
+    }
+
+    #[test]
+    fn gist_defining_property_random() {
+        // gist(A, B) ∧ B == A ∧ B over a window for several pairs.
+        let cases = [
+            ("{ [i,j] : 2i + j >= 3 && i <= 10 }", "{ [i,j] : i >= 0 && j >= 0 }"),
+            ("{ [i,j] : exists(a : i = 3a) && 0 <= i <= 30 }", "{ [i,j] : exists(b : i = 6b) }"),
+            ("{ [i,j] : i = j && 0 <= i <= 5 }", "{ [i,j] : 0 <= j <= 5 }"),
+        ];
+        for (ta, tb) in cases {
+            let a = set(ta);
+            let b = set(tb);
+            let g = a.gist(&b);
+            let gb = g.intersect(&b);
+            let ab = a.intersect(&b);
+            for i in -9..=9 {
+                for j in -9..=9 {
+                    assert_eq!(
+                        gb.contains(&[], &[i, j]),
+                        ab.contains(&[], &[i, j]),
+                        "A={ta} B={tb} i={i} j={j} gist={g}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn drop_self_redundant_removes_weaker_bound() {
+        let s = sp();
+        let mut c = Conjunct::universe(&s);
+        c.add_constraint(&(LinExpr::var(&s, 0) - 5).geq0()); // i >= 5
+        c.add_constraint(&LinExpr::var(&s, 0).geq0()); // i >= 0 (redundant)
+        let out = drop_self_redundant(&c);
+        assert_eq!(out.n_rows(), 1);
+        assert_eq!(out.rows()[0].c[0], -5);
+    }
+}

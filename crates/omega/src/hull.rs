@@ -1,0 +1,235 @@
+//! The Omega+ `Hull` operation: an approximate single-conjunct enclosure of
+//! a union of conjuncts, preserving common stride (lattice) structure.
+
+use crate::conjunct::{Conjunct, Row};
+use crate::linexpr::ConstraintKind;
+use crate::num;
+use crate::set::Set;
+
+/// Computes an approximate hull: a single conjunct containing every point of
+/// `s`. Constraints are kept only when every conjunct of `s` implies them;
+/// congruences over the same expression are merged into the coarsest common
+/// lattice (e.g. `j ≡ i mod 4` ∪ `j ≡ i mod 6` → `j ≡ i mod 2`).
+pub(crate) fn hull(s: &Set) -> Conjunct {
+    let space = s.space().clone();
+    let live: Vec<Conjunct> = s
+        .conjuncts()
+        .iter()
+        .filter(|c| c.is_sat())
+        .map(|c| crate::project::simplify_conjunct(c))
+        .collect();
+    if live.is_empty() {
+        return Conjunct::empty(&space);
+    }
+    if live.len() == 1 {
+        return crate::gist::drop_self_redundant(&live.into_iter().next().unwrap());
+    }
+    let named = 1 + space.n_named();
+
+    // Candidate inequality constraints: every local-free row of every
+    // conjunct (equalities contribute both directions).
+    let mut candidates: Vec<Vec<i64>> = Vec::new();
+    for c in &live {
+        for r in c.rows() {
+            if r.c[named..].iter().any(|&x| x != 0) {
+                continue;
+            }
+            let base = r.c[..named].to_vec();
+            match r.kind {
+                ConstraintKind::Geq => candidates.push(base),
+                ConstraintKind::Eq => {
+                    candidates.push(base.clone());
+                    candidates.push(base.iter().map(|&x| -x).collect());
+                }
+            }
+        }
+    }
+    candidates.sort();
+    candidates.dedup();
+
+    let mut out = Conjunct::universe(&space);
+    for cand in candidates {
+        if live.iter().all(|c| implies_geq(c, &cand)) {
+            let mut row = cand.clone();
+            row.resize(out.ncols(), 0);
+            out.push_row(Row::new(ConstraintKind::Geq, row));
+        }
+    }
+
+    // Common lattice: group congruences by sign-normalized non-constant
+    // part; the combined modulus is the gcd of all moduli and residue
+    // differences.
+    let groups = congruence_groups(&live, named);
+    for (w, entries) in groups {
+        if entries.len() != live.len() {
+            continue; // some conjunct lacks a congruence on this expression
+        }
+        let (r0, _) = entries[0];
+        let mut g = 0i64;
+        for &(r, m) in &entries {
+            g = num::gcd(g, m);
+            g = num::gcd(g, r - r0);
+        }
+        if g > 1 {
+            let mut raw = vec![0i64; named];
+            raw[0] = -num::mod_floor(r0, g);
+            raw[1..].copy_from_slice(&w);
+            let expr = crate::linexpr::LinExpr::from_raw(&space, &raw);
+            out.add_congruence(&expr, 0, g);
+        }
+    }
+    out.canonicalize();
+    // Drop dominated candidates (e.g. `v ≤ n` next to `v ≤ n-1`) so loop
+    // bounds stay minimal.
+    let out = crate::gist::drop_self_redundant(&out);
+    // The hull must contain every input conjunct (checked when decidable).
+    debug_assert!(live.iter().all(|c| {
+        crate::set::Set::from_conjunct(c.clone())
+            .try_is_subset(&crate::set::Set::from_conjunct(out.clone()))
+            .unwrap_or(true)
+    }));
+    out
+}
+
+/// Does conjunct `c` imply `cand ≥ 0` (cand over named columns)?
+fn implies_geq(c: &Conjunct, cand: &[i64]) -> bool {
+    let mut t = c.clone();
+    let mut neg: Vec<i64> = cand.iter().map(|&x| -x).collect();
+    neg[0] -= 1;
+    neg.resize(t.ncols(), 0);
+    t.push_row(Row::new(ConstraintKind::Geq, neg));
+    !t.is_sat()
+}
+
+type Groups = Vec<(Vec<i64>, Vec<(i64, i64)>)>;
+
+/// For each sign-normalized non-constant expression `w`, the list of
+/// `(residue, modulus)` congruences, one entry per conjunct that has one.
+fn congruence_groups(live: &[Conjunct], named: usize) -> Groups {
+    let mut groups: Groups = Vec::new();
+    for c in live {
+        let mut seen_for_this: Vec<usize> = Vec::new();
+        for (expr, m) in c.congruences() {
+            let raw = expr.raw_coeffs();
+            let mut w: Vec<i64> = raw[1..named].to_vec();
+            let mut c0 = raw[0];
+            if let Some(&first) = w.iter().find(|&&x| x != 0) {
+                if first < 0 {
+                    for x in &mut w {
+                        *x = -*x;
+                    }
+                    c0 = -c0;
+                }
+            }
+            let r = num::mod_floor(-c0, m);
+            let idx = match groups.iter().position(|(gw, _)| gw == &w) {
+                Some(i) => i,
+                None => {
+                    groups.push((w, Vec::new()));
+                    groups.len() - 1
+                }
+            };
+            // Only one congruence per conjunct per expression counts toward
+            // the "every conjunct has one" requirement.
+            if !seen_for_this.contains(&idx) {
+                groups[idx].1.push((r, m));
+                seen_for_this.push(idx);
+            }
+        }
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(text: &str) -> Set {
+        Set::parse(text).unwrap()
+    }
+
+    #[test]
+    fn hull_single_conjunct_is_identity_like() {
+        let s = set("{ [i,j] : 0 <= i <= 9 && j = i }");
+        let h = s.hull();
+        for i in -2..12 {
+            for j in -2..12 {
+                assert_eq!(
+                    h.contains(&[], &[i, j]),
+                    s.contains(&[], &[i, j]),
+                    "i={i} j={j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_hull_example() {
+        // Hull({1<=i,j<=100 && ∃a(j=i+4a)} ∪ {1<=i<=50 && 1<=j<=200 && ∃a(j=i+6a)})
+        //   = {1<=i<=100 && 1<=j<=200 && ∃a(j=i+2a)}
+        let s = set(
+            "{ [i,j] : 1 <= i <= 100 && 1 <= j <= 100 && exists(a : j = i + 4a) } \
+             | { [i,j] : 1 <= i <= 50 && 1 <= j <= 200 && exists(a : j = i + 6a) }",
+        );
+        let h = s.hull();
+        // Bounds stretched to the union's bounding box.
+        assert!(h.contains(&[], &[100, 100]));
+        assert!(h.contains(&[], &[1, 199]));
+        assert!(!h.contains(&[], &[101, 101]));
+        assert!(!h.contains(&[], &[0, 2]));
+        assert!(!h.contains(&[], &[1, 201]));
+        // Lattice: j - i even kept, odd excluded.
+        assert!(h.contains(&[], &[2, 4]));
+        assert!(!h.contains(&[], &[2, 5]));
+        let cg = h.congruences();
+        assert_eq!(cg.len(), 1);
+        assert_eq!(cg[0].1, 2);
+    }
+
+    #[test]
+    fn hull_contains_all_inputs() {
+        let s = set("{ [i,j] : 0 <= i <= 4 && j = 0 } | { [i,j] : 10 <= i <= 14 && j = 1 }");
+        let h = s.hull();
+        for i in -2..20 {
+            for j in -2..4 {
+                if s.contains(&[], &[i, j]) {
+                    assert!(h.contains(&[], &[i, j]), "hull must contain ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hull_of_empty_is_false() {
+        let s = set("{ [i,j] : i >= 1 && i <= 0 }");
+        assert!(s.hull().is_known_false() || !s.hull().is_sat());
+    }
+
+    #[test]
+    fn hull_merges_residues_into_common_lattice() {
+        // i ≡ 1 mod 4  ∪  i ≡ 3 mod 4  →  i ≡ 1 mod 2
+        let s = set(
+            "{ [i,j] : exists(a : i = 4a + 1) } | { [i,j] : exists(a : i = 4a + 3) }",
+        );
+        let h = s.hull();
+        let cg = h.congruences();
+        assert_eq!(cg.len(), 1, "hull {h}");
+        assert_eq!(cg[0].1, 2);
+        assert!(h.contains(&[], &[3, 0]));
+        assert!(!h.contains(&[], &[2, 0]));
+    }
+
+    #[test]
+    fn hull_is_conjunct_of_valid_constraints() {
+        // Paper Hull semantics: result includes all points; spot-check a
+        // union with parameters.
+        let s = Set::parse(
+            "[n] -> { [i,j] : 1 <= i <= n && j = 0 } | [n] -> { [i,j] : 1 <= i <= n && j = 1 }",
+        )
+        .unwrap();
+        let h = s.hull();
+        assert!(h.contains(&[5], &[3, 0]));
+        assert!(h.contains(&[5], &[3, 1]));
+        assert!(!h.contains(&[5], &[6, 0]));
+    }
+}

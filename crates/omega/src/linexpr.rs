@@ -1,0 +1,472 @@
+//! Affine (linear + constant) expressions over the named columns of a
+//! [`Space`]: the public building block for constraints.
+
+use crate::num;
+use crate::space::Space;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// An affine expression `c0 + Σ cᵢ·pᵢ + Σ dⱼ·vⱼ` over the parameters and set
+/// variables of a [`Space`]. Existential variables never appear in a
+/// `LinExpr`; they are introduced internally by operations such as
+/// projection.
+///
+/// # Examples
+///
+/// ```
+/// use omega::{LinExpr, Space};
+/// let sp = Space::new(&["n"], &["i", "j"]);
+/// let e = LinExpr::var(&sp, 0) * 2 + LinExpr::param(&sp, 0) - 3;
+/// assert_eq!(e.to_string(), "2*i + n - 3");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct LinExpr {
+    space: Space,
+    /// Layout: `[constant, params..., vars...]`.
+    coeffs: Vec<i64>,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    pub fn zero(space: &Space) -> Self {
+        LinExpr {
+            space: space.clone(),
+            coeffs: vec![0; 1 + space.n_named()],
+        }
+    }
+
+    /// A constant expression.
+    pub fn constant(space: &Space, c: i64) -> Self {
+        let mut e = Self::zero(space);
+        e.coeffs[0] = c;
+        e
+    }
+
+    /// The `i`-th set variable as an expression.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= space.n_vars()`.
+    pub fn var(space: &Space, i: usize) -> Self {
+        assert!(i < space.n_vars(), "variable index out of range");
+        let mut e = Self::zero(space);
+        e.coeffs[1 + space.n_params() + i] = 1;
+        e
+    }
+
+    /// The `i`-th parameter as an expression.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= space.n_params()`.
+    pub fn param(space: &Space, i: usize) -> Self {
+        assert!(i < space.n_params(), "parameter index out of range");
+        let mut e = Self::zero(space);
+        e.coeffs[1 + i] = 1;
+        e
+    }
+
+    /// Looks up a named parameter or set variable.
+    pub fn named(space: &Space, name: &str) -> Option<Self> {
+        if let Some(i) = space.param_index(name) {
+            Some(Self::param(space, i))
+        } else {
+            space.var_index(name).map(|i| Self::var(space, i))
+        }
+    }
+
+    /// The space this expression is defined over.
+    pub fn space(&self) -> &Space {
+        &self.space
+    }
+
+    /// The constant term.
+    pub fn constant_term(&self) -> i64 {
+        self.coeffs[0]
+    }
+
+    /// Coefficient of parameter `i`.
+    pub fn param_coeff(&self, i: usize) -> i64 {
+        self.coeffs[1 + i]
+    }
+
+    /// Coefficient of set variable `i`.
+    pub fn var_coeff(&self, i: usize) -> i64 {
+        self.coeffs[1 + self.space.n_params() + i]
+    }
+
+    /// Sets the coefficient of set variable `i` (builder-style helper).
+    pub fn with_var_coeff(mut self, i: usize, c: i64) -> Self {
+        let np = self.space.n_params();
+        self.coeffs[1 + np + i] = c;
+        self
+    }
+
+    /// Raw coefficient slice in `[constant, params..., vars...]` layout.
+    pub fn raw_coeffs(&self) -> &[i64] {
+        &self.coeffs
+    }
+
+    /// Builds from a raw coefficient slice in `[constant, params..., vars...]`
+    /// layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len() != 1 + space.n_named()`.
+    pub fn from_raw(space: &Space, coeffs: &[i64]) -> Self {
+        assert_eq!(coeffs.len(), 1 + space.n_named());
+        LinExpr {
+            space: space.clone(),
+            coeffs: coeffs.to_vec(),
+        }
+    }
+
+    /// True if all coefficients (including the constant) are zero.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.iter().all(|&c| c == 0)
+    }
+
+    /// True if only the constant term may be non-zero.
+    pub fn is_constant(&self) -> bool {
+        self.coeffs[1..].iter().all(|&c| c == 0)
+    }
+
+    /// The highest set-variable index with a non-zero coefficient, if any.
+    pub fn max_var(&self) -> Option<usize> {
+        let np = self.space.n_params();
+        (0..self.space.n_vars())
+            .rev()
+            .find(|&i| self.coeffs[1 + np + i] != 0)
+    }
+
+    /// Evaluates under the given parameter and variable bindings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the binding lengths do not match the space.
+    pub fn eval(&self, params: &[i64], vars: &[i64]) -> i64 {
+        assert_eq!(params.len(), self.space.n_params());
+        assert_eq!(vars.len(), self.space.n_vars());
+        let mut acc = self.coeffs[0] as i128;
+        for (i, &p) in params.iter().enumerate() {
+            acc += self.coeffs[1 + i] as i128 * p as i128;
+        }
+        for (i, &v) in vars.iter().enumerate() {
+            acc += self.coeffs[1 + params.len() + i] as i128 * v as i128;
+        }
+        i64::try_from(acc).expect("overflow in LinExpr::eval")
+    }
+
+    /// Re-expresses the expression in `target` with old variable `v`
+    /// becoming `target` variable `map[v]`; parameters must be identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics on parameter mismatch or an out-of-range target.
+    pub fn remap_vars(&self, target: &Space, map: &[usize]) -> LinExpr {
+        assert_eq!(self.space.param_names(), target.param_names());
+        assert_eq!(map.len(), self.space.n_vars());
+        let np = self.space.n_params();
+        let mut out = vec![0i64; 1 + target.n_named()];
+        out[0] = self.coeffs[0];
+        out[1..1 + np].copy_from_slice(&self.coeffs[1..1 + np]);
+        for v in 0..self.space.n_vars() {
+            let c = self.coeffs[1 + np + v];
+            if c != 0 {
+                out[1 + np + map[v]] = num::add(out[1 + np + map[v]], c);
+            }
+        }
+        LinExpr::from_raw(target, &out)
+    }
+
+    /// Substitutes set variable `v` by `expr` (which must not mention `v`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `expr` mentions `v` or belongs to a different space.
+    pub fn substitute_var(&self, v: usize, expr: &LinExpr) -> LinExpr {
+        assert_eq!(expr.space(), &self.space);
+        assert_eq!(expr.var_coeff(v), 0);
+        let k = self.var_coeff(v);
+        if k == 0 {
+            return self.clone();
+        }
+        let mut out = self.clone();
+        let np = self.space.n_params();
+        out.coeffs[1 + np + v] = 0;
+        for (j, &c) in expr.raw_coeffs().iter().enumerate() {
+            if c != 0 {
+                out.coeffs[j] = num::add(out.coeffs[j], num::mul(k, c));
+            }
+        }
+        out
+    }
+
+    /// `self ≥ 0` as a constraint.
+    pub fn geq0(self) -> Constraint {
+        Constraint {
+            kind: ConstraintKind::Geq,
+            expr: self,
+        }
+    }
+
+    /// `self = 0` as a constraint.
+    pub fn eq0(self) -> Constraint {
+        Constraint {
+            kind: ConstraintKind::Eq,
+            expr: self,
+        }
+    }
+
+    /// `self ≥ rhs` as a constraint.
+    pub fn geq(self, rhs: LinExpr) -> Constraint {
+        (self - rhs).geq0()
+    }
+
+    /// `self ≤ rhs` as a constraint.
+    pub fn leq(self, rhs: LinExpr) -> Constraint {
+        (rhs - self).geq0()
+    }
+
+    /// `self = rhs` as a constraint.
+    pub fn eq(self, rhs: LinExpr) -> Constraint {
+        (self - rhs).eq0()
+    }
+}
+
+impl Add for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, rhs: LinExpr) -> LinExpr {
+        assert_eq!(self.space, rhs.space, "space mismatch in LinExpr + LinExpr");
+        for (a, b) in self.coeffs.iter_mut().zip(rhs.coeffs.iter()) {
+            *a = num::add(*a, *b);
+        }
+        self
+    }
+}
+
+impl Add<i64> for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, rhs: i64) -> LinExpr {
+        self.coeffs[0] = num::add(self.coeffs[0], rhs);
+        self
+    }
+}
+
+impl Sub for LinExpr {
+    type Output = LinExpr;
+    fn sub(self, rhs: LinExpr) -> LinExpr {
+        self + (-rhs)
+    }
+}
+
+impl Sub<i64> for LinExpr {
+    type Output = LinExpr;
+    fn sub(self, rhs: i64) -> LinExpr {
+        self + (-rhs)
+    }
+}
+
+impl Neg for LinExpr {
+    type Output = LinExpr;
+    fn neg(mut self) -> LinExpr {
+        for c in &mut self.coeffs {
+            *c = -*c;
+        }
+        self
+    }
+}
+
+impl Mul<i64> for LinExpr {
+    type Output = LinExpr;
+    fn mul(mut self, rhs: i64) -> LinExpr {
+        for c in &mut self.coeffs {
+            *c = num::mul(*c, rhs);
+        }
+        self
+    }
+}
+
+impl fmt::Display for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        let np = self.space.n_params();
+        let mut term = |f: &mut fmt::Formatter<'_>, c: i64, name: &str| -> fmt::Result {
+            if c == 0 {
+                return Ok(());
+            }
+            if first {
+                first = false;
+                if c == 1 {
+                    write!(f, "{name}")?;
+                } else if c == -1 {
+                    write!(f, "-{name}")?;
+                } else {
+                    write!(f, "{c}*{name}")?;
+                }
+            } else if c == 1 {
+                write!(f, " + {name}")?;
+            } else if c == -1 {
+                write!(f, " - {name}")?;
+            } else if c > 0 {
+                write!(f, " + {c}*{name}")?;
+            } else {
+                write!(f, " - {}*{name}", -c)?;
+            }
+            Ok(())
+        };
+        for i in 0..self.space.n_vars() {
+            term(f, self.coeffs[1 + np + i], self.space.var_name(i))?;
+        }
+        for i in 0..np {
+            term(f, self.coeffs[1 + i], self.space.param_name(i))?;
+        }
+        let c0 = self.coeffs[0];
+        if first {
+            write!(f, "{c0}")?;
+        } else if c0 > 0 {
+            write!(f, " + {c0}")?;
+        } else if c0 < 0 {
+            write!(f, " - {}", -c0)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// The relation a [`Constraint`] asserts about its expression.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ConstraintKind {
+    /// Expression is exactly zero.
+    Eq,
+    /// Expression is greater than or equal to zero.
+    Geq,
+}
+
+/// A single affine constraint: `expr = 0` or `expr ≥ 0`.
+///
+/// # Examples
+///
+/// ```
+/// use omega::{LinExpr, Space};
+/// let sp = Space::new(&["n"], &["i"]);
+/// let c = LinExpr::var(&sp, 0).leq(LinExpr::param(&sp, 0) - 1); // i <= n-1
+/// assert_eq!(c.to_string(), "-i + n - 1 >= 0");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Constraint {
+    kind: ConstraintKind,
+    expr: LinExpr,
+}
+
+impl Constraint {
+    /// The constraint kind.
+    pub fn kind(&self) -> ConstraintKind {
+        self.kind
+    }
+
+    /// The underlying expression (asserted `= 0` or `≥ 0`).
+    pub fn expr(&self) -> &LinExpr {
+        &self.expr
+    }
+
+    /// The space the constraint is defined over.
+    pub fn space(&self) -> &Space {
+        &self.expr.space
+    }
+
+    /// Evaluates the constraint under the given bindings.
+    pub fn holds(&self, params: &[i64], vars: &[i64]) -> bool {
+        let v = self.expr.eval(params, vars);
+        match self.kind {
+            ConstraintKind::Eq => v == 0,
+            ConstraintKind::Geq => v >= 0,
+        }
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            ConstraintKind::Eq => write!(f, "{} = 0", self.expr),
+            ConstraintKind::Geq => write!(f, "{} >= 0", self.expr),
+        }
+    }
+}
+
+impl fmt::Debug for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> Space {
+        Space::new(&["n"], &["i", "j"])
+    }
+
+    #[test]
+    fn build_and_display() {
+        let sp = space();
+        let e = LinExpr::var(&sp, 0) * 2 + LinExpr::param(&sp, 0) - 3;
+        assert_eq!(e.to_string(), "2*i + n - 3");
+        assert_eq!((-e).to_string(), "-2*i - n + 3");
+    }
+
+    #[test]
+    fn eval_matches_structure() {
+        let sp = space();
+        let e = LinExpr::var(&sp, 0) * 2 + LinExpr::var(&sp, 1) * -1 + LinExpr::param(&sp, 0) + 5;
+        assert_eq!(e.eval(&[10], &[3, 4]), 6 - 4 + 10 + 5);
+    }
+
+    #[test]
+    fn named_lookup() {
+        let sp = space();
+        assert_eq!(
+            LinExpr::named(&sp, "j").unwrap().to_string(),
+            LinExpr::var(&sp, 1).to_string()
+        );
+        assert!(LinExpr::named(&sp, "zzz").is_none());
+    }
+
+    #[test]
+    fn constraint_holds() {
+        let sp = space();
+        // i <= j
+        let c = LinExpr::var(&sp, 0).leq(LinExpr::var(&sp, 1));
+        assert!(c.holds(&[0], &[2, 3]));
+        assert!(c.holds(&[0], &[3, 3]));
+        assert!(!c.holds(&[0], &[4, 3]));
+        // i = n
+        let c = LinExpr::var(&sp, 0).eq(LinExpr::param(&sp, 0));
+        assert!(c.holds(&[7], &[7, 0]));
+        assert!(!c.holds(&[7], &[6, 0]));
+    }
+
+    #[test]
+    fn max_var() {
+        let sp = space();
+        assert_eq!(LinExpr::constant(&sp, 4).max_var(), None);
+        assert_eq!(LinExpr::param(&sp, 0).max_var(), None);
+        assert_eq!(LinExpr::var(&sp, 0).max_var(), Some(0));
+        assert_eq!(
+            (LinExpr::var(&sp, 0) + LinExpr::var(&sp, 1)).max_var(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn zero_display_is_nonempty() {
+        let sp = space();
+        assert_eq!(LinExpr::zero(&sp).to_string(), "0");
+    }
+}

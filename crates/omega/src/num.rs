@@ -1,0 +1,334 @@
+//! Exact integer helpers used throughout the library.
+//!
+//! All coefficient arithmetic in this crate is performed on `i64` values with
+//! `i128` intermediates; overflow past `i64` after normalization is treated as
+//! a hard (panicking) error because polyhedral code generation never produces
+//! such magnitudes for realistic loop nests.
+
+/// Greatest common divisor of two integers. The result is non-negative;
+/// `gcd(0, 0) == 0`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(omega::num::gcd(12, -18), 6);
+/// assert_eq!(omega::num::gcd(0, 7), 7);
+/// ```
+pub fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.unsigned_abs(), b.unsigned_abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a as i64
+}
+
+/// Least common multiple. `lcm(0, x) == 0`.
+///
+/// # Panics
+///
+/// Panics if the result does not fit in `i64`.
+pub fn lcm(a: i64, b: i64) -> i64 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let g = gcd(a, b);
+    let r = (a as i128 / g as i128) * b as i128;
+    i64::try_from(r.abs()).expect("lcm overflow")
+}
+
+/// Floor division: the unique `q` with `q * b <= a < (q + 1) * b` for `b > 0`.
+///
+/// # Panics
+///
+/// Panics if `b == 0`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(omega::num::floor_div(7, 2), 3);
+/// assert_eq!(omega::num::floor_div(-7, 2), -4);
+/// ```
+pub fn floor_div(a: i64, b: i64) -> i64 {
+    assert!(b != 0, "floor_div by zero");
+    let q = a / b;
+    if (a % b != 0) && ((a < 0) != (b < 0)) {
+        q - 1
+    } else {
+        q
+    }
+}
+
+/// Ceiling division: the unique `q` with `(q - 1) * b < a <= q * b` for `b > 0`.
+///
+/// # Panics
+///
+/// Panics if `b == 0`.
+pub fn ceil_div(a: i64, b: i64) -> i64 {
+    assert!(b != 0, "ceil_div by zero");
+    let q = a / b;
+    if (a % b != 0) && ((a < 0) == (b < 0)) {
+        q + 1
+    } else {
+        q
+    }
+}
+
+/// Mathematical (always non-negative for positive modulus) remainder.
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(omega::num::mod_floor(-1, 4), 3);
+/// ```
+pub fn mod_floor(a: i64, m: i64) -> i64 {
+    assert!(m != 0, "mod_floor by zero");
+    a - floor_div(a, m) * m
+}
+
+/// The Omega test's symmetric "hat" modulo: a residue in
+/// `[-⌊m/2⌋, ⌈m/2⌉ - 1]` ... specifically `mod_hat(a, m) = a - m * ⌊a/m + 1/2⌋`
+/// as used when eliminating equality constraints with non-unit coefficients.
+pub fn mod_hat(a: i64, m: i64) -> i64 {
+    assert!(m > 0, "mod_hat requires positive modulus");
+    let r = mod_floor(a, m);
+    // Pugh's definition: result congruent to a mod m, in (-m/2, m/2];
+    // specifically r' = r - m if 2r > m else r, tweaked so m/2 maps to m/2.
+    if 2 * r > m {
+        r - m
+    } else {
+        r
+    }
+}
+
+/// Checked multiplication with an i128 intermediate.
+///
+/// # Panics
+///
+/// Panics on overflow past `i64`.
+pub fn mul(a: i64, b: i64) -> i64 {
+    i64::try_from(a as i128 * b as i128).expect("coefficient overflow in mul")
+}
+
+/// Checked addition with an i128 intermediate.
+///
+/// # Panics
+///
+/// Panics on overflow past `i64`.
+pub fn add(a: i64, b: i64) -> i64 {
+    i64::try_from(a as i128 + b as i128).expect("coefficient overflow in add")
+}
+
+/// Extended Euclid: returns `(g, x, y)` with `a*x + b*y == g == gcd(a, b)`
+/// and `g >= 0`.
+pub fn extended_gcd(a: i64, b: i64) -> (i64, i64, i64) {
+    if b == 0 {
+        if a >= 0 {
+            (a, 1, 0)
+        } else {
+            (-a, -1, 0)
+        }
+    } else {
+        let (g, x, y) = extended_gcd(b, a % b);
+        (g, y, x - (a / b) * y)
+    }
+}
+
+/// Modular inverse of `a` modulo `m` (`m > 0`), if `gcd(a, m) == 1`.
+pub fn mod_inverse(a: i64, m: i64) -> Option<i64> {
+    assert!(m > 0);
+    let (g, x, _) = extended_gcd(mod_floor(a, m), m);
+    if g == 1 {
+        Some(mod_floor(x, m))
+    } else {
+        None
+    }
+}
+
+/// Prime factorization by trial division (inputs here are small moduli).
+/// Returns `(prime, exponent)` pairs in increasing prime order.
+pub fn factorize(mut n: i64) -> Vec<(i64, u32)> {
+    assert!(n > 0, "factorize requires a positive integer");
+    let mut out = Vec::new();
+    let mut p = 2;
+    while p * p <= n {
+        if n % p == 0 {
+            let mut e = 0;
+            while n % p == 0 {
+                n /= p;
+                e += 1;
+            }
+            out.push((p, e));
+        }
+        p += 1;
+    }
+    if n > 1 {
+        out.push((n, 1));
+    }
+    out
+}
+
+/// Reduce a congruence `x ≡ r1 (mod m1)` in the presence of the known fact
+/// `x ≡ r2 (mod m2)`: the smallest modulus `μ` (with residue `ρ`) such that
+/// `x ≡ ρ (mod μ)` conjoined with the known congruence is equivalent to the
+/// original conjunction. Returns `None` if the two congruences are
+/// incompatible (empty set).
+///
+/// This is the Omega+ enhancement the paper demonstrates with
+/// `Gist(i ≡ 0 mod 6, i ≡ 0 mod 2) = i ≡ 0 mod 3`.
+pub fn gist_congruence(r1: i64, m1: i64, r2: i64, m2: i64) -> Option<(i64, i64)> {
+    assert!(m1 > 0 && m2 > 0);
+    let d = gcd(m1, m2);
+    if mod_floor(r1 - r2, d) != 0 {
+        return None; // incompatible: conjunction is empty
+    }
+    // μ = ∏ p^{v_p(m1)} over primes p where v_p(m1) > v_p(m2).
+    let mut mu = 1i64;
+    for (p, e1) in factorize(m1) {
+        let mut e2 = 0;
+        let mut t = m2;
+        while t % p == 0 {
+            t /= p;
+            e2 += 1;
+        }
+        if e1 > e2 {
+            mu *= p.pow(e1);
+        }
+    }
+    Some((mod_floor(r1, mu), mu))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(0, 0), 0);
+        assert_eq!(gcd(-4, 6), 2);
+        assert_eq!(gcd(17, 5), 1);
+        assert_eq!(gcd(48, 36), 12);
+    }
+
+    #[test]
+    fn lcm_basics() {
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(0, 5), 0);
+        assert_eq!(lcm(-4, 6), 12);
+    }
+
+    #[test]
+    fn floor_ceil_div() {
+        assert_eq!(floor_div(7, 2), 3);
+        assert_eq!(floor_div(-7, 2), -4);
+        assert_eq!(floor_div(7, -2), -4);
+        assert_eq!(floor_div(-7, -2), 3);
+        assert_eq!(ceil_div(7, 2), 4);
+        assert_eq!(ceil_div(-7, 2), -3);
+        assert_eq!(ceil_div(6, 3), 2);
+    }
+
+    #[test]
+    fn mod_floor_range() {
+        for a in -20..20 {
+            for m in 1..7 {
+                let r = mod_floor(a, m);
+                assert!((0..m).contains(&r));
+                assert_eq!((a - r) % m, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn mod_hat_range() {
+        for a in -20..20 {
+            for m in 1..7 {
+                let r = mod_hat(a, m);
+                assert!(2 * r <= m && 2 * r > -m, "a={a} m={m} r={r}");
+                assert_eq!(mod_floor(a - r, m), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn extended_gcd_identity() {
+        for a in -15..15 {
+            for b in -15..15 {
+                let (g, x, y) = extended_gcd(a, b);
+                assert_eq!(g, gcd(a, b));
+                assert_eq!(a * x + b * y, g);
+            }
+        }
+    }
+
+    #[test]
+    fn mod_inverse_works() {
+        assert_eq!(mod_inverse(3, 7), Some(5));
+        assert_eq!(mod_inverse(2, 4), None);
+        for a in 1..20 {
+            for m in 2..20 {
+                if let Some(inv) = mod_inverse(a, m) {
+                    assert_eq!(mod_floor(a * inv, m), 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn factorize_small() {
+        assert_eq!(factorize(12), vec![(2, 2), (3, 1)]);
+        assert_eq!(factorize(1), vec![]);
+        assert_eq!(factorize(97), vec![(97, 1)]);
+    }
+
+    #[test]
+    fn gist_congruence_paper_example() {
+        // Gist(i ≡ 0 mod 6, i ≡ 0 mod 2) = i ≡ 0 mod 3
+        assert_eq!(gist_congruence(0, 6, 0, 2), Some((0, 3)));
+        // Gist(i ≡ 0 mod 4, i ≡ 0 mod 2) cannot be weakened: stays mod 4
+        assert_eq!(gist_congruence(0, 4, 0, 2), Some((0, 4)));
+        // Incompatible congruences
+        assert_eq!(gist_congruence(1, 2, 0, 2), None);
+        // Equal congruence gists to TRUE (modulus 1)
+        assert_eq!(gist_congruence(1, 3, 1, 3), Some((0, 1)));
+    }
+
+    #[test]
+    fn gist_congruence_is_sound() {
+        // Brute-force check: for x in a window, (x≡ρ mod μ) ∧ known ⇔ orig ∧ known.
+        for m1 in 1..=12i64 {
+            for m2 in 1..=12i64 {
+                for r1 in 0..m1 {
+                    for r2 in 0..m2 {
+                        match gist_congruence(r1, m1, r2, m2) {
+                            None => {
+                                for x in -60..60 {
+                                    assert!(
+                                        !(mod_floor(x, m1) == r1 && mod_floor(x, m2) == r2),
+                                        "claimed empty but x={x} satisfies both"
+                                    );
+                                }
+                            }
+                            Some((rho, mu)) => {
+                                for x in -60..60 {
+                                    let known = mod_floor(x, m2) == r2;
+                                    if !known {
+                                        continue;
+                                    }
+                                    let orig = mod_floor(x, m1) == r1;
+                                    let red = mod_floor(x, mu) == rho;
+                                    assert_eq!(orig, red, "m1={m1} m2={m2} r1={r1} r2={r2} x={x}");
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,333 @@
+//! Projection, over-approximation (`Approximate`), and conjunct
+//! simplification — the variable-elimination machinery shared by the
+//! higher-level operations.
+
+use crate::conjunct::{Conjunct, Row};
+use crate::linexpr::ConstraintKind;
+use crate::num;
+use crate::sat;
+use crate::set::Set;
+
+/// Existentially projects out `count` set variables starting at `first`;
+/// the space is unchanged and the projected dimensions become unconstrained.
+pub(crate) fn project_out(s: &Set, first: usize, count: usize) -> Set {
+    assert!(first + count <= s.space().n_vars(), "projection range out of bounds");
+    if count == 0 {
+        return s.clone();
+    }
+    let mut out = Set::empty(s.space());
+    for c in s.conjuncts() {
+        let named = 1 + c.space().n_named();
+        let nl = c.n_locals();
+        let mut map: Vec<usize> = (0..c.ncols()).collect();
+        let mut next_local = named + nl;
+        for v in first..first + count {
+            map[1 + c.space().n_params() + v] = next_local;
+            next_local += 1;
+        }
+        let remapped = c.remap_columns(c.space(), nl + count, &map);
+        let simplified = simplify_conjunct(&remapped);
+        if simplified.is_sat() {
+            out.push_conjunct(simplified);
+        }
+    }
+    out
+}
+
+/// Removes every existential variable by over-approximation: removable
+/// locals are eliminated exactly, and remaining local-involving rows
+/// (stride/range constraints) are dropped. The result contains the input.
+pub(crate) fn approximate(s: &Set) -> Set {
+    let mut out = Set::empty(s.space());
+    for c in s.conjuncts() {
+        let mut c = simplify_conjunct(c);
+        if !c.is_sat() {
+            continue;
+        }
+        let named = 1 + c.space().n_named();
+        // Drop rows still involving locals, then drop the locals.
+        c.rows_mut().retain(|r| r.c[named..].iter().all(|&x| x == 0));
+        c.compress_locals();
+        out.push_conjunct(c);
+    }
+    out
+}
+
+/// Simplifies one conjunct:
+///
+/// 1. substitutes out locals with unit coefficients in equalities,
+/// 2. cancels non-unit locals from all rows but their defining equality
+///    (leaving a clean congruence row),
+/// 3. exactly eliminates locals that only occur in inequalities when
+///    Fourier–Motzkin is integer-exact (or the local is one-side-unbounded),
+/// 4. compresses unused locals and canonicalizes congruence rows.
+pub(crate) fn simplify_conjunct(c: &Conjunct) -> Conjunct {
+    let mut c = c.clone();
+    if c.is_known_false() {
+        return c;
+    }
+    loop {
+        if c.is_known_false() {
+            return c;
+        }
+        let named = 1 + c.space().n_named();
+        let nl = c.n_locals();
+        if nl == 0 {
+            break;
+        }
+        let mut changed = false;
+
+        // (1) equality with a unit-coefficient local
+        'unit: for ri in 0..c.rows().len() {
+            if c.rows()[ri].kind != ConstraintKind::Eq {
+                continue;
+            }
+            for l in 0..nl {
+                let col = named + l;
+                if c.rows()[ri].c[col].abs() == 1 {
+                    substitute_out(&mut c, ri, col);
+                    changed = true;
+                    break 'unit;
+                }
+            }
+        }
+        if changed {
+            continue;
+        }
+
+        // (2) Gaussian-style single pass: give each equality at most one
+        // non-unit local pivot (all pivots distinct) and cancel that pivot
+        // from every other row, leaving a clean congruence. One pass only —
+        // re-cancelling endlessly oscillates between locals that share an
+        // equality.
+        let mut cancelled = false;
+        let mut pivoted: Vec<usize> = Vec::new();
+        for eqi in 0..c.rows().len() {
+            if c.is_known_false() {
+                return c;
+            }
+            if eqi >= c.rows().len() || c.rows()[eqi].kind != ConstraintKind::Eq {
+                continue;
+            }
+            // Pick the local with the smallest |coeff| not yet pivoted.
+            let pivot = (0..nl)
+                .filter(|&l| !pivoted.contains(&l) && c.rows()[eqi].c[named + l] != 0)
+                .min_by_key(|&l| c.rows()[eqi].c[named + l].abs());
+            let Some(l) = pivot else { continue };
+            let col = named + l;
+            let other_rows: Vec<usize> = (0..c.rows().len())
+                .filter(|&i| i != eqi && c.rows()[i].c[col] != 0)
+                .collect();
+            pivoted.push(l);
+            if other_rows.is_empty() {
+                continue;
+            }
+            let a = c.rows()[eqi].c[col];
+            let eq = c.rows()[eqi].clone();
+            for &oi in &other_rows {
+                let k = c.rows()[oi].c[col];
+                let mut row = c.rows()[oi].clone();
+                // row' = |a|·row - k·sign(a)·eq zeroes the local.
+                let s = if a > 0 { 1 } else { -1 };
+                for j in 0..row.c.len() {
+                    row.c[j] =
+                        num::add(num::mul(a.abs(), row.c[j]), num::mul(-k * s, eq.c[j]));
+                }
+                debug_assert_eq!(row.c[col], 0);
+                c.rows_mut()[oi] = row;
+            }
+            cancelled = true;
+        }
+        if cancelled {
+            // Re-normalize all rows after scaling; do NOT loop back into
+            // the cancellation pass off this change alone.
+            let rows = std::mem::take(c.rows_mut());
+            for r in rows {
+                c.push_row(r);
+            }
+        }
+
+        // (3) locals only in inequalities: exact elimination when possible.
+        // Fourier–Motzkin multiplies bound pairs, so skip eliminations that
+        // would blow the row count up (keeping the local is always sound).
+        for l in 0..nl {
+            let col = named + l;
+            let lowers = c.rows().iter().filter(|r| r.c[col] > 0).count();
+            let uppers = c.rows().iter().filter(|r| r.c[col] < 0).count();
+            if lowers + uppers == 0 {
+                continue;
+            }
+            if lowers * uppers > 32 || c.rows().len() + lowers * uppers > 256 {
+                continue;
+            }
+            if let Some(new_rows) = sat::try_exact_eliminate(c.rows(), col) {
+                let mut fresh = Vec::new();
+                std::mem::swap(c.rows_mut(), &mut fresh);
+                for r in new_rows {
+                    c.push_row(r);
+                }
+                changed = true;
+                break;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    c.compress_locals();
+    c.canonicalize();
+    c
+}
+
+/// Substitutes the variable at `col` out of every row using the equality at
+/// `eq_idx` (which must have a ±1 coefficient at `col`), then removes the
+/// equality row.
+fn substitute_out(c: &mut Conjunct, eq_idx: usize, col: usize) {
+    let eq: Row = c.rows()[eq_idx].clone();
+    let a = eq.c[col];
+    debug_assert_eq!(a.abs(), 1);
+    let mut rows = std::mem::take(c.rows_mut());
+    rows.swap_remove(eq_idx);
+    for mut r in rows {
+        let k = r.c[col];
+        if k != 0 {
+            r.c[col] = 0;
+            for j in 0..r.c.len() {
+                if j != col && eq.c[j] != 0 {
+                    r.c[j] = num::add(r.c[j], num::mul(k, num::mul(-a, eq.c[j])));
+                }
+            }
+        }
+        c.push_row(r);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linexpr::LinExpr;
+    use crate::space::Space;
+
+    fn sp2() -> Space {
+        Space::new(&["n"], &["i", "j"])
+    }
+
+    #[test]
+    fn paper_project_example_simple() {
+        // Project({1 <= y <= x <= 100}, x) = {1 <= y <= 100}
+        let s = Space::new::<&str>(&[], &["y", "x"]);
+        let set = Set::from_constraints(
+            &s,
+            [
+                (LinExpr::var(&s, 0) - 1).geq0(),
+                LinExpr::var(&s, 0).leq(LinExpr::var(&s, 1)),
+                (LinExpr::constant(&s, 100) - LinExpr::var(&s, 1)).geq0(),
+            ],
+        );
+        let p = set.project_out(1, 1);
+        for y in -5..110 {
+            assert_eq!(
+                p.contains(&[], &[y, 0]),
+                (1..=100).contains(&y),
+                "y={y}"
+            );
+        }
+        // The projected conjunct must be existential-free.
+        assert_eq!(p.conjuncts()[0].n_locals(), 0);
+    }
+
+    #[test]
+    fn paper_project_example_stride() {
+        // Project({1 <= x <= 100 && y = 2x}, x) = {2 <= y <= 200 && ∃a(y = 2a)}
+        let s = Space::new::<&str>(&[], &["x", "y"]);
+        let set = Set::from_constraints(
+            &s,
+            [
+                (LinExpr::var(&s, 0) - 1).geq0(),
+                (LinExpr::constant(&s, 100) - LinExpr::var(&s, 0)).geq0(),
+                LinExpr::var(&s, 1).eq(LinExpr::var(&s, 0) * 2),
+            ],
+        );
+        let p = set.project_out(0, 1);
+        for y in -5..210 {
+            let expect = (2..=200).contains(&y) && y % 2 == 0;
+            assert_eq!(p.contains(&[], &[0, y]), expect, "y={y}");
+        }
+        // A congruence survives in the result.
+        assert_eq!(p.conjuncts().len(), 1);
+        assert_eq!(p.conjuncts()[0].congruences().len(), 1);
+        assert_eq!(p.conjuncts()[0].congruences()[0].1, 2);
+    }
+
+    #[test]
+    fn project_keeps_space() {
+        let s = sp2();
+        let set = Set::from_constraints(
+            &s,
+            [
+                LinExpr::var(&s, 0).geq0(),
+                LinExpr::var(&s, 1).leq(LinExpr::var(&s, 0)),
+            ],
+        );
+        let p = set.project_out(1, 1);
+        assert_eq!(p.space(), &s);
+        // j unconstrained now.
+        assert!(p.contains(&[0], &[3, -999]));
+        assert!(!p.contains(&[0], &[-1, 0]));
+    }
+
+    #[test]
+    fn approximate_drops_strides() {
+        let s = sp2();
+        let mut c = Conjunct::universe(&s);
+        c.add_constraint(&LinExpr::var(&s, 0).geq0());
+        c.add_congruence(&LinExpr::var(&s, 0), 0, 2);
+        let a = Set::from_conjunct(c).approximate();
+        assert_eq!(a.conjuncts().len(), 1);
+        assert_eq!(a.conjuncts()[0].n_locals(), 0);
+        // Over-approximation: both parities contained now, but i >= 0 kept.
+        assert!(a.contains(&[0], &[1, 0]));
+        assert!(!a.contains(&[0], &[-2, 0]));
+    }
+
+    #[test]
+    fn simplify_eliminates_unit_local() {
+        let s = sp2();
+        let mut c = Conjunct::universe(&s);
+        // ∃a: a = i && a >= 3  ⟺  i >= 3
+        let l = c.add_local();
+        let named = 1 + s.n_named();
+        let mut r1 = vec![0i64; named + 1];
+        r1[named + l] = 1;
+        r1[1 + s.n_params()] = -1; // a - i = 0
+        c.push_row(Row::new(ConstraintKind::Eq, r1));
+        let mut r2 = vec![0i64; named + 1];
+        r2[0] = -3;
+        r2[named + l] = 1; // a - 3 >= 0
+        c.push_row(Row::new(ConstraintKind::Geq, r2));
+        let simp = simplify_conjunct(&c);
+        assert_eq!(simp.n_locals(), 0);
+        assert!(simp.contains(&[0], &[3, 0]));
+        assert!(!simp.contains(&[0], &[2, 0]));
+    }
+
+    #[test]
+    fn simplify_projection_equivalence_brute() {
+        // For a few random-ish conjuncts, simplification preserves the point set.
+        let s = Space::new::<&str>(&[], &["x", "y"]);
+        let mut c = Conjunct::universe(&s);
+        c.add_constraint(&(LinExpr::var(&s, 0) * 2 + LinExpr::var(&s, 1) - 3).geq0());
+        c.add_constraint(&(LinExpr::constant(&s, 20) - LinExpr::var(&s, 0) * 3).geq0());
+        c.add_congruence(&(LinExpr::var(&s, 0) + LinExpr::var(&s, 1)), 1, 3);
+        let simp = simplify_conjunct(&c);
+        for x in -8..8 {
+            for y in -8..8 {
+                assert_eq!(
+                    c.contains(&[], &[x, y]),
+                    simp.contains(&[], &[x, y]),
+                    "x={x} y={y}"
+                );
+            }
+        }
+    }
+}

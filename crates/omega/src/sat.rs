@@ -1,0 +1,602 @@
+//! Exact integer satisfiability of conjunctions of affine constraints — the
+//! Omega test (Pugh, CACM 1992): equality elimination via the symmetric
+//! modulo trick, integer-tightened Fourier–Motzkin elimination, the dark
+//! shadow, and splintering when the dark shadow is inconclusive.
+//!
+//! All functions here operate on raw [`Row`]s whose columns are
+//! `[const, x1, .., xn]` with every `xi` existentially quantified.
+
+use crate::conjunct::Row;
+use crate::linexpr::ConstraintKind;
+use crate::num;
+
+/// Exact test: does an integer assignment to the `n_vars` variable columns
+/// satisfy all rows? Results are memoized per thread (polyhedra scanning
+/// asks the same implication queries thousands of times).
+pub(crate) fn rows_satisfiable(rows: &[Row], n_vars: usize) -> bool {
+    let mut work: Vec<Row> = Vec::with_capacity(rows.len());
+    for r in rows {
+        let mut r = r.clone();
+        debug_assert_eq!(r.c.len(), 1 + n_vars);
+        if !r.normalize() {
+            return false;
+        }
+        if r.is_constant() {
+            if !r.constant_truth() {
+                return false;
+            }
+            continue;
+        }
+        work.push(r);
+    }
+    if work.is_empty() {
+        return true;
+    }
+    work.sort_by(|a, b| (a.kind as u8, &a.c).cmp(&(b.kind as u8, &b.c)));
+    work.dedup();
+    let key = cache_key(&work);
+    if let Some(hit) = CACHE.with(|c| c.borrow().get(&key).copied()) {
+        return hit;
+    }
+    let mut budget = SOLVE_BUDGET;
+    let result = solve(work, 0, &mut budget);
+    CACHE.with(|c| {
+        let mut map = c.borrow_mut();
+        if map.len() >= CACHE_CAPACITY {
+            map.clear(); // simple bounded policy
+        }
+        map.insert(key, result);
+    });
+    result
+}
+
+const CACHE_CAPACITY: usize = 1 << 20;
+
+thread_local! {
+    static CACHE: std::cell::RefCell<std::collections::HashMap<(u64, u64), bool>> =
+        std::cell::RefCell::new(std::collections::HashMap::new());
+}
+
+/// A 128-bit fingerprint of the canonical row system (collision odds are
+/// negligible at the cache's capacity).
+fn cache_key(rows: &[Row]) -> (u64, u64) {
+    use std::hash::{Hash, Hasher};
+    let mut h1 = std::collections::hash_map::DefaultHasher::new();
+    let mut h2 = std::collections::hash_map::DefaultHasher::new();
+    0x9e3779b97f4a7c15u64.hash(&mut h2);
+    rows.len().hash(&mut h1);
+    for r in rows {
+        (r.kind as u8).hash(&mut h1);
+        r.c.hash(&mut h1);
+        (r.kind as u8).hash(&mut h2);
+        for &x in &r.c {
+            x.wrapping_mul(0x100000001b3).hash(&mut h2);
+        }
+    }
+    (h1.finish(), h2.finish())
+}
+
+/// Recursion safety cap; realistic systems never approach this.
+const MAX_DEPTH: usize = 512;
+
+/// Work budget per satisfiability query. Splintering is worst-case
+/// exponential; when the budget runs out the solver answers "satisfiable",
+/// which is sound for every caller in this crate (emptiness pruning keeps
+/// more pieces; implication checks keep more constraints — the generated
+/// code is merely more conservative, never wrong).
+const SOLVE_BUDGET: u64 = 200_000;
+
+/// Row-count cap within one derivation: Fourier–Motzkin can square the
+/// system size, so a runaway derivation answers conservatively instead of
+/// exhausting memory.
+const ROW_CAP: usize = 2_048;
+
+fn solve(mut rows: Vec<Row>, depth: usize, budget: &mut u64) -> bool {
+    assert!(depth < MAX_DEPTH, "omega test recursion overflow");
+    loop {
+        if *budget < rows.len() as u64 || rows.len() > ROW_CAP {
+            *budget = 0;
+            return true; // budget exhausted: conservative "sat"
+        }
+        *budget -= rows.len() as u64;
+        match normalize_all(&mut rows) {
+            Normalized::Contradiction => return false,
+            Normalized::Ok => {}
+        }
+        if rows.is_empty() {
+            return true;
+        }
+        // Step 1: eliminate an equality if one exists.
+        if let Some(eq_idx) = rows.iter().position(|r| r.kind == ConstraintKind::Eq) {
+            if !eliminate_equality(&mut rows, eq_idx) {
+                return false;
+            }
+            continue;
+        }
+        // Step 2: inequalities only.
+        return fm_solve(rows, depth, budget);
+    }
+}
+
+enum Normalized {
+    Ok,
+    Contradiction,
+}
+
+fn normalize_all(rows: &mut Vec<Row>) -> Normalized {
+    let mut i = 0;
+    while i < rows.len() {
+        if !rows[i].normalize() {
+            return Normalized::Contradiction;
+        }
+        if rows[i].is_constant() {
+            if !rows[i].constant_truth() {
+                return Normalized::Contradiction;
+            }
+            rows.swap_remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    Normalized::Ok
+}
+
+/// Eliminates the equality at `eq_idx`. Returns false on detected
+/// unsatisfiability.
+fn eliminate_equality(rows: &mut Vec<Row>, eq_idx: usize) -> bool {
+    let eq = rows[eq_idx].clone();
+    // Choose the variable with minimal |coefficient|.
+    let mut best: Option<(usize, i64)> = None;
+    for (j, &c) in eq.c.iter().enumerate().skip(1) {
+        if c != 0 && best.map_or(true, |(_, b)| c.abs() < b.abs()) {
+            best = Some((j, c));
+        }
+    }
+    let (col, coeff) = match best {
+        Some(b) => b,
+        None => {
+            // Constant equality; normalize_all should have caught it.
+            return eq.constant_truth();
+        }
+    };
+    if coeff.abs() == 1 {
+        substitute_from_equality(rows, eq_idx, col);
+        return true;
+    }
+    // Pugh's symmetric-modulo reduction: introduce a fresh variable sigma.
+    let m = coeff.abs() + 1;
+    let ncols = eq.c.len();
+    for r in rows.iter_mut() {
+        r.c.push(0);
+    }
+    let mut c = vec![0i64; ncols + 1];
+    for j in 0..ncols {
+        c[j] = num::mod_hat(eq.c[j], m);
+    }
+    c[ncols] = -m; // -m * sigma
+    debug_assert_eq!(c[col].abs(), 1, "mod-hat must give unit coefficient");
+    rows.push(Row::new(ConstraintKind::Eq, c));
+    let new_idx = rows.len() - 1;
+    substitute_from_equality(rows, new_idx, col);
+    true
+}
+
+/// Uses the equality row at `eq_idx` (which must have coefficient ±1 at
+/// `col`) to substitute the variable out of every other row, then removes
+/// the equality.
+fn substitute_from_equality(rows: &mut Vec<Row>, eq_idx: usize, col: usize) {
+    let eq = rows.swap_remove(eq_idx);
+    let a = eq.c[col];
+    debug_assert_eq!(a.abs(), 1);
+    // a*x + e = 0  =>  x = -e/a = -a*e   (since a = ±1)
+    for r in rows.iter_mut() {
+        let k = r.c[col];
+        if k == 0 {
+            continue;
+        }
+        r.c[col] = 0;
+        for j in 0..r.c.len() {
+            if j != col && eq.c[j] != 0 {
+                r.c[j] = num::add(r.c[j], num::mul(k, num::mul(-a, eq.c[j])));
+            }
+        }
+    }
+}
+
+/// Bounds on a variable within a pure-inequality system.
+struct VarBounds {
+    /// Rows `a·x + e ≥ 0` with `a > 0` (lower bounds), as (row index, a).
+    lowers: Vec<(usize, i64)>,
+    /// Rows `-b·x + e ≥ 0` with `b > 0` (upper bounds), as (row index, b).
+    uppers: Vec<(usize, i64)>,
+}
+
+fn bounds_for(rows: &[Row], col: usize) -> VarBounds {
+    let mut vb = VarBounds {
+        lowers: Vec::new(),
+        uppers: Vec::new(),
+    };
+    for (i, r) in rows.iter().enumerate() {
+        let c = r.c[col];
+        if c > 0 {
+            vb.lowers.push((i, c));
+        } else if c < 0 {
+            vb.uppers.push((i, -c));
+        }
+    }
+    vb
+}
+
+/// Solves a system of inequalities (no equalities) exactly.
+fn fm_solve(mut rows: Vec<Row>, depth: usize, budget: &mut u64) -> bool {
+    loop {
+        if *budget < rows.len() as u64 || rows.len() > ROW_CAP {
+            *budget = 0;
+            return true; // budget exhausted: conservative "sat"
+        }
+        *budget -= rows.len() as u64;
+        match normalize_all(&mut rows) {
+            Normalized::Contradiction => return false,
+            Normalized::Ok => {}
+        }
+        if rows.is_empty() {
+            return true;
+        }
+        let ncols = rows[0].c.len();
+        // Find a used variable, preferring one whose elimination is exact.
+        let mut candidate: Option<usize> = None;
+        let mut exact: Option<usize> = None;
+        let mut best_combo = usize::MAX;
+        let mut dropped_unbounded = false;
+        for col in 1..ncols {
+            let vb = bounds_for(&rows, col);
+            if vb.lowers.is_empty() && vb.uppers.is_empty() {
+                continue;
+            }
+            if vb.lowers.is_empty() || vb.uppers.is_empty() {
+                // Unbounded on one side: variable (and its rows) can go away.
+                rows.retain(|r| r.c[col] == 0);
+                dropped_unbounded = true;
+                break;
+            }
+            let unit_lower = vb.lowers.iter().all(|&(_, a)| a == 1);
+            let unit_upper = vb.uppers.iter().all(|&(_, b)| b == 1);
+            let combos = vb.lowers.len() * vb.uppers.len();
+            if unit_lower || unit_upper {
+                if exact.is_none() || combos < best_combo {
+                    exact = Some(col);
+                    best_combo = combos;
+                }
+            } else if exact.is_none() && combos < best_combo {
+                candidate = Some(col);
+                best_combo = combos;
+            }
+        }
+        if dropped_unbounded {
+            continue;
+        }
+        if let Some(col) = exact {
+            rows = fm_eliminate(&rows, col, 0);
+            continue;
+        }
+        let col = match candidate {
+            Some(c) => c,
+            None => return true, // no variables used; rows were constant
+        };
+        // Inexact variable: dark shadow first (a satisfiable dark shadow
+        // proves satisfiability), then the real shadow, then splinters.
+        let dark = fm_eliminate(&rows, col, 1);
+        if solve(dark, depth + 1, budget) {
+            return true; // dark shadow guarantees an integer point
+        }
+        let real = fm_eliminate(&rows, col, 0);
+        if !solve(real, depth + 1, budget) {
+            return false; // even the rational relaxation is empty
+        }
+        // Splinter: if a solution exists outside the dark shadow then for
+        // some lower bound a·x + e ≥ 0 we have a·x = -e + i with
+        // 0 ≤ i ≤ (a·b_max - a - b_max)/b_max.
+        let vb = bounds_for(&rows, col);
+        let b_max = vb.uppers.iter().map(|&(_, b)| b).max().unwrap();
+        for &(li, a) in &vb.lowers {
+            let max_i = num::floor_div(num::mul(a, b_max) - a - b_max, b_max);
+            for i in 0..=max_i {
+                if *budget == 0 {
+                    return true;
+                }
+                let mut sys = rows.clone();
+                let mut c = rows[li].c.clone();
+                c[0] = num::add(c[0], -i);
+                sys.push(Row::new(ConstraintKind::Eq, c));
+                if solve(sys, depth + 1, budget) {
+                    return true;
+                }
+            }
+        }
+        return false;
+    }
+}
+
+/// Fourier–Motzkin elimination of `col` from a pure-inequality system.
+/// `slack = 0` gives the real shadow (exact when a unit coefficient is
+/// involved); `slack = 1` gives the dark shadow (subtracting
+/// `(a-1)(b-1)` from each combination).
+pub(crate) fn fm_eliminate(rows: &[Row], col: usize, slack: i64) -> Vec<Row> {
+    let mut out: Vec<Row> = Vec::new();
+    let mut lowers: Vec<&Row> = Vec::new();
+    let mut uppers: Vec<&Row> = Vec::new();
+    for r in rows {
+        let c = r.c[col];
+        if c == 0 {
+            // Rows (of any kind) not involving the column pass through.
+            out.push(r.clone());
+            continue;
+        }
+        debug_assert_eq!(
+            r.kind,
+            ConstraintKind::Geq,
+            "fm_eliminate expects inequalities on the eliminated column"
+        );
+        if c > 0 {
+            lowers.push(r);
+        } else {
+            uppers.push(r);
+        }
+    }
+    for lo in &lowers {
+        let a = lo.c[col];
+        for up in &uppers {
+            let b = -up.c[col];
+            // b*(a x + e_l) + a*(-b x + e_u) ≥ 0  →  b e_l + a e_u ≥ 0
+            let mut c = vec![0i64; lo.c.len()];
+            for j in 0..c.len() {
+                c[j] = num::add(num::mul(b, lo.c[j]), num::mul(a, up.c[j]));
+            }
+            c[col] = 0;
+            if slack != 0 {
+                c[0] = num::add(c[0], -num::mul(slack, num::mul(a - 1, b - 1)));
+            }
+            out.push(Row::new(ConstraintKind::Geq, c));
+        }
+    }
+    out
+}
+
+/// Exact elimination of an inequality-only column when possible: returns
+/// `Some(rows)` when all lower-bound or all upper-bound coefficients on
+/// `col` are 1 (so plain FM is integer-exact), or when the column is
+/// unbounded on one side (rows mentioning it are dropped). Equalities
+/// mentioning `col` make this return `None`.
+pub(crate) fn try_exact_eliminate(rows: &[Row], col: usize) -> Option<Vec<Row>> {
+    let mut lowers: Vec<i64> = Vec::new();
+    let mut uppers: Vec<i64> = Vec::new();
+    for r in rows {
+        let c = r.c[col];
+        if c == 0 {
+            continue;
+        }
+        if r.kind == ConstraintKind::Eq {
+            return None;
+        }
+        if c > 0 {
+            lowers.push(c);
+        } else {
+            uppers.push(-c);
+        }
+    }
+    if lowers.is_empty() && uppers.is_empty() {
+        return Some(rows.to_vec());
+    }
+    if lowers.is_empty() || uppers.is_empty() {
+        return Some(rows.iter().filter(|r| r.c[col] == 0).cloned().collect());
+    }
+    let unit_lower = lowers.iter().all(|&a| a == 1);
+    let unit_upper = uppers.iter().all(|&b| b == 1);
+    if unit_lower || unit_upper {
+        Some(fm_eliminate(rows, col, 0))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geq(c: &[i64]) -> Row {
+        Row::new(ConstraintKind::Geq, c.to_vec())
+    }
+    fn eq(c: &[i64]) -> Row {
+        Row::new(ConstraintKind::Eq, c.to_vec())
+    }
+
+    // Columns: [const, x, y] unless stated otherwise.
+
+    #[test]
+    fn trivial_systems() {
+        assert!(rows_satisfiable(&[], 0));
+        assert!(rows_satisfiable(&[geq(&[5])], 0));
+        assert!(!rows_satisfiable(&[geq(&[-1])], 0));
+        assert!(!rows_satisfiable(&[eq(&[3])], 0));
+    }
+
+    #[test]
+    fn simple_bounds() {
+        // 0 <= x <= 10
+        assert!(rows_satisfiable(&[geq(&[0, 1]), geq(&[10, -1])], 1));
+        // 5 <= x <= 3  — empty
+        assert!(!rows_satisfiable(&[geq(&[-5, 1]), geq(&[3, -1])], 1));
+        // x <= 3 && x >= 3 — single point
+        assert!(rows_satisfiable(&[geq(&[-3, 1]), geq(&[3, -1])], 1));
+    }
+
+    #[test]
+    fn rational_but_not_integer() {
+        // 2x = 1
+        assert!(!rows_satisfiable(&[eq(&[-1, 2])], 1));
+        // 2 <= 2x <= 3 has rational solutions (1..1.5) and integer x=1.
+        assert!(rows_satisfiable(&[geq(&[-2, 2]), geq(&[3, -2])], 1));
+        // 3 <= 2x <= 3: only x=1.5 — no integer point.
+        assert!(!rows_satisfiable(&[geq(&[-3, 2]), geq(&[3, -2])], 1));
+    }
+
+    #[test]
+    fn dark_shadow_needed() {
+        // Pugh's classic Omega-test example: 27 <= 11x + 13y <= 45 and
+        // -10 <= 7x - 9y <= 4 has rational solutions but NO integer ones —
+        // proving it requires going beyond the real shadow.
+        let rows = vec![
+            geq(&[-27, 11, 13]),
+            geq(&[45, -11, -13]),
+            geq(&[10, 7, -9]),
+            geq(&[4, -7, 9]),
+        ];
+        assert!(!rows_satisfiable(&rows, 2));
+        // Relaxing the second pair makes x=2, y=1 feasible (11*2+13=35,
+        // 7*2-9=5 ∈ [-10, 8]).
+        let rows = vec![
+            geq(&[-27, 11, 13]),
+            geq(&[45, -11, -13]),
+            geq(&[10, 7, -9]),
+            geq(&[8, -7, 9]),
+        ];
+        assert!(rows_satisfiable(&rows, 2));
+    }
+
+    #[test]
+    fn splinter_needed_unsat() {
+        // 3 | x (via equality with wildcard is elsewhere); here a known
+        // integer-gap case: 2x >= 1 && 2x <= 1 is x = 0.5 only.
+        assert!(!rows_satisfiable(&[geq(&[-1, 2]), geq(&[1, -2])], 1));
+        // 6 <= 3x <= 7 && 4 <= 2x <= 5: x in [2,7/3] ∩ [2,2.5] → x=2 ✓
+        assert!(rows_satisfiable(
+            &[geq(&[-6, 3]), geq(&[7, -3]), geq(&[-4, 2]), geq(&[5, -2])],
+            1
+        ));
+        // 7 <= 3x <= 8 (x in [7/3, 8/3]) — no integer
+        assert!(!rows_satisfiable(&[geq(&[-7, 3]), geq(&[8, -3])], 1));
+    }
+
+    #[test]
+    fn equality_with_nonunit_coefficients() {
+        // 3x + 5y = 1 has integer solutions (x=2, y=-1)
+        assert!(rows_satisfiable(&[eq(&[-1, 3, 5])], 2));
+        // 6x + 9y = 1: gcd 3 does not divide 1 — unsat
+        assert!(!rows_satisfiable(&[eq(&[-1, 6, 9])], 2));
+        // 6x + 9y = 3 — sat
+        assert!(rows_satisfiable(&[eq(&[-3, 6, 9])], 2));
+    }
+
+    #[test]
+    fn equality_plus_bounds() {
+        // y = 2x && 1 <= x <= 100 && y = 7 → 7 = 2x unsat
+        let rows = vec![
+            eq(&[0, 2, -1]),   // 2x - y = 0
+            geq(&[-1, 1, 0]),  // x >= 1
+            geq(&[100, -1, 0]), // x <= 100
+            eq(&[-7, 0, 1]),   // y = 7
+        ];
+        assert!(!rows_satisfiable(&rows, 2));
+        // y = 8 instead → x = 4 ✓
+        let rows = vec![eq(&[0, 2, -1]), geq(&[-1, 1, 0]), geq(&[100, -1, 0]), eq(&[-8, 0, 1])];
+        assert!(rows_satisfiable(&rows, 2));
+    }
+
+    #[test]
+    fn unbounded_variable_dropped() {
+        // x >= 5 (no upper) && y = 3
+        assert!(rows_satisfiable(&[geq(&[-5, 1, 0]), eq(&[-3, 0, 1])], 2));
+    }
+
+    #[test]
+    fn three_variable_mixed() {
+        // x + y + z = 10, x >= y, y >= z, z >= 0, x <= 4 → x≥⌈10/3⌉=4 → x=4,
+        // y+z=6, 4>=y>=z>=0 → y=3..4 fine (y=3,z=3) ✓
+        let rows = vec![
+            eq(&[-10, 1, 1, 1]),
+            geq(&[0, 1, -1, 0]),
+            geq(&[0, 0, 1, -1]),
+            geq(&[0, 0, 0, 1]),
+            geq(&[4, -1, 0, 0]),
+        ];
+        assert!(rows_satisfiable(&rows, 3));
+        // tighten x <= 3 → x+y+z <= 9 < 10 → unsat
+        let rows = vec![
+            eq(&[-10, 1, 1, 1]),
+            geq(&[0, 1, -1, 0]),
+            geq(&[0, 0, 1, -1]),
+            geq(&[0, 0, 0, 1]),
+            geq(&[3, -1, 0, 0]),
+        ];
+        assert!(!rows_satisfiable(&rows, 3));
+    }
+
+    #[test]
+    fn stride_intersection_empty() {
+        // x = 2a (even), x = 2b + 1 (odd): columns [const, x, a, b]
+        let rows = vec![eq(&[0, 1, -2, 0]), eq(&[-1, 1, 0, -2])];
+        assert!(!rows_satisfiable(&rows, 3));
+        // even ∧ multiple of 3 → multiples of 6 exist
+        let rows = vec![eq(&[0, 1, -2, 0]), eq(&[0, 1, 0, -3])];
+        assert!(rows_satisfiable(&rows, 3));
+    }
+
+    #[test]
+    fn stride_with_window() {
+        // x even, 3 <= x <= 3 → x=3 odd → unsat
+        let rows = vec![eq(&[0, 1, -2]), geq(&[-3, 1, 0]), geq(&[3, -1, 0])];
+        assert!(!rows_satisfiable(&rows, 2));
+        // x even, 3 <= x <= 4 → x=4 ✓
+        let rows = vec![eq(&[0, 1, -2]), geq(&[-3, 1, 0]), geq(&[4, -1, 0])];
+        assert!(rows_satisfiable(&rows, 2));
+        // x ≡ 1 mod 4 within [2, 4] → none (candidates 1, 5)
+        let rows = vec![eq(&[-1, 1, -4]), geq(&[-2, 1, 0]), geq(&[4, -1, 0])];
+        assert!(!rows_satisfiable(&rows, 2));
+    }
+
+    #[test]
+    fn brute_force_agreement_two_vars() {
+        // Random-ish small systems: compare against brute force over a box.
+        let cases: Vec<Vec<Row>> = vec![
+            vec![geq(&[-1, 2, 3]), geq(&[7, -1, -2]), geq(&[0, 1, 0]), geq(&[0, 0, 1])],
+            vec![geq(&[-5, 3, -2]), geq(&[5, -3, 2]), geq(&[8, -1, -1]), geq(&[0, 1, 1])],
+            vec![eq(&[-4, 2, 2]), geq(&[0, 1, -1])],
+            vec![geq(&[-9, 5, 0]), geq(&[9, -5, 0]), geq(&[-2, 0, 3]), geq(&[2, 0, -3])],
+        ];
+        for rows in cases {
+            let mut brute = false;
+            'outer: for x in -30..=30 {
+                for y in -30..=30 {
+                    if rows.iter().all(|r| {
+                        let v = r.c[0] + r.c[1] * x + r.c[2] * y;
+                        match r.kind {
+                            ConstraintKind::Eq => v == 0,
+                            ConstraintKind::Geq => v >= 0,
+                        }
+                    }) {
+                        brute = true;
+                        break 'outer;
+                    }
+                }
+            }
+            // The box is wide enough for these coefficient magnitudes that a
+            // solution, if any, appears inside it.
+            assert_eq!(rows_satisfiable(&rows, 2), brute, "rows: {rows:?}");
+        }
+    }
+
+    #[test]
+    fn try_exact_eliminate_cases() {
+        // unit lower: x >= 0, 2x <= 9, y = x rows... keep it inequality-only
+        let rows = vec![geq(&[0, 1, 0]), geq(&[9, -2, 0]), geq(&[5, 0, -1])];
+        let out = try_exact_eliminate(&rows, 1).expect("exact");
+        // Eliminating x leaves only the y constraint plus the combination 9 - 2*0 >= 0.
+        assert!(out.iter().all(|r| r.c[1] == 0));
+        // non-unit on both sides → None
+        let rows = vec![geq(&[0, 2, 0]), geq(&[9, -3, 0])];
+        assert!(try_exact_eliminate(&rows, 1).is_none());
+        // equality mentioning col → None
+        let rows = vec![eq(&[0, 1, -2])];
+        assert!(try_exact_eliminate(&rows, 1).is_none());
+    }
+}

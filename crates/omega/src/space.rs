@@ -1,0 +1,202 @@
+//! Variable spaces: the named parameters and set variables a [`crate::Set`]
+//! is defined over.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// The space of a Presburger set: a list of symbolic parameters (free
+/// constants such as `n`) followed by the set variables (loop dimensions,
+/// scanned first-to-last in lexicographic order).
+///
+/// Spaces are cheap to clone (`Arc` internally) and compared structurally.
+///
+/// # Examples
+///
+/// ```
+/// use omega::Space;
+/// let sp = Space::new(&["n"], &["i", "j"]);
+/// assert_eq!(sp.n_params(), 1);
+/// assert_eq!(sp.n_vars(), 2);
+/// assert_eq!(sp.var_name(1), "j");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Space {
+    inner: Arc<SpaceInner>,
+}
+
+#[derive(PartialEq, Eq, Hash)]
+struct SpaceInner {
+    params: Vec<String>,
+    vars: Vec<String>,
+}
+
+impl Space {
+    /// Creates a space with the given parameter and set-variable names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any name is duplicated across the two lists.
+    pub fn new<S: AsRef<str>>(params: &[S], vars: &[S]) -> Self {
+        let params: Vec<String> = params.iter().map(|s| s.as_ref().to_owned()).collect();
+        let vars: Vec<String> = vars.iter().map(|s| s.as_ref().to_owned()).collect();
+        let mut all: Vec<&str> = params.iter().map(String::as_str).collect();
+        all.extend(vars.iter().map(String::as_str));
+        let mut sorted = all.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), all.len(), "duplicate variable name in space");
+        Space {
+            inner: Arc::new(SpaceInner { params, vars }),
+        }
+    }
+
+    /// A space with `n_vars` anonymous set variables named `t1..tN` and no
+    /// parameters.
+    pub fn anonymous(n_vars: usize) -> Self {
+        let vars: Vec<String> = (1..=n_vars).map(|i| format!("t{i}")).collect();
+        Space::new::<String>(&[], &vars)
+    }
+
+    /// Number of symbolic parameters.
+    pub fn n_params(&self) -> usize {
+        self.inner.params.len()
+    }
+
+    /// Number of set variables (dimensions).
+    pub fn n_vars(&self) -> usize {
+        self.inner.vars.len()
+    }
+
+    /// Name of parameter `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn param_name(&self, i: usize) -> &str {
+        &self.inner.params[i]
+    }
+
+    /// Name of set variable `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn var_name(&self, i: usize) -> &str {
+        &self.inner.vars[i]
+    }
+
+    /// All parameter names.
+    pub fn param_names(&self) -> &[String] {
+        &self.inner.params
+    }
+
+    /// All set-variable names.
+    pub fn var_names(&self) -> &[String] {
+        &self.inner.vars
+    }
+
+    /// Index of the named parameter, if present.
+    pub fn param_index(&self, name: &str) -> Option<usize> {
+        self.inner.params.iter().position(|p| p == name)
+    }
+
+    /// Index of the named set variable, if present.
+    pub fn var_index(&self, name: &str) -> Option<usize> {
+        self.inner.vars.iter().position(|p| p == name)
+    }
+
+    /// A new space identical to this one but with set variables renamed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `names.len() != self.n_vars()` or names collide.
+    pub fn with_var_names<S: AsRef<str>>(&self, names: &[S]) -> Space {
+        assert_eq!(names.len(), self.n_vars());
+        let params: Vec<&str> = self.inner.params.iter().map(String::as_str).collect();
+        let vars: Vec<&str> = names.iter().map(|s| s.as_ref()).collect();
+        Space::new(&params, &vars)
+    }
+
+    /// A new space with the same parameters and `n` set variables named
+    /// `t1..tn` (used when extending all polyhedra to a common
+    /// dimensionality).
+    pub fn with_anonymous_vars(&self, n: usize) -> Space {
+        let params: Vec<String> = self.inner.params.clone();
+        let vars: Vec<String> = (1..=n).map(|i| format!("t{i}")).collect();
+        let pr: Vec<&str> = params.iter().map(String::as_str).collect();
+        let vr: Vec<&str> = vars.iter().map(String::as_str).collect();
+        Space::new(&pr, &vr)
+    }
+
+    /// Total number of non-constant, non-local columns (`n_params + n_vars`).
+    pub fn n_named(&self) -> usize {
+        self.n_params() + self.n_vars()
+    }
+}
+
+impl fmt::Debug for Space {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] -> [{}]",
+            self.inner.params.join(", "),
+            self.inner.vars.join(", ")
+        )
+    }
+}
+
+impl fmt::Display for Space {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let sp = Space::new(&["n", "m"], &["i", "j", "k"]);
+        assert_eq!(sp.n_params(), 2);
+        assert_eq!(sp.n_vars(), 3);
+        assert_eq!(sp.param_index("m"), Some(1));
+        assert_eq!(sp.var_index("k"), Some(2));
+        assert_eq!(sp.var_index("n"), None);
+        assert_eq!(sp.n_named(), 5);
+    }
+
+    #[test]
+    fn anonymous_names() {
+        let sp = Space::anonymous(3);
+        assert_eq!(sp.var_name(0), "t1");
+        assert_eq!(sp.var_name(2), "t3");
+        assert_eq!(sp.n_params(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_names_rejected() {
+        let _ = Space::new(&["n"], &["n"]);
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        let a = Space::new(&["n"], &["i"]);
+        let b = Space::new(&["n"], &["i"]);
+        assert_eq!(a, b);
+        let c = Space::new(&["n"], &["j"]);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn rename_and_extend() {
+        let sp = Space::new(&["n"], &["i", "j"]);
+        let r = sp.with_var_names(&["x", "y"]);
+        assert_eq!(r.var_name(0), "x");
+        assert_eq!(r.n_params(), 1);
+        let e = sp.with_anonymous_vars(4);
+        assert_eq!(e.n_vars(), 4);
+        assert_eq!(e.param_name(0), "n");
+    }
+}

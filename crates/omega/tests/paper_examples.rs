@@ -1,0 +1,95 @@
+//! The worked examples of paper §2.2, verbatim: Project, Gist (including
+//! the modulo strength reduction), and Hull (including lattice detection).
+
+use omega::Set;
+
+#[test]
+fn project_simple() {
+    // Project({1 <= y <= x <= 100}, x) = {1 <= y <= 100}
+    let s = Set::parse("{ [y,x] : 1 <= y && y <= x && x <= 100 }").unwrap();
+    let p = s.project_out(1, 1);
+    let expect = Set::parse("{ [y,x] : 1 <= y && y <= 100 }").unwrap();
+    assert!(p.same_set(&expect), "{p}");
+}
+
+#[test]
+fn project_generates_stride() {
+    // Project({1 <= x <= 100 ∧ y = 2x}, x) = {2 <= y <= 200 ∧ ∃a(y = 2a)}
+    let s = Set::parse("{ [x,y] : 1 <= x && x <= 100 && y = 2x }").unwrap();
+    let p = s.project_out(0, 1);
+    let expect =
+        Set::parse("{ [x,y] : 2 <= y && y <= 200 && exists(a : y = 2a) }").unwrap();
+    assert!(p.same_set(&expect), "{p}");
+    // The congruence is explicit in the result, not just implicit.
+    assert_eq!(p.conjuncts()[0].congruences().len(), 1);
+}
+
+#[test]
+fn gist_drops_known_conjunct() {
+    // Gist({i > 10 ∧ j > 10}, {j > 10}) = {i > 10}
+    let a = Set::parse("{ [i,j] : i > 10 && j > 10 }").unwrap();
+    let b = Set::parse("{ [i,j] : j > 10 }").unwrap();
+    let g = a.gist(&b);
+    let expect = Set::parse("{ [i,j] : i > 10 }").unwrap();
+    assert!(g.same_set(&expect), "{g}");
+}
+
+#[test]
+fn gist_keeps_unimplied_bound() {
+    // Gist({1 <= i <= 100}, {i > 10}) = {i <= 100}
+    let a = Set::parse("{ [i] : 1 <= i && i <= 100 }").unwrap();
+    let b = Set::parse("{ [i] : i > 10 }").unwrap();
+    let g = a.gist(&b);
+    let expect = Set::parse("{ [i] : i <= 100 }").unwrap();
+    assert!(g.same_set(&expect), "{g}");
+}
+
+#[test]
+fn gist_reduces_modulo_strength() {
+    // Gist({∃a(i = 6a)}, {∃a(i = 2a)}) = {∃a(i = 3a)}  (Chinese remainder)
+    let a = Set::parse("{ [i] : exists(a : i = 6a) }").unwrap();
+    let b = Set::parse("{ [i] : exists(a : i = 2a) }").unwrap();
+    let g = a.gist(&b);
+    let expect = Set::parse("{ [i] : exists(a : i = 3a) }").unwrap();
+    assert!(g.same_set(&expect), "{g}");
+    // Defining property on a window, for good measure.
+    let gb = g.intersect(&b);
+    let ab = a.intersect(&b);
+    for i in -36..=36 {
+        assert_eq!(gb.contains(&[], &[i]), ab.contains(&[], &[i]), "i={i}");
+    }
+}
+
+#[test]
+fn hull_stretches_bounds_and_finds_lattice() {
+    // Hull({1≤i,j≤100 ∧ ∃a(j=i+4a)} ∪ {1≤i≤50 ∧ 1≤j≤200 ∧ ∃a(j=i+6a)})
+    //   = {1≤i≤100 ∧ 1≤j≤200 ∧ ∃a(j=i+2a)}
+    let s = Set::parse(
+        "{ [i,j] : 1 <= i && i <= 100 && 1 <= j && j <= 100 && exists(a : j = i + 4a) } \
+         | { [i,j] : 1 <= i && i <= 50 && 1 <= j && j <= 200 && exists(a : j = i + 6a) }",
+    )
+    .unwrap();
+    let h = s.hull().to_set();
+    let expect = Set::parse(
+        "{ [i,j] : 1 <= i && i <= 100 && 1 <= j && j <= 200 && exists(a : j = i + 2a) }",
+    )
+    .unwrap();
+    assert!(h.same_set(&expect), "{h}");
+}
+
+#[test]
+fn intro_interchange_example() {
+    // §2.1: applying {[i,j] → [j,i]} to {0 ≤ i < n ∧ 0 ≤ j < i} gives
+    // {0 ≤ j < i < n} over the swapped dims (here checked as point sets).
+    let orig = Set::parse("[n] -> { [i,j] : 0 <= i < n && 0 <= j < i }").unwrap();
+    let swapped = Set::parse("[n] -> { [i,j] : 0 <= i && i < j && j < n }").unwrap();
+    for i in -1..8 {
+        for j in -1..8 {
+            assert_eq!(
+                orig.contains(&[7], &[i, j]),
+                swapped.contains(&[7], &[j, i]),
+                "({i},{j})"
+            );
+        }
+    }
+}

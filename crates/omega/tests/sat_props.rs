@@ -1,0 +1,93 @@
+//! Property tests for the satisfiability core: the Omega test must agree
+//! with brute-force enumeration on randomized small systems — including
+//! the integer-only-infeasible cases where the rational relaxation lies.
+
+use omega::{Conjunct, LinExpr, Set, Space};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Sys {
+    rows: Vec<(i64, i64, i64, bool)>, // a·x + b·y + c (>=|=) 0
+    stride: Option<(i64, i64, i64)>,  // x + k·y ≡ r (mod m)
+}
+
+fn sys_strategy() -> impl Strategy<Value = Sys> {
+    let row = (-4i64..=4, -4i64..=4, -9i64..=9, prop::bool::weighted(0.75));
+    (
+        prop::collection::vec(row, 1..5),
+        prop::option::weighted(0.5, (-2i64..=2, 0i64..=4, 2i64..=5)),
+    )
+        .prop_map(|(rows, stride)| Sys {
+            rows,
+            stride: stride.map(|(k, r, m)| (k, r % m, m)),
+        })
+}
+
+fn build(sys: &Sys, space: &Space) -> Conjunct {
+    let mut c = Conjunct::universe(space);
+    // Keep the system bounded so brute force is conclusive.
+    c.add_constraint(&(LinExpr::var(space, 0) + 10).geq0());
+    c.add_constraint(&(LinExpr::constant(space, 10) - LinExpr::var(space, 0)).geq0());
+    c.add_constraint(&(LinExpr::var(space, 1) + 10).geq0());
+    c.add_constraint(&(LinExpr::constant(space, 10) - LinExpr::var(space, 1)).geq0());
+    for &(a, b, k, geq) in &sys.rows {
+        let e = LinExpr::var(space, 0) * a + LinExpr::var(space, 1) * b + k;
+        c.add_constraint(&if geq { e.geq0() } else { e.eq0() });
+    }
+    if let Some((k, r, m)) = sys.stride {
+        c.add_congruence(&(LinExpr::var(space, 0) + LinExpr::var(space, 1) * k), r, m);
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn solver_agrees_with_brute_force(sys in sys_strategy()) {
+        let space = Space::new::<&str>(&[], &["x", "y"]);
+        let c = build(&sys, &space);
+        let brute = (-10..=10).any(|x| (-10..=10).any(|y| c.contains(&[], &[x, y])));
+        // `contains` substitutes the point and solves over locals only, so
+        // using it as the brute-force membership test is independent of the
+        // full 2-variable solve being checked here.
+        prop_assert_eq!(c.is_sat(), brute, "system: {}", &c);
+    }
+
+    #[test]
+    fn projection_never_loses_points(sys in sys_strategy()) {
+        let space = Space::new::<&str>(&[], &["x", "y"]);
+        let c = build(&sys, &space);
+        let s = c.to_set();
+        let p = s.project_out(1, 1);
+        for x in -10..=10 {
+            let has_y = (-10..=10).any(|y| s.contains(&[], &[x, y]));
+            if has_y {
+                prop_assert!(
+                    p.contains(&[], &[x, 0]),
+                    "projection lost x={} of {}", x, &c
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn make_disjoint_partitions(sys in sys_strategy(), sys2 in sys_strategy()) {
+        let space = Space::new::<&str>(&[], &["x", "y"]);
+        let a = build(&sys, &space).to_set();
+        let b = build(&sys2, &space).to_set();
+        let u = a.union(&b);
+        let pieces = u.make_disjoint();
+        for x in -10..=10i64 {
+            for y in [-10i64, -3, 0, 2, 7, 10] {
+                let n = pieces
+                    .iter()
+                    .filter(|p| p.contains(&[], &[x, y]))
+                    .count();
+                let member = u.contains(&[], &[x, y]);
+                prop_assert_eq!(n == 1, member, "({},{}) covered {} times", x, y, n);
+                prop_assert!(n <= 1, "({},{}) covered {} times", x, y, n);
+            }
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Cross-operation integration tests for the set algebra: identities that
+//! combine parsing, boolean operations, projection and display.
+
+use omega::{LinExpr, Set, Space};
+
+fn s(text: &str) -> Set {
+    Set::parse(text).unwrap()
+}
+
+#[test]
+fn de_morgan_on_bounded_window() {
+    let a = s("{ [i] : 0 <= i <= 9 }");
+    let b = s("{ [i] : 5 <= i <= 14 }");
+    let lhs = a.union(&b).complement();
+    let rhs = a.complement().intersect(&b.complement());
+    for i in -5..25 {
+        assert_eq!(lhs.contains(&[], &[i]), rhs.contains(&[], &[i]), "i={i}");
+    }
+}
+
+#[test]
+fn subtract_absorbs_subset() {
+    let big = s("{ [i,j] : 0 <= i <= 9 && 0 <= j <= 9 }");
+    let small = s("{ [i,j] : 2 <= i <= 4 && 2 <= j <= 4 }");
+    assert!(small.is_subset(&big));
+    let diff = big.subtract(&small);
+    assert!(diff.union(&small).same_set(&big));
+    assert!(diff.is_disjoint(&small));
+}
+
+#[test]
+fn projection_composes() {
+    let set = s("[n] -> { [i,j,k] : 0 <= i < n && i <= j < n && j <= k < n }");
+    let p1 = set.project_out(2, 1).project_out(1, 1);
+    let p2 = set.project_out(1, 2);
+    for i in -1..8 {
+        assert_eq!(
+            p1.contains(&[6], &[i, 0, 0]),
+            p2.contains(&[6], &[i, 0, 0]),
+            "i={i}"
+        );
+    }
+}
+
+#[test]
+fn stride_intersections_compose_via_crt() {
+    let m2 = s("{ [i] : exists(a : i = 2a) }");
+    let m3 = s("{ [i] : exists(a : i = 3a) }");
+    let m6 = s("{ [i] : exists(a : i = 6a) }");
+    assert!(m2.intersect(&m3).same_set(&m6));
+    // And incompatible residues are empty.
+    let r1 = s("{ [i] : exists(a : i = 2a) }");
+    let r2 = s("{ [i] : exists(a : i = 2a + 1) }");
+    assert!(r1.intersect(&r2).is_empty());
+}
+
+#[test]
+fn display_then_eyeball_keywords() {
+    let set = s("[n] -> { [i] : 1 <= i <= n && exists(a : i = 4a + 1) }");
+    let text = set.to_string();
+    assert!(text.contains("i"), "{text}");
+    assert!(text.contains("a0") || text.contains("4"), "{text}");
+}
+
+#[test]
+fn translate_composes_with_remap() {
+    let sp = Space::new(&["n"], &["i", "j"]);
+    let set = s("[n] -> { [i,j] : 0 <= i < n && j = 2i }");
+    let shifted = set.translate_var(0, &LinExpr::constant(&sp, 3));
+    let target = Space::new(&["n"], &["x", "y"]);
+    let renamed = shifted.remap_vars(&target, &[1, 0]); // i→y, j→x
+    // Point (i=2, j=4) → shifted (5, 4) → renamed (x=4, y=5).
+    assert!(renamed.contains(&[9], &[4, 5]));
+    assert!(!renamed.contains(&[9], &[5, 4]));
+}
+
+#[test]
+fn enumerate_respects_strides_and_params() {
+    let set = s("[n] -> { [i] : 1 <= i <= n && exists(a : i = 3a + 2) }");
+    let pts = set.enumerate(&[12], &[0], &[13]);
+    let xs: Vec<i64> = pts.iter().map(|p| p[0]).collect();
+    assert_eq!(xs, vec![2, 5, 8, 11]);
+}
+
+#[test]
+fn empty_universe_edge_cases() {
+    let sp = Space::new::<&str>(&[], &["i"]);
+    assert!(Set::universe(&sp).complement().is_empty());
+    assert!(Set::empty(&sp).complement().is_universe());
+    let zero_dim = Set::parse("{ [] }").unwrap();
+    assert!(zero_dim.contains(&[], &[]));
+    assert!(!zero_dim.is_empty());
+}
+
+#[test]
+fn gist_with_multi_conjunct_context_uses_hull() {
+    let a = s("{ [i] : 0 <= i <= 100 }");
+    let ctx = s("{ [i] : 0 <= i <= 40 } | { [i] : 60 <= i <= 100 }");
+    let g = a.gist(&ctx);
+    // The hull of the context implies both bounds of a.
+    assert!(g.conjuncts().iter().all(|c| c.is_universe()), "{g}");
+}
+
+#[test]
+fn linexpr_substitute_var() {
+    let sp = Space::new(&["n"], &["i", "j"]);
+    let e = LinExpr::var(&sp, 0) * 3 + LinExpr::var(&sp, 1) - 5;
+    // i := 2j + n
+    let sub = LinExpr::var(&sp, 1) * 2 + LinExpr::param(&sp, 0);
+    let out = e.substitute_var(0, &sub);
+    // 3(2j + n) + j - 5 = 7j + 3n - 5
+    assert_eq!(out.eval(&[4], &[999, 2]), 7 * 2 + 12 - 5);
+    assert_eq!(out.var_coeff(0), 0);
+    // Substituting an absent variable is the identity.
+    let id = e.substitute_var(0, &sub).substitute_var(0, &sub);
+    assert_eq!(id.to_string(), out.to_string());
+}
+
+#[test]
+fn set_substitute_var_matches_pointwise() {
+    let sp = Space::new(&["n"], &["i", "j"]);
+    let set = s("[n] -> { [i,j] : 0 <= i && i <= j && j <= n }");
+    // i := j - 1 everywhere.
+    let sub = LinExpr::var(&sp, 1) - 1;
+    let out = set.substitute_var(0, &sub);
+    for j in -2..8 {
+        for i_any in [-5i64, 0, 3] {
+            assert_eq!(
+                out.contains(&[5], &[i_any, j]),
+                set.contains(&[5], &[j - 1, j]),
+                "j={j}"
+            );
+        }
+    }
+}
+
+#[test]
+fn conjunct_swap_vars_pointwise() {
+    let set = s("[n] -> { [i,j] : 0 <= i && 2i <= j && j <= n }");
+    let c = set.conjuncts()[0].clone();
+    let swapped = c.swap_vars(0, 1);
+    for i in -3..7 {
+        for j in -3..7 {
+            assert_eq!(
+                c.contains(&[6], &[i, j]),
+                swapped.contains(&[6], &[j, i]),
+                "({i},{j})"
+            );
+        }
+    }
+}
+
+#[test]
+fn parser_never_panics_on_garbage() {
+    // Fuzz-ish: arbitrary manglings of valid inputs must error, not panic.
+    let base = "[n] -> { [i,j] : 0 <= i < n && exists(a : j = 2a) }";
+    for cut in 0..base.len() {
+        let _ = Set::parse(&base[..cut]);
+        let mangled: String = base
+            .chars()
+            .enumerate()
+            .map(|(k, ch)| if k == cut { '%' } else { ch })
+            .collect();
+        let _ = Set::parse(&mangled);
+    }
+}
+
+#[test]
+fn input_syntax_round_trips_examples() {
+    for text in [
+        "[n] -> { [i,j] : 0 <= i < n && 0 <= j < i }",
+        "{ [i] : 1 <= i <= 100 && exists(a : i = 4a + 1) }",
+        "{ [i] : i <= -1 } | { [i] : i >= 1 }",
+        "[n,m] -> { [i,j,k] : 0 <= i < n && 2i <= j < m + 3i && exists(a : k = 8a + 3) && k <= i + j }",
+        "{ [] }",
+        "{ [i] : i >= 1 && i <= 0 }",
+    ] {
+        let set = Set::parse(text).unwrap();
+        let round = Set::parse(&set.to_input_syntax())
+            .unwrap_or_else(|e| panic!("reparse failed for {text}: {e}\nserialized: {}", set.to_input_syntax()));
+        assert!(round.same_set(&set), "{text} → {}", set.to_input_syntax());
+    }
+}

@@ -1,0 +1,558 @@
+//! An interpreter for generated code that doubles as (a) the correctness
+//! oracle — it records every statement instance executed, in order — and
+//! (b) the performance model: it counts the dynamic control-flow operations
+//! (branch tests, bound evaluations, mod/div operations) whose reduction is
+//! the mechanism behind CodeGen+'s measured speedups (paper §4.2–4.3).
+
+use crate::expr::{Cond, CondAtom, Expr};
+use crate::stmt::Stmt;
+use std::error::Error;
+use std::fmt;
+
+/// Dynamic operation counters accumulated during execution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Loop iterations entered.
+    pub loop_iterations: u64,
+    /// Loop header bound evaluations (one per iteration test).
+    pub bound_evaluations: u64,
+    /// Condition atoms evaluated by `if` statements.
+    pub branch_tests: u64,
+    /// `if` outcomes that differed from the same site's previous outcome
+    /// (a 1-bit branch predictor; loop-invariant guards predict perfectly,
+    /// interleaved guards mispredict).
+    pub branch_mispredictions: u64,
+    /// Runtime `%` operations.
+    pub mod_ops: u64,
+    /// Runtime `floord`/`ceild` operations.
+    pub div_ops: u64,
+    /// Runtime `min`/`max` operations.
+    pub minmax_ops: u64,
+    /// Additions/subtractions/multiplications evaluated.
+    pub arith_ops: u64,
+    /// Degenerate-loop assignments executed.
+    pub assigns: u64,
+    /// Statement instances executed.
+    pub stmt_execs: u64,
+}
+
+/// Weights turning [`Counters`] into a scalar cost — a simple in-order
+/// machine model in which control flow in inner loops is what hurts.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// Cost per executed statement instance (the loop body payload).
+    pub stmt_cost: u64,
+    /// Cost per branch-condition atom (predicted-taken base cost).
+    pub branch_cost: u64,
+    /// Extra cost of a mispredicted `if` outcome.
+    pub mispredict_cost: u64,
+    /// Cost per `%` operation.
+    pub mod_cost: u64,
+    /// Cost per integer division.
+    pub div_cost: u64,
+    /// Cost per `min`/`max`.
+    pub minmax_cost: u64,
+    /// Cost per add/sub/mul.
+    pub arith_cost: u64,
+    /// Cost per loop-iteration overhead (increment + compare).
+    pub iter_cost: u64,
+    /// Cost per assignment.
+    pub assign_cost: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        // Branches are expensive relative to straight-line arithmetic
+        // (mispredict exposure inside innermost loops); mod/div are the
+        // "expensive arithmetic operations" the paper calls out.
+        CostModel {
+            stmt_cost: 8,
+            branch_cost: 1,
+            mispredict_cost: 14,
+            mod_cost: 12,
+            div_cost: 12,
+            minmax_cost: 2,
+            arith_cost: 1,
+            iter_cost: 2,
+            assign_cost: 1,
+        }
+    }
+}
+
+impl CostModel {
+    /// Scalar dynamic cost of an execution.
+    pub fn cost(&self, c: &Counters) -> u64 {
+        self.stmt_cost * c.stmt_execs
+            + self.branch_cost * c.branch_tests
+            + self.mispredict_cost * c.branch_mispredictions
+            + self.mod_cost * c.mod_ops
+            + self.div_cost * c.div_ops
+            + self.minmax_cost * c.minmax_ops
+            + self.arith_cost * (c.arith_ops + c.bound_evaluations)
+            + self.iter_cost * c.loop_iterations
+            + self.assign_cost * c.assigns
+    }
+}
+
+/// One executed statement instance: statement id and the values of its
+/// coordinate arguments.
+pub type TraceEntry = (usize, Vec<i64>);
+
+/// Result of running a program.
+#[derive(Clone, Debug)]
+pub struct Execution {
+    /// Statement instances in execution order.
+    pub trace: Vec<TraceEntry>,
+    /// Dynamic operation counts.
+    pub counters: Counters,
+}
+
+/// Execution failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// The configured iteration budget was exhausted (runaway loop).
+    IterationLimit(u64),
+    /// A loop variable slot was read before being assigned.
+    UnboundVariable(usize),
+    /// A parameter index was out of range.
+    UnboundParam(usize),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::IterationLimit(n) => write!(f, "iteration limit of {n} exceeded"),
+            ExecError::UnboundVariable(v) => write!(f, "loop variable slot {v} read before set"),
+            ExecError::UnboundParam(p) => write!(f, "parameter {p} not supplied"),
+        }
+    }
+}
+
+impl Error for ExecError {}
+
+/// Interpreter configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecConfig {
+    /// Hard cap on loop iterations (guards against runaway generated code).
+    pub max_iterations: u64,
+    /// Whether to record the statement trace (disable for pure benchmarking).
+    pub record_trace: bool,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            max_iterations: 200_000_000,
+            record_trace: true,
+        }
+    }
+}
+
+/// Runs generated code under the given parameter binding.
+///
+/// # Errors
+///
+/// Returns [`ExecError`] on iteration-budget exhaustion or an unbound
+/// variable/parameter (which indicate malformed generated code).
+pub fn execute(stmt: &Stmt, params: &[i64]) -> Result<Execution, ExecError> {
+    execute_with(stmt, params, &ExecConfig::default())
+}
+
+/// Runs generated code with an explicit [`ExecConfig`].
+///
+/// # Errors
+///
+/// Same conditions as [`execute`].
+pub fn execute_with(
+    stmt: &Stmt,
+    params: &[i64],
+    cfg: &ExecConfig,
+) -> Result<Execution, ExecError> {
+    let mut st = Interp {
+        params,
+        vars: Vec::new(),
+        trace: Vec::new(),
+        counters: Counters::default(),
+        cfg: *cfg,
+        predictor: std::collections::HashMap::new(),
+    };
+    st.run(stmt)?;
+    Ok(Execution {
+        trace: st.trace,
+        counters: st.counters,
+    })
+}
+
+struct Interp<'a> {
+    params: &'a [i64],
+    vars: Vec<Option<i64>>,
+    trace: Vec<TraceEntry>,
+    counters: Counters,
+    cfg: ExecConfig,
+    /// 1-bit predictor state per `if` site (keyed by node address).
+    predictor: std::collections::HashMap<usize, bool>,
+}
+
+impl Interp<'_> {
+    fn var_slot(&mut self, v: usize) -> &mut Option<i64> {
+        if self.vars.len() <= v {
+            self.vars.resize(v + 1, None);
+        }
+        &mut self.vars[v]
+    }
+
+    fn eval(&mut self, e: &Expr) -> Result<i64, ExecError> {
+        Ok(match e {
+            Expr::Const(c) => *c,
+            Expr::Param(i) => *self
+                .params
+                .get(*i)
+                .ok_or(ExecError::UnboundParam(*i))?,
+            Expr::Var(v) => self
+                .vars
+                .get(*v)
+                .copied()
+                .flatten()
+                .ok_or(ExecError::UnboundVariable(*v))?,
+            Expr::Add(a, b) => {
+                self.counters.arith_ops += 1;
+                self.eval(a)? + self.eval(b)?
+            }
+            Expr::Sub(a, b) => {
+                self.counters.arith_ops += 1;
+                self.eval(a)? - self.eval(b)?
+            }
+            Expr::Mul(k, a) => {
+                self.counters.arith_ops += 1;
+                k * self.eval(a)?
+            }
+            Expr::Min(a, b) => {
+                self.counters.minmax_ops += 1;
+                self.eval(a)?.min(self.eval(b)?)
+            }
+            Expr::Max(a, b) => {
+                self.counters.minmax_ops += 1;
+                self.eval(a)?.max(self.eval(b)?)
+            }
+            Expr::FloorDiv(a, d) => {
+                self.counters.div_ops += 1;
+                floor_div(self.eval(a)?, *d)
+            }
+            Expr::CeilDiv(a, d) => {
+                self.counters.div_ops += 1;
+                ceil_div(self.eval(a)?, *d)
+            }
+            Expr::Mod(a, d) => {
+                self.counters.mod_ops += 1;
+                mod_floor(self.eval(a)?, *d)
+            }
+        })
+    }
+
+    fn test(&mut self, c: &Cond) -> Result<bool, ExecError> {
+        for a in c.atoms() {
+            self.counters.branch_tests += 1;
+            let ok = match a {
+                CondAtom::GeqZero(e) => self.eval(e)? >= 0,
+                CondAtom::EqZero(e) => self.eval(e)? == 0,
+                CondAtom::ModZero(e, m) => {
+                    self.counters.mod_ops += 1;
+                    mod_floor(self.eval(e)?, *m) == 0
+                }
+                CondAtom::ModLeq(e, m, k) => {
+                    self.counters.mod_ops += 1;
+                    mod_floor(self.eval(e)?, *m) <= *k
+                }
+            };
+            if !ok {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    fn run(&mut self, s: &Stmt) -> Result<(), ExecError> {
+        match s {
+            Stmt::Seq(items) => {
+                for i in items {
+                    self.run(i)?;
+                }
+            }
+            Stmt::Loop {
+                var,
+                lower,
+                upper,
+                step,
+                body,
+            } => {
+                let lo = self.eval(lower)?;
+                let saved = *self.var_slot(*var);
+                let mut v = lo;
+                loop {
+                    self.counters.bound_evaluations += 1;
+                    let hi = self.eval(upper)?;
+                    if v > hi {
+                        break;
+                    }
+                    self.counters.loop_iterations += 1;
+                    if self.counters.loop_iterations > self.cfg.max_iterations {
+                        return Err(ExecError::IterationLimit(self.cfg.max_iterations));
+                    }
+                    *self.var_slot(*var) = Some(v);
+                    self.run(body)?;
+                    v += step;
+                }
+                *self.var_slot(*var) = saved;
+            }
+            Stmt::If { cond, then_, else_ } => {
+                let taken = self.test(cond)?;
+                let site = s as *const Stmt as usize;
+                let prev = self.predictor.insert(site, taken);
+                if prev.map_or(false, |p| p != taken) {
+                    self.counters.branch_mispredictions += 1;
+                }
+                if taken {
+                    self.run(then_)?;
+                } else if let Some(e) = else_ {
+                    self.run(e)?;
+                }
+            }
+            Stmt::Assign { var, value, body } => {
+                let v = self.eval(value)?;
+                self.counters.assigns += 1;
+                let saved = *self.var_slot(*var);
+                *self.var_slot(*var) = Some(v);
+                self.run(body)?;
+                *self.var_slot(*var) = saved;
+            }
+            Stmt::Call { stmt, args } => {
+                self.counters.stmt_execs += 1;
+                if self.cfg.record_trace {
+                    let mut vals = Vec::with_capacity(args.len());
+                    for a in args {
+                        vals.push(self.eval(a)?);
+                    }
+                    self.trace.push((*stmt, vals));
+                } else {
+                    for a in args {
+                        let _ = self.eval(a)?;
+                    }
+                }
+            }
+            Stmt::Nop => {}
+        }
+        Ok(())
+    }
+}
+
+fn floor_div(a: i64, b: i64) -> i64 {
+    let q = a / b;
+    if (a % b != 0) && ((a < 0) != (b < 0)) {
+        q - 1
+    } else {
+        q
+    }
+}
+
+fn ceil_div(a: i64, b: i64) -> i64 {
+    let q = a / b;
+    if (a % b != 0) && ((a < 0) == (b < 0)) {
+        q + 1
+    } else {
+        q
+    }
+}
+
+fn mod_floor(a: i64, m: i64) -> i64 {
+    a - floor_div(a, m) * m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call(k: usize, args: Vec<Expr>) -> Stmt {
+        Stmt::Call { stmt: k, args }
+    }
+
+    #[test]
+    fn triangle_trace_in_lex_order() {
+        // for (i=0..2) for (j=0..i) s0(i,j)
+        let s = Stmt::Loop {
+            var: 0,
+            lower: Expr::Const(0),
+            upper: Expr::Const(2),
+            step: 1,
+            body: Box::new(Stmt::Loop {
+                var: 1,
+                lower: Expr::Const(0),
+                upper: Expr::Var(0),
+                step: 1,
+                body: Box::new(call(0, vec![Expr::Var(0), Expr::Var(1)])),
+            }),
+        };
+        let e = execute(&s, &[]).unwrap();
+        let expect: Vec<TraceEntry> = vec![
+            (0, vec![0, 0]),
+            (0, vec![1, 0]),
+            (0, vec![1, 1]),
+            (0, vec![2, 0]),
+            (0, vec![2, 1]),
+            (0, vec![2, 2]),
+        ];
+        assert_eq!(e.trace, expect);
+        assert_eq!(e.counters.stmt_execs, 6);
+        assert_eq!(e.counters.loop_iterations, 3 + 6);
+    }
+
+    #[test]
+    fn strided_loop() {
+        // for (i=1; i<=13; i+=4) s0(i)
+        let s = Stmt::Loop {
+            var: 0,
+            lower: Expr::Const(1),
+            upper: Expr::Const(13),
+            step: 4,
+            body: Box::new(call(0, vec![Expr::Var(0)])),
+        };
+        let e = execute(&s, &[]).unwrap();
+        let xs: Vec<i64> = e.trace.iter().map(|(_, a)| a[0]).collect();
+        assert_eq!(xs, vec![1, 5, 9, 13]);
+    }
+
+    #[test]
+    fn guard_counts_branches() {
+        // for (i=0..9) if (i % 2 == 0) s0(i)
+        let s = Stmt::Loop {
+            var: 0,
+            lower: Expr::Const(0),
+            upper: Expr::Const(9),
+            step: 1,
+            body: Box::new(Stmt::If {
+                cond: Cond::atom(CondAtom::ModZero(Expr::Var(0), 2)),
+                then_: Box::new(call(0, vec![Expr::Var(0)])),
+                else_: None,
+            }),
+        };
+        let e = execute(&s, &[]).unwrap();
+        assert_eq!(e.counters.stmt_execs, 5);
+        assert_eq!(e.counters.branch_tests, 10);
+        assert_eq!(e.counters.mod_ops, 10);
+    }
+
+    #[test]
+    fn if_else_dispatch() {
+        let s = Stmt::Loop {
+            var: 0,
+            lower: Expr::Const(0),
+            upper: Expr::Const(3),
+            step: 1,
+            body: Box::new(Stmt::If {
+                cond: Cond::atom(CondAtom::ModZero(Expr::Var(0), 2)),
+                then_: Box::new(call(0, vec![Expr::Var(0)])),
+                else_: Some(Box::new(call(1, vec![Expr::Var(0)]))),
+            }),
+        };
+        let e = execute(&s, &[]).unwrap();
+        let ids: Vec<usize> = e.trace.iter().map(|(k, _)| *k).collect();
+        assert_eq!(ids, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn params_and_min_max_bounds() {
+        // for (i=max(2, n-2); i <= min(8, n); i++) s0(i)   with n = 6 → 4..=6
+        let s = Stmt::Loop {
+            var: 0,
+            lower: Expr::max2(Expr::Const(2), Expr::sub(Expr::Param(0), Expr::Const(2))),
+            upper: Expr::min2(Expr::Const(8), Expr::Param(0)),
+            step: 1,
+            body: Box::new(call(0, vec![Expr::Var(0)])),
+        };
+        let e = execute(&s, &[6]).unwrap();
+        let xs: Vec<i64> = e.trace.iter().map(|(_, a)| a[0]).collect();
+        assert_eq!(xs, vec![4, 5, 6]);
+        assert!(e.counters.minmax_ops > 0);
+    }
+
+    #[test]
+    fn assign_scopes_value() {
+        // t2 = 3; s0(t2); then t2 unbound again outside (checked via error)
+        let s = Stmt::Assign {
+            var: 1,
+            value: Expr::Const(3),
+            body: Box::new(call(0, vec![Expr::Var(1)])),
+        };
+        let e = execute(&s, &[]).unwrap();
+        assert_eq!(e.trace, vec![(0, vec![3])]);
+        assert_eq!(e.counters.assigns, 1);
+        let after = Stmt::seq(vec![s, call(1, vec![Expr::Var(1)])]);
+        assert_eq!(
+            execute(&after, &[]).unwrap_err(),
+            ExecError::UnboundVariable(1)
+        );
+    }
+
+    #[test]
+    fn iteration_limit_guards() {
+        let s = Stmt::Loop {
+            var: 0,
+            lower: Expr::Const(0),
+            upper: Expr::Const(1_000_000),
+            step: 1,
+            body: Box::new(Stmt::Nop),
+        };
+        let cfg = ExecConfig {
+            max_iterations: 10,
+            record_trace: true,
+        };
+        assert_eq!(
+            execute_with(&s, &[], &cfg).unwrap_err(),
+            ExecError::IterationLimit(10)
+        );
+    }
+
+    #[test]
+    fn empty_loop_runs_zero_iterations() {
+        let s = Stmt::Loop {
+            var: 0,
+            lower: Expr::Const(5),
+            upper: Expr::Const(4),
+            step: 1,
+            body: Box::new(call(0, vec![])),
+        };
+        let e = execute(&s, &[]).unwrap();
+        assert!(e.trace.is_empty());
+        assert_eq!(e.counters.loop_iterations, 0);
+        assert_eq!(e.counters.bound_evaluations, 1);
+    }
+
+    #[test]
+    fn cost_model_orders_control_flow() {
+        let cm = CostModel::default();
+        let mut plain = Counters::default();
+        plain.stmt_execs = 100;
+        plain.loop_iterations = 100;
+        let mut guarded = plain;
+        guarded.branch_tests = 100;
+        guarded.mod_ops = 100;
+        assert!(cm.cost(&guarded) > cm.cost(&plain));
+    }
+
+    #[test]
+    fn floor_ceil_mod_expr() {
+        let s = Stmt::Assign {
+            var: 0,
+            value: Expr::FloorDiv(Box::new(Expr::Param(0)), 4),
+            body: Box::new(Stmt::Call {
+                stmt: 0,
+                args: vec![
+                    Expr::Var(0),
+                    Expr::CeilDiv(Box::new(Expr::Param(0)), 4),
+                    Expr::Mod(Box::new(Expr::Param(0)), 4),
+                ],
+            }),
+        };
+        let e = execute(&s, &[-7]).unwrap();
+        assert_eq!(e.trace, vec![(0, vec![-2, -1, 1])]);
+    }
+}

@@ -1,0 +1,68 @@
+//! Aggregate static metrics over generated code — the columns of the
+//! paper's Table 1 besides raw timing.
+
+use crate::print::{lines_of_code, Names};
+use crate::stmt::Stmt;
+
+/// Static metrics of a generated program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CodeMetrics {
+    /// Non-empty lines of the C rendering.
+    pub lines: usize,
+    /// Number of `if` statements.
+    pub ifs: usize,
+    /// Number of `if` statements nested inside at least one loop.
+    pub ifs_inside_loops: usize,
+    /// Number of loops.
+    pub loops: usize,
+    /// Maximum loop-nest depth.
+    pub depth: usize,
+    /// IR node count.
+    pub size: usize,
+}
+
+impl CodeMetrics {
+    /// Computes all metrics for a program.
+    pub fn of(stmt: &Stmt, names: &Names) -> CodeMetrics {
+        CodeMetrics {
+            lines: lines_of_code(stmt, names),
+            ifs: stmt.count_ifs(),
+            ifs_inside_loops: stmt.ifs_inside_loops(),
+            loops: stmt.count_loops(),
+            depth: stmt.loop_depth(),
+            size: stmt.size(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{Cond, CondAtom, Expr};
+
+    #[test]
+    fn metrics_of_guarded_nest() {
+        let body = Stmt::If {
+            cond: Cond::atom(CondAtom::GeqZero(Expr::Param(0))),
+            then_: Box::new(Stmt::Call {
+                stmt: 0,
+                args: vec![Expr::Var(0)],
+            }),
+            else_: None,
+        };
+        let s = Stmt::Loop {
+            var: 0,
+            lower: Expr::Const(0),
+            upper: Expr::Const(9),
+            step: 1,
+            body: Box::new(body),
+        };
+        let m = CodeMetrics::of(&s, &Names::default());
+        assert_eq!(m.loops, 1);
+        assert_eq!(m.ifs, 1);
+        assert_eq!(m.ifs_inside_loops, 1);
+        assert_eq!(m.depth, 1);
+        assert_eq!(m.lines, 5);
+        assert!(m.size > 4);
+    }
+}

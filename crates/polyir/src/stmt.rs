@@ -1,0 +1,227 @@
+//! The statement-level IR for generated loop nests.
+
+use crate::expr::{Cond, Expr};
+
+/// A node of generated code. The tree mirrors the C a polyhedra scanner
+/// would emit: counted `for` loops with constant step, `if` guards,
+/// degenerate-loop assignments, and statement-instance calls.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Stmt {
+    /// Sequential composition.
+    Seq(Vec<Stmt>),
+    /// `for (var = lower; var <= upper; var += step) body`
+    Loop {
+        /// Loop-variable slot written by this loop.
+        var: usize,
+        /// Lower bound (may contain `max`, `ceil`, remainder adjustments).
+        lower: Expr,
+        /// Upper bound (may contain `min`, `floor`).
+        upper: Expr,
+        /// Constant positive step.
+        step: i64,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// `if (cond) then_ [else else_]`
+    If {
+        /// Guard condition (a conjunction).
+        cond: Cond,
+        /// Taken branch.
+        then_: Box<Stmt>,
+        /// Optional else branch.
+        else_: Option<Box<Stmt>>,
+    },
+    /// Degenerate loop: `var = value;` scoping `body`.
+    Assign {
+        /// Variable slot assigned.
+        var: usize,
+        /// Assigned value.
+        value: Expr,
+        /// Code executed under the binding.
+        body: Box<Stmt>,
+    },
+    /// A statement instance `sK(args...)`; `args` are the iteration-space
+    /// coordinates in the transformed (scanned) space.
+    Call {
+        /// Statement identifier (index into the input statement list).
+        stmt: usize,
+        /// Coordinate expressions, one per scanned dimension.
+        args: Vec<Expr>,
+    },
+    /// No code.
+    Nop,
+}
+
+impl Stmt {
+    /// Wraps a list of statements, flattening nested sequences and dropping
+    /// `Nop`s.
+    pub fn seq(items: Vec<Stmt>) -> Stmt {
+        let mut out = Vec::new();
+        for s in items {
+            match s {
+                Stmt::Nop => {}
+                Stmt::Seq(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Stmt::Nop,
+            1 => out.into_iter().next().unwrap(),
+            _ => Stmt::Seq(out),
+        }
+    }
+
+    /// Wraps in an `if` unless the condition is trivially true.
+    pub fn guarded(cond: Cond, body: Stmt) -> Stmt {
+        if cond.is_always() {
+            body
+        } else if matches!(body, Stmt::Nop) {
+            Stmt::Nop
+        } else {
+            Stmt::If {
+                cond,
+                then_: Box::new(body),
+                else_: None,
+            }
+        }
+    }
+
+    /// Number of IR nodes (statements + expressions), the size metric used
+    /// by the compile-time stand-in.
+    pub fn size(&self) -> usize {
+        match self {
+            Stmt::Seq(items) => 1 + items.iter().map(Stmt::size).sum::<usize>(),
+            Stmt::Loop {
+                lower, upper, body, ..
+            } => 1 + lower.size() + upper.size() + body.size(),
+            Stmt::If { cond, then_, else_ } => {
+                1 + cond.size()
+                    + then_.size()
+                    + else_.as_ref().map(|e| e.size()).unwrap_or(0)
+            }
+            Stmt::Assign { value, body, .. } => 1 + value.size() + body.size(),
+            Stmt::Call { args, .. } => 1 + args.iter().map(Expr::size).sum::<usize>(),
+            Stmt::Nop => 1,
+        }
+    }
+
+    /// Maximum loop-nest depth.
+    pub fn loop_depth(&self) -> usize {
+        match self {
+            Stmt::Seq(items) => items.iter().map(Stmt::loop_depth).max().unwrap_or(0),
+            Stmt::Loop { body, .. } => 1 + body.loop_depth(),
+            Stmt::If { then_, else_, .. } => then_
+                .loop_depth()
+                .max(else_.as_ref().map(|e| e.loop_depth()).unwrap_or(0)),
+            Stmt::Assign { body, .. } => body.loop_depth(),
+            Stmt::Call { .. } | Stmt::Nop => 0,
+        }
+    }
+
+    /// Total number of `if` statements.
+    pub fn count_ifs(&self) -> usize {
+        match self {
+            Stmt::Seq(items) => items.iter().map(Stmt::count_ifs).sum(),
+            Stmt::Loop { body, .. } | Stmt::Assign { body, .. } => body.count_ifs(),
+            Stmt::If { then_, else_, .. } => {
+                1 + then_.count_ifs() + else_.as_ref().map(|e| e.count_ifs()).unwrap_or(0)
+            }
+            Stmt::Call { .. } | Stmt::Nop => 0,
+        }
+    }
+
+    /// Total number of loops.
+    pub fn count_loops(&self) -> usize {
+        match self {
+            Stmt::Seq(items) => items.iter().map(Stmt::count_loops).sum(),
+            Stmt::Loop { body, .. } => 1 + body.count_loops(),
+            Stmt::Assign { body, .. } => body.count_loops(),
+            Stmt::If { then_, else_, .. } => {
+                then_.count_loops() + else_.as_ref().map(|e| e.count_loops()).unwrap_or(0)
+            }
+            Stmt::Call { .. } | Stmt::Nop => 0,
+        }
+    }
+
+    /// Number of `if` statements enclosed within at least one loop —
+    /// the "control overhead inside loops" the paper's algorithms minimize.
+    pub fn ifs_inside_loops(&self) -> usize {
+        fn walk(s: &Stmt, inside: bool) -> usize {
+            match s {
+                Stmt::Seq(items) => items.iter().map(|i| walk(i, inside)).sum(),
+                Stmt::Loop { body, .. } => walk(body, true),
+                Stmt::Assign { body, .. } => walk(body, inside),
+                Stmt::If { then_, else_, .. } => {
+                    (inside as usize)
+                        + walk(then_, inside)
+                        + else_.as_ref().map(|e| walk(e, inside)).unwrap_or(0)
+                }
+                Stmt::Call { .. } | Stmt::Nop => 0,
+            }
+        }
+        walk(self, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CondAtom;
+
+    fn call(k: usize) -> Stmt {
+        Stmt::Call {
+            stmt: k,
+            args: vec![Expr::Var(0)],
+        }
+    }
+
+    fn simple_loop(body: Stmt) -> Stmt {
+        Stmt::Loop {
+            var: 0,
+            lower: Expr::Const(0),
+            upper: Expr::Const(9),
+            step: 1,
+            body: Box::new(body),
+        }
+    }
+
+    #[test]
+    fn seq_flattens() {
+        let s = Stmt::seq(vec![
+            Stmt::Nop,
+            Stmt::Seq(vec![call(0), call(1)]),
+            call(2),
+        ]);
+        match s {
+            Stmt::Seq(items) => assert_eq!(items.len(), 3),
+            other => panic!("expected Seq, got {other:?}"),
+        }
+        assert_eq!(Stmt::seq(vec![]), Stmt::Nop);
+        assert_eq!(Stmt::seq(vec![call(0)]), call(0));
+    }
+
+    #[test]
+    fn guarded_skips_trivial() {
+        let g = Stmt::guarded(Cond::always(), call(0));
+        assert_eq!(g, call(0));
+        let g = Stmt::guarded(Cond::atom(CondAtom::GeqZero(Expr::Var(0))), Stmt::Nop);
+        assert_eq!(g, Stmt::Nop);
+    }
+
+    #[test]
+    fn metrics() {
+        let inner = Stmt::guarded(Cond::atom(CondAtom::GeqZero(Expr::Param(0))), call(0));
+        let nest = simple_loop(simple_loop(inner));
+        assert_eq!(nest.loop_depth(), 2);
+        assert_eq!(nest.count_loops(), 2);
+        assert_eq!(nest.count_ifs(), 1);
+        assert_eq!(nest.ifs_inside_loops(), 1);
+        // An if outside any loop does not count as loop overhead.
+        let outside = Stmt::guarded(
+            Cond::atom(CondAtom::GeqZero(Expr::Param(0))),
+            simple_loop(call(0)),
+        );
+        assert_eq!(outside.count_ifs(), 1);
+        assert_eq!(outside.ifs_inside_loops(), 0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Tests for the complete-C-program emitter.
+
+use polyir::print::to_c_program;
+use polyir::{Cond, CondAtom, Expr, Names, Stmt};
+
+fn sample() -> (Stmt, Names) {
+    let prog = Stmt::Loop {
+        var: 0,
+        lower: Expr::Const(0),
+        upper: Expr::sub(Expr::Param(0), Expr::Const(1)),
+        step: 1,
+        body: Box::new(Stmt::If {
+            cond: Cond::atom(CondAtom::ModZero(Expr::Var(0), 2)),
+            then_: Box::new(Stmt::Loop {
+                var: 1,
+                lower: Expr::Const(0),
+                upper: Expr::Var(0),
+                step: 1,
+                body: Box::new(Stmt::Call {
+                    stmt: 0,
+                    args: vec![Expr::Var(0), Expr::Var(1)],
+                }),
+            }),
+            else_: Some(Box::new(Stmt::Call {
+                stmt: 1,
+                args: vec![Expr::Var(0)],
+            })),
+        }),
+    };
+    let names = Names {
+        params: vec!["n".into()],
+        vars: vec![],
+        stmts: vec!["update".into(), "boundary".into()],
+    };
+    (prog, names)
+}
+
+#[test]
+fn program_has_function_signature_and_decls() {
+    let (prog, names) = sample();
+    let c = to_c_program(&prog, &names, "scan");
+    assert!(c.contains("void scan(long n)"), "{c}");
+    assert!(c.contains("long t1, t2;"), "{c}");
+    assert!(c.contains("#define update"), "{c}");
+    assert!(c.contains("#define boundary"), "{c}");
+    assert!(c.contains("for (t1=0; t1<=n-1; t1++)"), "{c}");
+}
+
+#[test]
+fn program_without_params_uses_void() {
+    let prog = Stmt::Call {
+        stmt: 0,
+        args: vec![],
+    };
+    let c = to_c_program(&prog, &Names::default(), "f");
+    assert!(c.contains("void f(void)"), "{c}");
+}
+
+#[test]
+fn macros_cover_all_statements() {
+    let (prog, names) = sample();
+    let c = to_c_program(&prog, &names, "scan");
+    // Each statement appears both as a guard macro and as a call.
+    assert!(c.contains("update(t1,t2);"), "{c}");
+    assert!(c.contains("boundary(t1);"), "{c}");
+}
+
+#[test]
+fn braces_balance() {
+    let (prog, names) = sample();
+    let c = to_c_program(&prog, &names, "scan");
+    let open = c.matches('{').count();
+    let close = c.matches('}').count();
+    assert_eq!(open, close, "{c}");
+}

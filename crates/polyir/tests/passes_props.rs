@@ -1,0 +1,157 @@
+//! Property-based tests for the pass pipeline: for randomized programs,
+//! `passes::compile` must preserve the exact execution trace, and the
+//! printer must render every construct it contains.
+
+use polyir::{execute, passes, Cond, CondAtom, Expr, Names, Stmt};
+use proptest::prelude::*;
+
+/// Deterministically builds a random—but well-formed—program from a byte
+/// recipe: loop variables are always bound before use, bounds are small
+/// constants or parameters, and conditions draw from every atom kind.
+fn build_program(bytes: &[u8]) -> Stmt {
+    let mut cursor = 0usize;
+    let mut next = || {
+        let b = bytes.get(cursor).copied().unwrap_or(0);
+        cursor += 1;
+        b
+    };
+    fn expr(scope: &[usize], b: u8, c: u8) -> Expr {
+        match b % 4 {
+            0 => Expr::Const((c % 7) as i64 - 3),
+            1 => Expr::Param((c % 2) as usize),
+            2 if !scope.is_empty() => Expr::Var(scope[c as usize % scope.len()]),
+            _ => Expr::add(
+                Expr::mul((c % 3) as i64 + 1, Expr::Param(0)),
+                Expr::Const((c % 5) as i64),
+            ),
+        }
+    }
+    fn atom(scope: &[usize], b: u8, c: u8, d: u8) -> CondAtom {
+        let e = expr(scope, c, d);
+        match b % 4 {
+            0 => CondAtom::GeqZero(e),
+            1 => CondAtom::EqZero(e),
+            2 => CondAtom::ModZero(e, (b % 3) as i64 + 2),
+            _ => CondAtom::ModLeq(e, (b % 3) as i64 + 2, (c % 2) as i64),
+        }
+    }
+    fn stmt(next: &mut dyn FnMut() -> u8, scope: &mut Vec<usize>, depth: usize) -> Stmt {
+        let tag = next();
+        if depth >= 3 {
+            return Stmt::Call {
+                stmt: (tag % 3) as usize,
+                args: scope.iter().map(|&v| Expr::Var(v)).collect(),
+            };
+        }
+        match tag % 5 {
+            0 => {
+                let var = scope.len();
+                scope.push(var);
+                let lo = (next() % 4) as i64 - 1;
+                let hi = lo + (next() % 5) as i64;
+                let body = stmt(next, scope, depth + 1);
+                scope.pop();
+                Stmt::Loop {
+                    var,
+                    lower: Expr::Const(lo),
+                    upper: Expr::min2(Expr::Const(hi), Expr::add(Expr::Param(0), Expr::Const(3))),
+                    step: (next() % 2) as i64 + 1,
+                    body: Box::new(body),
+                }
+            }
+            1 => {
+                let a = atom(scope, next(), next(), next());
+                let then_ = stmt(next, scope, depth + 1);
+                let else_ = if next() % 2 == 0 {
+                    Some(Box::new(stmt(next, scope, depth + 1)))
+                } else {
+                    None
+                };
+                Stmt::If {
+                    cond: Cond::atom(a),
+                    then_: Box::new(then_),
+                    else_,
+                }
+            }
+            2 => {
+                let var = scope.len();
+                scope.push(var);
+                let b = next();
+                let c = next();
+                let value = expr(&scope[..scope.len() - 1], b, c);
+                let body = stmt(next, scope, depth + 1);
+                scope.pop();
+                Stmt::Assign {
+                    var,
+                    value,
+                    body: Box::new(body),
+                }
+            }
+            3 => {
+                let a = stmt(next, scope, depth + 1);
+                let b = stmt(next, scope, depth + 1);
+                Stmt::seq(vec![a, b])
+            }
+            _ => Stmt::Call {
+                stmt: (tag % 3) as usize,
+                args: scope.iter().map(|&v| Expr::Var(v)).collect(),
+            },
+        }
+    }
+    let mut scope = Vec::new();
+    stmt(&mut next, &mut scope, 0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn compile_preserves_trace(bytes in prop::collection::vec(any::<u8>(), 8..64), n in 0i64..6, m in -2i64..4) {
+        let program = build_program(&bytes);
+        let before = execute(&program, &[n, m]).unwrap();
+        let report = passes::compile(&program);
+        let after = execute(&report.optimized, &[n, m]).unwrap();
+        prop_assert_eq!(
+            &before.trace, &after.trace,
+            "optimization changed semantics\nbefore:\n{}\nafter:\n{}",
+            polyir::to_c(&program, &Names::default()),
+            polyir::to_c(&report.optimized, &Names::default())
+        );
+    }
+
+    #[test]
+    fn printer_renders_everything(bytes in prop::collection::vec(any::<u8>(), 8..64)) {
+        let program = build_program(&bytes);
+        let names = Names::default();
+        let text = polyir::to_c(&program, &names);
+        // Every call that exists in the tree appears in the rendering.
+        let calls = count_calls(&program);
+        if calls > 0 {
+            prop_assert!(text.contains('('), "{text}");
+        }
+        let loc = polyir::lines_of_code(&program, &names);
+        prop_assert!(loc <= text.lines().count());
+    }
+
+    #[test]
+    fn metrics_are_consistent(bytes in prop::collection::vec(any::<u8>(), 8..64)) {
+        let program = build_program(&bytes);
+        let names = Names::default();
+        let m = polyir::CodeMetrics::of(&program, &names);
+        prop_assert!(m.ifs_inside_loops <= m.ifs);
+        prop_assert!(m.depth <= m.loops);
+        prop_assert_eq!(m.size, program.size());
+    }
+}
+
+fn count_calls(s: &Stmt) -> usize {
+    match s {
+        Stmt::Seq(items) => items.iter().map(count_calls).sum(),
+        Stmt::Loop { body, .. } | Stmt::Assign { body, .. } => count_calls(body),
+        Stmt::If { then_, else_, .. } => {
+            count_calls(then_) + else_.as_ref().map(|e| count_calls(e)).unwrap_or(0)
+        }
+        Stmt::Call { .. } => 1,
+        Stmt::Nop => 0,
+    }
+}

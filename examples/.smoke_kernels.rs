@@ -1,0 +1,40 @@
+//! Smoke: run all five kernels through both generators and compare traces.
+use codegenplus::{pad_statements, CodeGen, Statement};
+use cloog::Cloog;
+use std::time::Instant;
+
+fn main() {
+    for k in chill::recipes::all(10) {
+        let stmts: Vec<Statement> = k
+            .nest
+            .statements()
+            .iter()
+            .map(|s| Statement::new(s.name.clone(), s.domain.clone()).with_args(s.args.clone()))
+            .collect();
+        let stmts = pad_statements(&stmts, 0);
+        let t0 = Instant::now();
+        let cg = CodeGen::new().statements(stmts.clone()).effort(1).generate();
+        let t_cg = t0.elapsed();
+        let t0 = Instant::now();
+        let cl = Cloog::new().statements(stmts.clone()).generate();
+        let t_cl = t0.elapsed();
+        match (cg, cl) {
+            (Ok(a), Ok(b)) => {
+                let ra = polyir::execute(&a.code, &k.params).unwrap();
+                let rb = polyir::execute(&b.code, &k.params).unwrap();
+                let la = polyir::lines_of_code(&a.code, &a.names);
+                let lb = polyir::lines_of_code(&b.code, &b.names);
+                let same = ra.trace == rb.trace;
+                println!(
+                    "{:6} cg+ {:>6} lines {:>8.2?} | cloog {:>6} lines {:>8.2?} | traces {} ({} instances)",
+                    k.name, la, t_cg, lb, t_cl, if same { "MATCH" } else { "DIFFER" }, ra.trace.len()
+                );
+                if !same {
+                    println!("cg+ code:\n{}", polyir::to_c(&a.code, &a.names));
+                    println!("cloog code:\n{}", polyir::to_c(&b.code, &b.names));
+                }
+            }
+            (a, b) => println!("{:6} cg+ {:?} cloog {:?}", k.name, a.err(), b.err()),
+        }
+    }
+}

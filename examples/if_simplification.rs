@@ -1,0 +1,53 @@
+//! Figure 8 of the paper: if-statement simplification with stride
+//! constraints.
+//!
+//! (a–c): a single space with `i ≡ 1 (mod 4)` and `j ≡ i (mod 3)` — the
+//! baseline leaves a redundant modulo check in the inner loop; CodeGen+
+//! produces clean strided loops.
+//!
+//! (d–f): two interleaved statements (`i ≡ 0` and `i ≡ 2` mod 4) — given
+//! the loop's stride of 2 the two guards are complementary, so CodeGen+
+//! emits a single if/else where the baseline tests two modulo conditions.
+//!
+//! Run with: `cargo run --example if_simplification`
+
+use cloog::Cloog;
+use codegenplus::{CodeGen, Statement};
+use omega::Set;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Figure 8(a): single space with stride conditions ==");
+    let fig8a = Statement::new(
+        "s0",
+        Set::parse(
+            "[n] -> { [i,j] : 1 <= i && i <= n && i <= j && j <= n && exists(a, b : i = 1 + 4a && j = i + 3b) }",
+        )?,
+    );
+    let cl = Cloog::new().statement(fig8a.clone()).generate()?;
+    println!("-- CLooG-style baseline:\n{}", polyir::to_c(&cl.code, &cl.names));
+    let cg = CodeGen::new().statement(fig8a).generate()?;
+    println!("-- CodeGen+:\n{}", polyir::to_c(&cg.code, &cg.names));
+
+    println!("== Figure 8(d): complementary mod-4 statements ==");
+    let fig8d: Vec<Statement> = [
+        "[n] -> { [i] : 1 <= i <= n && exists(a : i = 4a) }",
+        "[n] -> { [i] : 1 <= i <= n && exists(a : i = 4a + 2) }",
+    ]
+    .iter()
+    .enumerate()
+    .map(|(i, d)| Ok(Statement::new(format!("s{i}"), Set::parse(d)?)))
+    .collect::<Result<_, omega::ParseSetError>>()?;
+    let cl = Cloog::new().statements(fig8d.clone()).generate()?;
+    println!("-- CLooG-style baseline:\n{}", polyir::to_c(&cl.code, &cl.names));
+    let cg = CodeGen::new().statements(fig8d).generate()?;
+    println!("-- CodeGen+:\n{}", polyir::to_c(&cg.code, &cg.names));
+
+    // Both run the same instances, in the same order.
+    let (ra, rb) = (
+        polyir::execute(&cg.code, &[20])?,
+        polyir::execute(&cl.code, &[20])?,
+    );
+    assert_eq!(ra.trace, rb.trace);
+    println!("(verified: both variants execute the identical trace)");
+    Ok(())
+}

@@ -1,0 +1,26 @@
+//! Quickstart: scan a strided triangular iteration space with CodeGen+,
+//! print the generated C-like code at three overhead-removal efforts, and
+//! execute it.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use codegenplus::{CodeGen, Statement};
+use omega::Set;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A triangular space where only even j iterate (a stride constraint).
+    let domain = Set::parse(
+        "[n] -> { [i,j] : 0 <= i < n && 0 <= j < i && exists(a : j = 2a) }",
+    )?;
+    for effort in 0..=2 {
+        let generated = CodeGen::new()
+            .statement(Statement::new("s0", domain.clone()))
+            .effort(effort)
+            .generate()?;
+        println!("=== overhead removal depth {effort} ===");
+        println!("{}", polyir::to_c(&generated.code, &generated.names));
+        let run = polyir::execute(&generated.code, &[8])?;
+        println!("-- executed {} statement instances\n", run.trace.len());
+    }
+    Ok(())
+}

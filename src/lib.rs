@@ -1,0 +1,14 @@
+//! Umbrella crate re-exporting the CodeGen+ reproduction workspace.
+//!
+//! See the individual crates for details:
+//! - [`omega`] — Presburger arithmetic substrate (Omega+ analogue)
+//! - [`polyir`] — generated-code IR, interpreter, and metrics
+//! - [`codegenplus`] — the CodeGen+ polyhedra scanner (the paper's contribution)
+//! - [`cloog`] — the CLooG-style Quilleré baseline generator
+//! - [`chill`] — CHiLL-like transformation framework producing iteration spaces
+
+pub use chill;
+pub use cloog;
+pub use codegenplus;
+pub use omega;
+pub use polyir;

@@ -1,0 +1,93 @@
+//! Figure 7 reproduction: the three trade-off points of loop overhead
+//! removal (depths 0, 1, 2) on the paper's example spaces, with the exact
+//! structural properties of Figure 7(b–d).
+
+use codegenplus::{CodeGen, Statement};
+use omega::Set;
+
+fn statements() -> Vec<Statement> {
+    [
+        "[n] -> { [i,j] : 1 <= i <= 100 && j = 0 && n >= 2 }",
+        "[n] -> { [i,j] : 1 <= i <= 100 && 1 <= j <= 100 && n >= 2 }",
+        "[n] -> { [i,j] : 1 <= i <= 100 && 1 <= j <= 100 }",
+    ]
+    .iter()
+    .enumerate()
+    .map(|(i, d)| Statement::new(format!("s{i}"), Set::parse(d).unwrap()))
+    .collect()
+}
+
+fn generate(effort: usize) -> (polyir::Stmt, polyir::Names) {
+    let g = CodeGen::new()
+        .statements(statements())
+        .effort(effort)
+        .generate()
+        .unwrap();
+    (g.code, g.names)
+}
+
+#[test]
+fn depth0_keeps_guards_innermost() {
+    // Figure 7(b): no loop overhead removal — the (n >= 2) checks stay
+    // inside the loops and no code is duplicated.
+    let (code, names) = generate(0);
+    let m = polyir::CodeMetrics::of(&code, &names);
+    assert!(m.ifs_inside_loops >= 2, "{}", polyir::to_c(&code, &names));
+    // Minimal code size: exactly one t1 loop and one t2 loop.
+    assert_eq!(m.loops, 2, "{}", polyir::to_c(&code, &names));
+}
+
+#[test]
+fn depth1_duplicates_inner_loop_only() {
+    // Figure 7(c): overhead removed from depth-1 subloops — the t2 loop is
+    // duplicated into an if/else, but the t1 loop still contains an if.
+    let (code, names) = generate(1);
+    let m = polyir::CodeMetrics::of(&code, &names);
+    let txt = polyir::to_c(&code, &names);
+    assert!(m.loops >= 3, "t2 loop must be duplicated:\n{txt}");
+    assert!(m.ifs_inside_loops >= 1, "guard remains inside t1:\n{txt}");
+    assert!(txt.contains("else"), "if/else expected:\n{txt}");
+}
+
+#[test]
+fn depth2_hoists_all_overhead() {
+    // Figure 7(d): overhead removed from the full depth-2 nest — no ifs
+    // remain inside any loop; the whole nest is duplicated under if/else.
+    let (code, names) = generate(2);
+    let m = polyir::CodeMetrics::of(&code, &names);
+    let txt = polyir::to_c(&code, &names);
+    assert_eq!(m.ifs_inside_loops, 0, "{txt}");
+    assert!(txt.contains("else"), "{txt}");
+    assert!(m.loops >= 4, "both nests duplicated:\n{txt}");
+}
+
+#[test]
+fn all_depths_execute_identically() {
+    let reference = {
+        let (code, _) = generate(0);
+        polyir::execute(&code, &[2]).unwrap().trace
+    };
+    for effort in 1..=3 {
+        let (code, _) = generate(effort);
+        let t = polyir::execute(&code, &[2]).unwrap().trace;
+        assert_eq!(t, reference, "effort {effort} changes semantics");
+        // And under the guard-false parameter value too.
+        let (c0, _) = generate(0);
+        assert_eq!(
+            polyir::execute(&code, &[1]).unwrap().trace,
+            polyir::execute(&c0, &[1]).unwrap().trace
+        );
+    }
+}
+
+#[test]
+fn code_size_grows_with_depth() {
+    let sizes: Vec<usize> = (0..=2)
+        .map(|e| {
+            let (code, names) = generate(e);
+            polyir::lines_of_code(&code, &names)
+        })
+        .collect();
+    assert!(sizes[0] <= sizes[1] && sizes[1] <= sizes[2], "{sizes:?}");
+    assert!(sizes[2] > sizes[0], "hoisting must duplicate code: {sizes:?}");
+}

@@ -1,0 +1,97 @@
+//! The paper's §4.1 guarantee: CodeGen+ preserves the lexicographic order
+//! of the input iteration spaces at *every* trade-off point, while the
+//! CLooG-style `-f`/`-l` controls (here `stop_level`) provide no such
+//! guarantee — the exact criticism of the paper's introduction ("it also
+//! might result in incorrect code when there is a data dependence
+//! preventing such statement reordering").
+
+use cloog::{Cloog, Options};
+use codegenplus::{CodeGen, Statement};
+use omega::Set;
+
+/// Two disjoint statements whose instances interleave with a third: any
+/// generator that groups by statement instead of by lexicographic position
+/// reorders them.
+fn statements() -> Vec<Statement> {
+    [
+        "{ [i] : 0 <= i <= 3 }",
+        "{ [i] : 8 <= i <= 11 }",
+        "{ [i] : 2 <= i <= 9 }",
+    ]
+    .iter()
+    .enumerate()
+    .map(|(k, d)| Statement::new(format!("s{k}"), Set::parse(d).unwrap()))
+    .collect()
+}
+
+fn lex_reference() -> Vec<(usize, Vec<i64>)> {
+    let sets: Vec<Set> = [
+        "{ [i] : 0 <= i <= 3 }",
+        "{ [i] : 8 <= i <= 11 }",
+        "{ [i] : 2 <= i <= 9 }",
+    ]
+    .iter()
+    .map(|d| Set::parse(d).unwrap())
+    .collect();
+    let mut out = Vec::new();
+    for i in 0..=12 {
+        for (k, s) in sets.iter().enumerate() {
+            if s.contains(&[], &[i]) {
+                out.push((k, vec![i]));
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn codegenplus_keeps_lex_order_at_every_effort() {
+    for effort in 0..=3 {
+        for minmax in 0..=1 {
+            let g = CodeGen::new()
+                .statements(statements())
+                .effort(effort)
+                .minmax_effort(minmax)
+                .generate()
+                .unwrap();
+            let t = polyir::execute(&g.code, &[]).unwrap().trace;
+            assert_eq!(
+                t,
+                lex_reference(),
+                "effort {effort} minmax {minmax} broke lexicographic order:\n{}",
+                polyir::to_c(&g.code, &g.names)
+            );
+        }
+    }
+}
+
+#[test]
+fn baseline_default_keeps_lex_order() {
+    let g = Cloog::new().statements(statements()).generate().unwrap();
+    let t = polyir::execute(&g.code, &[]).unwrap().trace;
+    assert_eq!(t, lex_reference());
+}
+
+#[test]
+fn baseline_off_default_tradeoff_covers_instances() {
+    // The paper criticizes CLooG's -f/-l flags for not guaranteeing
+    // lexicographic order. Our reimplementation emits guards instead of
+    // statement-grouped code at the off-default point, so it happens to
+    // preserve order on this input (we declined to copy a failure mode we
+    // cannot observe in the original binary) — but the only *contract* at
+    // this trade-off point is instance coverage, which is what we assert.
+    let g = Cloog::new()
+        .statements(statements())
+        .options(Options {
+            compact: true,
+            stop_level: Some(1),
+        })
+        .generate()
+        .unwrap();
+    let t = polyir::execute(&g.code, &[]).unwrap().trace;
+    let mut sorted = t.clone();
+    sorted.sort();
+    let mut reference = lex_reference();
+    reference.sort();
+    assert_eq!(sorted, reference);
+}

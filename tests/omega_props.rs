@@ -1,0 +1,189 @@
+//! Property-based tests of the Presburger substrate: the algebraic laws of
+//! set operations, the defining equations of Gist and Hull, and projection
+//! soundness — checked pointwise over a finite window.
+
+use omega::{Conjunct, LinExpr, Set, Space};
+use proptest::prelude::*;
+
+const WINDOW: std::ops::RangeInclusive<i64> = -6..=6;
+
+/// A random conjunct over two variables: up to three inequality/equality
+/// constraints plus an optional congruence.
+#[derive(Debug, Clone)]
+struct RandConj {
+    rows: Vec<(i64, i64, i64, bool)>,
+    stride: Option<(i64, i64, i64, i64)>, // ci·i + cj·j ≡ r (mod m)
+}
+
+impl RandConj {
+    fn build(&self, space: &Space) -> Conjunct {
+        let mut c = Conjunct::universe(space);
+        for &(ci, cj, c0, geq) in &self.rows {
+            let e = LinExpr::var(space, 0) * ci + LinExpr::var(space, 1) * cj + c0;
+            c.add_constraint(&if geq { e.geq0() } else { e.eq0() });
+        }
+        if let Some((ci, cj, r, m)) = self.stride {
+            let e = LinExpr::var(space, 0) * ci + LinExpr::var(space, 1) * cj;
+            c.add_congruence(&e, r, m);
+        }
+        c
+    }
+}
+
+fn conj_strategy() -> impl Strategy<Value = RandConj> {
+    let row = (-2i64..=2, -2i64..=2, -5i64..=5, prop::bool::weighted(0.8));
+    let stride = (-2i64..=2, -2i64..=2, 0i64..=3, 2i64..=4);
+    (
+        prop::collection::vec(row, 0..4),
+        prop::option::weighted(0.4, stride),
+    )
+        .prop_map(|(rows, stride)| RandConj {
+            rows,
+            stride: stride.map(|(a, b, r, m)| (a, b, r % m, m)),
+        })
+}
+
+fn space2() -> Space {
+    Space::new::<&str>(&[], &["i", "j"])
+}
+
+fn points() -> Vec<(i64, i64)> {
+    let mut v = Vec::new();
+    for i in WINDOW {
+        for j in WINDOW {
+            v.push((i, j));
+        }
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn union_intersect_subtract_laws(a in conj_strategy(), b in conj_strategy()) {
+        let sp = space2();
+        let sa = a.build(&sp).to_set();
+        let sb = b.build(&sp).to_set();
+        let union = sa.union(&sb);
+        let inter = sa.intersect(&sb);
+        let diff = sa.subtract(&sb);
+        for (i, j) in points() {
+            let (ia, ib) = (sa.contains(&[], &[i, j]), sb.contains(&[], &[i, j]));
+            prop_assert_eq!(union.contains(&[], &[i, j]), ia || ib, "union at ({},{})", i, j);
+            prop_assert_eq!(inter.contains(&[], &[i, j]), ia && ib, "intersect at ({},{})", i, j);
+            prop_assert_eq!(diff.contains(&[], &[i, j]), ia && !ib, "subtract at ({},{})", i, j);
+        }
+    }
+
+    #[test]
+    fn emptiness_matches_enumeration(a in conj_strategy()) {
+        let sp = space2();
+        let s = a.build(&sp).to_set();
+        // Bound it so emptiness is decidable by the window.
+        let bounded = s.intersect(&Set::parse("{ [i,j] : -6 <= i <= 6 && -6 <= j <= 6 }").unwrap());
+        let any = points().iter().any(|&(i, j)| bounded.contains(&[], &[i, j]));
+        prop_assert_eq!(!bounded.is_empty(), any);
+    }
+
+    #[test]
+    fn simplify_preserves_points(a in conj_strategy()) {
+        let sp = space2();
+        let c = a.build(&sp);
+        let s = c.simplified();
+        for (i, j) in points() {
+            prop_assert_eq!(c.contains(&[], &[i, j]), s.contains(&[], &[i, j]), "at ({},{})", i, j);
+        }
+    }
+
+    #[test]
+    fn gist_defining_property(a in conj_strategy(), b in conj_strategy()) {
+        let sp = space2();
+        let sa = a.build(&sp).to_set();
+        let sb = b.build(&sp).to_set();
+        let g = sa.gist(&sb);
+        let left = g.intersect(&sb);
+        let right = sa.intersect(&sb);
+        for (i, j) in points() {
+            prop_assert_eq!(
+                left.contains(&[], &[i, j]),
+                right.contains(&[], &[i, j]),
+                "gist(A,B)∧B ≠ A∧B at ({},{}); gist = {}", i, j, &g
+            );
+        }
+    }
+
+    #[test]
+    fn hull_contains_union(a in conj_strategy(), b in conj_strategy()) {
+        let sp = space2();
+        let sa = a.build(&sp).to_set();
+        let sb = b.build(&sp).to_set();
+        let h = sa.union(&sb).hull();
+        for (i, j) in points() {
+            if sa.contains(&[], &[i, j]) || sb.contains(&[], &[i, j]) {
+                prop_assert!(h.contains(&[], &[i, j]), "hull misses ({},{})", i, j);
+            }
+        }
+    }
+
+    #[test]
+    fn projection_is_exact_shadow(a in conj_strategy()) {
+        let sp = space2();
+        let s = a.build(&sp).to_set();
+        let p = s.project_out(1, 1);
+        for i in WINDOW {
+            let expect = WINDOW.clone().any(|j| s.contains(&[], &[i, j]))
+                // projection is over ALL integers; widen the j search a bit
+                || (-60..=60).any(|j| s.contains(&[], &[i, j]));
+            prop_assert_eq!(p.contains(&[], &[i, 0]), expect, "i={}", i);
+        }
+    }
+
+    #[test]
+    fn complement_partitions(a in conj_strategy()) {
+        let sp = space2();
+        let s = a.build(&sp).to_set();
+        if let Some(comp) = Set::universe(&sp).try_subtract(&s) {
+            for (i, j) in points() {
+                prop_assert!(
+                    s.contains(&[], &[i, j]) ^ comp.contains(&[], &[i, j]),
+                    "complement not a partition at ({},{})", i, j
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn translate_shifts_points(a in conj_strategy(), d in -3i64..=3) {
+        let sp = space2();
+        let s = a.build(&sp).to_set();
+        let t = s.translate_var(0, &LinExpr::constant(&sp, d));
+        for (i, j) in points() {
+            prop_assert_eq!(
+                s.contains(&[], &[i, j]),
+                t.contains(&[], &[i + d, j]),
+                "shift by {} at ({},{})", d, i, j
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn input_syntax_round_trips(a in conj_strategy(), b in conj_strategy()) {
+        let sp = space2();
+        let s = a.build(&sp).to_set().union(&b.build(&sp).to_set());
+        let text = s.to_input_syntax();
+        let round = Set::parse(&text)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\nserialized: {text}"));
+        for (i, j) in points() {
+            prop_assert_eq!(
+                s.contains(&[], &[i, j]),
+                round.contains(&[], &[i, j]),
+                "at ({},{}) for {}", i, j, &text
+            );
+        }
+    }
+}
