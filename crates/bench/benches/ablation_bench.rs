@@ -86,5 +86,10 @@ fn bench_compaction(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_merge_ablation, bench_effort_sweep, bench_compaction);
+criterion_group!(
+    benches,
+    bench_merge_ablation,
+    bench_effort_sweep,
+    bench_compaction
+);
 criterion_main!(benches);

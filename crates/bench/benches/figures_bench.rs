@@ -45,11 +45,9 @@ fn bench_fig7_tradeoff(c: &mut Criterion) {
             record_trace: false,
             ..Default::default()
         };
-        group.bench_with_input(
-            BenchmarkId::new("execute", effort),
-            &g.code,
-            |b, code| b.iter(|| polyir::execute_with(code, &[50], &cfg).unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::new("execute", effort), &g.code, |b, code| {
+            b.iter(|| polyir::execute_with(code, &[50], &cfg).unwrap())
+        });
     }
     group.finish();
 }
@@ -64,12 +62,7 @@ fn bench_fig8_strides(c: &mut Criterion) {
         .unwrap(),
     );
     group.bench_function("fig8a_codegenplus", |b| {
-        b.iter(|| {
-            CodeGen::new()
-                .statement(fig8a.clone())
-                .generate()
-                .unwrap()
-        })
+        b.iter(|| CodeGen::new().statement(fig8a.clone()).generate().unwrap())
     });
     group.bench_function("fig8a_cloog", |b| {
         b.iter(|| {
@@ -88,12 +81,7 @@ fn bench_fig8_strides(c: &mut Criterion) {
     .map(|(i, d)| Statement::new(format!("s{i}"), Set::parse(d).unwrap()))
     .collect();
     group.bench_function("fig8d_codegenplus", |b| {
-        b.iter(|| {
-            CodeGen::new()
-                .statements(fig8d.clone())
-                .generate()
-                .unwrap()
-        })
+        b.iter(|| CodeGen::new().statements(fig8d.clone()).generate().unwrap())
     });
     group.bench_function("fig8d_cloog", |b| {
         b.iter(|| {
@@ -110,12 +98,16 @@ fn bench_fig8_strides(c: &mut Criterion) {
     };
     let cg = CodeGen::new().statements(fig8d.clone()).generate().unwrap();
     let cl = cloog::Cloog::new().statements(fig8d).generate().unwrap();
-    group.bench_with_input(BenchmarkId::new("fig8d_exec", "codegenplus"), &cg.code, |b, code| {
-        b.iter(|| polyir::execute_with(code, &[2000], &cfg).unwrap())
-    });
-    group.bench_with_input(BenchmarkId::new("fig8d_exec", "cloog"), &cl.code, |b, code| {
-        b.iter(|| polyir::execute_with(code, &[2000], &cfg).unwrap())
-    });
+    group.bench_with_input(
+        BenchmarkId::new("fig8d_exec", "codegenplus"),
+        &cg.code,
+        |b, code| b.iter(|| polyir::execute_with(code, &[2000], &cfg).unwrap()),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("fig8d_exec", "cloog"),
+        &cl.code,
+        |b, code| b.iter(|| polyir::execute_with(code, &[2000], &cfg).unwrap()),
+    );
     group.finish();
 }
 

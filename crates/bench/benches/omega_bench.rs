@@ -1,23 +1,25 @@
 //! Criterion benchmarks for the Presburger substrate (§2.2 operations):
-//! satisfiability, Project, Gist, Hull on representative systems.
+//! satisfiability, Project, Gist, Hull on representative systems, plus the
+//! implication-query streams the scanner issues while generating the gemv
+//! and qr kernels of Table 1.
 
+use bench_harness::statements_of;
 use criterion::{criterion_group, criterion_main, Criterion};
 use omega::Set;
 
 fn bench_core_ops(c: &mut Criterion) {
     let tri = Set::parse("[n] -> { [i,j,k] : 0 <= i < n && i <= j < n && j <= k < n }").unwrap();
-    let strided =
-        Set::parse("[n] -> { [i,j] : 1 <= i <= n && i <= j <= n && exists(a, b : i = 1 + 4a && j = i + 3b) }")
-            .unwrap();
+    let strided = Set::parse(
+        "[n] -> { [i,j] : 1 <= i <= n && i <= j <= n && exists(a, b : i = 1 + 4a && j = i + 3b) }",
+    )
+    .unwrap();
     let union = Set::parse(
         "{ [i,j] : 1 <= i <= 100 && 1 <= j <= 100 && exists(a : j = i + 4a) } \
          | { [i,j] : 1 <= i <= 50 && 1 <= j <= 200 && exists(a : j = i + 6a) }",
     )
     .unwrap();
 
-    c.bench_function("omega_is_empty_triangle", |b| {
-        b.iter(|| tri.is_empty())
-    });
+    c.bench_function("omega_is_empty_triangle", |b| b.iter(|| tri.is_empty()));
     c.bench_function("omega_project_strided", |b| {
         b.iter(|| strided.project_out(1, 1))
     });
@@ -40,5 +42,64 @@ fn bench_core_ops(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_core_ops);
+/// The implication queries the scanner actually issues for a kernel:
+/// per-level `gist(domain, projected context)` and pairwise subset tests
+/// between statement domains — the two call sites the tiered pipeline and
+/// the memo caches were built for.
+fn implication_queries(kernel: &chill::Kernel) -> Vec<(Set, Set)> {
+    let stmts = statements_of(kernel);
+    let n_vars = stmts[0].domain.space().n_vars();
+    let mut queries = Vec::new();
+    for s in &stmts {
+        for level in 1..=n_vars {
+            let ctx = if level < n_vars {
+                s.domain.project_out(level, n_vars - level)
+            } else {
+                s.domain.clone()
+            };
+            queries.push((s.domain.clone(), ctx));
+        }
+    }
+    for a in &stmts {
+        for b in &stmts {
+            queries.push((a.domain.clone(), b.domain.clone()));
+        }
+    }
+    queries
+}
+
+fn run_queries(queries: &[(Set, Set)]) -> usize {
+    let mut answered = 0;
+    for (a, ctx) in queries {
+        let g = a.gist(ctx);
+        answered += usize::from(!g.is_empty());
+        if a.try_is_subset(ctx) == Some(true) {
+            answered += 1;
+        }
+    }
+    answered
+}
+
+fn bench_implication_traces(c: &mut Criterion) {
+    for kernel in [chill::recipes::gemv(64), chill::recipes::qr(64)] {
+        let queries = implication_queries(&kernel);
+        // Cold: every iteration starts with empty memo caches, so the
+        // full tier0 → tier1 → exact-solve pipeline runs.
+        c.bench_function(&format!("implication_{}_cold", kernel.name), |b| {
+            b.iter(|| {
+                omega::reset_sat_cache();
+                run_queries(&queries)
+            })
+        });
+        // Warm: repeat queries hit the sharded caches, the scanner's
+        // steady state once sibling subtrees start re-asking.
+        c.bench_function(&format!("implication_{}_warm", kernel.name), |b| {
+            omega::reset_sat_cache();
+            run_queries(&queries);
+            b.iter(|| run_queries(&queries))
+        });
+    }
+}
+
+criterion_group!(benches, bench_core_ops, bench_implication_traces);
 criterion_main!(benches);

@@ -1,6 +1,6 @@
 //! Smoke: run all five kernels through both generators and compare traces.
-use codegenplus::{pad_statements, CodeGen, Statement};
 use cloog::Cloog;
+use codegenplus::{pad_statements, CodeGen, Statement};
 use std::time::Instant;
 
 fn main() {
@@ -13,7 +13,10 @@ fn main() {
             .collect();
         let stmts = pad_statements(&stmts, 0);
         let t0 = Instant::now();
-        let cg = CodeGen::new().statements(stmts.clone()).effort(1).generate();
+        let cg = CodeGen::new()
+            .statements(stmts.clone())
+            .effort(1)
+            .generate();
         let t_cg = t0.elapsed();
         let t0 = Instant::now();
         let cl = Cloog::new().statements(stmts.clone()).generate();

@@ -1,22 +1,46 @@
-use codegenplus::{pad_statements, CodeGen, Statement};
 use cloog::Cloog;
+use codegenplus::{pad_statements, CodeGen, Statement};
 use std::time::Instant;
 fn main() {
     let k = chill::recipes::lu(10);
     println!("lu statements: {}", k.nest.statements().len());
-    let stmts: Vec<Statement> = k.nest.statements().iter()
+    let stmts: Vec<Statement> = k
+        .nest
+        .statements()
+        .iter()
         .map(|s| Statement::new(s.name.clone(), s.domain.clone()).with_args(s.args.clone()))
         .collect();
     let stmts = pad_statements(&stmts, 0);
     let t0 = Instant::now();
-    let cg = CodeGen::new().statements(stmts.clone()).effort(1).generate();
-    println!("cg+: {:?} in {:.2?}", cg.as_ref().map(|g| polyir::lines_of_code(&g.code, &g.names)), t0.elapsed());
+    let cg = CodeGen::new()
+        .statements(stmts.clone())
+        .effort(1)
+        .generate();
+    println!(
+        "cg+: {:?} in {:.2?}",
+        cg.as_ref()
+            .map(|g| polyir::lines_of_code(&g.code, &g.names)),
+        t0.elapsed()
+    );
     let t0 = Instant::now();
     let cl = Cloog::new().statements(stmts.clone()).generate();
-    println!("cloog: {:?} in {:.2?}", cl.as_ref().map(|g| polyir::lines_of_code(&g.code, &g.names)), t0.elapsed());
+    println!(
+        "cloog: {:?} in {:.2?}",
+        cl.as_ref()
+            .map(|g| polyir::lines_of_code(&g.code, &g.names)),
+        t0.elapsed()
+    );
     if let (Ok(a), Ok(b)) = (cg, cl) {
         let ra = polyir::execute(&a.code, &k.params).unwrap();
         let rb = polyir::execute(&b.code, &k.params).unwrap();
-        println!("traces {} ({})", if ra.trace == rb.trace { "MATCH" } else { "DIFFER" }, ra.trace.len());
+        println!(
+            "traces {} ({})",
+            if ra.trace == rb.trace {
+                "MATCH"
+            } else {
+                "DIFFER"
+            },
+            ra.trace.len()
+        );
     }
 }

@@ -9,7 +9,10 @@ fn main() {
         );
     }
     let r = measure(&k, Tool::cloog());
-    println!("cloog   : {} lines, {} ifs-in-loops, cost {}", r.lines, r.metrics.ifs_inside_loops, r.dynamic_cost);
+    println!(
+        "cloog   : {} lines, {} ifs-in-loops, cost {}",
+        r.lines, r.metrics.ifs_inside_loops, r.dynamic_cost
+    );
     // print codes at effort 1 for inspection
     let stmts = statements_of(&k);
     let (g, _) = bench_harness::generate(&stmts, Tool::CodeGenPlus { effort: 1 });

@@ -31,7 +31,11 @@ fn main() {
     );
     println!(
         "{:6} | {:^22} | {:^29} | {:^29} | {:^33}",
-        "kernel", "lines of code", "code generation time", "compile time", "performance (dyn. cost)"
+        "kernel",
+        "lines of code",
+        "code generation time",
+        "compile time",
+        "performance (dyn. cost)"
     );
     println!("{}", "-".repeat(130));
     for kernel in chill::recipes::all(n) {

@@ -100,11 +100,7 @@ fn collect_stmt_ids(s: &polyir::Stmt, out: &mut Vec<usize>) {
 /// # Errors
 ///
 /// Returns a human-readable error when gcc fails or the binary misbehaves.
-pub fn measure_with_gcc(
-    g: &Generated,
-    params: &[i64],
-    reps: u64,
-) -> Result<GccReport, String> {
+pub fn measure_with_gcc(g: &Generated, params: &[i64], reps: u64) -> Result<GccReport, String> {
     let dir = std::env::temp_dir().join(format!(
         "cgplus-gcc-{}-{}",
         std::process::id(),
@@ -183,7 +179,11 @@ mod tests {
         let stmts = statements_of(&k);
         let (g, _) = generate(&stmts, Tool::codegenplus());
         let r = measure_with_gcc(&g, &k.params, 3).expect("gcc pipeline");
-        assert_eq!(r.instances, 24 * 24, "compiled code must cover all instances");
+        assert_eq!(
+            r.instances,
+            24 * 24,
+            "compiled code must cover all instances"
+        );
         assert!(r.compile_time > Duration::ZERO);
     }
 

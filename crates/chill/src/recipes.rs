@@ -227,6 +227,55 @@ pub fn lu(n: i64) -> Kernel {
     }
 }
 
+/// `jacobi` — a 1-D time-iterated stencil `A[t][i] = f(A[t-1][i-1..i+1])`,
+/// **skewed** (`i' = i + t`) so the inner loop carries no dependence, then
+/// tiled along the time dimension. Exercises the wavefront transformation
+/// the Table 1 kernels do not use. Not part of Table 1; provided as an
+/// extra workload.
+pub fn jacobi(n: i64) -> Kernel {
+    let space = Space::new(&["n", "steps"], &["t", "i"]);
+    let mut nest = LoopNest::new(space.clone());
+    nest.add(
+        "s0",
+        Set::parse("[n,steps] -> { [t,i] : 0 <= t < steps && 1 <= i && i <= n }").unwrap(),
+    );
+    // Skew i by t: i' = i + t (legal wavefront for the 3-point stencil).
+    let nest = nest.skew(1, 0, 1);
+    // Strip-mine the time dimension (time tiling after skewing).
+    let nest = nest.strip_mine(0, 4);
+    Kernel {
+        name: "jacobi",
+        nest,
+        params: vec![n, 6],
+    }
+}
+
+/// `syrk` — symmetric rank-k update touching only the lower triangle
+/// (`C[i][j] += A[i][k]·A[j][k]` for `j ≤ i`), tiled with triangular tile
+/// interaction and the diagonal tiles split off (they need the `j ≤ i`
+/// guard; interior tiles do not). Extra workload beyond Table 1.
+pub fn syrk(n: i64) -> Kernel {
+    let space = Space::new(&["n"], &["i", "j", "k"]);
+    let mut nest = LoopNest::new(space.clone());
+    nest.add(
+        "s0",
+        Set::parse("[n] -> { [i,j,k] : 0 <= i < n && 0 <= j && j <= i && 0 <= k < n }").unwrap(),
+    );
+    let t = 8i64;
+    let nest = nest.tile(0, &[t, t]);
+    // Split off the diagonal tiles (it == jt): only they need the j <= i
+    // triangle test inside.
+    let sp = nest.space().clone();
+    let it = LinExpr::var(&sp, 0);
+    let jt = LinExpr::var(&sp, 1);
+    let nest = nest.split_stmt(0, &(it - jt).leq(LinExpr::constant(&sp, 0)));
+    Kernel {
+        name: "syrk",
+        nest,
+        params: vec![n],
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,10 +296,13 @@ mod tests {
             got.sort();
             got.dedup();
             let nv = dom.space().n_vars();
-            let mut expect =
-                dom.enumerate(&kernel.params, &vec![lo; nv], &vec![hi; nv]);
+            let mut expect = dom.enumerate(&kernel.params, &vec![lo; nv], &vec![hi; nv]);
             expect.sort();
-            assert_eq!(got, expect, "instances differ for {base} in {}", kernel.name);
+            assert_eq!(
+                got, expect,
+                "instances differ for {base} in {}",
+                kernel.name
+            );
         }
     }
 
@@ -319,8 +371,7 @@ mod tests {
             &k,
             &[(
                 "s0",
-                Set::parse("[n] -> { [i,j,k] : 0 <= i < n && 0 <= j < n && 0 <= k < n }")
-                    .unwrap(),
+                Set::parse("[n] -> { [i,j,k] : 0 <= i < n && 0 <= j < n && 0 <= k < n }").unwrap(),
             )],
             -1,
             6,
@@ -331,7 +382,11 @@ mod tests {
     fn lu_regions() {
         let k = lu(12);
         // Scaling split in two; update split in three.
-        assert!(k.nest.statements().len() >= 5, "{}", k.nest.statements().len());
+        assert!(
+            k.nest.statements().len() >= 5,
+            "{}",
+            k.nest.statements().len()
+        );
         assert_eq!(k.nest.space().n_vars(), 5);
     }
 
@@ -347,10 +402,8 @@ mod tests {
                 ),
                 (
                     "s1",
-                    Set::parse(
-                        "[n] -> { [k,i,j] : 0 <= k && k < i && i < n && k < j && j < n }",
-                    )
-                    .unwrap(),
+                    Set::parse("[n] -> { [k,i,j] : 0 <= k && k < i && i < n && k < j && j < n }")
+                        .unwrap(),
                 ),
             ],
             -1,
@@ -365,8 +418,7 @@ mod tests {
             &k,
             &[(
                 "s0",
-                Set::parse("[n,steps] -> { [t,i] : 0 <= t < steps && 1 <= i && i <= n }")
-                    .unwrap(),
+                Set::parse("[n,steps] -> { [t,i] : 0 <= t < steps && 1 <= i && i <= n }").unwrap(),
             )],
             -2,
             14,
@@ -381,10 +433,8 @@ mod tests {
             &k,
             &[(
                 "s0",
-                Set::parse(
-                    "[n] -> { [i,j,k] : 0 <= i < n && 0 <= j && j <= i && 0 <= k < n }",
-                )
-                .unwrap(),
+                Set::parse("[n] -> { [i,j,k] : 0 <= i < n && 0 <= j && j <= i && 0 <= k < n }")
+                    .unwrap(),
             )],
             -1,
             7,
@@ -396,55 +446,5 @@ mod tests {
         let ks = all(6);
         let names: Vec<&str> = ks.iter().map(|k| k.name).collect();
         assert_eq!(names, vec!["gemv", "qr", "swim", "gemm", "lu"]);
-    }
-}
-
-/// `jacobi` — a 1-D time-iterated stencil `A[t][i] = f(A[t-1][i-1..i+1])`,
-/// **skewed** (`i' = i + t`) so the inner loop carries no dependence, then
-/// tiled along the time dimension. Exercises the wavefront transformation
-/// the Table 1 kernels do not use. Not part of Table 1; provided as an
-/// extra workload.
-pub fn jacobi(n: i64) -> Kernel {
-    let space = Space::new(&["n", "steps"], &["t", "i"]);
-    let mut nest = LoopNest::new(space.clone());
-    nest.add(
-        "s0",
-        Set::parse("[n,steps] -> { [t,i] : 0 <= t < steps && 1 <= i && i <= n }").unwrap(),
-    );
-    // Skew i by t: i' = i + t (legal wavefront for the 3-point stencil).
-    let nest = nest.skew(1, 0, 1);
-    // Strip-mine the time dimension (time tiling after skewing).
-    let nest = nest.strip_mine(0, 4);
-    Kernel {
-        name: "jacobi",
-        nest,
-        params: vec![n, 6],
-    }
-}
-
-/// `syrk` — symmetric rank-k update touching only the lower triangle
-/// (`C[i][j] += A[i][k]·A[j][k]` for `j ≤ i`), tiled with triangular tile
-/// interaction and the diagonal tiles split off (they need the `j ≤ i`
-/// guard; interior tiles do not). Extra workload beyond Table 1.
-pub fn syrk(n: i64) -> Kernel {
-    let space = Space::new(&["n"], &["i", "j", "k"]);
-    let mut nest = LoopNest::new(space.clone());
-    nest.add(
-        "s0",
-        Set::parse("[n] -> { [i,j,k] : 0 <= i < n && 0 <= j && j <= i && 0 <= k < n }")
-            .unwrap(),
-    );
-    let t = 8i64;
-    let nest = nest.tile(0, &[t, t]);
-    // Split off the diagonal tiles (it == jt): only they need the j <= i
-    // triangle test inside.
-    let sp = nest.space().clone();
-    let it = LinExpr::var(&sp, 0);
-    let jt = LinExpr::var(&sp, 1);
-    let nest = nest.split_stmt(0, &(it - jt).leq(LinExpr::constant(&sp, 0)));
-    Kernel {
-        name: "syrk",
-        nest,
-        params: vec![n],
     }
 }

@@ -100,7 +100,10 @@ impl LoopNest {
         let mut names: Vec<String> = Vec::with_capacity(n + 1);
         for v in 0..n {
             if v == dim {
-                names.push(unique_name(self.space(), &format!("{}t", self.space().var_name(dim))));
+                names.push(unique_name(
+                    self.space(),
+                    &format!("{}t", self.space().var_name(dim)),
+                ));
             }
             names.push(self.space().var_name(v).to_owned());
         }
@@ -258,7 +261,10 @@ impl LoopNest {
                 let pin = LinExpr::var(&target, 0).eq(LinExpr::constant(&target, pos));
                 NestStatement {
                     name: s.name.clone(),
-                    domain: s.domain.remap_vars(&target, &map).intersect_constraint(&pin),
+                    domain: s
+                        .domain
+                        .remap_vars(&target, &map)
+                        .intersect_constraint(&pin),
                     args: s.args.iter().map(|a| a.remap_vars(&target, &map)).collect(),
                 }
             })

@@ -124,7 +124,7 @@ fn distribute_orders_groups() {
     nest.add("a", d.clone());
     nest.add("b", d);
     let dist = nest.distribute(&[1, 0]); // b's group first
-    // In the distributed space, b executes at ord=0 and a at ord=1.
+                                         // In the distributed space, b executes at ord=0 and a at ord=1.
     assert!(dist.statements()[1].domain.contains(&[], &[0, 2]));
     assert!(dist.statements()[0].domain.contains(&[], &[1, 2]));
     let fused = dist.fuse_leading();

@@ -56,11 +56,7 @@ impl Gen<'_> {
                 )
             })
             .collect();
-        let stop = self
-            .options
-            .stop_level
-            .map(|s| level >= s)
-            .unwrap_or(false);
+        let stop = self.options.stop_level.map(|s| level >= s).unwrap_or(false);
         let mut regions = if stop {
             // -f/-l style: no separation below this level; one region with
             // everything (guards materialize inside the loop instead).
@@ -215,8 +211,12 @@ impl Gen<'_> {
             if !domain.intersect(context).is_sat() {
                 continue;
             }
-            let (outer, inner) =
-                self.residual_guards(domain, context, &Conjunct::universe(&self.space), usize::MAX);
+            let (outer, inner) = self.residual_guards(
+                domain,
+                context,
+                &Conjunct::universe(&self.space),
+                usize::MAX,
+            );
             let guard = outer.and(inner);
             let stmt = &self.stmts[*stmt_idx];
             let call = Stmt::Call {
@@ -247,8 +247,7 @@ impl Gen<'_> {
         // reason about the enclosing context, so cross-level redundancy is
         // only removed when syntactically identical (the paper's critique).
         let known = context.intersect(enforced).simplified();
-        let known_atoms: Vec<String> =
-            known.guard_atoms().iter().map(|a| a.to_string()).collect();
+        let known_atoms: Vec<String> = known.guard_atoms().iter().map(|a| a.to_string()).collect();
         let mut outer = Vec::new();
         let mut inner = Vec::new();
         for atom in dom.guard_atoms() {
@@ -331,7 +330,10 @@ fn bodies_mergeable(a: &Stmt, b: &Stmt) -> bool {
 
 /// Builds the merged loop over the union hull.
 fn remerge_loop(a: &Stmt, _b: &Stmt, hull: &Conjunct, v: usize) -> Stmt {
-    let Stmt::Loop { var, step, body, .. } = a else {
+    let Stmt::Loop {
+        var, step, body, ..
+    } = a
+    else {
         unreachable!()
     };
     let (lowers, uppers) = hull.bounds_on(v);

@@ -190,7 +190,8 @@ mod tests {
         // With full separation the trace must match exactly (lexicographic
         // order guaranteed at the default trade-off point).
         assert_eq!(
-            run.trace, expected,
+            run.trace,
+            expected,
             "cloog oracle mismatch for {domains:?}\n{}",
             polyir::to_c(&g.code, &g.names)
         );
@@ -224,7 +225,12 @@ mod tests {
                 stop_level: None,
             },
         );
-        assert_eq!(g.code.count_loops(), 3, "{}", polyir::to_c(&g.code, &g.names));
+        assert_eq!(
+            g.code.count_loops(),
+            3,
+            "{}",
+            polyir::to_c(&g.code, &g.names)
+        );
     }
 
     #[test]
@@ -281,7 +287,12 @@ mod tests {
         let domains = ["{ [i] : 0 <= i <= 4 || 5 <= i <= 9 }"];
         check_oracle(&domains, Options::default(), &[], -1, 11);
         let g = gen_with(&domains, Options::default());
-        assert_eq!(g.code.count_loops(), 1, "{}", polyir::to_c(&g.code, &g.names));
+        assert_eq!(
+            g.code.count_loops(),
+            1,
+            "{}",
+            polyir::to_c(&g.code, &g.names)
+        );
     }
 
     #[test]

@@ -61,7 +61,7 @@ pub(crate) fn separate(projections: &[(usize, Set)], space: &Space) -> Vec<Regio
 /// Orders regions along dimension `v`: `a` strictly precedes `b` when no
 /// point of `a` has a `v` value ≥ some point of `b` under a common prefix.
 /// Falls back to stable input order for incomparable pairs.
-pub(crate) fn sort_regions(regions: &mut Vec<Region>, v: usize) {
+pub(crate) fn sort_regions(regions: &mut [Region], v: usize) {
     let n = regions.len();
     if n <= 1 {
         return;

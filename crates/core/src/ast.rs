@@ -20,21 +20,61 @@ pub(crate) struct Problem {
     pub pieces: Vec<Piece>,
     /// Number of scanned dimensions (`max_level`).
     pub max_level: usize,
+    /// `CODEGENPLUS_TRACE` presence, read once per run.
+    pub trace: bool,
+    /// Thread policy shared by every pass of this run.
+    pub par: crate::par::Parallelism,
+    /// `projections[p][l-1] = Project(IS_p, l_{l+1} … l_max)` for
+    /// `l ∈ 1..=max_level`, computed on first use: every recompute pass
+    /// re-reads the same projections, but some (piece, level) pairs are
+    /// never requested, so eager computation would waste the saving.
+    projections: Vec<Vec<std::sync::OnceLock<Set>>>,
 }
 
 impl Problem {
+    pub fn new(
+        space: Space,
+        pieces: Vec<Piece>,
+        max_level: usize,
+        par: crate::par::Parallelism,
+    ) -> Problem {
+        let trace = std::env::var_os("CODEGENPLUS_TRACE").is_some();
+        let projections = pieces
+            .iter()
+            .map(|_| {
+                (0..max_level.max(1))
+                    .map(|_| std::sync::OnceLock::new())
+                    .collect()
+            })
+            .collect();
+        Problem {
+            space,
+            pieces,
+            max_level,
+            trace,
+            par,
+            projections,
+        }
+    }
+
     pub fn piece_domain(&self, p: usize) -> &Conjunct {
         &self.pieces[p].domain
     }
 
     /// `Project(IS_p, l_{level+1} … l_max)`: the piece's domain with all
-    /// dimensions deeper than `level` (1-based) projected away.
-    pub fn project_inner(&self, p: usize, level: usize) -> Set {
-        let dom = self.piece_domain(p).to_set();
-        if level >= self.max_level {
-            return dom;
-        }
-        dom.project_out(level, self.max_level - level)
+    /// dimensions deeper than `level` (1-based) projected away. Cached; a
+    /// projection is a pure function of the piece, so concurrent
+    /// initialization is deterministic.
+    pub fn project_inner(&self, p: usize, level: usize) -> &Set {
+        let idx = level.clamp(1, self.projections[p].len()) - 1;
+        self.projections[p][idx].get_or_init(|| {
+            let dom = self.piece_domain(p).to_set();
+            if level >= self.max_level {
+                dom
+            } else {
+                dom.project_out(level, self.max_level - level)
+            }
+        })
     }
 }
 
@@ -115,13 +155,17 @@ impl Node {
                     .into_iter()
                     .filter(|p| parent_active.contains(p))
                     .collect();
-                let mut new_parts = Vec::new();
-                for (r, child) in parts {
-                    let child_restriction = restriction.intersect(&r);
-                    if let Some(c) = child.recompute(pb, &active, known, &child_restriction) {
-                        new_parts.push((r, c));
-                    }
-                }
+                let new_parts: Vec<(Conjunct, Node)> = pb
+                    .par
+                    .map_ordered(parts, |(r, child)| {
+                        let child_restriction = restriction.intersect(&r);
+                        child
+                            .recompute(pb, &active, known, &child_restriction)
+                            .map(|c| (r, c))
+                    })
+                    .into_iter()
+                    .flatten()
+                    .collect();
                 if new_parts.is_empty() {
                     return None;
                 }
@@ -145,25 +189,35 @@ impl Node {
                 let v = level - 1;
                 let mut live: Vec<usize> = Vec::new();
                 let mut projected = Set::empty(&pb.space);
-                let trace_pieces = std::env::var_os("CODEGENPLUS_TRACE").is_some();
-                for p in active.iter().filter(|p| parent_active.contains(p)) {
-                    if trace_pieces {
-                        eprintln!("[cg+]     L{level} piece {p}: projecting");
-                    }
-                    let rs = pb.project_inner(*p, level).intersect_conjunct(restriction);
-                    if trace_pieces {
-                        eprintln!("[cg+]     L{level} piece {p}: {} conj", rs.conjuncts().len());
+                let cands: Vec<usize> = active
+                    .iter()
+                    .copied()
+                    .filter(|p| parent_active.contains(p))
+                    .collect();
+                // Restrict each piece's projection in parallel; the union is
+                // folded in input order afterwards so the result is
+                // independent of thread scheduling.
+                let restricted = pb.par.map_ordered(cands, |p| {
+                    let rs = pb.project_inner(p, level).intersect_conjunct(restriction);
+                    (p, rs)
+                });
+                for (p, rs) in restricted {
+                    if pb.trace {
+                        eprintln!(
+                            "[cg+]     L{level} piece {p}: {} conj",
+                            rs.conjuncts().len()
+                        );
                     }
                     if rs.is_empty() {
                         continue;
                     }
-                    live.push(*p);
+                    live.push(p);
                     projected = projected.union(&rs);
                 }
                 if live.is_empty() {
                     return None;
                 }
-                let trace = std::env::var_os("CODEGENPLUS_TRACE").is_some();
+                let trace = pb.trace;
                 let th = std::time::Instant::now();
                 let hull = projected.hull();
                 let tg = std::time::Instant::now();
@@ -262,22 +316,12 @@ pub(crate) fn split_hull(
         let expr = LinExpr::var(&space, v) - r;
         bounds.add_congruence(&expr, 0, m);
     }
-    let trace = std::env::var_os("CODEGENPLUS_TRACE").is_some();
     let ctx = known.intersect(&bounds);
-    if trace {
-        eprintln!("[cg+]       split_hull v{v}: projecting guard (hull {} rows)", hull.n_rows());
-    }
     let guard = hull.to_set().project_out(v, 1);
-    if trace {
-        eprintln!("[cg+]       split_hull v{v}: gisting guard");
-    }
     let guard = match guard.as_single_conjunct() {
         Some(c) => c.gist(&ctx),
         None => guard.hull().gist(&ctx),
     };
-    if trace {
-        eprintln!("[cg+]       split_hull v{v}: guard done");
-    }
     let guard = if guard.is_known_false() {
         // known ∧ hull is empty above this level; keep a canonical FALSE so
         // recompute of the body prunes everything.
@@ -304,11 +348,12 @@ mod tests {
             })
             .collect();
         let max_level = space.n_vars();
-        Problem {
+        Problem::new(
             space,
             pieces,
             max_level,
-        }
+            crate::par::Parallelism::sequential(),
+        )
     }
 
     #[test]

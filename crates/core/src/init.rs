@@ -158,11 +158,12 @@ mod tests {
             })
             .collect();
         let max_level = space.n_vars();
-        Problem {
+        Problem::new(
             space,
             pieces,
             max_level,
-        }
+            crate::par::Parallelism::sequential(),
+        )
     }
 
     #[test]
@@ -186,10 +187,7 @@ mod tests {
 
     #[test]
     fn overlapping_statements_share_loops() {
-        let pb = problem(&[
-            "[n] -> { [i] : 0 <= i < n }",
-            "[n] -> { [i] : 0 <= i < n }",
-        ]);
+        let pb = problem(&["[n] -> { [i] : 0 <= i < n }", "[n] -> { [i] : 0 <= i < n }"]);
         let ast = init_ast(&pb);
         match &ast {
             Node::Loop { active, body, .. } => {
@@ -245,6 +243,9 @@ mod tests {
             "{ [i] : 1 <= i <= 20 && exists(a : i = 2a + 1) }",
         ]);
         let ast = init_ast(&pb);
-        assert!(matches!(ast, Node::Loop { .. }), "strides interleave: {ast:?}");
+        assert!(
+            matches!(ast, Node::Loop { .. }),
+            "strides interleave: {ast:?}"
+        );
     }
 }

@@ -26,7 +26,9 @@ impl Statement {
     /// A statement with identity arguments over all scanned dimensions.
     pub fn new(name: impl Into<String>, domain: Set) -> Statement {
         let space = domain.space().clone();
-        let args = (0..space.n_vars()).map(|v| LinExpr::var(&space, v)).collect();
+        let args = (0..space.n_vars())
+            .map(|v| LinExpr::var(&space, v))
+            .collect();
         Statement {
             name: name.into(),
             domain,
@@ -207,7 +209,12 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert_eq!(CodeGenError::NoStatements.to_string(), "no statements to scan");
-        assert!(CodeGenError::SpaceMismatch { stmt: 3 }.to_string().contains('3'));
+        assert_eq!(
+            CodeGenError::NoStatements.to_string(),
+            "no statements to scan"
+        );
+        assert!(CodeGenError::SpaceMismatch { stmt: 3 }
+            .to_string()
+            .contains('3'));
     }
 }

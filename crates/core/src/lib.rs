@@ -39,6 +39,7 @@ mod input;
 mod lift;
 mod lower;
 mod minmax;
+mod par;
 
 pub use input::{pad_statements, CodeGenError, Statement};
 pub use lower::cond_of_conjunct;
@@ -91,6 +92,7 @@ pub struct CodeGen {
     known: Option<Conjunct>,
     merge_ifs: bool,
     reorder_leaves: bool,
+    threads: usize,
 }
 
 impl Default for CodeGen {
@@ -109,6 +111,7 @@ impl CodeGen {
             known: None,
             merge_ifs: true,
             reorder_leaves: false,
+            threads: 0,
         }
     }
 
@@ -161,6 +164,17 @@ impl CodeGen {
         self
     }
 
+    /// Sets the number of worker threads for the scanning passes. `0` (the
+    /// default) uses the machine's available parallelism; `1` runs the
+    /// fully sequential path. The generated AST is byte-identical for
+    /// every thread count: parallel maps collect results in input order
+    /// and the satisfiability cache stores verdicts of canonicalized
+    /// systems only.
+    pub fn threads(mut self, n: usize) -> CodeGen {
+        self.threads = n;
+        self
+    }
+
     /// Enables or disables the Figure 5 if-statement simplification
     /// (default on). Disabling it is the ablation of the paper's second
     /// algorithm: every guard is emitted separately.
@@ -181,7 +195,11 @@ impl CodeGen {
         let t0 = std::time::Instant::now();
         let (pb, known, names) = self.prepare()?;
         if trace {
-            eprintln!("[cg+] prepare: {} pieces in {:.2?}", pb.pieces.len(), t0.elapsed());
+            eprintln!(
+                "[cg+] prepare: {} pieces in {:.2?}",
+                pb.pieces.len(),
+                t0.elapsed()
+            );
         }
         // 1. initial AST (Figure 2) + node properties (Figure 3)
         let t1 = std::time::Instant::now();
@@ -235,27 +253,26 @@ impl CodeGen {
             }
         }
         // Preprocessing: split every statement's space into disjoint
-        // single-conjunct pieces.
-        let mut pieces = Vec::new();
-        for (i, s) in self.stmts.iter().enumerate() {
-            for c in s.domain.make_disjoint() {
-                let c = c.simplified();
-                if c.is_sat() {
-                    pieces.push(Piece {
-                        stmt: i,
-                        domain: c,
-                    });
-                }
-            }
-        }
+        // single-conjunct pieces (statements are independent, so this maps
+        // in parallel; flattening keeps statement order).
+        let par = par::Parallelism::new(self.threads);
+        let pieces: Vec<Piece> = par
+            .map_ordered(self.stmts.iter().enumerate().collect(), |(i, s)| {
+                s.domain
+                    .make_disjoint()
+                    .into_iter()
+                    .map(|c| c.simplified())
+                    .filter(|c| c.is_sat())
+                    .map(|domain| Piece { stmt: i, domain })
+                    .collect::<Vec<Piece>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
         if pieces.is_empty() {
             return Err(CodeGenError::EmptyDomains);
         }
-        let pb = Problem {
-            space: space.clone(),
-            pieces,
-            max_level: space.n_vars(),
-        };
+        let pb = Problem::new(space.clone(), pieces, space.n_vars(), par);
         let known = self
             .known
             .clone()
@@ -322,7 +339,8 @@ mod tests {
             }
         }
         assert_eq!(
-            run.trace, expected,
+            run.trace,
+            expected,
             "oracle mismatch (effort {effort}) for {domains:?}\ncode:\n{}",
             polyir::to_c(&g.code, &g.names)
         );

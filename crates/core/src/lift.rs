@@ -74,9 +74,11 @@ fn lift(
             guards,
         } => {
             // Conditions already separated by an enclosing split (i.e.
-            // implied by the restriction) are not overhead anymore.
+            // implied by the restriction) are not overhead anymore. A
+            // universe guard gists to universe and can never yield an atom.
             let cand = guards
                 .iter()
+                .filter(|(_, g)| !g.is_universe())
                 .flat_map(|(_, g)| pick_atom(&g.gist(&restriction), pb, rejected))
                 .next();
             (
@@ -119,7 +121,7 @@ fn lift(
             }
             // Inside a depth-≤-d subloop. Guard conditions already implied
             // by the restriction were lifted by an enclosing split.
-            if propagate_up {
+            if propagate_up && !guard.is_universe() {
                 if let Some(l) = pick_atom(&guard.gist(&restriction), pb, rejected) {
                     return (
                         Some(l),
@@ -197,15 +199,13 @@ fn lift(
                 let copy = node.clone();
                 let r1 = restriction_n.intersect(&first);
                 let r2 = restriction_n.intersect(&second);
-                let c1 = node.recompute(pb, &active_n, &known_n, &r1);
-                let c2 = copy.recompute(pb, &active_n, &known_n, &r2);
-                let mut parts = Vec::new();
-                if let Some(c) = c1 {
-                    parts.push((first, c));
-                }
-                if let Some(c) = c2 {
-                    parts.push((second, c));
-                }
+                // The two split sides are independent subtrees: recompute
+                // them in parallel, keeping (first, second) order.
+                let halves = pb.par.map_ordered(
+                    vec![(node, first, r1), (copy, second, r2)],
+                    |(n, side, r)| n.recompute(pb, &active_n, &known_n, &r).map(|c| (side, c)),
+                );
+                let parts: Vec<_> = halves.into_iter().flatten().collect();
                 let split = match parts.len() {
                     0 => unreachable!("both split sides empty"),
                     1 => parts.into_iter().next().unwrap().1,
@@ -326,11 +326,7 @@ mod tests {
 
     fn dummy_problem() -> Problem {
         let space = Set::parse("[n] -> { [i,j] }").unwrap().space().clone();
-        Problem {
-            space,
-            pieces: Vec::new(),
-            max_level: 2,
-        }
+        Problem::new(space, Vec::new(), 2, crate::par::Parallelism::sequential())
     }
 
     #[test]

@@ -79,8 +79,7 @@ impl LowerCtx<'_> {
                     if let Some((c, e)) = bounds.equality_on(level - 1) {
                         let inner = self.effective_guard(body);
                         if !inner.is_universe() && !inner.is_known_false() {
-                            let sub =
-                                crate::lift::substitute_scaled(&inner, level - 1, c, &e);
+                            let sub = crate::lift::substitute_scaled(&inner, level - 1, c, &e);
                             g = g.intersect(&sub);
                         }
                     }
@@ -167,7 +166,7 @@ impl LowerCtx<'_> {
                 }
             }
             let score = len1 + len2;
-            if best.as_ref().map_or(true, |b| score > b.2 + b.3) {
+            if best.as_ref().is_none_or(|b| score > b.2 + b.3) {
                 best = Some((atom.clone(), comp, len1, len2));
             }
         }
@@ -187,14 +186,25 @@ impl LowerCtx<'_> {
             return self.merge(nodes1, postponed, &known_c, depth + 1);
         }
         if nodes2.is_empty() {
-            let s1 = self.merge(nodes1, Some(c), &known_c, depth + 1)?;
-            let s2 = self.merge(nodes3, None, known, depth + 1)?;
+            let mut halves = self.pb.par.map_ordered(
+                vec![(nodes1, Some(c), known_c), (nodes3, None, known.clone())],
+                |(items, post, k)| self.merge(items, post, &k, depth + 1),
+            );
+            let s2 = halves.pop().expect("pair")?;
+            let s1 = halves.pop().expect("pair")?;
             return Ok(self.wrap(postponed, Stmt::seq(vec![s1, s2])));
         }
         let comp = comp.expect("nodes2 non-empty requires a complement");
         let known_nc = known.intersect(&comp);
-        let s1 = self.merge(nodes1, None, &known_c, depth + 1)?;
-        let s2 = self.merge(nodes2, None, &known_nc, depth + 1)?;
+        // The then/else regions are disjoint: merge them in parallel.
+        let mut halves = self
+            .pb
+            .par
+            .map_ordered(vec![(nodes1, known_c), (nodes2, known_nc)], |(items, k)| {
+                self.merge(items, None, &k, depth + 1)
+            });
+        let s2 = halves.pop().expect("pair")?;
+        let s1 = halves.pop().expect("pair")?;
         let s4 = Stmt::If {
             cond: self.cond_of(&c),
             then_: Box::new(s1),
@@ -233,7 +243,7 @@ impl LowerCtx<'_> {
             Payload::Piece(p) => {
                 let piece = &self.pb.pieces[p];
                 let stmt = &self.stmts[piece.stmt];
-                let args = stmt.args.iter().map(|a| conv(a)).collect();
+                let args = stmt.args.iter().map(conv).collect();
                 Ok(Stmt::Call {
                     stmt: piece.stmt,
                     args,
@@ -292,18 +302,24 @@ impl LowerCtx<'_> {
             ));
         }
         let (lowers, uppers) = bounds.bounds_on(v);
-        let lower_exprs: Vec<Expr> = lowers.iter().map(|b| lower_bound_expr(b)).collect();
-        let upper_exprs: Vec<Expr> = uppers.iter().map(|b| upper_bound_expr(b)).collect();
+        let lower_exprs: Vec<Expr> = lowers.iter().map(lower_bound_expr).collect();
+        let upper_exprs: Vec<Expr> = uppers.iter().map(upper_bound_expr).collect();
         // When the hull cannot bound the union in a single conjunct (e.g.
         // `i ≤ max(n-1, 8)`), fall back to min/max over the per-piece
         // bounds, as in Omega code generation (Kelly et al.); residual
         // guards re-establish exactness inside the loop.
-        let mut lower = match (lower_exprs.is_empty(), self.piece_bounds(active, restriction, *level, true)) {
+        let mut lower = match (
+            lower_exprs.is_empty(),
+            self.piece_bounds(active, restriction, *level, true),
+        ) {
             (false, _) => Expr::max_of(lower_exprs),
             (true, Some(fallback)) => Expr::min_of(fallback),
             (true, None) => return Err(CodeGenError::UnboundedLoop { level: *level }),
         };
-        let upper = match (upper_exprs.is_empty(), self.piece_bounds(active, restriction, *level, false)) {
+        let upper = match (
+            upper_exprs.is_empty(),
+            self.piece_bounds(active, restriction, *level, false),
+        ) {
             (false, _) => Expr::min_of(upper_exprs),
             (true, Some(fallback)) => Expr::max_of(fallback),
             (true, None) => return Err(CodeGenError::UnboundedLoop { level: *level }),
@@ -316,17 +332,10 @@ impl LowerCtx<'_> {
             // testable when there is a single unit-coefficient lower bound.)
             let aligned = lowers.len() == 1
                 && lowers[0].coeff == 1
-                && self.implies_congruence(
-                    &known_in,
-                    &(lowers[0].expr.clone() - r.clone()),
-                    m,
-                );
+                && self.implies_congruence(&known_in, &(lowers[0].expr.clone() - r.clone()), m);
             if !aligned {
                 // lb + ((r - lb) mod m), folded when the bound is constant.
-                let delta = Expr::Mod(
-                    Box::new(Expr::sub(conv(&r), lower.clone())),
-                    m,
-                );
+                let delta = Expr::Mod(Box::new(Expr::sub(conv(&r), lower.clone())), m);
                 lower = polyir::passes::fold_expr(&Expr::add(lower, delta));
             }
         }
@@ -385,7 +394,13 @@ impl LowerCtx<'_> {
                 }
                 let exprs: Vec<Expr> = bounds
                     .iter()
-                    .map(|b| if lower { lower_bound_expr(b) } else { upper_bound_expr(b) })
+                    .map(|b| {
+                        if lower {
+                            lower_bound_expr(b)
+                        } else {
+                            upper_bound_expr(b)
+                        }
+                    })
                     .collect();
                 out.push(if lower {
                     Expr::max_of(exprs)
@@ -565,11 +580,12 @@ mod tests {
             .unwrap()
             .conjuncts()[0]
             .clone();
-        let pb = crate::ast::Problem {
-            space: g.space().clone(),
-            pieces: Vec::new(),
-            max_level: 1,
-        };
+        let pb = crate::ast::Problem::new(
+            g.space().clone(),
+            Vec::new(),
+            1,
+            crate::par::Parallelism::sequential(),
+        );
         let ctx = LowerCtx {
             pb: &pb,
             stmts: &[],

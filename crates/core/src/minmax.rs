@@ -209,4 +209,3 @@ fn useful_split(cond: &Conjunct, restriction: &Conjunct) -> bool {
     let other = restriction.intersect(&comp);
     both.is_sat() && other.is_sat()
 }
-

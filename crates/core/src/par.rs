@@ -1,0 +1,108 @@
+//! Deterministic fork/join parallelism for the scanner.
+//!
+//! The only primitive is an *ordered* parallel map: results are collected
+//! by input index, so the output is identical to the sequential map no
+//! matter how many worker threads run or how the items interleave. All
+//! downstream passes consume results in input order, which is what makes
+//! `CodeGen::threads(n)` produce byte-identical ASTs for every `n`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A thread-count policy shared by all passes of one `generate()` run.
+#[derive(Clone, Debug)]
+pub(crate) struct Parallelism {
+    threads: usize,
+}
+
+impl Parallelism {
+    /// `threads == 0` means "use the machine's available parallelism";
+    /// `1` runs everything on the calling thread.
+    pub fn new(threads: usize) -> Parallelism {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            threads
+        };
+        Parallelism { threads }
+    }
+
+    /// Sequential-only policy (used by unit tests and internal helpers).
+    #[cfg(test)]
+    pub fn sequential() -> Parallelism {
+        Parallelism { threads: 1 }
+    }
+
+    /// Maps `f` over `items`, preserving order. With more than one thread
+    /// and more than one item the items are claimed from a shared counter
+    /// by scoped workers; the calling thread participates, so no work is
+    /// done by a pool that outlives the call.
+    pub fn map_ordered<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let n = items.len();
+        if self.threads <= 1 || n <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let items: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let next = AtomicUsize::new(0);
+        let run = || loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            let item = items[i]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .expect("item claimed twice");
+            let r = f(item);
+            *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+        };
+        std::thread::scope(|s| {
+            for _ in 1..self.threads.min(n) {
+                s.spawn(run);
+            }
+            run();
+        });
+        slots
+            .into_iter()
+            .map(|s| {
+                s.into_inner()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .expect("worker skipped a slot")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_ordered_preserves_order() {
+        for threads in [1, 2, 8] {
+            let par = Parallelism::new(threads);
+            let out = par.map_ordered((0..100).collect::<Vec<i32>>(), |x| x * 2);
+            assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<i32>>());
+        }
+    }
+
+    #[test]
+    fn map_ordered_empty_and_single() {
+        let par = Parallelism::new(4);
+        assert_eq!(par.map_ordered(Vec::<i32>::new(), |x| x), Vec::<i32>::new());
+        assert_eq!(par.map_ordered(vec![7], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn zero_resolves_to_available_parallelism() {
+        let par = Parallelism::new(0);
+        assert!(par.threads >= 1);
+    }
+}

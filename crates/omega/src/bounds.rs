@@ -174,9 +174,7 @@ impl Conjunct {
     /// The highest set-variable index used by any row (including stride
     /// rows), or `None` if no set variable occurs.
     pub fn max_var_used(&self) -> Option<usize> {
-        (0..self.space().n_vars())
-            .rev()
-            .find(|&v| self.uses_var(v))
+        (0..self.space().n_vars()).rev().find(|&v| self.uses_var(v))
     }
 
     /// True if set variable `v` occurs in any row.
@@ -287,8 +285,8 @@ impl Conjunct {
         for p in 0..np {
             cols.push(1 + p);
         }
-        for v in 0..src.n_vars() {
-            cols.push(1 + np + map[v]);
+        for &m in &map[..src.n_vars()] {
+            cols.push(1 + np + m);
         }
         let new_named = 1 + target.n_named();
         for l in 0..self.n_locals() {

@@ -39,10 +39,9 @@ impl Row {
             g = num::gcd(g, x);
         }
         if g == 0 {
-            return self.constant_truth() || {
-                // Keep the row as a canonical contradiction marker.
-                true && self.constant_truth()
-            };
+            // A false constant row survives as a canonical contradiction
+            // marker; the caller sees the verdict either way.
+            return self.constant_truth();
         }
         if g > 1 {
             match self.kind {
@@ -337,7 +336,10 @@ impl Conjunct {
     /// `expr_cols[col] == 0`). All rows are updated in place.
     pub(crate) fn substitute_col(&mut self, col: usize, expr_cols: &[i64]) {
         assert_eq!(expr_cols.len(), self.ncols());
-        assert_eq!(expr_cols[col], 0, "substitution must not be self-referential");
+        assert_eq!(
+            expr_cols[col], 0,
+            "substitution must not be self-referential"
+        );
         if self.known_false {
             return;
         }
@@ -363,7 +365,11 @@ impl Conjunct {
     /// Panics if `expr` mentions variable `v` itself or has a different space.
     pub fn substitute_var(&mut self, v: usize, expr: &LinExpr) {
         assert_eq!(expr.space(), &self.space);
-        assert_eq!(expr.var_coeff(v), 0, "substitution must not mention the variable");
+        assert_eq!(
+            expr.var_coeff(v),
+            0,
+            "substitution must not mention the variable"
+        );
         let mut cols = expr.raw_coeffs().to_vec();
         cols.resize(self.ncols(), 0);
         let col = self.var_col(v);
@@ -378,8 +384,8 @@ impl Conjunct {
         let named = 1 + self.space.n_named();
         let mut used = vec![false; self.n_locals];
         for r in &self.rows {
-            for l in 0..self.n_locals {
-                if r.c[named + l] != 0 {
+            for (l, &x) in r.c[named..].iter().enumerate() {
+                if x != 0 {
                     used[l] = true;
                 }
             }
@@ -423,8 +429,8 @@ impl Conjunct {
         let named = 1 + self.space.n_named();
         let mut uses = vec![0usize; self.n_locals];
         for r in &self.rows {
-            for l in 0..self.n_locals {
-                if r.c[named + l] != 0 {
+            for (l, &x) in r.c[named..].iter().enumerate() {
+                if x != 0 {
                     uses[l] += 1;
                 }
             }
@@ -434,7 +440,9 @@ impl Conjunct {
             if r.kind != ConstraintKind::Eq {
                 continue;
             }
-            let locals: Vec<usize> = (0..self.n_locals).filter(|&l| r.c[named + l] != 0).collect();
+            let locals: Vec<usize> = (0..self.n_locals)
+                .filter(|&l| r.c[named + l] != 0)
+                .collect();
             if locals.len() == 1 && uses[locals[0]] == 1 {
                 let m = r.c[named + locals[0]].abs();
                 if m > 1 {
@@ -451,7 +459,8 @@ impl Conjunct {
     pub(crate) fn canonicalize(&mut self) {
         self.canonicalize_congruence_rows();
         self.compress_locals();
-        self.rows.sort_by(|a, b| (a.kind as u8, &a.c).cmp(&(b.kind as u8, &b.c)));
+        self.rows
+            .sort_by(|a, b| (a.kind as u8, &a.c).cmp(&(b.kind as u8, &b.c)));
         self.rows.dedup();
     }
 
@@ -462,8 +471,8 @@ impl Conjunct {
         let named = 1 + self.space.n_named();
         let mut uses = vec![0usize; self.n_locals];
         for r in &self.rows {
-            for l in 0..self.n_locals {
-                if r.c[named + l] != 0 {
+            for (l, &x) in r.c[named..].iter().enumerate() {
+                if x != 0 {
                     uses[l] += 1;
                 }
             }
@@ -472,8 +481,9 @@ impl Conjunct {
             if r.kind != ConstraintKind::Eq {
                 continue;
             }
-            let locals: Vec<usize> =
-                (0..self.n_locals).filter(|&l| r.c[named + l] != 0).collect();
+            let locals: Vec<usize> = (0..self.n_locals)
+                .filter(|&l| r.c[named + l] != 0)
+                .collect();
             if locals.len() != 1 || uses[locals[0]] != 1 {
                 continue;
             }

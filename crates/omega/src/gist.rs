@@ -29,6 +29,52 @@ pub(crate) fn gist(a: &Set, ctx: &Set) -> Set {
 /// `a ∧ ctx` is empty.
 pub(crate) fn gist_conjunct(a: &Conjunct, ctx: &Conjunct) -> Conjunct {
     assert_eq!(a.space(), ctx.space(), "space mismatch in gist");
+    let key = gist_key(a, ctx);
+    if let Some(hit) = crate::cache::GIST.lookup(key) {
+        crate::stats::bump!(gist_hits);
+        return hit;
+    }
+    crate::stats::bump!(gist_misses);
+    let out = gist_conjunct_uncached(a, ctx);
+    crate::cache::GIST.insert(key, out.clone());
+    out
+}
+
+/// Order-sensitive fingerprint of a `(conjunct, context)` pair. Unlike the
+/// sat-cache key this must NOT be commutative: gist output depends on row
+/// order (greedy redundancy elimination keeps the first of two mutually
+/// redundant rows). Space names are hashed by their bytes — two spaces at
+/// the same address over a program's lifetime are not necessarily equal.
+fn gist_key(a: &Conjunct, ctx: &Conjunct) -> (u64, u64) {
+    let mut h1: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut h2: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut mix = |x: u64| {
+        h1 = (h1 ^ x).wrapping_mul(0x100_0000_01b3);
+        h2 = (h2.rotate_left(29) ^ x.wrapping_mul(0xff51_afd7_ed55_8ccd))
+            .wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    };
+    let space = a.space();
+    for name in space.param_names().iter().chain(space.var_names()) {
+        for &b in name.as_bytes() {
+            mix(b as u64);
+        }
+        mix(0xff); // name terminator
+    }
+    for c in [a, ctx] {
+        mix(c.is_known_false() as u64);
+        mix(c.n_locals() as u64);
+        mix(c.rows().len() as u64);
+        for r in c.rows() {
+            mix(matches!(r.kind, ConstraintKind::Eq) as u64);
+            for &x in &r.c {
+                mix(x as u64);
+            }
+        }
+    }
+    (h1, h2)
+}
+
+fn gist_conjunct_uncached(a: &Conjunct, ctx: &Conjunct) -> Conjunct {
     if ctx.is_known_false() {
         // Everything is known in an impossible context.
         return Conjunct::universe(a.space());
@@ -98,20 +144,57 @@ pub(crate) fn gist_conjunct(a: &Conjunct, ctx: &Conjunct) -> Conjunct {
 
     // Greedy redundancy elimination for local-free rows: drop each row
     // implied by ctx ∧ (other kept rows of a) ∧ (existential part kept).
+    // The test system is built once; each candidate row is swapped for its
+    // negation in place instead of re-intersecting per row.
     let mut kept: Vec<Row> = pending_local_free;
+    let base = ctx_simpl.intersect(&result);
+    if base.is_known_false() {
+        // Vacuously implied context (cannot arise for satisfiable a ∧ ctx,
+        // but mirror the old per-row behavior: everything is implied).
+        kept.clear();
+    }
+    let width = base.ncols();
+    let n_vars = width - 1;
+    let mut sys: Vec<Row> = base.rows().to_vec();
+    let fixed = sys.len();
+    for r in &kept {
+        let mut c = r.c[..named].to_vec();
+        c.resize(width, 0);
+        sys.push(Row::new(r.kind, c));
+    }
     let mut i = 0;
     while i < kept.len() {
-        let row = kept[i].clone();
-        let mut test = ctx_simpl.intersect(&result);
-        for (j, r) in kept.iter().enumerate() {
-            if j != i {
-                let mut c = r.c[..named].to_vec();
-                c.resize(test.ncols(), 0);
-                test.push_row(Row::new(r.kind, c));
+        let slot = fixed + i;
+        let implied = match sys[slot].kind {
+            ConstraintKind::Geq => {
+                let orig = sys[slot].clone();
+                let mut neg: Vec<i64> = orig.c.iter().map(|&x| -x).collect();
+                neg[0] -= 1;
+                sys[slot] = Row::new(ConstraintKind::Geq, neg);
+                let implied = !crate::sat::rows_satisfiable(&sys, n_vars);
+                sys[slot] = orig;
+                implied
             }
-        }
-        if row_implied(&test, &row, named) {
+            ConstraintKind::Eq => {
+                // row = 0 is implied iff neither strict side intersects.
+                let orig = sys[slot].clone();
+                let mut c1 = orig.c.clone();
+                c1[0] -= 1;
+                sys[slot] = Row::new(ConstraintKind::Geq, c1);
+                let mut implied = !crate::sat::rows_satisfiable(&sys, n_vars);
+                if implied {
+                    let mut c2: Vec<i64> = orig.c.iter().map(|&x| -x).collect();
+                    c2[0] -= 1;
+                    sys[slot] = Row::new(ConstraintKind::Geq, c2);
+                    implied = !crate::sat::rows_satisfiable(&sys, n_vars);
+                }
+                sys[slot] = orig;
+                implied
+            }
+        };
+        if implied {
             kept.remove(i);
+            sys.remove(slot);
         } else {
             i += 1;
         }
@@ -131,38 +214,31 @@ pub(crate) fn drop_self_redundant(c: &Conjunct) -> Conjunct {
     if c.is_known_false() {
         return c.clone();
     }
-    let named = 1 + c.space().n_named();
     let mut out = c.clone();
+    let n_vars = out.ncols() - 1;
+    // In-place candidate swap: negate row i, test, restore or remove.
+    // Inequality rows only; equalities and congruences carry structural
+    // information the scanner wants to keep.
+    let mut sys: Vec<Row> = out.rows().to_vec();
     let mut i = 0;
-    while i < out.rows().len() {
-        let row = out.rows()[i].clone();
-        // Inequality rows only; equalities and congruences carry structural
-        // information the scanner wants to keep.
-        if row.kind != ConstraintKind::Geq {
+    while i < sys.len() {
+        if sys[i].kind != ConstraintKind::Geq {
             i += 1;
             continue;
         }
-        let mut test = out.clone();
-        test.rows_mut().remove(i);
-        if row_implied_full(&test, &row) {
-            out.rows_mut().remove(i);
-        } else {
+        let orig = sys[i].clone();
+        let mut neg: Vec<i64> = orig.c.iter().map(|&x| -x).collect();
+        neg[0] -= 1;
+        sys[i] = Row::new(ConstraintKind::Geq, neg);
+        if crate::sat::rows_satisfiable(&sys, n_vars) {
+            sys[i] = orig;
             i += 1;
+        } else {
+            sys.remove(i);
         }
     }
-    let _ = named;
+    *out.rows_mut() = sys;
     out
-}
-
-/// Is the full-width inequality `row` implied by `test` (locals included)?
-fn row_implied_full(test: &Conjunct, row: &Row) -> bool {
-    debug_assert_eq!(row.kind, ConstraintKind::Geq);
-    let mut t = test.clone();
-    let mut neg: Vec<i64> = row.c.iter().map(|&x| -x).collect();
-    neg[0] -= 1;
-    neg.resize(t.ncols(), 0);
-    t.push_row(Row::new(ConstraintKind::Geq, neg));
-    !t.is_sat()
 }
 
 /// Does `ctx` imply every row of `atom` (aligned over fresh locals)? Sound
@@ -183,36 +259,6 @@ fn implied_by(ctx: &Conjunct, atom: &Conjunct) -> bool {
         c.canonicalize();
         c.to_string() == canon
     })
-}
-
-/// Is the (local-free) `row` implied by the conjunct `test`?
-fn row_implied(test: &Conjunct, row: &Row, named: usize) -> bool {
-    match row.kind {
-        ConstraintKind::Geq => {
-            let mut t = test.clone();
-            let mut neg: Vec<i64> = row.c[..named].iter().map(|&x| -x).collect();
-            neg[0] -= 1;
-            neg.resize(t.ncols(), 0);
-            t.push_row(Row::new(ConstraintKind::Geq, neg));
-            !t.is_sat()
-        }
-        ConstraintKind::Eq => {
-            let mut t1 = test.clone();
-            let mut c1: Vec<i64> = row.c[..named].to_vec();
-            c1[0] -= 1;
-            c1.resize(t1.ncols(), 0);
-            t1.push_row(Row::new(ConstraintKind::Geq, c1));
-            if t1.is_sat() {
-                return false;
-            }
-            let mut t2 = test.clone();
-            let mut c2: Vec<i64> = row.c[..named].iter().map(|&x| -x).collect();
-            c2[0] -= 1;
-            c2.resize(t2.ncols(), 0);
-            t2.push_row(Row::new(ConstraintKind::Geq, c2));
-            !t2.is_sat()
-        }
-    }
 }
 
 /// Copies an atom's rows into `dst`, remapping its locals onto fresh ones.
@@ -325,7 +371,11 @@ mod tests {
         let gb = g.intersect(&b);
         let ab = a.intersect(&b);
         for i in -24..=24 {
-            assert_eq!(gb.contains(&[], &[i, 0]), ab.contains(&[], &[i, 0]), "i={i}");
+            assert_eq!(
+                gb.contains(&[], &[i, 0]),
+                ab.contains(&[], &[i, 0]),
+                "i={i}"
+            );
         }
     }
 
@@ -350,11 +400,7 @@ mod tests {
         let a = set("{ [i,j] : 0 <= i <= 9 }");
         let g = a.gist(&Set::universe(&s));
         for i in -2..12 {
-            assert_eq!(
-                g.contains(&[], &[i, 0]),
-                (0..=9).contains(&i),
-                "i={i}"
-            );
+            assert_eq!(g.contains(&[], &[i, 0]), (0..=9).contains(&i), "i={i}");
         }
     }
 
@@ -362,16 +408,28 @@ mod tests {
     fn gist_identical_congruence_drops() {
         let a = set("{ [i,j] : exists(a : i = 4a+1) }");
         let g = a.gist(&a);
-        assert!(g.conjuncts().len() == 1 && g.conjuncts()[0].is_universe(), "{g}");
+        assert!(
+            g.conjuncts().len() == 1 && g.conjuncts()[0].is_universe(),
+            "{g}"
+        );
     }
 
     #[test]
     fn gist_defining_property_random() {
         // gist(A, B) ∧ B == A ∧ B over a window for several pairs.
         let cases = [
-            ("{ [i,j] : 2i + j >= 3 && i <= 10 }", "{ [i,j] : i >= 0 && j >= 0 }"),
-            ("{ [i,j] : exists(a : i = 3a) && 0 <= i <= 30 }", "{ [i,j] : exists(b : i = 6b) }"),
-            ("{ [i,j] : i = j && 0 <= i <= 5 }", "{ [i,j] : 0 <= j <= 5 }"),
+            (
+                "{ [i,j] : 2i + j >= 3 && i <= 10 }",
+                "{ [i,j] : i >= 0 && j >= 0 }",
+            ),
+            (
+                "{ [i,j] : exists(a : i = 3a) && 0 <= i <= 30 }",
+                "{ [i,j] : exists(b : i = 6b) }",
+            ),
+            (
+                "{ [i,j] : i = j && 0 <= i <= 5 }",
+                "{ [i,j] : 0 <= j <= 5 }",
+            ),
         ];
         for (ta, tb) in cases {
             let a = set(ta);

@@ -16,7 +16,7 @@ pub(crate) fn hull(s: &Set) -> Conjunct {
         .conjuncts()
         .iter()
         .filter(|c| c.is_sat())
-        .map(|c| crate::project::simplify_conjunct(c))
+        .map(crate::project::simplify_conjunct)
         .collect();
     if live.is_empty() {
         return Conjunct::empty(&space);
@@ -47,9 +47,30 @@ pub(crate) fn hull(s: &Set) -> Conjunct {
     candidates.sort();
     candidates.dedup();
 
+    // One scratch system per live conjunct, with a reserved trailing slot
+    // for the negated candidate: each implication test is then a single
+    // row overwrite plus a satisfiability query instead of a conjunct
+    // clone per (conjunct, candidate) pair.
+    let mut tests: Vec<(Vec<Row>, usize)> = live
+        .iter()
+        .map(|c| {
+            let n_vars = c.ncols() - 1;
+            let mut sys = c.rows().to_vec();
+            sys.push(Row::new(ConstraintKind::Geq, vec![0; 1 + n_vars]));
+            (sys, n_vars)
+        })
+        .collect();
     let mut out = Conjunct::universe(&space);
     for cand in candidates {
-        if live.iter().all(|c| implies_geq(c, &cand)) {
+        let implied = tests.iter_mut().all(|(sys, n_vars)| {
+            let slot = sys.len() - 1;
+            let mut neg: Vec<i64> = cand.iter().map(|&x| -x).collect();
+            neg[0] -= 1;
+            neg.resize(1 + *n_vars, 0);
+            sys[slot] = Row::new(ConstraintKind::Geq, neg);
+            !crate::sat::rows_satisfiable(sys, *n_vars)
+        });
+        if implied {
             let mut row = cand.clone();
             row.resize(out.ncols(), 0);
             out.push_row(Row::new(ConstraintKind::Geq, row));
@@ -89,16 +110,6 @@ pub(crate) fn hull(s: &Set) -> Conjunct {
             .unwrap_or(true)
     }));
     out
-}
-
-/// Does conjunct `c` imply `cand ≥ 0` (cand over named columns)?
-fn implies_geq(c: &Conjunct, cand: &[i64]) -> bool {
-    let mut t = c.clone();
-    let mut neg: Vec<i64> = cand.iter().map(|&x| -x).collect();
-    neg[0] -= 1;
-    neg.resize(t.ncols(), 0);
-    t.push_row(Row::new(ConstraintKind::Geq, neg));
-    !t.is_sat()
 }
 
 type Groups = Vec<(Vec<i64>, Vec<(i64, i64)>)>;
@@ -208,9 +219,7 @@ mod tests {
     #[test]
     fn hull_merges_residues_into_common_lattice() {
         // i ≡ 1 mod 4  ∪  i ≡ 3 mod 4  →  i ≡ 1 mod 2
-        let s = set(
-            "{ [i,j] : exists(a : i = 4a + 1) } | { [i,j] : exists(a : i = 4a + 3) }",
-        );
+        let s = set("{ [i,j] : exists(a : i = 4a + 1) } | { [i,j] : exists(a : i = 4a + 3) }");
         let h = s.hull();
         let cg = h.congruences();
         assert_eq!(cg.len(), 1, "hull {h}");

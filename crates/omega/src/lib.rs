@@ -32,8 +32,10 @@
 #![warn(rust_2018_idioms)]
 
 pub mod num;
+pub mod stats;
 
 mod bounds;
+mod cache;
 mod conjunct;
 mod gist;
 mod hull;
@@ -44,6 +46,7 @@ mod project;
 mod sat;
 mod set;
 mod space;
+mod tier;
 
 pub use bounds::VarBound;
 pub use conjunct::Conjunct;
@@ -52,3 +55,13 @@ pub use map::AffineMap;
 pub use parse::ParseSetError;
 pub use set::{constant, param, var, Set};
 pub use space::Space;
+
+/// Empties the process-wide satisfiability memo cache.
+///
+/// Results are deterministic with or without the cache; this only matters
+/// for benchmarks that want cold-cache timings and for tests isolating
+/// cache behavior.
+pub fn reset_sat_cache() {
+    cache::SAT.clear();
+    cache::GIST.clear();
+}

@@ -182,15 +182,15 @@ impl AffineMap {
         // src = inv(A)·(dst - B·params - c)
         let np = self.src.n_params();
         let mut exprs = Vec::with_capacity(n);
-        for i in 0..n {
+        for inv_i in &inv {
             let mut raw = vec![0i64; 1 + self.dst.n_named()];
-            for j in 0..n {
+            for (j, &w) in inv_i.iter().enumerate() {
                 // coefficient of dst_j
-                raw[1 + np + j] = inv[i][j];
+                raw[1 + np + j] = w;
                 // subtract inv * (B params + c)
-                raw[0] -= inv[i][j] * self.exprs[j].constant_term();
+                raw[0] -= w * self.exprs[j].constant_term();
                 for p in 0..np {
-                    raw[1 + p] -= inv[i][j] * self.exprs[j].param_coeff(p);
+                    raw[1 + p] -= w * self.exprs[j].param_coeff(p);
                 }
             }
             exprs.push(LinExpr::from_raw(&self.dst, &raw));
@@ -205,7 +205,10 @@ fn drop_leading_vars(
     dst: &Space,
     ns: usize,
 ) -> Set {
-    debug_assert!((0..ns).all(|v| !c.uses_var(v)), "projection left a source var");
+    debug_assert!(
+        (0..ns).all(|v| !c.uses_var(v)),
+        "projection left a source var"
+    );
     let named_src = 1 + combined.n_named();
     let mut out = crate::conjunct::Conjunct::universe(dst);
     for _ in 0..c.n_locals() {
@@ -217,12 +220,10 @@ fn drop_leading_vars(
         let mut r = vec![0i64; named_dst + c.n_locals()];
         r[0] = row[0];
         r[1..1 + np].copy_from_slice(&row[1..1 + np]);
-        for v in 0..dst.n_vars() {
-            r[1 + np + v] = row[1 + np + ns + v];
-        }
-        for l in 0..c.n_locals() {
-            r[named_dst + l] = row[named_src + l];
-        }
+        let nv = dst.n_vars();
+        r[1 + np..1 + np + nv].copy_from_slice(&row[1 + np + ns..1 + np + ns + nv]);
+        r[named_dst..named_dst + c.n_locals()]
+            .copy_from_slice(&row[named_src..named_src + c.n_locals()]);
         out.push_row(crate::conjunct::Row::new(kind, r));
     }
     out.to_set()
@@ -261,19 +262,14 @@ fn determinant(a: &[Vec<i64>]) -> i64 {
 fn adjugate(a: &[Vec<i64>]) -> Vec<Vec<i64>> {
     let n = a.len();
     let mut adj = vec![vec![0i64; n]; n];
-    for i in 0..n {
-        for j in 0..n {
+    for (j, adj_row) in adj.iter_mut().enumerate() {
+        for (i, slot) in adj_row.iter_mut().enumerate() {
             let minor: Vec<Vec<i64>> = (0..n)
                 .filter(|&r| r != i)
-                .map(|r| {
-                    (0..n)
-                        .filter(|&c| c != j)
-                        .map(|c| a[r][c])
-                        .collect()
-                })
+                .map(|r| (0..n).filter(|&c| c != j).map(|c| a[r][c]).collect())
                 .collect();
             let sign = if (i + j) % 2 == 0 { 1 } else { -1 };
-            adj[j][i] = sign * determinant(&minor); // transpose of cofactors
+            *slot = sign * determinant(&minor); // transpose of cofactors
         }
     }
     adj
@@ -367,10 +363,7 @@ mod tests {
         let shift = AffineMap::new(
             dst.clone(),
             src.clone(),
-            vec![
-                LinExpr::var(&dst, 0) + 10,
-                LinExpr::var(&dst, 1),
-            ],
+            vec![LinExpr::var(&dst, 0) + 10, LinExpr::var(&dst, 1)],
         );
         let both = swap.then(&shift);
         let s = Set::parse("[n] -> { [i,j] : i = 1 && j = 2 }").unwrap();

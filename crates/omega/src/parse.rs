@@ -92,7 +92,8 @@ fn tokenize(text: &str) -> Result<Vec<(Tok, usize)>, ParseSetError> {
         }
         if c.is_ascii_alphabetic() || c == '_' {
             let mut j = i;
-            while j < bytes.len() && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+            while j < bytes.len()
+                && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
             {
                 j += 1;
             }
@@ -100,7 +101,11 @@ fn tokenize(text: &str) -> Result<Vec<(Tok, usize)>, ParseSetError> {
             i = j;
             continue;
         }
-        let two = if i + 1 < bytes.len() { &text[i..i + 2] } else { "" };
+        let two = if i + 1 < bytes.len() {
+            &text[i..i + 2]
+        } else {
+            ""
+        };
         let sym: &'static str = match two {
             "<=" => "<=",
             ">=" => ">=",
@@ -353,11 +358,7 @@ impl Parser {
         let first = self.parse_sum(space, conj, locals)?;
         let mut prev = first;
         let mut any = false;
-        loop {
-            let op = match self.peek() {
-                Some(Tok::Sym(s @ ("<" | "<=" | ">" | ">=" | "="))) => *s,
-                _ => break,
-            };
+        while let Some(&Tok::Sym(op @ ("<" | "<=" | ">" | ">=" | "="))) = self.peek() {
             self.pos += 1;
             any = true;
             let rhs = self.parse_sum(space, conj, locals)?;
@@ -372,16 +373,17 @@ impl Parser {
 
     fn emit(&self, conj: &mut Conjunct, op: &str, lhs: &PExpr, rhs: &PExpr) {
         let n = conj.ncols();
-        let mut diff = vec![0i64; n];
         let (a, b) = (&lhs.0, &rhs.0);
-        for j in 0..n {
-            let av = a.get(j).copied().unwrap_or(0);
-            let bv = b.get(j).copied().unwrap_or(0);
-            diff[j] = match op {
-                "<" | "<=" => num::add(bv, -av),
-                _ => num::add(av, -bv),
-            };
-        }
+        let mut diff: Vec<i64> = (0..n)
+            .map(|j| {
+                let av = a.get(j).copied().unwrap_or(0);
+                let bv = b.get(j).copied().unwrap_or(0);
+                match op {
+                    "<" | "<=" => num::add(bv, -av),
+                    _ => num::add(av, -bv),
+                }
+            })
+            .collect();
         let kind = match op {
             "=" => ConstraintKind::Eq,
             _ => ConstraintKind::Geq,
@@ -535,7 +537,11 @@ mod tests {
     fn exists_strides() {
         let s = Set::parse("{ [i] : 1 <= i <= 20 && exists(a : i = 4a + 1) }").unwrap();
         for i in 0..=21 {
-            assert_eq!(s.contains(&[], &[i]), (1..=20).contains(&i) && i % 4 == 1, "i={i}");
+            assert_eq!(
+                s.contains(&[], &[i]),
+                (1..=20).contains(&i) && i % 4 == 1,
+                "i={i}"
+            );
         }
     }
 

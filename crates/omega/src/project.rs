@@ -11,7 +11,10 @@ use crate::set::Set;
 /// Existentially projects out `count` set variables starting at `first`;
 /// the space is unchanged and the projected dimensions become unconstrained.
 pub(crate) fn project_out(s: &Set, first: usize, count: usize) -> Set {
-    assert!(first + count <= s.space().n_vars(), "projection range out of bounds");
+    assert!(
+        first + count <= s.space().n_vars(),
+        "projection range out of bounds"
+    );
     if count == 0 {
         return s.clone();
     }
@@ -20,10 +23,8 @@ pub(crate) fn project_out(s: &Set, first: usize, count: usize) -> Set {
         let named = 1 + c.space().n_named();
         let nl = c.n_locals();
         let mut map: Vec<usize> = (0..c.ncols()).collect();
-        let mut next_local = named + nl;
-        for v in first..first + count {
-            map[1 + c.space().n_params() + v] = next_local;
-            next_local += 1;
+        for (off, v) in (first..first + count).enumerate() {
+            map[1 + c.space().n_params() + v] = named + nl + off;
         }
         let remapped = c.remap_columns(c.space(), nl + count, &map);
         let simplified = simplify_conjunct(&remapped);
@@ -46,7 +47,8 @@ pub(crate) fn approximate(s: &Set) -> Set {
         }
         let named = 1 + c.space().n_named();
         // Drop rows still involving locals, then drop the locals.
-        c.rows_mut().retain(|r| r.c[named..].iter().all(|&x| x == 0));
+        c.rows_mut()
+            .retain(|r| r.c[named..].iter().all(|&x| x == 0));
         c.compress_locals();
         out.push_conjunct(c);
     }
@@ -130,8 +132,7 @@ pub(crate) fn simplify_conjunct(c: &Conjunct) -> Conjunct {
                 // row' = |a|·row - k·sign(a)·eq zeroes the local.
                 let s = if a > 0 { 1 } else { -1 };
                 for j in 0..row.c.len() {
-                    row.c[j] =
-                        num::add(num::mul(a.abs(), row.c[j]), num::mul(-k * s, eq.c[j]));
+                    row.c[j] = num::add(num::mul(a.abs(), row.c[j]), num::mul(-k * s, eq.c[j]));
                 }
                 debug_assert_eq!(row.c[col], 0);
                 c.rows_mut()[oi] = row;
@@ -226,11 +227,7 @@ mod tests {
         );
         let p = set.project_out(1, 1);
         for y in -5..110 {
-            assert_eq!(
-                p.contains(&[], &[y, 0]),
-                (1..=100).contains(&y),
-                "y={y}"
-            );
+            assert_eq!(p.contains(&[], &[y, 0]), (1..=100).contains(&y), "y={y}");
         }
         // The projected conjunct must be existential-free.
         assert_eq!(p.conjuncts()[0].n_locals(), 0);

@@ -6,18 +6,58 @@
 //! All functions here operate on raw [`Row`]s whose columns are
 //! `[const, x1, .., xn]` with every `xi` existentially quantified.
 
+use crate::cache;
 use crate::conjunct::Row;
 use crate::linexpr::ConstraintKind;
 use crate::num;
+use crate::stats::bump;
+use crate::tier::{self, Verdict};
 
 /// Exact test: does an integer assignment to the `n_vars` variable columns
-/// satisfy all rows? Results are memoized per thread (polyhedra scanning
-/// asks the same implication queries thousands of times).
+/// satisfy all rows?
+///
+/// Queries run through a tiered pipeline (polyhedra scanning asks millions
+/// of implication queries, most of them easy):
+///
+/// * **tier 0** — syntactic contradictions on the canonicalized rows
+///   (negated constraint pairs, clashing equalities, single-variable bound
+///   conflicts);
+/// * **tier 1** — interval-propagation fixpoint: an empty interval proves
+///   unsat, and a cheap witness probe inside the box proves sat;
+/// * **tier 2** — the exact Omega test, memoized in a process-wide sharded
+///   cache so results are shared across scanning worker threads.
+///
+/// Tiers 0 and 1 are exact when they answer; only `Unknown` falls through,
+/// so the overall verdict always equals the plain Omega test's.
 pub(crate) fn rows_satisfiable(rows: &[Row], n_vars: usize) -> bool {
+    // Fast path: rows coming from canonicalized conjuncts are already
+    // normalized, so tier 0 and the cache probe can run on the borrowed
+    // rows without cloning anything. Only a cache miss (or an unnormalized
+    // row) pays for building the canonical system.
+    let mut normal = true;
+    for r in rows {
+        debug_assert_eq!(r.c.len(), 1 + n_vars);
+        if r.is_constant() {
+            if !r.constant_truth() {
+                return false;
+            }
+            continue;
+        }
+        let mut g = 0;
+        for &x in &r.c[1..] {
+            g = num::gcd(g, x);
+        }
+        if g != 1 {
+            normal = false;
+            break;
+        }
+    }
+    if normal {
+        return satisfiable_normalized(rows, n_vars);
+    }
     let mut work: Vec<Row> = Vec::with_capacity(rows.len());
     for r in rows {
         let mut r = r.clone();
-        debug_assert_eq!(r.c.len(), 1 + n_vars);
         if !r.normalize() {
             return false;
         }
@@ -29,51 +69,115 @@ pub(crate) fn rows_satisfiable(rows: &[Row], n_vars: usize) -> bool {
         }
         work.push(r);
     }
-    if work.is_empty() {
+    satisfiable_normalized(&work, n_vars)
+}
+
+/// Pipeline behind the normalization check: `rows` are normalized but may
+/// still contain (true) constant rows and duplicates, in any order.
+fn satisfiable_normalized(rows: &[Row], n_vars: usize) -> bool {
+    if rows.iter().all(|r| r.is_constant()) {
         return true;
     }
-    work.sort_by(|a, b| (a.kind as u8, &a.c).cmp(&(b.kind as u8, &b.c)));
-    work.dedup();
-    let key = cache_key(&work);
-    if let Some(hit) = CACHE.with(|c| c.borrow().get(&key).copied()) {
+    // The cache sits *before* tiers 0 and 1 and stores their verdicts too:
+    // on the warm path (scanning re-asks the same queries constantly) a
+    // repeat query costs one fingerprint + shard probe — cheaper than even
+    // tier 0's pairwise scan.
+    let key = cache_key(rows);
+    if let Some(hit) = cache::SAT.lookup(key) {
+        bump!(cache_hits);
         return hit;
     }
-    let mut budget = SOLVE_BUDGET;
-    let result = solve(work, 0, &mut budget);
-    CACHE.with(|c| {
-        let mut map = c.borrow_mut();
-        if map.len() >= CACHE_CAPACITY {
-            map.clear(); // simple bounded policy
+    bump!(cache_misses);
+    if tier::tier0(rows) == Verdict::Unsat {
+        bump!(tier0_unsat);
+        cache::SAT.insert(key, false);
+        return false;
+    }
+    // Miss: build the canonical (sorted, deduplicated) system. Determinism
+    // across thread counts requires the *solver input* to be a pure
+    // function of the fingerprinted multiset — the solver's budget cutoff
+    // is order-sensitive even though exact verdicts are not.
+    let mut work: Vec<Row> = rows.iter().filter(|r| !r.is_constant()).cloned().collect();
+    work.sort_by(|a, b| (a.kind as u8, &a.c).cmp(&(b.kind as u8, &b.c)));
+    work.dedup();
+    let result = match tier::tier1(&work, 1 + n_vars) {
+        Verdict::Unsat => {
+            bump!(tier1_unsat);
+            false
         }
-        map.insert(key, result);
-    });
+        Verdict::Sat => {
+            bump!(tier1_sat);
+            true
+        }
+        Verdict::Unknown => {
+            let mut budget = SOLVE_BUDGET;
+            solve(work, 0, &mut budget)
+        }
+    };
+    cache::SAT.insert(key, result);
     result
 }
 
-const CACHE_CAPACITY: usize = 1 << 20;
-
-thread_local! {
-    static CACHE: std::cell::RefCell<std::collections::HashMap<(u64, u64), bool>> =
-        std::cell::RefCell::new(std::collections::HashMap::new());
+/// Test-only reference oracle: the exact Omega test with the cache and the
+/// fast tiers bypassed, for differential testing of the tiers themselves.
+#[cfg(test)]
+pub(crate) fn exact_satisfiable(rows: &[Row], n_vars: usize) -> bool {
+    let mut work: Vec<Row> = Vec::with_capacity(rows.len());
+    for r in rows {
+        let mut r = r.clone();
+        if !r.normalize() {
+            return false;
+        }
+        if r.is_constant() {
+            if !r.constant_truth() {
+                return false;
+            }
+            continue;
+        }
+        work.push(r);
+    }
+    debug_assert!(work.iter().all(|r| r.c.len() == 1 + n_vars));
+    work.sort_by(|a, b| (a.kind as u8, &a.c).cmp(&(b.kind as u8, &b.c)));
+    work.dedup();
+    let mut budget = SOLVE_BUDGET;
+    solve(work, 0, &mut budget)
 }
 
-/// A 128-bit fingerprint of the canonical row system (collision odds are
-/// negligible at the cache's capacity).
+/// A 128-bit fingerprint of the row system: a commutative (wrapping-sum)
+/// combination of well-mixed per-row hashes, so logically identical
+/// queries fingerprint identically *regardless of row order* and no sorted
+/// copy is needed on the lookup path. Constant rows are skipped to keep
+/// the key canonical. Collision odds are negligible at the cache's
+/// capacity.
 fn cache_key(rows: &[Row]) -> (u64, u64) {
-    use std::hash::{Hash, Hasher};
-    let mut h1 = std::collections::hash_map::DefaultHasher::new();
-    let mut h2 = std::collections::hash_map::DefaultHasher::new();
-    0x9e3779b97f4a7c15u64.hash(&mut h2);
-    rows.len().hash(&mut h1);
+    let mut s1: u64 = 0;
+    let mut s2: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut n: u64 = 0;
     for r in rows {
-        (r.kind as u8).hash(&mut h1);
-        r.c.hash(&mut h1);
-        (r.kind as u8).hash(&mut h2);
-        for &x in &r.c {
-            x.wrapping_mul(0x100000001b3).hash(&mut h2);
+        if r.is_constant() {
+            continue;
         }
+        let mut h1: u64 = 0xcbf2_9ce4_8422_2325 ^ (r.kind as u64);
+        let mut h2: u64 = 0x517c_c1b7_2722_0a95 ^ (r.kind as u64).rotate_left(32);
+        for &x in &r.c {
+            h1 = (h1 ^ x as u64).wrapping_mul(0x100_0000_01b3);
+            h2 = (h2.rotate_left(29) ^ (x as u64).wrapping_mul(0xff51_afd7_ed55_8ccd))
+                .wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+        }
+        s1 = s1.wrapping_add(splitmix(h1));
+        s2 = s2.wrapping_add(splitmix(h2 ^ 0x94d0_49bb_1331_11eb));
+        n += 1;
     }
-    (h1.finish(), h2.finish())
+    (splitmix(s1 ^ n), splitmix(s2.wrapping_add(n)))
+}
+
+/// Final avalanche (splitmix64), so structured coefficient patterns do not
+/// collide under the commutative sum.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// Recursion safety cap; realistic systems never approach this.
@@ -148,7 +252,7 @@ fn eliminate_equality(rows: &mut Vec<Row>, eq_idx: usize) -> bool {
     // Choose the variable with minimal |coefficient|.
     let mut best: Option<(usize, i64)> = None;
     for (j, &c) in eq.c.iter().enumerate().skip(1) {
-        if c != 0 && best.map_or(true, |(_, b)| c.abs() < b.abs()) {
+        if c != 0 && best.is_none_or(|(_, b)| c.abs() < b.abs()) {
             best = Some((j, c));
         }
     }
@@ -165,15 +269,11 @@ fn eliminate_equality(rows: &mut Vec<Row>, eq_idx: usize) -> bool {
     }
     // Pugh's symmetric-modulo reduction: introduce a fresh variable sigma.
     let m = coeff.abs() + 1;
-    let ncols = eq.c.len();
     for r in rows.iter_mut() {
         r.c.push(0);
     }
-    let mut c = vec![0i64; ncols + 1];
-    for j in 0..ncols {
-        c[j] = num::mod_hat(eq.c[j], m);
-    }
-    c[ncols] = -m; // -m * sigma
+    let mut c: Vec<i64> = eq.c.iter().map(|&x| num::mod_hat(x, m)).collect();
+    c.push(-m); // -m * sigma
     debug_assert_eq!(c[col].abs(), 1, "mod-hat must give unit coefficient");
     rows.push(Row::new(ConstraintKind::Eq, c));
     let new_idx = rows.len() - 1;
@@ -348,10 +448,11 @@ pub(crate) fn fm_eliminate(rows: &[Row], col: usize, slack: i64) -> Vec<Row> {
         for up in &uppers {
             let b = -up.c[col];
             // b*(a x + e_l) + a*(-b x + e_u) ≥ 0  →  b e_l + a e_u ≥ 0
-            let mut c = vec![0i64; lo.c.len()];
-            for j in 0..c.len() {
-                c[j] = num::add(num::mul(b, lo.c[j]), num::mul(a, up.c[j]));
-            }
+            let mut c: Vec<i64> =
+                lo.c.iter()
+                    .zip(&up.c)
+                    .map(|(&l, &u)| num::add(num::mul(b, l), num::mul(a, u)))
+                    .collect();
             c[col] = 0;
             if slack != 0 {
                 c[0] = num::add(c[0], -num::mul(slack, num::mul(a - 1, b - 1)));
@@ -491,14 +592,19 @@ mod tests {
     fn equality_plus_bounds() {
         // y = 2x && 1 <= x <= 100 && y = 7 → 7 = 2x unsat
         let rows = vec![
-            eq(&[0, 2, -1]),   // 2x - y = 0
-            geq(&[-1, 1, 0]),  // x >= 1
+            eq(&[0, 2, -1]),    // 2x - y = 0
+            geq(&[-1, 1, 0]),   // x >= 1
             geq(&[100, -1, 0]), // x <= 100
-            eq(&[-7, 0, 1]),   // y = 7
+            eq(&[-7, 0, 1]),    // y = 7
         ];
         assert!(!rows_satisfiable(&rows, 2));
         // y = 8 instead → x = 4 ✓
-        let rows = vec![eq(&[0, 2, -1]), geq(&[-1, 1, 0]), geq(&[100, -1, 0]), eq(&[-8, 0, 1])];
+        let rows = vec![
+            eq(&[0, 2, -1]),
+            geq(&[-1, 1, 0]),
+            geq(&[100, -1, 0]),
+            eq(&[-8, 0, 1]),
+        ];
         assert!(rows_satisfiable(&rows, 2));
     }
 
@@ -558,10 +664,25 @@ mod tests {
     fn brute_force_agreement_two_vars() {
         // Random-ish small systems: compare against brute force over a box.
         let cases: Vec<Vec<Row>> = vec![
-            vec![geq(&[-1, 2, 3]), geq(&[7, -1, -2]), geq(&[0, 1, 0]), geq(&[0, 0, 1])],
-            vec![geq(&[-5, 3, -2]), geq(&[5, -3, 2]), geq(&[8, -1, -1]), geq(&[0, 1, 1])],
+            vec![
+                geq(&[-1, 2, 3]),
+                geq(&[7, -1, -2]),
+                geq(&[0, 1, 0]),
+                geq(&[0, 0, 1]),
+            ],
+            vec![
+                geq(&[-5, 3, -2]),
+                geq(&[5, -3, 2]),
+                geq(&[8, -1, -1]),
+                geq(&[0, 1, 1]),
+            ],
             vec![eq(&[-4, 2, 2]), geq(&[0, 1, -1])],
-            vec![geq(&[-9, 5, 0]), geq(&[9, -5, 0]), geq(&[-2, 0, 3]), geq(&[2, 0, -3])],
+            vec![
+                geq(&[-9, 5, 0]),
+                geq(&[9, -5, 0]),
+                geq(&[-2, 0, 3]),
+                geq(&[2, 0, -3]),
+            ],
         ];
         for rows in cases {
             let mut brute = false;

@@ -436,7 +436,12 @@ fn conjunct_to_syntax(c: &Conjunct) -> String {
             }
         };
         for v in 0..space.n_vars() {
-            term(row[1 + space.n_params() + v], space.var_name(v), &mut s, &mut any);
+            term(
+                row[1 + space.n_params() + v],
+                space.var_name(v),
+                &mut s,
+                &mut any,
+            );
         }
         for p in 0..space.n_params() {
             term(row[1 + p], space.param_name(p), &mut s, &mut any);
@@ -670,18 +675,18 @@ pub(crate) fn range_mod_pattern(atom: &Conjunct) -> Option<RangeMod> {
                 *x = -*x;
             }
         }
-        return Some(RangeMod { expr, m, lo: 0, hi: 0 });
+        return Some(RangeMod {
+            expr,
+            m,
+            lo: 0,
+            hi: 0,
+        });
     }
     // Case 2: two inequalities  e - m·α - lo >= 0  and  -(e - m·α) + hi >= 0.
-    if atom.rows().len() == 2
-        && atom.rows().iter().all(|r| r.kind == ConstraintKind::Geq)
-    {
+    if atom.rows().len() == 2 && atom.rows().iter().all(|r| r.kind == ConstraintKind::Geq) {
         let (a, b) = (&atom.rows()[0], &atom.rows()[1]);
         // They must be negatives of each other on all non-constant columns.
-        let opposite = a.c[1..]
-            .iter()
-            .zip(b.c[1..].iter())
-            .all(|(&x, &y)| x == -y);
+        let opposite = a.c[1..].iter().zip(b.c[1..].iter()).all(|(&x, &y)| x == -y);
         if !opposite || a.c[lc] == 0 {
             return None;
         }
@@ -851,8 +856,7 @@ mod tests {
         // Pairwise disjoint.
         for (x, p) in pieces.iter().enumerate() {
             for q in pieces.iter().skip(x + 1) {
-                assert!(Set::from_conjunct(p.clone())
-                    .is_disjoint(&Set::from_conjunct(q.clone())));
+                assert!(Set::from_conjunct(p.clone()).is_disjoint(&Set::from_conjunct(q.clone())));
             }
         }
     }
@@ -909,10 +913,7 @@ mod tests {
         let s = Space::new::<&str>(&[], &["i"]);
         let mut c = Conjunct::universe(&s);
         // ∃a: 0 <= i - 5a <= 2 (residues 0,1,2 mod 5)
-        let l = {
-            let l = c.add_local();
-            l
-        };
+        let l = { c.add_local() };
         let named = 1 + s.n_named();
         let mut lo = vec![0i64; named + 1];
         lo[1] = 1; // i

@@ -19,9 +19,25 @@ use std::sync::Arc;
 /// assert_eq!(sp.n_vars(), 2);
 /// assert_eq!(sp.var_name(1), "j");
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(Clone, Eq)]
 pub struct Space {
     inner: Arc<SpaceInner>,
+}
+
+impl PartialEq for Space {
+    fn eq(&self, other: &Self) -> bool {
+        // Almost every comparison in the scanner is between clones of one
+        // space; the pointer check skips the per-name string comparison.
+        Arc::ptr_eq(&self.inner, &other.inner) || self.inner == other.inner
+    }
+}
+
+impl std::hash::Hash for Space {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Hashes the names, consistent with `PartialEq`: the pointer check
+        // there is only a shortcut for the same content comparison.
+        self.inner.hash(state);
+    }
 }
 
 #[derive(PartialEq, Eq, Hash)]

@@ -1,0 +1,163 @@
+//! Satisfiability-pipeline instrumentation, compiled in only with the
+//! `stats` cargo feature.
+//!
+//! The tiered solver ([`crate::sat`]) reports which tier answered each
+//! query and how the tier-2 memo cache behaved. Without the feature every
+//! probe compiles to nothing; with it, each probe is one relaxed atomic
+//! increment.
+//!
+//! ```toml
+//! omega = { version = "...", features = ["stats"] }
+//! ```
+
+/// Records `n` events against the named counter; a no-op without the
+/// `stats` feature. Used as `bump!(cache_hits)` or `bump!(evictions, n)`.
+macro_rules! bump {
+    ($field:ident) => {
+        $crate::stats::bump!($field, 1u64)
+    };
+    ($field:ident, $n:expr) => {{
+        #[cfg(feature = "stats")]
+        {
+            $crate::stats::COUNTERS
+                .$field
+                .fetch_add($n as u64, ::std::sync::atomic::Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "stats"))]
+        {
+            let _ = $n;
+        }
+    }};
+}
+pub(crate) use bump;
+
+#[cfg(feature = "stats")]
+pub use enabled::*;
+
+#[cfg(feature = "stats")]
+mod enabled {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Live counters for the satisfiability pipeline.
+    #[derive(Debug, Default)]
+    pub struct Counters {
+        /// Queries answered unsatisfiable by tier 0 (syntactic checks).
+        pub tier0_unsat: AtomicU64,
+        /// Queries answered unsatisfiable by tier 1 (interval propagation).
+        pub tier1_unsat: AtomicU64,
+        /// Queries answered satisfiable by tier 1's witness probe.
+        pub tier1_sat: AtomicU64,
+        /// Tier-2 memo-cache hits.
+        pub cache_hits: AtomicU64,
+        /// Tier-2 memo-cache misses (each one runs the exact Omega test).
+        pub cache_misses: AtomicU64,
+        /// Entries evicted from the memo cache by second-chance sweeps.
+        pub evictions: AtomicU64,
+        /// Gist memo-cache hits.
+        pub gist_hits: AtomicU64,
+        /// Gist memo-cache misses (each one runs the full gist pipeline).
+        pub gist_misses: AtomicU64,
+    }
+
+    /// The process-wide counter instance the `bump!` probes target.
+    pub static COUNTERS: Counters = Counters {
+        tier0_unsat: AtomicU64::new(0),
+        tier1_unsat: AtomicU64::new(0),
+        tier1_sat: AtomicU64::new(0),
+        cache_hits: AtomicU64::new(0),
+        cache_misses: AtomicU64::new(0),
+        evictions: AtomicU64::new(0),
+        gist_hits: AtomicU64::new(0),
+        gist_misses: AtomicU64::new(0),
+    };
+
+    /// A point-in-time copy of [`COUNTERS`].
+    #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+    pub struct Snapshot {
+        /// Queries answered unsatisfiable by tier 0.
+        pub tier0_unsat: u64,
+        /// Queries answered unsatisfiable by tier 1.
+        pub tier1_unsat: u64,
+        /// Queries answered satisfiable by tier 1's witness probe.
+        pub tier1_sat: u64,
+        /// Tier-2 memo-cache hits.
+        pub cache_hits: u64,
+        /// Tier-2 memo-cache misses.
+        pub cache_misses: u64,
+        /// Entries evicted by second-chance sweeps.
+        pub evictions: u64,
+        /// Gist memo-cache hits.
+        pub gist_hits: u64,
+        /// Gist memo-cache misses.
+        pub gist_misses: u64,
+    }
+
+    impl Snapshot {
+        /// Total queries that reached the pipeline past the trivial cases.
+        /// Every such query probes the cache exactly once, so this is the
+        /// hit + miss sum; tier verdicts are subsets of the misses.
+        pub fn total(&self) -> u64 {
+            self.cache_hits + self.cache_misses
+        }
+
+        /// Queries that ran the exact Omega test: cache misses not settled
+        /// by tier 0 or tier 1.
+        pub fn exact_solves(&self) -> u64 {
+            self.cache_misses
+                .saturating_sub(self.tier0_unsat + self.tier1_unsat + self.tier1_sat)
+        }
+
+        /// Fraction of queries answered without running the exact solver.
+        pub fn fast_path_rate(&self) -> f64 {
+            let total = self.total();
+            if total == 0 {
+                return 0.0;
+            }
+            (total - self.exact_solves()) as f64 / total as f64
+        }
+    }
+
+    impl std::fmt::Display for Snapshot {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(
+                f,
+                "tier0 unsat {} | tier1 unsat {} sat {} | cache hit {} miss {} evict {} | gist hit {} miss {} | fast-path {:.1}%",
+                self.tier0_unsat,
+                self.tier1_unsat,
+                self.tier1_sat,
+                self.cache_hits,
+                self.cache_misses,
+                self.evictions,
+                self.gist_hits,
+                self.gist_misses,
+                100.0 * self.fast_path_rate(),
+            )
+        }
+    }
+
+    /// Reads all counters (relaxed; exact once worker threads are quiet).
+    pub fn snapshot() -> Snapshot {
+        Snapshot {
+            tier0_unsat: COUNTERS.tier0_unsat.load(Ordering::Relaxed),
+            tier1_unsat: COUNTERS.tier1_unsat.load(Ordering::Relaxed),
+            tier1_sat: COUNTERS.tier1_sat.load(Ordering::Relaxed),
+            cache_hits: COUNTERS.cache_hits.load(Ordering::Relaxed),
+            cache_misses: COUNTERS.cache_misses.load(Ordering::Relaxed),
+            evictions: COUNTERS.evictions.load(Ordering::Relaxed),
+            gist_hits: COUNTERS.gist_hits.load(Ordering::Relaxed),
+            gist_misses: COUNTERS.gist_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes all counters.
+    pub fn reset() {
+        COUNTERS.tier0_unsat.store(0, Ordering::Relaxed);
+        COUNTERS.tier1_unsat.store(0, Ordering::Relaxed);
+        COUNTERS.tier1_sat.store(0, Ordering::Relaxed);
+        COUNTERS.cache_hits.store(0, Ordering::Relaxed);
+        COUNTERS.cache_misses.store(0, Ordering::Relaxed);
+        COUNTERS.evictions.store(0, Ordering::Relaxed);
+        COUNTERS.gist_hits.store(0, Ordering::Relaxed);
+        COUNTERS.gist_misses.store(0, Ordering::Relaxed);
+    }
+}

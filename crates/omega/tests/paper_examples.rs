@@ -17,8 +17,7 @@ fn project_generates_stride() {
     // Project({1 <= x <= 100 ∧ y = 2x}, x) = {2 <= y <= 200 ∧ ∃a(y = 2a)}
     let s = Set::parse("{ [x,y] : 1 <= x && x <= 100 && y = 2x }").unwrap();
     let p = s.project_out(0, 1);
-    let expect =
-        Set::parse("{ [x,y] : 2 <= y && y <= 200 && exists(a : y = 2a) }").unwrap();
+    let expect = Set::parse("{ [x,y] : 2 <= y && y <= 200 && exists(a : y = 2a) }").unwrap();
     assert!(p.same_set(&expect), "{p}");
     // The congruence is explicit in the result, not just implicit.
     assert_eq!(p.conjuncts()[0].congruences().len(), 1);

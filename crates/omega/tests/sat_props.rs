@@ -2,7 +2,7 @@
 //! with brute-force enumeration on randomized small systems — including
 //! the integer-only-infeasible cases where the rational relaxation lies.
 
-use omega::{Conjunct, LinExpr, Set, Space};
+use omega::{Conjunct, LinExpr, Space};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]

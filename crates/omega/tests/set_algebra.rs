@@ -69,7 +69,7 @@ fn translate_composes_with_remap() {
     let shifted = set.translate_var(0, &LinExpr::constant(&sp, 3));
     let target = Space::new(&["n"], &["x", "y"]);
     let renamed = shifted.remap_vars(&target, &[1, 0]); // i→y, j→x
-    // Point (i=2, j=4) → shifted (5, 4) → renamed (x=4, y=5).
+                                                        // Point (i=2, j=4) → shifted (5, 4) → renamed (x=4, y=5).
     assert!(renamed.contains(&[9], &[4, 5]));
     assert!(!renamed.contains(&[9], &[5, 4]));
 }

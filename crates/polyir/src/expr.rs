@@ -32,6 +32,9 @@ pub enum Expr {
     Mod(Box<Expr>, i64),
 }
 
+// `add`/`sub` are associated constructors, not `self` methods; they cannot
+// shadow the operator traits.
+#[allow(clippy::should_implement_trait)]
 impl Expr {
     /// Builder: `a + b` with light constant folding.
     pub fn add(a: Expr, b: Expr) -> Expr {
@@ -205,7 +208,11 @@ impl Cond {
 
 impl fmt::Display for Expr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", crate::print::expr_to_string(self, &crate::print::Names::default()))
+        write!(
+            f,
+            "{}",
+            crate::print::expr_to_string(self, &crate::print::Names::default())
+        )
     }
 }
 

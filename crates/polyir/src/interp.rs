@@ -163,11 +163,7 @@ pub fn execute(stmt: &Stmt, params: &[i64]) -> Result<Execution, ExecError> {
 /// # Errors
 ///
 /// Same conditions as [`execute`].
-pub fn execute_with(
-    stmt: &Stmt,
-    params: &[i64],
-    cfg: &ExecConfig,
-) -> Result<Execution, ExecError> {
+pub fn execute_with(stmt: &Stmt, params: &[i64], cfg: &ExecConfig) -> Result<Execution, ExecError> {
     let mut st = Interp {
         params,
         vars: Vec::new(),
@@ -204,10 +200,7 @@ impl Interp<'_> {
     fn eval(&mut self, e: &Expr) -> Result<i64, ExecError> {
         Ok(match e {
             Expr::Const(c) => *c,
-            Expr::Param(i) => *self
-                .params
-                .get(*i)
-                .ok_or(ExecError::UnboundParam(*i))?,
+            Expr::Param(i) => *self.params.get(*i).ok_or(ExecError::UnboundParam(*i))?,
             Expr::Var(v) => self
                 .vars
                 .get(*v)
@@ -308,7 +301,7 @@ impl Interp<'_> {
                 let taken = self.test(cond)?;
                 let site = s as *const Stmt as usize;
                 let prev = self.predictor.insert(site, taken);
-                if prev.map_or(false, |p| p != taken) {
+                if prev.is_some_and(|p| p != taken) {
                     self.counters.branch_mispredictions += 1;
                 }
                 if taken {
@@ -529,12 +522,16 @@ mod tests {
     #[test]
     fn cost_model_orders_control_flow() {
         let cm = CostModel::default();
-        let mut plain = Counters::default();
-        plain.stmt_execs = 100;
-        plain.loop_iterations = 100;
-        let mut guarded = plain;
-        guarded.branch_tests = 100;
-        guarded.mod_ops = 100;
+        let plain = Counters {
+            stmt_execs: 100,
+            loop_iterations: 100,
+            ..Counters::default()
+        };
+        let guarded = Counters {
+            branch_tests: 100,
+            mod_ops: 100,
+            ..plain
+        };
         assert!(cm.cost(&guarded) > cm.cost(&plain));
     }
 

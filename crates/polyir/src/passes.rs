@@ -68,10 +68,15 @@ fn max_var_slot(s: &Stmt) -> Option<usize> {
             upper,
             body,
             ..
-        } => [Some(*var), expr_max(lower), expr_max(upper), max_var_slot(body)]
-            .into_iter()
-            .flatten()
-            .max(),
+        } => [
+            Some(*var),
+            expr_max(lower),
+            expr_max(upper),
+            max_var_slot(body),
+        ]
+        .into_iter()
+        .flatten()
+        .max(),
         Stmt::If { cond, then_, else_ } => [
             cond_max(cond),
             max_var_slot(then_),
@@ -80,12 +85,10 @@ fn max_var_slot(s: &Stmt) -> Option<usize> {
         .into_iter()
         .flatten()
         .max(),
-        Stmt::Assign { var, value, body } => {
-            [Some(*var), expr_max(value), max_var_slot(body)]
-                .into_iter()
-                .flatten()
-                .max()
-        }
+        Stmt::Assign { var, value, body } => [Some(*var), expr_max(value), max_var_slot(body)]
+            .into_iter()
+            .flatten()
+            .max(),
         Stmt::Call { args, .. } => args.iter().filter_map(expr_max).max(),
         Stmt::Nop => None,
     }
@@ -276,9 +279,7 @@ fn collect_bound_vars(s: &Stmt, out: &mut Vec<usize>) {
 fn licm(s: &Stmt, next_slot: &mut usize, visits: &mut usize) -> Stmt {
     *visits += 1;
     match s {
-        Stmt::Seq(items) => {
-            Stmt::seq(items.iter().map(|i| licm(i, next_slot, visits)).collect())
-        }
+        Stmt::Seq(items) => Stmt::seq(items.iter().map(|i| licm(i, next_slot, visits)).collect()),
         Stmt::Loop {
             var,
             lower,
@@ -564,7 +565,9 @@ fn cse_scan(s: &Stmt, visits: &mut usize) -> usize {
     fn collect<'a>(s: &'a Stmt, exprs: &mut Vec<&'a Expr>) {
         match s {
             Stmt::Seq(items) => items.iter().for_each(|i| collect(i, exprs)),
-            Stmt::Loop { lower, upper, body, .. } => {
+            Stmt::Loop {
+                lower, upper, body, ..
+            } => {
                 exprs.push(lower);
                 exprs.push(upper);
                 collect(body, exprs);
@@ -610,9 +613,12 @@ fn lower(s: &Stmt, visits: &mut usize) -> usize {
     *visits += 1;
     match s {
         Stmt::Seq(items) => items.iter().map(|i| lower(i, visits)).sum(),
-        Stmt::Loop { lower: lo, upper, body, .. } => {
-            3 + lo.size() + upper.size() + lower(body, visits)
-        }
+        Stmt::Loop {
+            lower: lo,
+            upper,
+            body,
+            ..
+        } => 3 + lo.size() + upper.size() + lower(body, visits),
         Stmt::If { cond, then_, else_ } => {
             1 + cond.size()
                 + lower(then_, visits)
@@ -663,22 +669,43 @@ mod tests {
     fn statically_false_guard_removed() {
         let s = Stmt::If {
             cond: Cond::atom(CondAtom::GeqZero(Expr::Const(-1))),
-            then_: Box::new(Stmt::Call { stmt: 0, args: vec![] }),
-            else_: Some(Box::new(Stmt::Call { stmt: 1, args: vec![] })),
+            then_: Box::new(Stmt::Call {
+                stmt: 0,
+                args: vec![],
+            }),
+            else_: Some(Box::new(Stmt::Call {
+                stmt: 1,
+                args: vec![],
+            })),
         };
         let r = compile(&s);
-        assert_eq!(r.optimized, Stmt::Call { stmt: 1, args: vec![] });
+        assert_eq!(
+            r.optimized,
+            Stmt::Call {
+                stmt: 1,
+                args: vec![]
+            }
+        );
     }
 
     #[test]
     fn statically_true_guard_dropped() {
         let s = Stmt::If {
             cond: Cond::atom(CondAtom::ModZero(Expr::Const(8), 4)),
-            then_: Box::new(Stmt::Call { stmt: 0, args: vec![] }),
+            then_: Box::new(Stmt::Call {
+                stmt: 0,
+                args: vec![],
+            }),
             else_: None,
         };
         let r = compile(&s);
-        assert_eq!(r.optimized, Stmt::Call { stmt: 0, args: vec![] });
+        assert_eq!(
+            r.optimized,
+            Stmt::Call {
+                stmt: 0,
+                args: vec![]
+            }
+        );
     }
 
     #[test]

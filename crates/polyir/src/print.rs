@@ -6,7 +6,7 @@ use crate::expr::{Cond, CondAtom, Expr};
 use crate::stmt::Stmt;
 
 /// Naming environment for the printer.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct Names {
     /// Parameter names by index (defaults to `n0`, `n1`, …).
     pub params: Vec<String>,
@@ -16,31 +16,30 @@ pub struct Names {
     pub stmts: Vec<String>,
 }
 
-impl Default for Names {
-    fn default() -> Self {
-        Names {
-            params: Vec::new(),
-            vars: Vec::new(),
-            stmts: Vec::new(),
-        }
-    }
-}
-
 impl Names {
     /// Parameter name for index `i`.
     pub fn param(&self, i: usize) -> String {
-        self.params.get(i).cloned().unwrap_or_else(|| format!("n{i}"))
+        self.params
+            .get(i)
+            .cloned()
+            .unwrap_or_else(|| format!("n{i}"))
     }
 
     /// Loop-variable name for slot `i` (1-based `tK` by default, matching
     /// the paper's generated code).
     pub fn var(&self, i: usize) -> String {
-        self.vars.get(i).cloned().unwrap_or_else(|| format!("t{}", i + 1))
+        self.vars
+            .get(i)
+            .cloned()
+            .unwrap_or_else(|| format!("t{}", i + 1))
     }
 
     /// Statement name for id `i`.
     pub fn stmt(&self, i: usize) -> String {
-        self.stmts.get(i).cloned().unwrap_or_else(|| format!("s{i}"))
+        self.stmts
+            .get(i)
+            .cloned()
+            .unwrap_or_else(|| format!("s{i}"))
     }
 }
 
@@ -67,7 +66,11 @@ fn prec_print(e: &Expr, names: &Names, parent: u8) -> String {
                     format!("{}-{}", prec_print(a, names, 0), -c)
                 }
                 Expr::Mul(k, e) if *k < 0 => {
-                    format!("{}-{}", prec_print(a, names, 0), prec_print(&Expr::Mul(-k, e.clone()), names, 1))
+                    format!(
+                        "{}-{}",
+                        prec_print(a, names, 0),
+                        prec_print(&Expr::Mul(-k, e.clone()), names, 1)
+                    )
                 }
                 _ => format!("{}+{}", prec_print(a, names, 0), prec_print(b, names, 0)),
             };
@@ -140,11 +143,7 @@ fn paren(e: &Expr, names: &Names) -> String {
 /// Renders `e >= 0` in the friendlier `lhs >= rhs` / `lhs <= rhs` forms.
 fn render_comparison(e: &Expr, names: &Names) -> String {
     match e {
-        Expr::Sub(a, b) => format!(
-            "{} >= {}",
-            prec_print(a, names, 0),
-            prec_print(b, names, 0)
-        ),
+        Expr::Sub(a, b) => format!("{} >= {}", prec_print(a, names, 0), prec_print(b, names, 0)),
         Expr::Add(a, b) => {
             if let Expr::Const(c) = b.as_ref() {
                 // `-k·x + c >= 0` reads better as `k·x <= c`.
@@ -184,7 +183,10 @@ pub fn to_c(stmt: &Stmt, names: &Names) -> String {
 /// Number of non-empty lines of the C rendering — the paper's
 /// "lines of generated code" metric.
 pub fn lines_of_code(stmt: &Stmt, names: &Names) -> usize {
-    to_c(stmt, names).lines().filter(|l| !l.trim().is_empty()).count()
+    to_c(stmt, names)
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .count()
 }
 
 fn indent(depth: usize, out: &mut String) {
@@ -252,108 +254,6 @@ fn print_stmt(s: &Stmt, names: &Names, depth: usize, out: &mut String) {
             out.push_str(&format!("{}({});\n", names.stmt(*stmt), rendered.join(",")));
         }
         Stmt::Nop => {}
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn expr_rendering() {
-        let n = Names::default();
-        let e = Expr::add(Expr::mul(2, Expr::Var(0)), Expr::Const(-3));
-        assert_eq!(expr_to_string(&e, &n), "2*t1-3");
-        let e = Expr::min2(Expr::Param(0), Expr::Var(1));
-        assert_eq!(expr_to_string(&e, &n), "min(n0,t2)");
-        let e = Expr::FloorDiv(Box::new(Expr::Param(0)), 4);
-        assert_eq!(expr_to_string(&e, &n), "floord(n0,4)");
-    }
-
-    #[test]
-    fn loop_rendering_matches_paper_style() {
-        let n = Names {
-            params: vec!["n".into()],
-            vars: vec![],
-            stmts: vec![],
-        };
-        let body = Stmt::Call {
-            stmt: 0,
-            args: vec![Expr::Var(0)],
-        };
-        let l = Stmt::Loop {
-            var: 0,
-            lower: Expr::Const(1),
-            upper: Expr::Const(100),
-            step: 1,
-            body: Box::new(body),
-        };
-        let txt = to_c(&l, &n);
-        assert!(txt.contains("for (t1=1; t1<=100; t1++) {"), "{txt}");
-        assert!(txt.contains("s0(t1);"), "{txt}");
-        assert_eq!(lines_of_code(&l, &n), 3);
-    }
-
-    #[test]
-    fn mod_condition_rendering() {
-        let n = Names::default();
-        let c = Cond::atom(CondAtom::ModZero(Expr::Var(0), 4));
-        assert_eq!(cond_to_string(&c, &n), "t1%4 == 0");
-        let c = Cond::atom(CondAtom::ModZero(
-            Expr::add(Expr::Var(0), Expr::Const(2)),
-            4,
-        ));
-        assert_eq!(cond_to_string(&c, &n), "(t1+2)%4 == 0");
-    }
-
-    #[test]
-    fn comparison_rendering() {
-        let n = Names {
-            params: vec!["n".into()],
-            vars: vec![],
-            stmts: vec![],
-        };
-        // n - 2 >= 0 renders as n >= 2
-        let c = Cond::atom(CondAtom::GeqZero(Expr::add(
-            Expr::Param(0),
-            Expr::Const(-2),
-        )));
-        assert_eq!(cond_to_string(&c, &n), "n >= 2");
-    }
-
-    #[test]
-    fn if_else_rendering() {
-        let n = Names::default();
-        let s = Stmt::If {
-            cond: Cond::atom(CondAtom::ModZero(Expr::Var(0), 4)),
-            then_: Box::new(Stmt::Call {
-                stmt: 0,
-                args: vec![Expr::Var(0)],
-            }),
-            else_: Some(Box::new(Stmt::Call {
-                stmt: 1,
-                args: vec![Expr::Var(0)],
-            })),
-        };
-        let txt = to_c(&s, &n);
-        assert!(txt.contains("else {"), "{txt}");
-        assert_eq!(lines_of_code(&s, &n), 6);
-    }
-
-    #[test]
-    fn assign_rendering() {
-        let n = Names::default();
-        let s = Stmt::Assign {
-            var: 1,
-            value: Expr::mul(4, Expr::Var(0)),
-            body: Box::new(Stmt::Call {
-                stmt: 0,
-                args: vec![Expr::Var(0), Expr::Var(1)],
-            }),
-        };
-        let txt = to_c(&s, &n);
-        assert!(txt.contains("t2 = 4*t1;"), "{txt}");
-        assert!(txt.contains("s0(t1,t2);"), "{txt}");
     }
 }
 
@@ -501,5 +401,107 @@ fn count_params(s: &Stmt) -> usize {
         Stmt::Assign { value, body, .. } => expr_max(value).max(count_params(body)),
         Stmt::Call { args, .. } => args.iter().map(expr_max).max().unwrap_or(0),
         Stmt::Nop => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_rendering() {
+        let n = Names::default();
+        let e = Expr::add(Expr::mul(2, Expr::Var(0)), Expr::Const(-3));
+        assert_eq!(expr_to_string(&e, &n), "2*t1-3");
+        let e = Expr::min2(Expr::Param(0), Expr::Var(1));
+        assert_eq!(expr_to_string(&e, &n), "min(n0,t2)");
+        let e = Expr::FloorDiv(Box::new(Expr::Param(0)), 4);
+        assert_eq!(expr_to_string(&e, &n), "floord(n0,4)");
+    }
+
+    #[test]
+    fn loop_rendering_matches_paper_style() {
+        let n = Names {
+            params: vec!["n".into()],
+            vars: vec![],
+            stmts: vec![],
+        };
+        let body = Stmt::Call {
+            stmt: 0,
+            args: vec![Expr::Var(0)],
+        };
+        let l = Stmt::Loop {
+            var: 0,
+            lower: Expr::Const(1),
+            upper: Expr::Const(100),
+            step: 1,
+            body: Box::new(body),
+        };
+        let txt = to_c(&l, &n);
+        assert!(txt.contains("for (t1=1; t1<=100; t1++) {"), "{txt}");
+        assert!(txt.contains("s0(t1);"), "{txt}");
+        assert_eq!(lines_of_code(&l, &n), 3);
+    }
+
+    #[test]
+    fn mod_condition_rendering() {
+        let n = Names::default();
+        let c = Cond::atom(CondAtom::ModZero(Expr::Var(0), 4));
+        assert_eq!(cond_to_string(&c, &n), "t1%4 == 0");
+        let c = Cond::atom(CondAtom::ModZero(
+            Expr::add(Expr::Var(0), Expr::Const(2)),
+            4,
+        ));
+        assert_eq!(cond_to_string(&c, &n), "(t1+2)%4 == 0");
+    }
+
+    #[test]
+    fn comparison_rendering() {
+        let n = Names {
+            params: vec!["n".into()],
+            vars: vec![],
+            stmts: vec![],
+        };
+        // n - 2 >= 0 renders as n >= 2
+        let c = Cond::atom(CondAtom::GeqZero(Expr::add(
+            Expr::Param(0),
+            Expr::Const(-2),
+        )));
+        assert_eq!(cond_to_string(&c, &n), "n >= 2");
+    }
+
+    #[test]
+    fn if_else_rendering() {
+        let n = Names::default();
+        let s = Stmt::If {
+            cond: Cond::atom(CondAtom::ModZero(Expr::Var(0), 4)),
+            then_: Box::new(Stmt::Call {
+                stmt: 0,
+                args: vec![Expr::Var(0)],
+            }),
+            else_: Some(Box::new(Stmt::Call {
+                stmt: 1,
+                args: vec![Expr::Var(0)],
+            })),
+        };
+        let txt = to_c(&s, &n);
+        assert!(txt.contains("else {"), "{txt}");
+        assert_eq!(lines_of_code(&s, &n), 6);
+    }
+
+    #[test]
+    fn assign_rendering() {
+        let n = Names::default();
+        let s = Stmt::Assign {
+            var: 1,
+            value: Expr::mul(4, Expr::Var(0)),
+            body: Box::new(Stmt::Call {
+                stmt: 0,
+                args: vec![Expr::Var(0), Expr::Var(1)],
+            }),
+        };
+        let txt = to_c(&s, &n);
+        assert!(txt.contains("t2 = 4*t1;"), "{txt}");
+        assert!(txt.contains("s0(t1,t2);"), "{txt}");
     }
 }

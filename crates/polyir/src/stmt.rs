@@ -95,9 +95,7 @@ impl Stmt {
                 lower, upper, body, ..
             } => 1 + lower.size() + upper.size() + body.size(),
             Stmt::If { cond, then_, else_ } => {
-                1 + cond.size()
-                    + then_.size()
-                    + else_.as_ref().map(|e| e.size()).unwrap_or(0)
+                1 + cond.size() + then_.size() + else_.as_ref().map(|e| e.size()).unwrap_or(0)
             }
             Stmt::Assign { value, body, .. } => 1 + value.size() + body.size(),
             Stmt::Call { args, .. } => 1 + args.iter().map(Expr::size).sum::<usize>(),
@@ -187,11 +185,7 @@ mod tests {
 
     #[test]
     fn seq_flattens() {
-        let s = Stmt::seq(vec![
-            Stmt::Nop,
-            Stmt::Seq(vec![call(0), call(1)]),
-            call(2),
-        ]);
+        let s = Stmt::seq(vec![Stmt::Nop, Stmt::Seq(vec![call(0), call(1)]), call(2)]);
         match s {
             Stmt::Seq(items) => assert_eq!(items.len(), 3),
             other => panic!("expected Seq, got {other:?}"),

@@ -62,7 +62,7 @@ fn build_program(bytes: &[u8]) -> Stmt {
             1 => {
                 let a = atom(scope, next(), next(), next());
                 let then_ = stmt(next, scope, depth + 1);
-                let else_ = if next() % 2 == 0 {
+                let else_ = if next().is_multiple_of(2) {
                     Some(Box::new(stmt(next, scope, depth + 1)))
                 } else {
                     None

@@ -29,24 +29,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let stmts: Vec<Statement> = variant
                 .statements()
                 .iter()
-                .map(|s| {
-                    Statement::new(s.name.clone(), s.domain.clone()).with_args(s.args.clone())
-                })
+                .map(|s| Statement::new(s.name.clone(), s.domain.clone()).with_args(s.args.clone()))
                 .collect();
             let stmts = pad_statements(&stmts, 0);
             let g = CodeGen::new().statements(stmts).generate()?;
             let run = polyir::execute_with(&g.code, &[n], &cfg)?;
             let lines = polyir::lines_of_code(&g.code, &g.names);
             let cost = model.cost(&run.counters);
-            assert_eq!(run.counters.stmt_execs, (n * n * n) as u64, "variant must cover all instances");
+            assert_eq!(
+                run.counters.stmt_execs,
+                (n * n * n) as u64,
+                "variant must cover all instances"
+            );
             results.push((tile, unroll, lines, cost));
         }
     }
-    println!("{:>5} {:>7} {:>6} {:>12}", "tile", "unroll", "lines", "dyn. cost");
+    println!(
+        "{:>5} {:>7} {:>6} {:>12}",
+        "tile", "unroll", "lines", "dyn. cost"
+    );
     for (t, u, l, c) in &results {
         println!("{t:>5} {u:>7} {l:>6} {c:>12}");
     }
     let best = results.iter().min_by_key(|r| r.3).unwrap();
-    println!("\nbest variant: tile={} unroll={} (cost {})", best.0, best.1, best.3);
+    println!(
+        "\nbest variant: tile={} unroll={} (cost {})",
+        best.0, best.1, best.3
+    );
     Ok(())
 }

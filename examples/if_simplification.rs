@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )?,
     );
     let cl = Cloog::new().statement(fig8a.clone()).generate()?;
-    println!("-- CLooG-style baseline:\n{}", polyir::to_c(&cl.code, &cl.names));
+    println!(
+        "-- CLooG-style baseline:\n{}",
+        polyir::to_c(&cl.code, &cl.names)
+    );
     let cg = CodeGen::new().statement(fig8a).generate()?;
     println!("-- CodeGen+:\n{}", polyir::to_c(&cg.code, &cg.names));
 
@@ -38,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     .map(|(i, d)| Ok(Statement::new(format!("s{i}"), Set::parse(d)?)))
     .collect::<Result<_, omega::ParseSetError>>()?;
     let cl = Cloog::new().statements(fig8d.clone()).generate()?;
-    println!("-- CLooG-style baseline:\n{}", polyir::to_c(&cl.code, &cl.names));
+    println!(
+        "-- CLooG-style baseline:\n{}",
+        polyir::to_c(&cl.code, &cl.names)
+    );
     let cg = CodeGen::new().statements(fig8d).generate()?;
     println!("-- CodeGen+:\n{}", polyir::to_c(&cg.code, &cg.names));
 

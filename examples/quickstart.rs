@@ -9,9 +9,7 @@ use omega::Set;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A triangular space where only even j iterate (a stride constraint).
-    let domain = Set::parse(
-        "[n] -> { [i,j] : 0 <= i < n && 0 <= j < i && exists(a : j = 2a) }",
-    )?;
+    let domain = Set::parse("[n] -> { [i,j] : 0 <= i < n && 0 <= j < i && exists(a : j = 2a) }")?;
     for effort in 0..=2 {
         let generated = CodeGen::new()
             .statement(Statement::new("s0", domain.clone()))

@@ -24,7 +24,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         i.leq(LinExpr::constant(nest.space(), 0))
     };
     let nest = nest.peel(0, &first_row);
-    println!("transformed nest: {} statements over {} dims", nest.len(), nest.space().n_vars());
+    println!(
+        "transformed nest: {} statements over {} dims",
+        nest.len(),
+        nest.space().n_vars()
+    );
 
     let stmts: Vec<Statement> = nest
         .statements()
@@ -35,15 +39,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let cg = CodeGen::new().statements(stmts.clone()).generate()?;
     let cl = Cloog::new().statements(stmts).generate()?;
-    println!("\n-- CodeGen+ ({} lines):\n{}",
+    println!(
+        "\n-- CodeGen+ ({} lines):\n{}",
         polyir::lines_of_code(&cg.code, &cg.names),
-        polyir::to_c(&cg.code, &cg.names));
-    println!("-- baseline ({} lines)", polyir::lines_of_code(&cl.code, &cl.names));
+        polyir::to_c(&cg.code, &cg.names)
+    );
+    println!(
+        "-- baseline ({} lines)",
+        polyir::lines_of_code(&cl.code, &cl.names)
+    );
 
     let ra = polyir::execute(&cg.code, &[20])?;
     let rb = polyir::execute(&cl.code, &[20])?;
     assert_eq!(ra.trace, rb.trace, "generators disagree");
     assert_eq!(ra.trace.len(), 20 * 20);
-    println!("\nverified: both tools execute {} identical instances in order", ra.trace.len());
+    println!(
+        "\nverified: both tools execute {} identical instances in order",
+        ra.trace.len()
+    );
     Ok(())
 }

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_bench-a2578132cfeb5ecf.d: crates/bench/benches/ablation_bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_bench-a2578132cfeb5ecf.rmeta: crates/bench/benches/ablation_bench.rs Cargo.toml
+
+crates/bench/benches/ablation_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/bench_harness-4d3ebbefbed7015a.d: crates/bench/src/lib.rs crates/bench/src/gcc.rs
+
+/root/repo/target/debug/deps/libbench_harness-4d3ebbefbed7015a.rlib: crates/bench/src/lib.rs crates/bench/src/gcc.rs
+
+/root/repo/target/debug/deps/libbench_harness-4d3ebbefbed7015a.rmeta: crates/bench/src/lib.rs crates/bench/src/gcc.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/gcc.rs:

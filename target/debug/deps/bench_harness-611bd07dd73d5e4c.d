@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/bench_harness-611bd07dd73d5e4c.d: crates/bench/src/lib.rs crates/bench/src/gcc.rs
+
+/root/repo/target/debug/deps/bench_harness-611bd07dd73d5e4c: crates/bench/src/lib.rs crates/bench/src/gcc.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/gcc.rs:

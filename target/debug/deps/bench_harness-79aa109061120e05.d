@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bench_harness-79aa109061120e05.d: crates/bench/src/lib.rs crates/bench/src/gcc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_harness-79aa109061120e05.rmeta: crates/bench/src/lib.rs crates/bench/src/gcc.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/gcc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/c_program-03a984825300a6ed.d: crates/polyir/tests/c_program.rs Cargo.toml
+
+/root/repo/target/debug/deps/libc_program-03a984825300a6ed.rmeta: crates/polyir/tests/c_program.rs Cargo.toml
+
+crates/polyir/tests/c_program.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/c_program-f0dcf9dd94ecde91.d: crates/polyir/tests/c_program.rs
+
+/root/repo/target/debug/deps/c_program-f0dcf9dd94ecde91: crates/polyir/tests/c_program.rs
+
+crates/polyir/tests/c_program.rs:

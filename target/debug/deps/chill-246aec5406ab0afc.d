@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/chill-246aec5406ab0afc.d: crates/chill/src/lib.rs crates/chill/src/nest.rs crates/chill/src/recipes.rs crates/chill/src/xform.rs
+
+/root/repo/target/debug/deps/libchill-246aec5406ab0afc.rlib: crates/chill/src/lib.rs crates/chill/src/nest.rs crates/chill/src/recipes.rs crates/chill/src/xform.rs
+
+/root/repo/target/debug/deps/libchill-246aec5406ab0afc.rmeta: crates/chill/src/lib.rs crates/chill/src/nest.rs crates/chill/src/recipes.rs crates/chill/src/xform.rs
+
+crates/chill/src/lib.rs:
+crates/chill/src/nest.rs:
+crates/chill/src/recipes.rs:
+crates/chill/src/xform.rs:

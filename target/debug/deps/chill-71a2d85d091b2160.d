@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/chill-71a2d85d091b2160.d: crates/chill/src/lib.rs crates/chill/src/nest.rs crates/chill/src/recipes.rs crates/chill/src/xform.rs
+
+/root/repo/target/debug/deps/libchill-71a2d85d091b2160.rlib: crates/chill/src/lib.rs crates/chill/src/nest.rs crates/chill/src/recipes.rs crates/chill/src/xform.rs
+
+/root/repo/target/debug/deps/libchill-71a2d85d091b2160.rmeta: crates/chill/src/lib.rs crates/chill/src/nest.rs crates/chill/src/recipes.rs crates/chill/src/xform.rs
+
+crates/chill/src/lib.rs:
+crates/chill/src/nest.rs:
+crates/chill/src/recipes.rs:
+crates/chill/src/xform.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/chill-778b880e7f34f4a7.d: crates/chill/src/lib.rs crates/chill/src/nest.rs crates/chill/src/recipes.rs crates/chill/src/xform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchill-778b880e7f34f4a7.rmeta: crates/chill/src/lib.rs crates/chill/src/nest.rs crates/chill/src/recipes.rs crates/chill/src/xform.rs Cargo.toml
+
+crates/chill/src/lib.rs:
+crates/chill/src/nest.rs:
+crates/chill/src/recipes.rs:
+crates/chill/src/xform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/chill-9afe8051f2baa97f.d: crates/chill/src/lib.rs crates/chill/src/nest.rs crates/chill/src/recipes.rs crates/chill/src/xform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchill-9afe8051f2baa97f.rmeta: crates/chill/src/lib.rs crates/chill/src/nest.rs crates/chill/src/recipes.rs crates/chill/src/xform.rs Cargo.toml
+
+crates/chill/src/lib.rs:
+crates/chill/src/nest.rs:
+crates/chill/src/recipes.rs:
+crates/chill/src/xform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/chill-bf616b25a76f3cbe.d: crates/chill/src/lib.rs crates/chill/src/nest.rs crates/chill/src/recipes.rs crates/chill/src/xform.rs
+
+/root/repo/target/debug/deps/chill-bf616b25a76f3cbe: crates/chill/src/lib.rs crates/chill/src/nest.rs crates/chill/src/recipes.rs crates/chill/src/xform.rs
+
+crates/chill/src/lib.rs:
+crates/chill/src/nest.rs:
+crates/chill/src/recipes.rs:
+crates/chill/src/xform.rs:

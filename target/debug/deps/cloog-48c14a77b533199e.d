@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cloog-48c14a77b533199e.d: crates/cloog/src/lib.rs crates/cloog/src/gen.rs crates/cloog/src/separate.rs
+
+/root/repo/target/debug/deps/cloog-48c14a77b533199e: crates/cloog/src/lib.rs crates/cloog/src/gen.rs crates/cloog/src/separate.rs
+
+crates/cloog/src/lib.rs:
+crates/cloog/src/gen.rs:
+crates/cloog/src/separate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cloog-aba3300e1f687a7e.d: crates/cloog/src/lib.rs crates/cloog/src/gen.rs crates/cloog/src/separate.rs
+
+/root/repo/target/debug/deps/libcloog-aba3300e1f687a7e.rlib: crates/cloog/src/lib.rs crates/cloog/src/gen.rs crates/cloog/src/separate.rs
+
+/root/repo/target/debug/deps/libcloog-aba3300e1f687a7e.rmeta: crates/cloog/src/lib.rs crates/cloog/src/gen.rs crates/cloog/src/separate.rs
+
+crates/cloog/src/lib.rs:
+crates/cloog/src/gen.rs:
+crates/cloog/src/separate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cloog-d38329e17f64e668.d: crates/cloog/src/lib.rs crates/cloog/src/gen.rs crates/cloog/src/separate.rs
+
+/root/repo/target/debug/deps/libcloog-d38329e17f64e668.rlib: crates/cloog/src/lib.rs crates/cloog/src/gen.rs crates/cloog/src/separate.rs
+
+/root/repo/target/debug/deps/libcloog-d38329e17f64e668.rmeta: crates/cloog/src/lib.rs crates/cloog/src/gen.rs crates/cloog/src/separate.rs
+
+crates/cloog/src/lib.rs:
+crates/cloog/src/gen.rs:
+crates/cloog/src/separate.rs:

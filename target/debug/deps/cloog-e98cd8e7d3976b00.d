@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cloog-e98cd8e7d3976b00.d: crates/cloog/src/lib.rs crates/cloog/src/gen.rs crates/cloog/src/separate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcloog-e98cd8e7d3976b00.rmeta: crates/cloog/src/lib.rs crates/cloog/src/gen.rs crates/cloog/src/separate.rs Cargo.toml
+
+crates/cloog/src/lib.rs:
+crates/cloog/src/gen.rs:
+crates/cloog/src/separate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/codegenplus-1ba06229beddfb56.d: crates/core/src/lib.rs crates/core/src/ast.rs crates/core/src/init.rs crates/core/src/input.rs crates/core/src/lift.rs crates/core/src/lower.rs crates/core/src/minmax.rs crates/core/src/par.rs
+
+/root/repo/target/debug/deps/libcodegenplus-1ba06229beddfb56.rlib: crates/core/src/lib.rs crates/core/src/ast.rs crates/core/src/init.rs crates/core/src/input.rs crates/core/src/lift.rs crates/core/src/lower.rs crates/core/src/minmax.rs crates/core/src/par.rs
+
+/root/repo/target/debug/deps/libcodegenplus-1ba06229beddfb56.rmeta: crates/core/src/lib.rs crates/core/src/ast.rs crates/core/src/init.rs crates/core/src/input.rs crates/core/src/lift.rs crates/core/src/lower.rs crates/core/src/minmax.rs crates/core/src/par.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ast.rs:
+crates/core/src/init.rs:
+crates/core/src/input.rs:
+crates/core/src/lift.rs:
+crates/core/src/lower.rs:
+crates/core/src/minmax.rs:
+crates/core/src/par.rs:

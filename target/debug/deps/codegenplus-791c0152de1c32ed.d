@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/codegenplus-791c0152de1c32ed.d: crates/core/src/lib.rs crates/core/src/ast.rs crates/core/src/init.rs crates/core/src/input.rs crates/core/src/lift.rs crates/core/src/lower.rs crates/core/src/minmax.rs crates/core/src/par.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcodegenplus-791c0152de1c32ed.rmeta: crates/core/src/lib.rs crates/core/src/ast.rs crates/core/src/init.rs crates/core/src/input.rs crates/core/src/lift.rs crates/core/src/lower.rs crates/core/src/minmax.rs crates/core/src/par.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/ast.rs:
+crates/core/src/init.rs:
+crates/core/src/input.rs:
+crates/core/src/lift.rs:
+crates/core/src/lower.rs:
+crates/core/src/minmax.rs:
+crates/core/src/par.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

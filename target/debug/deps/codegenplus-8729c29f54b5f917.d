@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/codegenplus-8729c29f54b5f917.d: crates/core/src/lib.rs crates/core/src/ast.rs crates/core/src/init.rs crates/core/src/input.rs crates/core/src/lift.rs crates/core/src/lower.rs crates/core/src/minmax.rs crates/core/src/par.rs
+
+/root/repo/target/debug/deps/libcodegenplus-8729c29f54b5f917.rlib: crates/core/src/lib.rs crates/core/src/ast.rs crates/core/src/init.rs crates/core/src/input.rs crates/core/src/lift.rs crates/core/src/lower.rs crates/core/src/minmax.rs crates/core/src/par.rs
+
+/root/repo/target/debug/deps/libcodegenplus-8729c29f54b5f917.rmeta: crates/core/src/lib.rs crates/core/src/ast.rs crates/core/src/init.rs crates/core/src/input.rs crates/core/src/lift.rs crates/core/src/lower.rs crates/core/src/minmax.rs crates/core/src/par.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ast.rs:
+crates/core/src/init.rs:
+crates/core/src/input.rs:
+crates/core/src/lift.rs:
+crates/core/src/lower.rs:
+crates/core/src/minmax.rs:
+crates/core/src/par.rs:

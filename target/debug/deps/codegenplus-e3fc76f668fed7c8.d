@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/codegenplus-e3fc76f668fed7c8.d: crates/core/src/lib.rs crates/core/src/ast.rs crates/core/src/init.rs crates/core/src/input.rs crates/core/src/lift.rs crates/core/src/lower.rs crates/core/src/minmax.rs crates/core/src/par.rs
+
+/root/repo/target/debug/deps/codegenplus-e3fc76f668fed7c8: crates/core/src/lib.rs crates/core/src/ast.rs crates/core/src/init.rs crates/core/src/input.rs crates/core/src/lift.rs crates/core/src/lower.rs crates/core/src/minmax.rs crates/core/src/par.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ast.rs:
+crates/core/src/init.rs:
+crates/core/src/input.rs:
+crates/core/src/lift.rs:
+crates/core/src/lower.rs:
+crates/core/src/minmax.rs:
+crates/core/src/par.rs:

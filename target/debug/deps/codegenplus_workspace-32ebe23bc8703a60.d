@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/codegenplus_workspace-32ebe23bc8703a60.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcodegenplus_workspace-32ebe23bc8703a60.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcodegenplus_workspace-32ebe23bc8703a60.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/codegenplus_workspace-9a256669bacc76a4.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcodegenplus_workspace-9a256669bacc76a4.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcodegenplus_workspace-9a256669bacc76a4.rmeta: src/lib.rs
+
+src/lib.rs:

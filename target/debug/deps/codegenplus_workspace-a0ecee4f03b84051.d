@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/codegenplus_workspace-a0ecee4f03b84051.d: src/lib.rs
+
+/root/repo/target/debug/deps/codegenplus_workspace-a0ecee4f03b84051: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/codegenplus_workspace-ac13c457a8648b11.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcodegenplus_workspace-ac13c457a8648b11.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/codegenplus_workspace-e01f6a22d3baee28.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcodegenplus_workspace-e01f6a22d3baee28.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/composition-8adffd6c1465fe5d.d: crates/chill/tests/composition.rs
+
+/root/repo/target/debug/deps/composition-8adffd6c1465fe5d: crates/chill/tests/composition.rs
+
+crates/chill/tests/composition.rs:

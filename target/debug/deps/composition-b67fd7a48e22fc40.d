@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/composition-b67fd7a48e22fc40.d: crates/chill/tests/composition.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcomposition-b67fd7a48e22fc40.rmeta: crates/chill/tests/composition.rs Cargo.toml
+
+crates/chill/tests/composition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

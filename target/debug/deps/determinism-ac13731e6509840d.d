@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-ac13731e6509840d.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-ac13731e6509840d: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-e9eb543d91686993.d: tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-e9eb543d91686993.rmeta: tests/determinism.rs Cargo.toml
+
+tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

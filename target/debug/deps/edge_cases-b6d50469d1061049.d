@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edge_cases-b6d50469d1061049.d: tests/edge_cases.rs
+
+/root/repo/target/debug/deps/edge_cases-b6d50469d1061049: tests/edge_cases.rs
+
+tests/edge_cases.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/edge_cases-fa0a19d4ecd99d6c.d: tests/edge_cases.rs Cargo.toml
+
+/root/repo/target/debug/deps/libedge_cases-fa0a19d4ecd99d6c.rmeta: tests/edge_cases.rs Cargo.toml
+
+tests/edge_cases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

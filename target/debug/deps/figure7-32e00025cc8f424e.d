@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure7-32e00025cc8f424e.d: tests/figure7.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure7-32e00025cc8f424e.rmeta: tests/figure7.rs Cargo.toml
+
+tests/figure7.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

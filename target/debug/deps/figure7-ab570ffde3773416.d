@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure7-ab570ffde3773416.d: tests/figure7.rs
+
+/root/repo/target/debug/deps/figure7-ab570ffde3773416: tests/figure7.rs
+
+tests/figure7.rs:

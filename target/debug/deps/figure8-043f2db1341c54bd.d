@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure8-043f2db1341c54bd.d: tests/figure8.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure8-043f2db1341c54bd.rmeta: tests/figure8.rs Cargo.toml
+
+tests/figure8.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

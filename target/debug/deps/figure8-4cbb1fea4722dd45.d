@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure8-4cbb1fea4722dd45.d: tests/figure8.rs
+
+/root/repo/target/debug/deps/figure8-4cbb1fea4722dd45: tests/figure8.rs
+
+tests/figure8.rs:

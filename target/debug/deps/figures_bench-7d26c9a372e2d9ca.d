@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figures_bench-7d26c9a372e2d9ca.d: crates/bench/benches/figures_bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigures_bench-7d26c9a372e2d9ca.rmeta: crates/bench/benches/figures_bench.rs Cargo.toml
+
+crates/bench/benches/figures_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gcc_e2e-0806f5c4f45aea0f.d: tests/gcc_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgcc_e2e-0806f5c4f45aea0f.rmeta: tests/gcc_e2e.rs Cargo.toml
+
+tests/gcc_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gcc_e2e-2ebde3d47df579eb.d: tests/gcc_e2e.rs
+
+/root/repo/target/debug/deps/gcc_e2e-2ebde3d47df579eb: tests/gcc_e2e.rs
+
+tests/gcc_e2e.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lex_order-da2f6d8ed6dc3ef4.d: tests/lex_order.rs
+
+/root/repo/target/debug/deps/lex_order-da2f6d8ed6dc3ef4: tests/lex_order.rs
+
+tests/lex_order.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lex_order-de0e0347113b9b96.d: tests/lex_order.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblex_order-de0e0347113b9b96.rmeta: tests/lex_order.rs Cargo.toml
+
+tests/lex_order.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

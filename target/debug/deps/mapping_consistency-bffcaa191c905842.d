@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mapping_consistency-bffcaa191c905842.d: crates/chill/tests/mapping_consistency.rs
+
+/root/repo/target/debug/deps/mapping_consistency-bffcaa191c905842: crates/chill/tests/mapping_consistency.rs
+
+crates/chill/tests/mapping_consistency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mapping_consistency-ea2e08d4f07ab89e.d: crates/chill/tests/mapping_consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmapping_consistency-ea2e08d4f07ab89e.rmeta: crates/chill/tests/mapping_consistency.rs Cargo.toml
+
+crates/chill/tests/mapping_consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

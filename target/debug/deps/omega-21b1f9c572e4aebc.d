@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/omega-21b1f9c572e4aebc.d: crates/omega/src/lib.rs crates/omega/src/num.rs crates/omega/src/stats.rs crates/omega/src/bounds.rs crates/omega/src/cache.rs crates/omega/src/conjunct.rs crates/omega/src/gist.rs crates/omega/src/hull.rs crates/omega/src/linexpr.rs crates/omega/src/map.rs crates/omega/src/parse.rs crates/omega/src/project.rs crates/omega/src/sat.rs crates/omega/src/set.rs crates/omega/src/space.rs crates/omega/src/tier.rs Cargo.toml
+
+/root/repo/target/debug/deps/libomega-21b1f9c572e4aebc.rmeta: crates/omega/src/lib.rs crates/omega/src/num.rs crates/omega/src/stats.rs crates/omega/src/bounds.rs crates/omega/src/cache.rs crates/omega/src/conjunct.rs crates/omega/src/gist.rs crates/omega/src/hull.rs crates/omega/src/linexpr.rs crates/omega/src/map.rs crates/omega/src/parse.rs crates/omega/src/project.rs crates/omega/src/sat.rs crates/omega/src/set.rs crates/omega/src/space.rs crates/omega/src/tier.rs Cargo.toml
+
+crates/omega/src/lib.rs:
+crates/omega/src/num.rs:
+crates/omega/src/stats.rs:
+crates/omega/src/bounds.rs:
+crates/omega/src/cache.rs:
+crates/omega/src/conjunct.rs:
+crates/omega/src/gist.rs:
+crates/omega/src/hull.rs:
+crates/omega/src/linexpr.rs:
+crates/omega/src/map.rs:
+crates/omega/src/parse.rs:
+crates/omega/src/project.rs:
+crates/omega/src/sat.rs:
+crates/omega/src/set.rs:
+crates/omega/src/space.rs:
+crates/omega/src/tier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

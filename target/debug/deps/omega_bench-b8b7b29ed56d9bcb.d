@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/omega_bench-b8b7b29ed56d9bcb.d: crates/bench/benches/omega_bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libomega_bench-b8b7b29ed56d9bcb.rmeta: crates/bench/benches/omega_bench.rs Cargo.toml
+
+crates/bench/benches/omega_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/omega_props-10877211602f50b6.d: tests/omega_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libomega_props-10877211602f50b6.rmeta: tests/omega_props.rs Cargo.toml
+
+tests/omega_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

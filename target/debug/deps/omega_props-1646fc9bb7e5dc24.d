@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/omega_props-1646fc9bb7e5dc24.d: tests/omega_props.rs
+
+/root/repo/target/debug/deps/omega_props-1646fc9bb7e5dc24: tests/omega_props.rs
+
+tests/omega_props.rs:

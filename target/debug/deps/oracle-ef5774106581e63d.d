@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/oracle-ef5774106581e63d.d: tests/oracle.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboracle-ef5774106581e63d.rmeta: tests/oracle.rs Cargo.toml
+
+tests/oracle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

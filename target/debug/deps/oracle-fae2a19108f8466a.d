@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oracle-fae2a19108f8466a.d: tests/oracle.rs
+
+/root/repo/target/debug/deps/oracle-fae2a19108f8466a: tests/oracle.rs
+
+tests/oracle.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_examples-59feb3c8d7629582.d: crates/omega/tests/paper_examples.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_examples-59feb3c8d7629582.rmeta: crates/omega/tests/paper_examples.rs Cargo.toml
+
+crates/omega/tests/paper_examples.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

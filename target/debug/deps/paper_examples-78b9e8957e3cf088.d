@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-78b9e8957e3cf088.d: crates/omega/tests/paper_examples.rs
+
+/root/repo/target/debug/deps/paper_examples-78b9e8957e3cf088: crates/omega/tests/paper_examples.rs
+
+crates/omega/tests/paper_examples.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-e77a60993c1bb06b.d: crates/omega/tests/paper_examples.rs
+
+/root/repo/target/debug/deps/paper_examples-e77a60993c1bb06b: crates/omega/tests/paper_examples.rs
+
+crates/omega/tests/paper_examples.rs:

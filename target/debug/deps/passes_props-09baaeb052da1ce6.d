@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/passes_props-09baaeb052da1ce6.d: crates/polyir/tests/passes_props.rs
+
+/root/repo/target/debug/deps/passes_props-09baaeb052da1ce6: crates/polyir/tests/passes_props.rs
+
+crates/polyir/tests/passes_props.rs:

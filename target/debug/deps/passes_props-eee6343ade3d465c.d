@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/passes_props-eee6343ade3d465c.d: crates/polyir/tests/passes_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpasses_props-eee6343ade3d465c.rmeta: crates/polyir/tests/passes_props.rs Cargo.toml
+
+crates/polyir/tests/passes_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

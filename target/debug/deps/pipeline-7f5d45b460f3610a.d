@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-7f5d45b460f3610a.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-7f5d45b460f3610a: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline-9f08e5c375293995.d: tests/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-9f08e5c375293995.rmeta: tests/pipeline.rs Cargo.toml
+
+tests/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

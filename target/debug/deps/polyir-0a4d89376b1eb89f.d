@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/polyir-0a4d89376b1eb89f.d: crates/polyir/src/lib.rs crates/polyir/src/expr.rs crates/polyir/src/interp.rs crates/polyir/src/metrics.rs crates/polyir/src/passes.rs crates/polyir/src/print.rs crates/polyir/src/stmt.rs
+
+/root/repo/target/debug/deps/polyir-0a4d89376b1eb89f: crates/polyir/src/lib.rs crates/polyir/src/expr.rs crates/polyir/src/interp.rs crates/polyir/src/metrics.rs crates/polyir/src/passes.rs crates/polyir/src/print.rs crates/polyir/src/stmt.rs
+
+crates/polyir/src/lib.rs:
+crates/polyir/src/expr.rs:
+crates/polyir/src/interp.rs:
+crates/polyir/src/metrics.rs:
+crates/polyir/src/passes.rs:
+crates/polyir/src/print.rs:
+crates/polyir/src/stmt.rs:

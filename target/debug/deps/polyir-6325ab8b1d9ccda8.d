@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/polyir-6325ab8b1d9ccda8.d: crates/polyir/src/lib.rs crates/polyir/src/expr.rs crates/polyir/src/interp.rs crates/polyir/src/metrics.rs crates/polyir/src/passes.rs crates/polyir/src/print.rs crates/polyir/src/stmt.rs
+
+/root/repo/target/debug/deps/libpolyir-6325ab8b1d9ccda8.rlib: crates/polyir/src/lib.rs crates/polyir/src/expr.rs crates/polyir/src/interp.rs crates/polyir/src/metrics.rs crates/polyir/src/passes.rs crates/polyir/src/print.rs crates/polyir/src/stmt.rs
+
+/root/repo/target/debug/deps/libpolyir-6325ab8b1d9ccda8.rmeta: crates/polyir/src/lib.rs crates/polyir/src/expr.rs crates/polyir/src/interp.rs crates/polyir/src/metrics.rs crates/polyir/src/passes.rs crates/polyir/src/print.rs crates/polyir/src/stmt.rs
+
+crates/polyir/src/lib.rs:
+crates/polyir/src/expr.rs:
+crates/polyir/src/interp.rs:
+crates/polyir/src/metrics.rs:
+crates/polyir/src/passes.rs:
+crates/polyir/src/print.rs:
+crates/polyir/src/stmt.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/polyir-f1018b36b803c501.d: crates/polyir/src/lib.rs crates/polyir/src/expr.rs crates/polyir/src/interp.rs crates/polyir/src/metrics.rs crates/polyir/src/passes.rs crates/polyir/src/print.rs crates/polyir/src/stmt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpolyir-f1018b36b803c501.rmeta: crates/polyir/src/lib.rs crates/polyir/src/expr.rs crates/polyir/src/interp.rs crates/polyir/src/metrics.rs crates/polyir/src/passes.rs crates/polyir/src/print.rs crates/polyir/src/stmt.rs Cargo.toml
+
+crates/polyir/src/lib.rs:
+crates/polyir/src/expr.rs:
+crates/polyir/src/interp.rs:
+crates/polyir/src/metrics.rs:
+crates/polyir/src/passes.rs:
+crates/polyir/src/print.rs:
+crates/polyir/src/stmt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

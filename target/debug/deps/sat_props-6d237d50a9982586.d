@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sat_props-6d237d50a9982586.d: crates/omega/tests/sat_props.rs
+
+/root/repo/target/debug/deps/sat_props-6d237d50a9982586: crates/omega/tests/sat_props.rs
+
+crates/omega/tests/sat_props.rs:

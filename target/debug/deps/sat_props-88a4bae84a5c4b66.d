@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sat_props-88a4bae84a5c4b66.d: crates/omega/tests/sat_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsat_props-88a4bae84a5c4b66.rmeta: crates/omega/tests/sat_props.rs Cargo.toml
+
+crates/omega/tests/sat_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sat_props-88e4f3d79725205e.d: crates/omega/tests/sat_props.rs
+
+/root/repo/target/debug/deps/sat_props-88e4f3d79725205e: crates/omega/tests/sat_props.rs
+
+crates/omega/tests/sat_props.rs:

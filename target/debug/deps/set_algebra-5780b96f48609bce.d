@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/set_algebra-5780b96f48609bce.d: crates/omega/tests/set_algebra.rs Cargo.toml
+
+/root/repo/target/debug/deps/libset_algebra-5780b96f48609bce.rmeta: crates/omega/tests/set_algebra.rs Cargo.toml
+
+crates/omega/tests/set_algebra.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/set_algebra-7a1d6a91df0b7a5d.d: crates/omega/tests/set_algebra.rs
+
+/root/repo/target/debug/deps/set_algebra-7a1d6a91df0b7a5d: crates/omega/tests/set_algebra.rs
+
+crates/omega/tests/set_algebra.rs:

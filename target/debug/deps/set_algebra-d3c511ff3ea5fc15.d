@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/set_algebra-d3c511ff3ea5fc15.d: crates/omega/tests/set_algebra.rs
+
+/root/repo/target/debug/deps/set_algebra-d3c511ff3ea5fc15: crates/omega/tests/set_algebra.rs
+
+crates/omega/tests/set_algebra.rs:

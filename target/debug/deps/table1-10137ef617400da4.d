@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-10137ef617400da4.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-10137ef617400da4: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

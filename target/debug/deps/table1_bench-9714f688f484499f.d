@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_bench-9714f688f484499f.d: crates/bench/benches/table1_bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_bench-9714f688f484499f.rmeta: crates/bench/benches/table1_bench.rs Cargo.toml
+
+crates/bench/benches/table1_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/autotuning-53d5a97709a1f9f5.d: examples/autotuning.rs
+
+/root/repo/target/debug/examples/autotuning-53d5a97709a1f9f5: examples/autotuning.rs
+
+examples/autotuning.rs:

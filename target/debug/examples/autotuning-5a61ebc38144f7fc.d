@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/autotuning-5a61ebc38144f7fc.d: examples/autotuning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libautotuning-5a61ebc38144f7fc.rmeta: examples/autotuning.rs Cargo.toml
+
+examples/autotuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

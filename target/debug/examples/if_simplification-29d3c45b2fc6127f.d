@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/if_simplification-29d3c45b2fc6127f.d: examples/if_simplification.rs
+
+/root/repo/target/debug/examples/if_simplification-29d3c45b2fc6127f: examples/if_simplification.rs
+
+examples/if_simplification.rs:

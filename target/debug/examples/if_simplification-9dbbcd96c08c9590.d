@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/if_simplification-9dbbcd96c08c9590.d: examples/if_simplification.rs Cargo.toml
+
+/root/repo/target/debug/examples/libif_simplification-9dbbcd96c08c9590.rmeta: examples/if_simplification.rs Cargo.toml
+
+examples/if_simplification.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

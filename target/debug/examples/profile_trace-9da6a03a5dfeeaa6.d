@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/profile_trace-9da6a03a5dfeeaa6.d: examples/profile_trace.rs
+
+/root/repo/target/debug/examples/profile_trace-9da6a03a5dfeeaa6: examples/profile_trace.rs
+
+examples/profile_trace.rs:

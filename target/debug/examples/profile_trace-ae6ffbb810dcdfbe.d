@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/profile_trace-ae6ffbb810dcdfbe.d: examples/profile_trace.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprofile_trace-ae6ffbb810dcdfbe.rmeta: examples/profile_trace.rs Cargo.toml
+
+examples/profile_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-0a76753913157134.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-0a76753913157134: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-e8ca3b0cd102c9fe.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-e8ca3b0cd102c9fe.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

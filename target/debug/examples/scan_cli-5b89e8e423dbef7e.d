@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/scan_cli-5b89e8e423dbef7e.d: examples/scan_cli.rs Cargo.toml
+
+/root/repo/target/debug/examples/libscan_cli-5b89e8e423dbef7e.rmeta: examples/scan_cli.rs Cargo.toml
+
+examples/scan_cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

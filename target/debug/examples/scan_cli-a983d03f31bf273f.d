@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scan_cli-a983d03f31bf273f.d: examples/scan_cli.rs
+
+/root/repo/target/debug/examples/scan_cli-a983d03f31bf273f: examples/scan_cli.rs
+
+examples/scan_cli.rs:

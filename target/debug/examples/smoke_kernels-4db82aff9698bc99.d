@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/smoke_kernels-4db82aff9698bc99.d: crates/bench/examples/smoke_kernels.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsmoke_kernels-4db82aff9698bc99.rmeta: crates/bench/examples/smoke_kernels.rs Cargo.toml
+
+crates/bench/examples/smoke_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/smoke_kernels-f8598e2e077f98a3.d: crates/bench/examples/smoke_kernels.rs
+
+/root/repo/target/debug/examples/smoke_kernels-f8598e2e077f98a3: crates/bench/examples/smoke_kernels.rs
+
+crates/bench/examples/smoke_kernels.rs:

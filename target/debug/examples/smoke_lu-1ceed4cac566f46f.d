@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/smoke_lu-1ceed4cac566f46f.d: crates/bench/examples/smoke_lu.rs
+
+/root/repo/target/debug/examples/smoke_lu-1ceed4cac566f46f: crates/bench/examples/smoke_lu.rs
+
+crates/bench/examples/smoke_lu.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/smoke_lu-85355682fc02c161.d: crates/bench/examples/smoke_lu.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsmoke_lu-85355682fc02c161.rmeta: crates/bench/examples/smoke_lu.rs Cargo.toml
+
+crates/bench/examples/smoke_lu.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/smoke_swim-1dbfaee0f8ed1fb0.d: crates/bench/examples/smoke_swim.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsmoke_swim-1dbfaee0f8ed1fb0.rmeta: crates/bench/examples/smoke_swim.rs Cargo.toml
+
+crates/bench/examples/smoke_swim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

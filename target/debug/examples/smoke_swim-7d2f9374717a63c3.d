@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/smoke_swim-7d2f9374717a63c3.d: crates/bench/examples/smoke_swim.rs
+
+/root/repo/target/debug/examples/smoke_swim-7d2f9374717a63c3: crates/bench/examples/smoke_swim.rs
+
+crates/bench/examples/smoke_swim.rs:

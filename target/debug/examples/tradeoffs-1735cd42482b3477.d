@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/tradeoffs-1735cd42482b3477.d: examples/tradeoffs.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtradeoffs-1735cd42482b3477.rmeta: examples/tradeoffs.rs Cargo.toml
+
+examples/tradeoffs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tradeoffs-3745040877d80c9e.d: examples/tradeoffs.rs
+
+/root/repo/target/debug/examples/tradeoffs-3745040877d80c9e: examples/tradeoffs.rs
+
+examples/tradeoffs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/transform_pipeline-50feca8d0920a38d.d: examples/transform_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtransform_pipeline-50feca8d0920a38d.rmeta: examples/transform_pipeline.rs Cargo.toml
+
+examples/transform_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/transform_pipeline-ce65438ce65cd193.d: examples/transform_pipeline.rs
+
+/root/repo/target/debug/examples/transform_pipeline-ce65438ce65cd193: examples/transform_pipeline.rs
+
+examples/transform_pipeline.rs:

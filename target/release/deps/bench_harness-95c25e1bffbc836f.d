@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/bench_harness-95c25e1bffbc836f.d: crates/bench/src/lib.rs crates/bench/src/gcc.rs
+
+/root/repo/target/release/deps/libbench_harness-95c25e1bffbc836f.rlib: crates/bench/src/lib.rs crates/bench/src/gcc.rs
+
+/root/repo/target/release/deps/libbench_harness-95c25e1bffbc836f.rmeta: crates/bench/src/lib.rs crates/bench/src/gcc.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/gcc.rs:

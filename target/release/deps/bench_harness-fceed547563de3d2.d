@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/bench_harness-fceed547563de3d2.d: crates/bench/src/lib.rs crates/bench/src/gcc.rs
+
+/root/repo/target/release/deps/libbench_harness-fceed547563de3d2.rlib: crates/bench/src/lib.rs crates/bench/src/gcc.rs
+
+/root/repo/target/release/deps/libbench_harness-fceed547563de3d2.rmeta: crates/bench/src/lib.rs crates/bench/src/gcc.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/gcc.rs:

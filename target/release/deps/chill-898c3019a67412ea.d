@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/chill-898c3019a67412ea.d: crates/chill/src/lib.rs crates/chill/src/nest.rs crates/chill/src/recipes.rs crates/chill/src/xform.rs
+
+/root/repo/target/release/deps/libchill-898c3019a67412ea.rlib: crates/chill/src/lib.rs crates/chill/src/nest.rs crates/chill/src/recipes.rs crates/chill/src/xform.rs
+
+/root/repo/target/release/deps/libchill-898c3019a67412ea.rmeta: crates/chill/src/lib.rs crates/chill/src/nest.rs crates/chill/src/recipes.rs crates/chill/src/xform.rs
+
+crates/chill/src/lib.rs:
+crates/chill/src/nest.rs:
+crates/chill/src/recipes.rs:
+crates/chill/src/xform.rs:

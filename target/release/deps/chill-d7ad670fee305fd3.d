@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/chill-d7ad670fee305fd3.d: crates/chill/src/lib.rs crates/chill/src/nest.rs crates/chill/src/recipes.rs crates/chill/src/xform.rs
+
+/root/repo/target/release/deps/libchill-d7ad670fee305fd3.rlib: crates/chill/src/lib.rs crates/chill/src/nest.rs crates/chill/src/recipes.rs crates/chill/src/xform.rs
+
+/root/repo/target/release/deps/libchill-d7ad670fee305fd3.rmeta: crates/chill/src/lib.rs crates/chill/src/nest.rs crates/chill/src/recipes.rs crates/chill/src/xform.rs
+
+crates/chill/src/lib.rs:
+crates/chill/src/nest.rs:
+crates/chill/src/recipes.rs:
+crates/chill/src/xform.rs:

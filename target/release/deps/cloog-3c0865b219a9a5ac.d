@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/cloog-3c0865b219a9a5ac.d: crates/cloog/src/lib.rs crates/cloog/src/gen.rs crates/cloog/src/separate.rs
+
+/root/repo/target/release/deps/libcloog-3c0865b219a9a5ac.rlib: crates/cloog/src/lib.rs crates/cloog/src/gen.rs crates/cloog/src/separate.rs
+
+/root/repo/target/release/deps/libcloog-3c0865b219a9a5ac.rmeta: crates/cloog/src/lib.rs crates/cloog/src/gen.rs crates/cloog/src/separate.rs
+
+crates/cloog/src/lib.rs:
+crates/cloog/src/gen.rs:
+crates/cloog/src/separate.rs:

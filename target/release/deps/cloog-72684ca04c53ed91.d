@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/cloog-72684ca04c53ed91.d: crates/cloog/src/lib.rs crates/cloog/src/gen.rs crates/cloog/src/separate.rs
+
+/root/repo/target/release/deps/libcloog-72684ca04c53ed91.rlib: crates/cloog/src/lib.rs crates/cloog/src/gen.rs crates/cloog/src/separate.rs
+
+/root/repo/target/release/deps/libcloog-72684ca04c53ed91.rmeta: crates/cloog/src/lib.rs crates/cloog/src/gen.rs crates/cloog/src/separate.rs
+
+crates/cloog/src/lib.rs:
+crates/cloog/src/gen.rs:
+crates/cloog/src/separate.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/codegenplus-6366fc17269c813c.d: crates/core/src/lib.rs crates/core/src/ast.rs crates/core/src/init.rs crates/core/src/input.rs crates/core/src/lift.rs crates/core/src/lower.rs crates/core/src/minmax.rs crates/core/src/par.rs
+
+/root/repo/target/release/deps/libcodegenplus-6366fc17269c813c.rlib: crates/core/src/lib.rs crates/core/src/ast.rs crates/core/src/init.rs crates/core/src/input.rs crates/core/src/lift.rs crates/core/src/lower.rs crates/core/src/minmax.rs crates/core/src/par.rs
+
+/root/repo/target/release/deps/libcodegenplus-6366fc17269c813c.rmeta: crates/core/src/lib.rs crates/core/src/ast.rs crates/core/src/init.rs crates/core/src/input.rs crates/core/src/lift.rs crates/core/src/lower.rs crates/core/src/minmax.rs crates/core/src/par.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ast.rs:
+crates/core/src/init.rs:
+crates/core/src/input.rs:
+crates/core/src/lift.rs:
+crates/core/src/lower.rs:
+crates/core/src/minmax.rs:
+crates/core/src/par.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/codegenplus_workspace-15b155f505bf2c8c.d: src/lib.rs
+
+/root/repo/target/release/deps/libcodegenplus_workspace-15b155f505bf2c8c.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcodegenplus_workspace-15b155f505bf2c8c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/codegenplus_workspace-cded69e640984fa6.d: src/lib.rs
+
+/root/repo/target/release/deps/libcodegenplus_workspace-cded69e640984fa6.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcodegenplus_workspace-cded69e640984fa6.rmeta: src/lib.rs
+
+src/lib.rs:

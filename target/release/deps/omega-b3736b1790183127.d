@@ -1,0 +1,22 @@
+/root/repo/target/release/deps/omega-b3736b1790183127.d: crates/omega/src/lib.rs crates/omega/src/num.rs crates/omega/src/stats.rs crates/omega/src/bounds.rs crates/omega/src/cache.rs crates/omega/src/conjunct.rs crates/omega/src/gist.rs crates/omega/src/hull.rs crates/omega/src/linexpr.rs crates/omega/src/map.rs crates/omega/src/parse.rs crates/omega/src/project.rs crates/omega/src/sat.rs crates/omega/src/set.rs crates/omega/src/space.rs crates/omega/src/tier.rs
+
+/root/repo/target/release/deps/libomega-b3736b1790183127.rlib: crates/omega/src/lib.rs crates/omega/src/num.rs crates/omega/src/stats.rs crates/omega/src/bounds.rs crates/omega/src/cache.rs crates/omega/src/conjunct.rs crates/omega/src/gist.rs crates/omega/src/hull.rs crates/omega/src/linexpr.rs crates/omega/src/map.rs crates/omega/src/parse.rs crates/omega/src/project.rs crates/omega/src/sat.rs crates/omega/src/set.rs crates/omega/src/space.rs crates/omega/src/tier.rs
+
+/root/repo/target/release/deps/libomega-b3736b1790183127.rmeta: crates/omega/src/lib.rs crates/omega/src/num.rs crates/omega/src/stats.rs crates/omega/src/bounds.rs crates/omega/src/cache.rs crates/omega/src/conjunct.rs crates/omega/src/gist.rs crates/omega/src/hull.rs crates/omega/src/linexpr.rs crates/omega/src/map.rs crates/omega/src/parse.rs crates/omega/src/project.rs crates/omega/src/sat.rs crates/omega/src/set.rs crates/omega/src/space.rs crates/omega/src/tier.rs
+
+crates/omega/src/lib.rs:
+crates/omega/src/num.rs:
+crates/omega/src/stats.rs:
+crates/omega/src/bounds.rs:
+crates/omega/src/cache.rs:
+crates/omega/src/conjunct.rs:
+crates/omega/src/gist.rs:
+crates/omega/src/hull.rs:
+crates/omega/src/linexpr.rs:
+crates/omega/src/map.rs:
+crates/omega/src/parse.rs:
+crates/omega/src/project.rs:
+crates/omega/src/sat.rs:
+crates/omega/src/set.rs:
+crates/omega/src/space.rs:
+crates/omega/src/tier.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/omega_bench-8f78070ae154f35b.d: crates/bench/benches/omega_bench.rs
+
+/root/repo/target/release/deps/omega_bench-8f78070ae154f35b: crates/bench/benches/omega_bench.rs
+
+crates/bench/benches/omega_bench.rs:

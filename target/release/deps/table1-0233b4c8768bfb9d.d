@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-0233b4c8768bfb9d.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-0233b4c8768bfb9d: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/__verify_threads-a8576a359c5b06f8.d: examples/__verify_threads.rs
+
+/root/repo/target/release/examples/__verify_threads-a8576a359c5b06f8: examples/__verify_threads.rs
+
+examples/__verify_threads.rs:

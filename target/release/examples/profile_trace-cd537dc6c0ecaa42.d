@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/profile_trace-cd537dc6c0ecaa42.d: examples/profile_trace.rs
+
+/root/repo/target/release/examples/profile_trace-cd537dc6c0ecaa42: examples/profile_trace.rs
+
+examples/profile_trace.rs:

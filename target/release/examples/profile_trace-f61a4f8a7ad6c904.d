@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/profile_trace-f61a4f8a7ad6c904.d: examples/profile_trace.rs
+
+/root/repo/target/release/examples/profile_trace-f61a4f8a7ad6c904: examples/profile_trace.rs
+
+examples/profile_trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/scan_cli-09316cda0a8046b1.d: examples/scan_cli.rs
+
+/root/repo/target/release/examples/scan_cli-09316cda0a8046b1: examples/scan_cli.rs
+
+examples/scan_cli.rs:

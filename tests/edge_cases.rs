@@ -27,7 +27,10 @@ fn cl(domains: &[&str]) -> codegenplus::Generated {
 #[test]
 fn zero_dimensional_statement() {
     // A statement with no loops at all, guarded by a parameter condition.
-    for g in [cg(&["[n] -> { [] : n >= 4 }"]), cl(&["[n] -> { [] : n >= 4 }"])] {
+    for g in [
+        cg(&["[n] -> { [] : n >= 4 }"]),
+        cl(&["[n] -> { [] : n >= 4 }"]),
+    ] {
         let yes = polyir::execute(&g.code, &[5]).unwrap();
         assert_eq!(yes.trace, vec![(0, vec![])]);
         let no = polyir::execute(&g.code, &[3]).unwrap();
@@ -37,7 +40,10 @@ fn zero_dimensional_statement() {
 
 #[test]
 fn single_point_domain() {
-    for g in [cg(&["{ [i,j] : i = 3 && j = -2 }"]), cl(&["{ [i,j] : i = 3 && j = -2 }"])] {
+    for g in [
+        cg(&["{ [i,j] : i = 3 && j = -2 }"]),
+        cl(&["{ [i,j] : i = 3 && j = -2 }"]),
+    ] {
         let run = polyir::execute(&g.code, &[]).unwrap();
         assert_eq!(run.trace, vec![(0, vec![3, -2])]);
     }
@@ -49,7 +55,12 @@ fn fully_negative_coordinates() {
     for g in [cg(&[d]), cl(&[d])] {
         let run = polyir::execute(&g.code, &[]).unwrap();
         let xs: Vec<i64> = run.trace.iter().map(|(_, a)| a[0]).collect();
-        assert_eq!(xs, vec![-9, -7, -5, -3], "{}", polyir::to_c(&g.code, &g.names));
+        assert_eq!(
+            xs,
+            vec![-9, -7, -5, -3],
+            "{}",
+            polyir::to_c(&g.code, &g.names)
+        );
     }
 }
 
@@ -91,7 +102,12 @@ fn equal_statements_share_everything() {
     let d = "[n] -> { [i,j] : 0 <= i < n && 0 <= j < n }";
     let g = cg(&[d, d, d]);
     // One shared loop nest, three calls, no ifs.
-    assert_eq!(g.code.count_loops(), 2, "{}", polyir::to_c(&g.code, &g.names));
+    assert_eq!(
+        g.code.count_loops(),
+        2,
+        "{}",
+        polyir::to_c(&g.code, &g.names)
+    );
     assert_eq!(g.code.count_ifs(), 0);
     let run = polyir::execute(&g.code, &[3]).unwrap();
     assert_eq!(run.trace.len(), 27);

@@ -89,5 +89,8 @@ fn code_size_grows_with_depth() {
         })
         .collect();
     assert!(sizes[0] <= sizes[1] && sizes[1] <= sizes[2], "{sizes:?}");
-    assert!(sizes[2] > sizes[0], "hoisting must duplicate code: {sizes:?}");
+    assert!(
+        sizes[2] > sizes[0],
+        "hoisting must duplicate code: {sizes:?}"
+    );
 }

@@ -29,7 +29,10 @@ fn fig8d_statements() -> Vec<Statement> {
 #[test]
 fn fig8c_codegenplus_clean_strided_loops() {
     // Figure 8(c): strided loops with no if-statement at all.
-    let g = CodeGen::new().statement(fig8a_statement()).generate().unwrap();
+    let g = CodeGen::new()
+        .statement(fig8a_statement())
+        .generate()
+        .unwrap();
     let txt = polyir::to_c(&g.code, &g.names);
     assert_eq!(g.code.count_ifs(), 0, "{txt}");
     assert!(txt.contains("t1+=4"), "outer stride 4:\n{txt}");
@@ -40,45 +43,75 @@ fn fig8c_codegenplus_clean_strided_loops() {
 #[test]
 fn fig8b_baseline_leaves_mod_check() {
     // Figure 8(b): the baseline leaves a modulo condition inside the nest.
-    let g = Cloog::new().statement(fig8a_statement()).generate().unwrap();
+    let g = Cloog::new()
+        .statement(fig8a_statement())
+        .generate()
+        .unwrap();
     let txt = polyir::to_c(&g.code, &g.names);
-    assert!(txt.contains("%3 == 0"), "redundant mod check expected:\n{txt}");
+    assert!(
+        txt.contains("%3 == 0"),
+        "redundant mod check expected:\n{txt}"
+    );
 }
 
 #[test]
 fn fig8f_codegenplus_if_else_single_mod() {
     // Figure 8(f): one mod test dispatching if/else between s0 and s1.
-    let g = CodeGen::new().statements(fig8d_statements()).generate().unwrap();
+    let g = CodeGen::new()
+        .statements(fig8d_statements())
+        .generate()
+        .unwrap();
     let txt = polyir::to_c(&g.code, &g.names);
     assert!(txt.contains("else"), "{txt}");
     let mods = txt.matches('%').count();
     assert_eq!(mods, 1, "exactly one modulo test:\n{txt}");
-    assert!(txt.contains("t1+=2"), "loop stride 2 from the hull lattice:\n{txt}");
+    assert!(
+        txt.contains("t1+=2"),
+        "loop stride 2 from the hull lattice:\n{txt}"
+    );
     // The outermost `n >= 2`-style guard is not generated: the loop bounds
     // check it (paper §4.2).
 }
 
 #[test]
 fn fig8e_baseline_tests_both_mods() {
-    let g = Cloog::new().statements(fig8d_statements()).generate().unwrap();
+    let g = Cloog::new()
+        .statements(fig8d_statements())
+        .generate()
+        .unwrap();
     let txt = polyir::to_c(&g.code, &g.names);
     let mods = txt.matches('%').count();
     assert!(mods >= 2, "baseline tests each statement's mod:\n{txt}");
-    assert!(!txt.contains("else"), "no if/else merging in baseline:\n{txt}");
+    assert!(
+        !txt.contains("else"),
+        "no if/else merging in baseline:\n{txt}"
+    );
 }
 
 #[test]
 fn both_figures_execute_identically_across_tools() {
     for n in [1i64, 4, 13, 20] {
-        let a = CodeGen::new().statement(fig8a_statement()).generate().unwrap();
-        let b = Cloog::new().statement(fig8a_statement()).generate().unwrap();
+        let a = CodeGen::new()
+            .statement(fig8a_statement())
+            .generate()
+            .unwrap();
+        let b = Cloog::new()
+            .statement(fig8a_statement())
+            .generate()
+            .unwrap();
         assert_eq!(
             polyir::execute(&a.code, &[n]).unwrap().trace,
             polyir::execute(&b.code, &[n]).unwrap().trace,
             "fig8a n={n}"
         );
-        let a = CodeGen::new().statements(fig8d_statements()).generate().unwrap();
-        let b = Cloog::new().statements(fig8d_statements()).generate().unwrap();
+        let a = CodeGen::new()
+            .statements(fig8d_statements())
+            .generate()
+            .unwrap();
+        let b = Cloog::new()
+            .statements(fig8d_statements())
+            .generate()
+            .unwrap();
         assert_eq!(
             polyir::execute(&a.code, &[n]).unwrap().trace,
             polyir::execute(&b.code, &[n]).unwrap().trace,
@@ -91,10 +124,27 @@ fn both_figures_execute_identically_across_tools() {
 fn fig8_dynamic_cost_favors_codegenplus() {
     // The paper's mechanism: fewer mod tests per iteration.
     let cm = polyir::CostModel::default();
-    let cfg = polyir::ExecConfig { record_trace: false, ..Default::default() };
-    let a = CodeGen::new().statements(fig8d_statements()).generate().unwrap();
-    let b = Cloog::new().statements(fig8d_statements()).generate().unwrap();
-    let ca = cm.cost(&polyir::execute_with(&a.code, &[4000], &cfg).unwrap().counters);
-    let cb = cm.cost(&polyir::execute_with(&b.code, &[4000], &cfg).unwrap().counters);
+    let cfg = polyir::ExecConfig {
+        record_trace: false,
+        ..Default::default()
+    };
+    let a = CodeGen::new()
+        .statements(fig8d_statements())
+        .generate()
+        .unwrap();
+    let b = Cloog::new()
+        .statements(fig8d_statements())
+        .generate()
+        .unwrap();
+    let ca = cm.cost(
+        &polyir::execute_with(&a.code, &[4000], &cfg)
+            .unwrap()
+            .counters,
+    );
+    let cb = cm.cost(
+        &polyir::execute_with(&b.code, &[4000], &cfg)
+            .unwrap()
+            .counters,
+    );
     assert!(ca < cb, "CodeGen+ {ca} must beat baseline {cb}");
 }

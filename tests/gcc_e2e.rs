@@ -95,8 +95,9 @@ fn max_arity(s: &polyir::Stmt) -> usize {
     match s {
         polyir::Stmt::Seq(items) => items.iter().map(max_arity).max().unwrap_or(0),
         polyir::Stmt::Loop { body, .. } | polyir::Stmt::Assign { body, .. } => max_arity(body),
-        polyir::Stmt::If { then_, else_, .. } => max_arity(then_)
-            .max(else_.as_deref().map(max_arity).unwrap_or(0)),
+        polyir::Stmt::If { then_, else_, .. } => {
+            max_arity(then_).max(else_.as_deref().map(max_arity).unwrap_or(0))
+        }
         polyir::Stmt::Call { args, .. } => args.len(),
         polyir::Stmt::Nop => 0,
     }

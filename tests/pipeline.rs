@@ -75,8 +75,18 @@ fn codegenplus_never_larger_and_never_slower_overall() {
 fn gemm_reduction_is_largest_of_tiled_kernels() {
     // Table 1 shape: the tiled/unrolled kernels show the biggest gains.
     let rows: Vec<_> = recipes::all(12).iter().map(compare).collect();
-    let get = |name: &str| rows.iter().find(|r| r.name == name).unwrap().loc_reduction();
-    assert!(get("gemm") > get("gemv"), "gemm {} vs gemv {}", get("gemm"), get("gemv"));
+    let get = |name: &str| {
+        rows.iter()
+            .find(|r| r.name == name)
+            .unwrap()
+            .loc_reduction()
+    };
+    assert!(
+        get("gemm") > get("gemv"),
+        "gemm {} vs gemv {}",
+        get("gemm"),
+        get("gemv")
+    );
     assert!(get("gemm") > get("qr"));
     assert!(get("lu") > get("gemv"));
 }
