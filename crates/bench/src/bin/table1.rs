@@ -39,6 +39,8 @@ fn main() {
     );
     println!("{}", "-".repeat(130));
     for kernel in chill::recipes::all(n) {
+        #[cfg(feature = "stats")]
+        let stats_before = omega::stats::snapshot();
         assert!(
             traces_match(&kernel),
             "generated code traces differ for {}",
@@ -61,6 +63,16 @@ fn main() {
             row.cgplus.dynamic_cost,
             row.perf_speedup(),
         );
+        #[cfg(feature = "stats")]
+        {
+            // Verdicts the resource governor degraded to a conservative
+            // answer while generating this kernel — expected 0 at the
+            // default limits (every paper result rests on exact verdicts).
+            let s = omega::stats::snapshot();
+            let degraded = (s.sat_degraded - stats_before.sat_degraded)
+                + (s.gist_degraded - stats_before.gist_degraded);
+            print!(" | degraded {degraded}");
+        }
         if gcc_ok {
             let stmts = statements_of(&kernel);
             let (cg, _) = generate(&stmts, Tool::codegenplus());

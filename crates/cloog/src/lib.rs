@@ -140,13 +140,21 @@ impl Cloog {
             pieces,
             options: self.options,
         };
-        let code = g.run(&known)?;
+        // Run under the ambient limits so this baseline reports the same
+        // degradation certificate contract as `CodeGen::generate`.
+        let (code, certainty) =
+            omega::limits::with_limits(omega::limits::current(), || g.run(&known));
+        let code = code?;
         let names = Names {
             params: space.param_names().to_vec(),
             vars: (1..=space.n_vars()).map(|i| format!("t{i}")).collect(),
             stmts: self.stmts.iter().map(|s| s.name.clone()).collect(),
         };
-        Ok(Generated { code, names })
+        Ok(Generated {
+            code,
+            names,
+            certainty,
+        })
     }
 }
 

@@ -67,6 +67,18 @@ pub enum CodeGenError {
         /// 1-based loop level lacking a bound.
         level: usize,
     },
+    /// A guard atom (e.g. an existential stride the scanner could not turn
+    /// into loop structure) has no lowering to a conditional expression.
+    UnloweredGuard {
+        /// Display form of the offending atom.
+        atom: String,
+    },
+    /// An internal invariant did not hold; reported as an error instead of
+    /// panicking so callers can fall back or surface diagnostics.
+    Internal {
+        /// What went wrong, for diagnostics.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CodeGenError {
@@ -79,6 +91,12 @@ impl fmt::Display for CodeGenError {
             CodeGenError::EmptyDomains => write!(f, "all statement domains are empty"),
             CodeGenError::UnboundedLoop { level } => {
                 write!(f, "loop level {level} has no finite bound")
+            }
+            CodeGenError::UnloweredGuard { atom } => {
+                write!(f, "cannot lower existential guard atom: {atom}")
+            }
+            CodeGenError::Internal { detail } => {
+                write!(f, "internal code-generation invariant violated: {detail}")
             }
         }
     }

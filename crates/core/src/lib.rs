@@ -42,7 +42,7 @@ mod minmax;
 mod par;
 
 pub use input::{pad_statements, CodeGenError, Statement};
-pub use lower::cond_of_conjunct;
+pub use lower::{cond_of_conjunct, try_cond_of_conjunct};
 
 use ast::{Piece, Problem};
 use omega::{Conjunct, Set, Space};
@@ -55,6 +55,13 @@ pub struct Generated {
     pub code: Stmt,
     /// Names for parameters, loop variables and statements.
     pub names: Names,
+    /// Degradation certificate for this run: [`omega::Certainty::Exact`]
+    /// when every Presburger verdict taken during generation was exact, or
+    /// `Approximate(reasons)` when some query hit a resource limit (see
+    /// [`CodeGen::limits`]) and a sound conservative answer was used
+    /// instead. Approximate code still executes exactly the requested
+    /// points — degradation only costs redundant guards or looser bounds.
+    pub certainty: omega::Certainty,
 }
 
 impl Generated {
@@ -93,6 +100,7 @@ pub struct CodeGen {
     merge_ifs: bool,
     reorder_leaves: bool,
     threads: usize,
+    limits: omega::Limits,
 }
 
 impl Default for CodeGen {
@@ -112,6 +120,7 @@ impl CodeGen {
             merge_ifs: true,
             reorder_leaves: false,
             threads: 0,
+            limits: omega::Limits::default(),
         }
     }
 
@@ -183,7 +192,25 @@ impl CodeGen {
         self
     }
 
+    /// Sets per-query resource limits for the Presburger solver (budget,
+    /// recursion depth, row cap, optional deadline). When a query exceeds a
+    /// limit the solver degrades to a sound conservative answer instead of
+    /// panicking, and the run's [`Generated::certainty`] records why. The
+    /// default ([`omega::Limits::default`]) is generous enough that every
+    /// benchmark kernel generates exactly. Note that a wall-clock
+    /// `deadline` makes results timing-dependent; the other limits keep
+    /// generation fully deterministic for a given thread-count-independent
+    /// pipeline.
+    pub fn limits(mut self, limits: omega::Limits) -> CodeGen {
+        self.limits = limits;
+        self
+    }
+
     /// Runs the scanner.
+    ///
+    /// The whole run executes under this builder's [`CodeGen::limits`]; the
+    /// resulting [`Generated::certainty`] is `Exact` unless some solver
+    /// query had to degrade.
     ///
     /// # Errors
     ///
@@ -191,6 +218,16 @@ impl CodeGen {
     /// statements disagree on the scanning space, every domain is empty, or
     /// a loop level is unbounded.
     pub fn generate(&self) -> Result<Generated, CodeGenError> {
+        let (result, certainty) = omega::limits::with_limits(self.limits, || self.generate_inner());
+        let (code, names) = result?;
+        Ok(Generated {
+            code,
+            names,
+            certainty,
+        })
+    }
+
+    fn generate_inner(&self) -> Result<(Stmt, Names), CodeGenError> {
         let trace = std::env::var_os("CODEGENPLUS_TRACE").is_some();
         let t0 = std::time::Instant::now();
         let (pb, known, names) = self.prepare()?;
@@ -239,7 +276,7 @@ impl CodeGen {
         if trace {
             eprintln!("[cg+] lower: {:.2?}", t4.elapsed());
         }
-        Ok(Generated { code, names })
+        Ok((code, names))
     }
 
     fn prepare(&self) -> Result<(Problem, Conjunct, Names), CodeGenError> {

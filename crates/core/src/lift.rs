@@ -5,7 +5,7 @@
 
 use crate::ast::{Node, Problem};
 use omega::{Conjunct, LinExpr};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 /// A liftable overhead condition: a single-conjunct constraint whose
 /// complement is also a single conjunct.
@@ -19,10 +19,11 @@ pub(crate) struct Lift {
 /// `≤ d` until no candidate remains. Returns the restructured AST.
 pub(crate) fn lift_overhead(pb: &Problem, mut root: Node, d: usize) -> Node {
     let mut rejected: HashSet<String> = HashSet::new();
+    let mut inserted: HashMap<String, u32> = HashMap::new();
     // Each iteration inserts at least one split or rejects at least one
     // candidate, so this terminates; the cap is a defensive backstop.
     for _ in 0..10_000 {
-        let (cand, new_root) = lift(pb, root, d, false, &rejected);
+        let (cand, new_root) = lift(pb, root, d, false, &rejected, &mut inserted);
         root = new_root;
         match cand {
             None => return root,
@@ -37,6 +38,15 @@ pub(crate) fn lift_overhead(pb: &Problem, mut root: Node, d: usize) -> Node {
     root
 }
 
+/// How often the textually same condition may be split on across one
+/// `lift_overhead` run. When gist is exact every insertion discharges its
+/// condition from the subtree's guards, so the same text only recurs
+/// across originally-disjoint branches — far below this cap. A *degraded*
+/// gist can fail to discharge, re-picking the same condition every driver
+/// pass and growing the tree without bound; past the cap the candidate is
+/// bubbled to the driver and rejected instead.
+const MAX_SAME_COND_INSERTIONS: u32 = 64;
+
 /// One pass of Figure 4. Returns a pending candidate (bubbling upward) and
 /// the possibly restructured node.
 fn lift(
@@ -45,6 +55,7 @@ fn lift(
     d: usize,
     propagate_up: bool,
     rejected: &HashSet<String>,
+    inserted: &mut HashMap<String, u32>,
 ) -> (Option<Lift>, Node) {
     match node {
         Node::Split { active, parts } => {
@@ -55,7 +66,7 @@ fn lift(
                     new_parts.push((r, child));
                     continue;
                 }
-                let (cand, c2) = lift(pb, child, d, propagate_up, rejected);
+                let (cand, c2) = lift(pb, child, d, propagate_up, rejected, inserted);
                 new_parts.push((r, c2));
                 pending = cand;
             }
@@ -104,7 +115,7 @@ fn lift(
             let depth = body.nesting_depth() + usize::from(!degenerate);
             if depth > d {
                 // Too deep: only optimize within the subtree.
-                let (_, b) = lift(pb, *body, d, false, rejected);
+                let (_, b) = lift(pb, *body, d, false, rejected, inserted);
                 return (
                     None,
                     Node::Loop {
@@ -139,7 +150,7 @@ fn lift(
                 }
             }
             let body_pu = propagate_up || !degenerate;
-            let (cand, b) = lift(pb, *body, d, body_pu, rejected);
+            let (cand, b) = lift(pb, *body, d, body_pu, rejected, inserted);
             let node = Node::Loop {
                 active,
                 level,
@@ -180,6 +191,14 @@ fn lift(
                 }
                 // Insert a split node here: two copies of the subtree, the
                 // side with smaller loop values first.
+                let count = inserted.entry(l.cond.to_string()).or_insert(0);
+                *count += 1;
+                if *count > MAX_SAME_COND_INSERTIONS {
+                    // Splitting on this condition repeatedly has not
+                    // discharged it (degraded gist): bubble it to the
+                    // driver, which rejects it for the rest of the run.
+                    return (Some(l), node);
+                }
                 let v = level - 1;
                 let sign = l.cond.var_sign_hint(v);
                 let (first, second) = if sign > 0 {
@@ -222,7 +241,15 @@ fn lift(
                         Node::Split { active: act, parts }
                     }
                 };
-                return lift(pb, split, d, propagate_up, rejected);
+                // Re-lifting the split relies on the new restrictions
+                // discharging the inserted condition from every guard's
+                // gist. A degraded gist can fail to, re-picking the same
+                // atom and inserting the same split forever — bar it
+                // from this subtree (a no-op when gist is exact: the
+                // condition is already discharged).
+                let mut rejected = rejected.clone();
+                rejected.insert(l.cond.to_string());
+                return lift(pb, split, d, propagate_up, &rejected, inserted);
             }
             (Some(l), node)
         }

@@ -100,7 +100,11 @@ impl LowerCtx<'_> {
         known: &Conjunct,
         depth: usize,
     ) -> Result<Stmt, CodeGenError> {
-        assert!(depth < MAX_MERGE_DEPTH, "mergeIfInOrder failed to converge");
+        if depth >= MAX_MERGE_DEPTH {
+            return Err(CodeGenError::Internal {
+                detail: "mergeIfInOrder failed to converge".into(),
+            });
+        }
         if items.is_empty() {
             return Ok(Stmt::Nop);
         }
@@ -113,9 +117,9 @@ impl LowerCtx<'_> {
                     continue;
                 }
                 let inner = self.lower_item(item, &known.intersect(&g))?;
-                out.push(Stmt::guarded(self.cond_of(&g), inner));
+                out.push(Stmt::guarded(self.cond_of(&g)?, inner));
             }
-            return Ok(self.wrap(postponed, Stmt::seq(out)));
+            return self.wrap(postponed, Stmt::seq(out));
         }
         let g0 = items[0].guard.gist(known);
         if g0.is_known_false() {
@@ -137,7 +141,7 @@ impl LowerCtx<'_> {
                 }
             }
             out.push(self.merge(rest, None, known, depth + 1)?);
-            return Ok(self.wrap(postponed, Stmt::seq(out)));
+            return self.wrap(postponed, Stmt::seq(out));
         }
         // Select the atom of g0 maximizing the contiguous then/else region.
         let atoms = g0.guard_atoms();
@@ -170,7 +174,11 @@ impl LowerCtx<'_> {
                 best = Some((atom.clone(), comp, len1, len2));
             }
         }
-        let (c, comp, len1, len2) = best.expect("non-universe gist has atoms");
+        let Some((c, comp, len1, len2)) = best else {
+            return Err(CodeGenError::Internal {
+                detail: "non-universe gist produced no guard atoms".into(),
+            });
+        };
         debug_assert!(len1 >= 1, "first item must satisfy its own guard atom");
         let known_c = known.intersect(&c);
         let mut it = items.into_iter();
@@ -178,6 +186,23 @@ impl LowerCtx<'_> {
         let nodes2: Vec<Item<'_>> = it.by_ref().take(len2).collect();
         let nodes3: Vec<Item<'_>> = it.collect();
         if nodes2.is_empty() && nodes3.is_empty() {
+            // Postponing c only makes progress if gisting under the
+            // enriched context discharges at least one atom. A starved
+            // gist (degraded implication queries) can fail to, leaving
+            // the merge state unchanged forever — emit the residual
+            // guards directly instead: sound, just less merged.
+            if nodes1[0].guard.gist(&known_c).guard_atoms().len() >= atoms.len() {
+                let mut out = Vec::new();
+                for item in &nodes1 {
+                    let g = item.guard.gist(known);
+                    if g.is_known_false() {
+                        continue;
+                    }
+                    let inner = self.lower_item(item, &known.intersect(&g))?;
+                    out.push(Stmt::guarded(self.cond_of(&g)?, inner));
+                }
+                return self.wrap(postponed, Stmt::seq(out));
+            }
             // Postpone c: everything satisfies it; emit a single if later.
             let postponed = Some(match postponed {
                 Some(p) => p.intersect(&c),
@@ -192,9 +217,13 @@ impl LowerCtx<'_> {
             );
             let s2 = halves.pop().expect("pair")?;
             let s1 = halves.pop().expect("pair")?;
-            return Ok(self.wrap(postponed, Stmt::seq(vec![s1, s2])));
+            return self.wrap(postponed, Stmt::seq(vec![s1, s2]));
         }
-        let comp = comp.expect("nodes2 non-empty requires a complement");
+        let Some(comp) = comp else {
+            return Err(CodeGenError::Internal {
+                detail: "nodes2 non-empty requires a complement".into(),
+            });
+        };
         let known_nc = known.intersect(&comp);
         // The then/else regions are disjoint: merge them in parallel.
         let mut halves = self
@@ -206,7 +235,7 @@ impl LowerCtx<'_> {
         let s2 = halves.pop().expect("pair")?;
         let s1 = halves.pop().expect("pair")?;
         let s4 = Stmt::If {
-            cond: self.cond_of(&c),
+            cond: self.cond_of(&c)?,
             then_: Box::new(s1),
             else_: match s2 {
                 Stmt::Nop => None,
@@ -214,7 +243,7 @@ impl LowerCtx<'_> {
             },
         };
         let s3 = self.merge(nodes3, None, known, depth + 1)?;
-        Ok(self.wrap(postponed, Stmt::seq(vec![s4, s3])))
+        self.wrap(postponed, Stmt::seq(vec![s4, s3]))
     }
 
     /// Does `guard` (under `known`) imply the atom `a`? Conservatively
@@ -229,12 +258,12 @@ impl LowerCtx<'_> {
 
     /// Emits the postponed guard (already gisted at selection time) around
     /// the merged block.
-    fn wrap(&self, postponed: Option<Conjunct>, body: Stmt) -> Stmt {
-        match postponed {
+    fn wrap(&self, postponed: Option<Conjunct>, body: Stmt) -> Result<Stmt, CodeGenError> {
+        Ok(match postponed {
             None => body,
             Some(p) if p.is_universe() => body,
-            Some(p) => Stmt::guarded(self.cond_of(&p), body),
-        }
+            Some(p) => Stmt::guarded(self.cond_of(&p)?, body),
+        })
     }
 
     fn lower_item(&self, item: &Item<'_>, known: &Conjunct) -> Result<Stmt, CodeGenError> {
@@ -266,14 +295,18 @@ impl LowerCtx<'_> {
             ..
         } = node
         else {
-            unreachable!("lower_loop expects a loop node");
+            return Err(CodeGenError::Internal {
+                detail: "lower_loop called on a non-loop node".into(),
+            });
         };
         let v = level - 1;
         let known_in = known.intersect(guard).intersect(bounds);
         if *degenerate {
-            let (c, e) = bounds
-                .equality_on(v)
-                .expect("degenerate loop has a defining equality");
+            let Some((c, e)) = bounds.equality_on(v) else {
+                return Err(CodeGenError::Internal {
+                    detail: "degenerate loop lacks a defining equality".into(),
+                });
+            };
             let value = conv(&e);
             let body_items = self.items_of(body);
             let inner = self.merge(body_items, None, &known_in, 0)?;
@@ -427,8 +460,8 @@ impl LowerCtx<'_> {
     }
 
     /// Converts a guard conjunct to a runtime condition.
-    pub(crate) fn cond_of(&self, g: &Conjunct) -> Cond {
-        cond_of_conjunct(g)
+    pub(crate) fn cond_of(&self, g: &Conjunct) -> Result<Cond, CodeGenError> {
+        try_cond_of_conjunct(g)
     }
 }
 
@@ -440,8 +473,20 @@ impl LowerCtx<'_> {
 /// # Panics
 ///
 /// Panics on a guard with several coupled existential variables (cannot
-/// arise from this crate's scanning pipeline).
+/// arise from this crate's scanning pipeline). Use [`try_cond_of_conjunct`]
+/// for a recoverable variant.
 pub fn cond_of_conjunct(g: &Conjunct) -> Cond {
+    match try_cond_of_conjunct(g) {
+        Ok(c) => c,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`cond_of_conjunct`]: returns
+/// [`CodeGenError::UnloweredGuard`] on a guard atom with several coupled
+/// existential variables instead of panicking. This is the variant used by
+/// [`crate::CodeGen::generate`], which must not panic on any input.
+pub fn try_cond_of_conjunct(g: &Conjunct) -> Result<Cond, CodeGenError> {
     let mut atoms = Vec::new();
     for atom in g.guard_atoms() {
         if atom.n_locals() == 0 {
@@ -462,10 +507,12 @@ pub fn cond_of_conjunct(g: &Conjunct) -> Cond {
         } else if let Some(a) = exotic_single_local(&atom) {
             atoms.push(a);
         } else {
-            panic!("cannot lower existential guard atom: {atom}");
+            return Err(CodeGenError::UnloweredGuard {
+                atom: atom.to_string(),
+            });
         }
     }
-    Cond::from_atoms(atoms)
+    Ok(Cond::from_atoms(atoms))
 }
 
 /// Lowers `∃α: rows(x, α)` with a single local to a runtime test: α is an
@@ -592,7 +639,7 @@ mod tests {
             merge_ifs: true,
             reorder_leaves: false,
         };
-        let cond = ctx.cond_of(&g);
+        let cond = ctx.cond_of(&g).unwrap();
         assert_eq!(cond.atoms().len(), 2);
         let names = polyir::Names {
             params: vec![],

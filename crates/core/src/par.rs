@@ -47,21 +47,35 @@ impl Parallelism {
         if self.threads <= 1 || n <= 1 {
             return items.into_iter().map(f).collect();
         }
+        // Worker threads start with fresh thread-local solver state, so the
+        // caller's limits are re-established in each one and any
+        // degradation the workers observe is unioned back into the calling
+        // thread's certainty scope. The union is commutative, keeping the
+        // final certificate independent of item interleaving.
+        let limits = omega::limits::current();
+        let observed: Mutex<omega::DegradeReasons> = Mutex::new(omega::DegradeReasons::default());
         let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let items: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
         let next = AtomicUsize::new(0);
-        let run = || loop {
-            let i = next.fetch_add(1, Ordering::Relaxed);
-            if i >= n {
-                break;
+        let run = || {
+            let ((), reasons) = omega::limits::with_limits(limits, || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = items[i]
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .expect("item claimed twice");
+                let r = f(item);
+                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+            });
+            let reasons = reasons.reasons();
+            if !reasons.is_empty() {
+                let mut obs = observed.lock().unwrap_or_else(|e| e.into_inner());
+                *obs = obs.union(reasons);
             }
-            let item = items[i]
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .take()
-                .expect("item claimed twice");
-            let r = f(item);
-            *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
         };
         std::thread::scope(|s| {
             for _ in 1..self.threads.min(n) {
@@ -69,6 +83,7 @@ impl Parallelism {
             }
             run();
         });
+        omega::limits::note_reasons(observed.into_inner().unwrap_or_else(|e| e.into_inner()));
         slots
             .into_iter()
             .map(|s| {

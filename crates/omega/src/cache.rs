@@ -9,6 +9,15 @@
 //! independent mutexes per cache), and eviction is bounded second-chance
 //! instead of a full wipe: entries re-hit since the last sweep survive, so
 //! the hot working set persists across evictions.
+//!
+//! **Only exact results are ever inserted.** A verdict or gist computed
+//! under a tripped resource limit ([`crate::limits`]) depends on the
+//! caller's `Limits`, while cache keys fingerprint only the query — so a
+//! degraded value served to a later caller with a fresh budget would be a
+//! wrong-but-confident answer (cache poisoning). Callers in
+//! [`crate::sat`] and [`crate::gist`] enforce the policy at insertion
+//! time; its payoff is that every cache hit can be reported as
+//! [`crate::Certainty::Exact`] unconditionally.
 
 use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};

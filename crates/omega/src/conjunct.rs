@@ -265,7 +265,11 @@ impl Conjunct {
     }
 
     /// Evaluates membership of a concrete point: true iff there exist
-    /// integer values for the locals satisfying all rows. Exact.
+    /// integer values for the locals satisfying all rows. Exact except when
+    /// a substituted constant exceeds the `i64` range on a row that still
+    /// involves locals — then the answer degrades to a conservative `true`
+    /// with [`crate::OmegaError::Overflow`] noted on the ambient certainty
+    /// scope. Local-free rows are decided exactly in `i128` regardless.
     pub fn contains(&self, params: &[i64], vars: &[i64]) -> bool {
         assert_eq!(params.len(), self.space.n_params());
         assert_eq!(vars.len(), self.space.n_vars());
@@ -282,8 +286,24 @@ impl Conjunct {
             for (i, &v) in vars.iter().enumerate() {
                 acc += r.c[1 + params.len() + i] as i128 * v as i128;
             }
-            let mut c = vec![i64::try_from(acc).expect("overflow in contains")];
-            c.extend_from_slice(&r.c[1 + self.space.n_named()..]);
+            let locals = &r.c[1 + self.space.n_named()..];
+            let Ok(c0) = i64::try_from(acc) else {
+                if locals.iter().all(|&x| x == 0) {
+                    // Constant row: decide it exactly in i128.
+                    let holds = match r.kind {
+                        ConstraintKind::Eq => acc == 0,
+                        ConstraintKind::Geq => acc >= 0,
+                    };
+                    if holds {
+                        continue;
+                    }
+                    return false;
+                }
+                crate::limits::note(crate::limits::OmegaError::Overflow);
+                return true;
+            };
+            let mut c = vec![c0];
+            c.extend_from_slice(locals);
             rows.push(Row::new(r.kind, c));
         }
         crate::sat::rows_satisfiable(&rows, self.n_locals)

@@ -35,8 +35,17 @@ pub(crate) fn gist_conjunct(a: &Conjunct, ctx: &Conjunct) -> Conjunct {
         return hit;
     }
     crate::stats::bump!(gist_misses);
-    let out = gist_conjunct_uncached(a, ctx);
-    crate::cache::GIST.insert(key, out.clone());
+    // Observe the degradation delta of this one computation: a gist built
+    // on degraded (conservative) implication answers is still sound, but
+    // it must not be memoized — a later caller with fresher limits
+    // deserves the exact result. Only certainly-exact gists enter the
+    // process-wide cache.
+    let (out, reasons) = crate::limits::observe(|| gist_conjunct_uncached(a, ctx));
+    if reasons.is_empty() {
+        crate::cache::GIST.insert(key, out.clone());
+    } else {
+        crate::stats::bump!(gist_degraded);
+    }
     out
 }
 
@@ -168,26 +177,38 @@ fn gist_conjunct_uncached(a: &Conjunct, ctx: &Conjunct) -> Conjunct {
         let implied = match sys[slot].kind {
             ConstraintKind::Geq => {
                 let orig = sys[slot].clone();
-                let mut neg: Vec<i64> = orig.c.iter().map(|&x| -x).collect();
-                neg[0] -= 1;
-                sys[slot] = Row::new(ConstraintKind::Geq, neg);
-                let implied = !crate::sat::rows_satisfiable(&sys, n_vars);
-                sys[slot] = orig;
-                implied
+                // An unnegatable row (i64-extremal coefficients) is simply
+                // kept: treating the implication as undecided is sound.
+                match crate::sat::negate_geq(&orig.c) {
+                    Some(neg) => {
+                        sys[slot] = Row::new(ConstraintKind::Geq, neg);
+                        let implied = !crate::sat::rows_satisfiable(&sys, n_vars);
+                        sys[slot] = orig;
+                        implied
+                    }
+                    None => false,
+                }
             }
             ConstraintKind::Eq => {
                 // row = 0 is implied iff neither strict side intersects.
                 let orig = sys[slot].clone();
-                let mut c1 = orig.c.clone();
-                c1[0] -= 1;
-                sys[slot] = Row::new(ConstraintKind::Geq, c1);
-                let mut implied = !crate::sat::rows_satisfiable(&sys, n_vars);
-                if implied {
-                    let mut c2: Vec<i64> = orig.c.iter().map(|&x| -x).collect();
-                    c2[0] -= 1;
-                    sys[slot] = Row::new(ConstraintKind::Geq, c2);
-                    implied = !crate::sat::rows_satisfiable(&sys, n_vars);
-                }
+                let strict_lower = orig.c[0].checked_sub(1).map(|c0| {
+                    let mut c1 = orig.c.clone();
+                    c1[0] = c0;
+                    c1
+                });
+                let implied = match (strict_lower, crate::sat::negate_geq(&orig.c)) {
+                    (Some(c1), Some(c2)) => {
+                        sys[slot] = Row::new(ConstraintKind::Geq, c1);
+                        let mut implied = !crate::sat::rows_satisfiable(&sys, n_vars);
+                        if implied {
+                            sys[slot] = Row::new(ConstraintKind::Geq, c2);
+                            implied = !crate::sat::rows_satisfiable(&sys, n_vars);
+                        }
+                        implied
+                    }
+                    _ => false,
+                };
                 sys[slot] = orig;
                 implied
             }
@@ -227,8 +248,11 @@ pub(crate) fn drop_self_redundant(c: &Conjunct) -> Conjunct {
             continue;
         }
         let orig = sys[i].clone();
-        let mut neg: Vec<i64> = orig.c.iter().map(|&x| -x).collect();
-        neg[0] -= 1;
+        let Some(neg) = crate::sat::negate_geq(&orig.c) else {
+            // Unnegatable row: keep it (sound — dropping needs proof).
+            i += 1;
+            continue;
+        };
         sys[i] = Row::new(ConstraintKind::Geq, neg);
         if crate::sat::rows_satisfiable(&sys, n_vars) {
             sys[i] = orig;

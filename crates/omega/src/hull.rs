@@ -38,8 +38,14 @@ pub(crate) fn hull(s: &Set) -> Conjunct {
             match r.kind {
                 ConstraintKind::Geq => candidates.push(base),
                 ConstraintKind::Eq => {
-                    candidates.push(base.clone());
-                    candidates.push(base.iter().map(|&x| -x).collect());
+                    if let Some(flipped) = base
+                        .iter()
+                        .map(|&x| x.checked_neg())
+                        .collect::<Option<Vec<i64>>>()
+                    {
+                        candidates.push(flipped);
+                    }
+                    candidates.push(base);
                 }
             }
         }
@@ -62,13 +68,16 @@ pub(crate) fn hull(s: &Set) -> Conjunct {
         .collect();
     let mut out = Conjunct::universe(&space);
     for cand in candidates {
-        let implied = tests.iter_mut().all(|(sys, n_vars)| {
-            let slot = sys.len() - 1;
-            let mut neg: Vec<i64> = cand.iter().map(|&x| -x).collect();
-            neg[0] -= 1;
-            neg.resize(1 + *n_vars, 0);
-            sys[slot] = Row::new(ConstraintKind::Geq, neg);
-            !crate::sat::rows_satisfiable(sys, *n_vars)
+        // An unnegatable candidate (i64-extremal coefficients) is dropped:
+        // the hull only shrinks toward the bounding box, which is sound.
+        let implied = crate::sat::negate_geq(&cand).is_some_and(|neg| {
+            tests.iter_mut().all(|(sys, n_vars)| {
+                let slot = sys.len() - 1;
+                let mut neg = neg.clone();
+                neg.resize(1 + *n_vars, 0);
+                sys[slot] = Row::new(ConstraintKind::Geq, neg);
+                !crate::sat::rows_satisfiable(sys, *n_vars)
+            })
         });
         if implied {
             let mut row = cand.clone();

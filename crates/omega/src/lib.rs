@@ -31,6 +31,8 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod faults;
+pub mod limits;
 pub mod num;
 pub mod stats;
 
@@ -50,6 +52,7 @@ mod tier;
 
 pub use bounds::VarBound;
 pub use conjunct::Conjunct;
+pub use limits::{Certainty, DegradeReasons, Limits, OmegaError};
 pub use linexpr::{Constraint, ConstraintKind, LinExpr};
 pub use map::AffineMap;
 pub use parse::ParseSetError;

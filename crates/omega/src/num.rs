@@ -124,6 +124,28 @@ pub fn add(a: i64, b: i64) -> i64 {
     i64::try_from(a as i128 + b as i128).expect("coefficient overflow in add")
 }
 
+/// Fallible multiplication with an `i128` intermediate: `Err(Overflow)`
+/// instead of panicking when the product leaves the `i64` range. Solver
+/// paths use this (plus the other `try_*` helpers) so coefficient blow-up
+/// degrades gracefully; each call also counts as one operation for the
+/// fault-injection harness ([`crate::faults`]).
+pub fn try_mul(a: i64, b: i64) -> Result<i64, crate::limits::OmegaError> {
+    crate::faults::tick()?;
+    i64::try_from(a as i128 * b as i128).map_err(|_| crate::limits::OmegaError::Overflow)
+}
+
+/// Fallible addition with an `i128` intermediate (see [`try_mul`]).
+pub fn try_add(a: i64, b: i64) -> Result<i64, crate::limits::OmegaError> {
+    crate::faults::tick()?;
+    i64::try_from(a as i128 + b as i128).map_err(|_| crate::limits::OmegaError::Overflow)
+}
+
+/// Fallible subtraction with an `i128` intermediate (see [`try_mul`]).
+pub fn try_sub(a: i64, b: i64) -> Result<i64, crate::limits::OmegaError> {
+    crate::faults::tick()?;
+    i64::try_from(a as i128 - b as i128).map_err(|_| crate::limits::OmegaError::Overflow)
+}
+
 /// Extended Euclid: returns `(g, x, y)` with `a*x + b*y == g == gcd(a, b)`
 /// and `g >= 0`.
 pub fn extended_gcd(a: i64, b: i64) -> (i64, i64, i64) {

@@ -16,7 +16,6 @@
 
 use crate::conjunct::{Conjunct, Row};
 use crate::linexpr::ConstraintKind;
-use crate::num;
 use crate::set::Set;
 use crate::space::Space;
 use std::error::Error;
@@ -362,7 +361,7 @@ impl Parser {
             self.pos += 1;
             any = true;
             let rhs = self.parse_sum(space, conj, locals)?;
-            self.emit(conj, op, &prev, &rhs);
+            self.emit(conj, op, &prev, &rhs)?;
             prev = rhs;
         }
         if !any {
@@ -371,7 +370,13 @@ impl Parser {
         Ok(())
     }
 
-    fn emit(&self, conj: &mut Conjunct, op: &str, lhs: &PExpr, rhs: &PExpr) {
+    fn emit(
+        &self,
+        conj: &mut Conjunct,
+        op: &str,
+        lhs: &PExpr,
+        rhs: &PExpr,
+    ) -> Result<(), ParseSetError> {
         let n = conj.ncols();
         let (a, b) = (&lhs.0, &rhs.0);
         let mut diff: Vec<i64> = (0..n)
@@ -379,19 +384,37 @@ impl Parser {
                 let av = a.get(j).copied().unwrap_or(0);
                 let bv = b.get(j).copied().unwrap_or(0);
                 match op {
-                    "<" | "<=" => num::add(bv, -av),
-                    _ => num::add(av, -bv),
+                    "<" | "<=" => bv.checked_sub(av),
+                    _ => av.checked_sub(bv),
                 }
+                .ok_or_else(|| self.overflow_err())
             })
-            .collect();
+            .collect::<Result<_, _>>()?;
         let kind = match op {
             "=" => ConstraintKind::Eq,
             _ => ConstraintKind::Geq,
         };
         if matches!(op, "<" | ">") {
-            diff[0] -= 1;
+            diff[0] = diff[0].checked_sub(1).ok_or_else(|| self.overflow_err())?;
         }
         conj.push_row(Row::new(kind, diff));
+        Ok(())
+    }
+
+    /// Error for literal coefficient arithmetic leaving the `i64` range,
+    /// positioned at the token under the cursor.
+    fn overflow_err(&self) -> ParseSetError {
+        self.err("coefficient overflow: literal arithmetic exceeds the i64 range")
+    }
+
+    /// Multiplies every coefficient of `e` by `v`, failing recoverably on
+    /// overflow instead of panicking.
+    fn scale_expr(&self, e: &PExpr, v: i64) -> Result<PExpr, ParseSetError> {
+        e.0.iter()
+            .map(|&x| x.checked_mul(v))
+            .collect::<Option<Vec<i64>>>()
+            .map(PExpr)
+            .ok_or_else(|| self.overflow_err())
     }
 
     fn parse_sum(
@@ -414,7 +437,10 @@ impl Parser {
                 if acc.0.len() <= j {
                     acc.0.resize(j + 1, 0);
                 }
-                acc.0[j] = num::add(acc.0[j], sign * v);
+                acc.0[j] = v
+                    .checked_mul(sign)
+                    .and_then(|sv| acc.0[j].checked_add(sv))
+                    .ok_or_else(|| self.overflow_err())?;
             }
         }
         Ok(acc)
@@ -428,7 +454,13 @@ impl Parser {
     ) -> Result<PExpr, ParseSetError> {
         if self.eat_sym("-") {
             let t = self.parse_term(space, conj, locals)?;
-            return Ok(PExpr(t.0.iter().map(|&x| -x).collect()));
+            return t
+                .0
+                .iter()
+                .map(|&x| x.checked_neg())
+                .collect::<Option<Vec<i64>>>()
+                .map(PExpr)
+                .ok_or_else(|| self.overflow_err());
         }
         if self.eat_sym("(") {
             let e = self.parse_sum(space, conj, locals)?;
@@ -436,9 +468,7 @@ impl Parser {
             // optional trailing * INT
             if self.eat_sym("*") {
                 match self.next() {
-                    Some(Tok::Int(v)) => {
-                        return Ok(PExpr(e.0.iter().map(|&x| num::mul(x, v)).collect()))
-                    }
+                    Some(Tok::Int(v)) => return self.scale_expr(&e, v),
                     _ => return Err(self.err("expected integer after '*'")),
                 }
             }
@@ -454,16 +484,13 @@ impl Parser {
                         if self.eat_sym("(") {
                             let e = self.parse_sum(space, conj, locals)?;
                             self.expect_sym(")")?;
-                            return Ok(PExpr(e.0.iter().map(|&x| num::mul(x, v)).collect()));
+                            return self.scale_expr(&e, v);
                         }
                         return Err(self.err("expected identifier or '(' after '*'"));
                     }
                     let name = self.ident()?;
-                    let mut e = self.name_expr(space, conj, locals, &name)?;
-                    for x in &mut e.0 {
-                        *x = num::mul(*x, v);
-                    }
-                    return Ok(e);
+                    let e = self.name_expr(space, conj, locals, &name)?;
+                    return self.scale_expr(&e, v);
                 }
                 let mut c = vec![0i64; conj.ncols()];
                 c[0] = v;
@@ -473,9 +500,7 @@ impl Parser {
                 let e = self.name_expr(space, conj, locals, &name)?;
                 if self.eat_sym("*") {
                     match self.next() {
-                        Some(Tok::Int(v)) => {
-                            Ok(PExpr(e.0.iter().map(|&x| num::mul(x, v)).collect()))
-                        }
+                        Some(Tok::Int(v)) => self.scale_expr(&e, v),
                         _ => Err(self.err("expected integer after '*'")),
                     }
                 } else {

@@ -4,7 +4,6 @@
 
 use crate::conjunct::{Conjunct, Row};
 use crate::linexpr::ConstraintKind;
-use crate::num;
 use crate::sat;
 use crate::set::Set;
 
@@ -86,8 +85,7 @@ pub(crate) fn simplify_conjunct(c: &Conjunct) -> Conjunct {
             }
             for l in 0..nl {
                 let col = named + l;
-                if c.rows()[ri].c[col].abs() == 1 {
-                    substitute_out(&mut c, ri, col);
+                if c.rows()[ri].c[col].abs() == 1 && substitute_out(&mut c, ri, col) {
                     changed = true;
                     break 'unit;
                 }
@@ -126,13 +124,31 @@ pub(crate) fn simplify_conjunct(c: &Conjunct) -> Conjunct {
             }
             let a = c.rows()[eqi].c[col];
             let eq = c.rows()[eqi].clone();
+            let s = if a > 0 { 1 } else { -1 };
+            let Some(aa) = a.checked_abs() else { continue };
             for &oi in &other_rows {
                 let k = c.rows()[oi].c[col];
                 let mut row = c.rows()[oi].clone();
-                // row' = |a|·row - k·sign(a)·eq zeroes the local.
-                let s = if a > 0 { 1 } else { -1 };
-                for j in 0..row.c.len() {
-                    row.c[j] = num::add(num::mul(a.abs(), row.c[j]), num::mul(-k * s, eq.c[j]));
+                // row' = |a|·row - k·sign(a)·eq zeroes the local. If any
+                // coefficient leaves i64, keep the original row unchanged:
+                // the equality stays in the system, so skipping the rewrite
+                // preserves the conjunct exactly.
+                let fits = k.checked_mul(s).and_then(i64::checked_neg).map(|nks| {
+                    (0..row.c.len()).all(|j| {
+                        match aa
+                            .checked_mul(row.c[j])
+                            .and_then(|x| nks.checked_mul(eq.c[j]).and_then(|y| x.checked_add(y)))
+                        {
+                            Some(v) => {
+                                row.c[j] = v;
+                                true
+                            }
+                            None => false,
+                        }
+                    })
+                });
+                if fits != Some(true) {
+                    continue;
                 }
                 debug_assert_eq!(row.c[col], 0);
                 c.rows_mut()[oi] = row;
@@ -182,25 +198,43 @@ pub(crate) fn simplify_conjunct(c: &Conjunct) -> Conjunct {
 
 /// Substitutes the variable at `col` out of every row using the equality at
 /// `eq_idx` (which must have a ±1 coefficient at `col`), then removes the
-/// equality row.
-fn substitute_out(c: &mut Conjunct, eq_idx: usize, col: usize) {
+/// equality row. All-or-nothing: returns `false` and leaves `c` untouched
+/// if any substituted coefficient would leave the `i64` range (keeping the
+/// equality in place is always sound; the caller just skips this pivot).
+fn substitute_out(c: &mut Conjunct, eq_idx: usize, col: usize) -> bool {
     let eq: Row = c.rows()[eq_idx].clone();
     let a = eq.c[col];
     debug_assert_eq!(a.abs(), 1);
-    let mut rows = std::mem::take(c.rows_mut());
-    rows.swap_remove(eq_idx);
-    for mut r in rows {
+    // Visit rows in the order the old in-place swap_remove produced, so the
+    // output row order (and thus cache keys downstream) is unchanged.
+    let mut order: Vec<usize> = (0..c.rows().len()).collect();
+    order.swap_remove(eq_idx);
+    let mut new_rows: Vec<Row> = Vec::with_capacity(order.len());
+    for &ri in &order {
+        let mut r = c.rows()[ri].clone();
         let k = r.c[col];
         if k != 0 {
             r.c[col] = 0;
             for j in 0..r.c.len() {
                 if j != col && eq.c[j] != 0 {
-                    r.c[j] = num::add(r.c[j], num::mul(k, num::mul(-a, eq.c[j])));
+                    let Some(v) = k
+                        .checked_mul(-a)
+                        .and_then(|ka| ka.checked_mul(eq.c[j]))
+                        .and_then(|term| r.c[j].checked_add(term))
+                    else {
+                        return false;
+                    };
+                    r.c[j] = v;
                 }
             }
         }
+        new_rows.push(r);
+    }
+    c.rows_mut().clear();
+    for r in new_rows {
         c.push_row(r);
     }
+    true
 }
 
 #[cfg(test)]

@@ -8,6 +8,8 @@
 
 use crate::cache;
 use crate::conjunct::Row;
+use crate::faults;
+use crate::limits::{self, Limits, OmegaError};
 use crate::linexpr::ConstraintKind;
 use crate::num;
 use crate::stats::bump;
@@ -29,6 +31,13 @@ use crate::tier::{self, Verdict};
 ///
 /// Tiers 0 and 1 are exact when they answer; only `Unknown` falls through,
 /// so the overall verdict always equals the plain Omega test's.
+///
+/// Tier 2 runs under the current [`crate::limits::Limits`] governor: when
+/// a limit trips (budget, depth, row cap, deadline, or coefficient
+/// overflow) the query degrades to the conservative "satisfiable", the
+/// reason is noted in the scope's [`crate::limits::DegradeReasons`], and
+/// the verdict is *not* cached — only exact verdicts (valid under any
+/// limits) enter the process-wide memo cache.
 pub(crate) fn rows_satisfiable(rows: &[Row], n_vars: usize) -> bool {
     // Fast path: rows coming from canonicalized conjuncts are already
     // normalized, so tier 0 and the cache probe can run on the borrowed
@@ -110,8 +119,22 @@ fn satisfiable_normalized(rows: &[Row], n_vars: usize) -> bool {
             true
         }
         Verdict::Unknown => {
-            let mut budget = SOLVE_BUDGET;
-            solve(work, 0, &mut budget)
+            faults::begin_query();
+            let lim = limits::current();
+            let mut budget = lim.budget;
+            match solve(work, 0, &mut budget, &lim) {
+                Ok(v) => v,
+                Err(e) => {
+                    // Degraded verdict: answer the conservative "sat",
+                    // record why, and — critically — do NOT cache it. Exact
+                    // verdicts are exact under any limits and always safe
+                    // to share; a starved verdict must not be replayed to a
+                    // later caller running with a fresh budget.
+                    limits::note(e);
+                    bump!(sat_degraded);
+                    return true;
+                }
+            }
         }
     };
     cache::SAT.insert(key, result);
@@ -139,8 +162,9 @@ pub(crate) fn exact_satisfiable(rows: &[Row], n_vars: usize) -> bool {
     debug_assert!(work.iter().all(|r| r.c.len() == 1 + n_vars));
     work.sort_by(|a, b| (a.kind as u8, &a.c).cmp(&(b.kind as u8, &b.c)));
     work.dedup();
-    let mut budget = SOLVE_BUDGET;
-    solve(work, 0, &mut budget)
+    let lim = Limits::default();
+    let mut budget = lim.budget;
+    solve(work, 0, &mut budget, &lim).unwrap_or(true)
 }
 
 /// A 128-bit fingerprint of the row system: a commutative (wrapping-sum)
@@ -180,45 +204,49 @@ fn splitmix(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Recursion safety cap; realistic systems never approach this.
-const MAX_DEPTH: usize = 512;
-
-/// Work budget per satisfiability query. Splintering is worst-case
-/// exponential; when the budget runs out the solver answers "satisfiable",
-/// which is sound for every caller in this crate (emptiness pruning keeps
-/// more pieces; implication checks keep more constraints — the generated
-/// code is merely more conservative, never wrong).
-const SOLVE_BUDGET: u64 = 200_000;
-
-/// Row-count cap within one derivation: Fourier–Motzkin can square the
-/// system size, so a runaway derivation answers conservatively instead of
-/// exhausting memory.
-const ROW_CAP: usize = 2_048;
-
-fn solve(mut rows: Vec<Row>, depth: usize, budget: &mut u64) -> bool {
-    assert!(depth < MAX_DEPTH, "omega test recursion overflow");
+/// The exact Omega test under a [`Limits`] governor. Every limit trip and
+/// every arithmetic overflow surfaces as a structured [`OmegaError`];
+/// `satisfiable_normalized` catches it at the query boundary and degrades
+/// to the conservative "satisfiable" — sound for every caller in this
+/// crate (emptiness pruning keeps more pieces; implication checks keep
+/// more constraints — the generated code is merely more conservative,
+/// never wrong).
+fn solve(
+    mut rows: Vec<Row>,
+    depth: usize,
+    budget: &mut u64,
+    lim: &Limits,
+) -> Result<bool, OmegaError> {
+    if depth >= lim.max_depth {
+        return Err(OmegaError::DepthExceeded);
+    }
     loop {
-        if *budget < rows.len() as u64 || rows.len() > ROW_CAP {
+        lim.check_deadline()?;
+        faults::tick()?;
+        if rows.len() > lim.row_cap {
+            return Err(OmegaError::RowCapExceeded);
+        }
+        if *budget < rows.len() as u64 {
             *budget = 0;
-            return true; // budget exhausted: conservative "sat"
+            return Err(OmegaError::BudgetExhausted);
         }
         *budget -= rows.len() as u64;
         match normalize_all(&mut rows) {
-            Normalized::Contradiction => return false,
+            Normalized::Contradiction => return Ok(false),
             Normalized::Ok => {}
         }
         if rows.is_empty() {
-            return true;
+            return Ok(true);
         }
         // Step 1: eliminate an equality if one exists.
         if let Some(eq_idx) = rows.iter().position(|r| r.kind == ConstraintKind::Eq) {
-            if !eliminate_equality(&mut rows, eq_idx) {
-                return false;
+            if !eliminate_equality(&mut rows, eq_idx)? {
+                return Ok(false);
             }
             continue;
         }
         // Step 2: inequalities only.
-        return fm_solve(rows, depth, budget);
+        return fm_solve(rows, depth, budget, lim);
     }
 }
 
@@ -245,9 +273,9 @@ fn normalize_all(rows: &mut Vec<Row>) -> Normalized {
     Normalized::Ok
 }
 
-/// Eliminates the equality at `eq_idx`. Returns false on detected
+/// Eliminates the equality at `eq_idx`. Returns `Ok(false)` on detected
 /// unsatisfiability.
-fn eliminate_equality(rows: &mut Vec<Row>, eq_idx: usize) -> bool {
+fn eliminate_equality(rows: &mut Vec<Row>, eq_idx: usize) -> Result<bool, OmegaError> {
     let eq = rows[eq_idx].clone();
     // Choose the variable with minimal |coefficient|.
     let mut best: Option<(usize, i64)> = None;
@@ -260,15 +288,15 @@ fn eliminate_equality(rows: &mut Vec<Row>, eq_idx: usize) -> bool {
         Some(b) => b,
         None => {
             // Constant equality; normalize_all should have caught it.
-            return eq.constant_truth();
+            return Ok(eq.constant_truth());
         }
     };
     if coeff.abs() == 1 {
-        substitute_from_equality(rows, eq_idx, col);
-        return true;
+        substitute_from_equality(rows, eq_idx, col)?;
+        return Ok(true);
     }
     // Pugh's symmetric-modulo reduction: introduce a fresh variable sigma.
-    let m = coeff.abs() + 1;
+    let m = num::try_add(coeff.abs(), 1)?;
     for r in rows.iter_mut() {
         r.c.push(0);
     }
@@ -277,14 +305,18 @@ fn eliminate_equality(rows: &mut Vec<Row>, eq_idx: usize) -> bool {
     debug_assert_eq!(c[col].abs(), 1, "mod-hat must give unit coefficient");
     rows.push(Row::new(ConstraintKind::Eq, c));
     let new_idx = rows.len() - 1;
-    substitute_from_equality(rows, new_idx, col);
-    true
+    substitute_from_equality(rows, new_idx, col)?;
+    Ok(true)
 }
 
 /// Uses the equality row at `eq_idx` (which must have coefficient ±1 at
 /// `col`) to substitute the variable out of every other row, then removes
 /// the equality.
-fn substitute_from_equality(rows: &mut Vec<Row>, eq_idx: usize, col: usize) {
+fn substitute_from_equality(
+    rows: &mut Vec<Row>,
+    eq_idx: usize,
+    col: usize,
+) -> Result<(), OmegaError> {
     let eq = rows.swap_remove(eq_idx);
     let a = eq.c[col];
     debug_assert_eq!(a.abs(), 1);
@@ -297,10 +329,11 @@ fn substitute_from_equality(rows: &mut Vec<Row>, eq_idx: usize, col: usize) {
         r.c[col] = 0;
         for j in 0..r.c.len() {
             if j != col && eq.c[j] != 0 {
-                r.c[j] = num::add(r.c[j], num::mul(k, num::mul(-a, eq.c[j])));
+                r.c[j] = num::try_add(r.c[j], num::try_mul(k, num::try_mul(-a, eq.c[j])?)?)?;
             }
         }
     }
+    Ok(())
 }
 
 /// Bounds on a variable within a pure-inequality system.
@@ -328,19 +361,29 @@ fn bounds_for(rows: &[Row], col: usize) -> VarBounds {
 }
 
 /// Solves a system of inequalities (no equalities) exactly.
-fn fm_solve(mut rows: Vec<Row>, depth: usize, budget: &mut u64) -> bool {
+fn fm_solve(
+    mut rows: Vec<Row>,
+    depth: usize,
+    budget: &mut u64,
+    lim: &Limits,
+) -> Result<bool, OmegaError> {
     loop {
-        if *budget < rows.len() as u64 || rows.len() > ROW_CAP {
+        lim.check_deadline()?;
+        faults::tick()?;
+        if rows.len() > lim.row_cap {
+            return Err(OmegaError::RowCapExceeded);
+        }
+        if *budget < rows.len() as u64 {
             *budget = 0;
-            return true; // budget exhausted: conservative "sat"
+            return Err(OmegaError::BudgetExhausted);
         }
         *budget -= rows.len() as u64;
         match normalize_all(&mut rows) {
-            Normalized::Contradiction => return false,
+            Normalized::Contradiction => return Ok(false),
             Normalized::Ok => {}
         }
         if rows.is_empty() {
-            return true;
+            return Ok(true);
         }
         let ncols = rows[0].c.len();
         // Find a used variable, preferring one whose elimination is exact.
@@ -376,52 +419,53 @@ fn fm_solve(mut rows: Vec<Row>, depth: usize, budget: &mut u64) -> bool {
             continue;
         }
         if let Some(col) = exact {
-            rows = fm_eliminate(&rows, col, 0);
+            rows = fm_eliminate(&rows, col, 0)?;
             continue;
         }
         let col = match candidate {
             Some(c) => c,
-            None => return true, // no variables used; rows were constant
+            None => return Ok(true), // no variables used; rows were constant
         };
         // Inexact variable: dark shadow first (a satisfiable dark shadow
         // proves satisfiability), then the real shadow, then splinters.
-        let dark = fm_eliminate(&rows, col, 1);
-        if solve(dark, depth + 1, budget) {
-            return true; // dark shadow guarantees an integer point
+        let dark = fm_eliminate(&rows, col, 1)?;
+        if solve(dark, depth + 1, budget, lim)? {
+            return Ok(true); // dark shadow guarantees an integer point
         }
-        let real = fm_eliminate(&rows, col, 0);
-        if !solve(real, depth + 1, budget) {
-            return false; // even the rational relaxation is empty
+        let real = fm_eliminate(&rows, col, 0)?;
+        if !solve(real, depth + 1, budget, lim)? {
+            return Ok(false); // even the rational relaxation is empty
         }
         // Splinter: if a solution exists outside the dark shadow then for
         // some lower bound a·x + e ≥ 0 we have a·x = -e + i with
         // 0 ≤ i ≤ (a·b_max - a - b_max)/b_max.
         let vb = bounds_for(&rows, col);
-        let b_max = vb.uppers.iter().map(|&(_, b)| b).max().unwrap();
+        let b_max = vb.uppers.iter().map(|&(_, b)| b).max().unwrap_or(1);
         for &(li, a) in &vb.lowers {
-            let max_i = num::floor_div(num::mul(a, b_max) - a - b_max, b_max);
+            let spread = num::try_sub(num::try_sub(num::try_mul(a, b_max)?, a)?, b_max)?;
+            let max_i = num::floor_div(spread, b_max);
             for i in 0..=max_i {
-                if *budget == 0 {
-                    return true;
-                }
                 let mut sys = rows.clone();
                 let mut c = rows[li].c.clone();
-                c[0] = num::add(c[0], -i);
+                c[0] = num::try_add(c[0], -i)?;
                 sys.push(Row::new(ConstraintKind::Eq, c));
-                if solve(sys, depth + 1, budget) {
-                    return true;
+                if solve(sys, depth + 1, budget, lim)? {
+                    return Ok(true);
                 }
             }
         }
-        return false;
+        return Ok(false);
     }
 }
 
 /// Fourier–Motzkin elimination of `col` from a pure-inequality system.
 /// `slack = 0` gives the real shadow (exact when a unit coefficient is
 /// involved); `slack = 1` gives the dark shadow (subtracting
-/// `(a-1)(b-1)` from each combination).
-pub(crate) fn fm_eliminate(rows: &[Row], col: usize, slack: i64) -> Vec<Row> {
+/// `(a-1)(b-1)` from each combination). Coefficient products that leave
+/// the `i64` range surface as [`OmegaError::Overflow`] instead of
+/// panicking — FM squares coefficient magnitudes, so this is the solver's
+/// most overflow-prone step.
+pub(crate) fn fm_eliminate(rows: &[Row], col: usize, slack: i64) -> Result<Vec<Row>, OmegaError> {
     let mut out: Vec<Row> = Vec::new();
     let mut lowers: Vec<&Row> = Vec::new();
     let mut uppers: Vec<&Row> = Vec::new();
@@ -448,26 +492,27 @@ pub(crate) fn fm_eliminate(rows: &[Row], col: usize, slack: i64) -> Vec<Row> {
         for up in &uppers {
             let b = -up.c[col];
             // b*(a x + e_l) + a*(-b x + e_u) ≥ 0  →  b e_l + a e_u ≥ 0
-            let mut c: Vec<i64> =
-                lo.c.iter()
-                    .zip(&up.c)
-                    .map(|(&l, &u)| num::add(num::mul(b, l), num::mul(a, u)))
-                    .collect();
+            let mut c = Vec::with_capacity(lo.c.len());
+            for (&l, &u) in lo.c.iter().zip(&up.c) {
+                c.push(num::try_add(num::try_mul(b, l)?, num::try_mul(a, u)?)?);
+            }
             c[col] = 0;
             if slack != 0 {
-                c[0] = num::add(c[0], -num::mul(slack, num::mul(a - 1, b - 1)));
+                let d = num::try_mul(slack, num::try_mul(a - 1, b - 1)?)?;
+                c[0] = num::try_sub(c[0], d)?;
             }
             out.push(Row::new(ConstraintKind::Geq, c));
         }
     }
-    out
+    Ok(out)
 }
 
 /// Exact elimination of an inequality-only column when possible: returns
 /// `Some(rows)` when all lower-bound or all upper-bound coefficients on
 /// `col` are 1 (so plain FM is integer-exact), or when the column is
 /// unbounded on one side (rows mentioning it are dropped). Equalities
-/// mentioning `col` make this return `None`.
+/// mentioning `col` — or coefficient overflow during elimination — make
+/// this return `None` (callers keep the column, which is always sound).
 pub(crate) fn try_exact_eliminate(rows: &[Row], col: usize) -> Option<Vec<Row>> {
     let mut lowers: Vec<i64> = Vec::new();
     let mut uppers: Vec<i64> = Vec::new();
@@ -494,10 +539,22 @@ pub(crate) fn try_exact_eliminate(rows: &[Row], col: usize) -> Option<Vec<Row>> 
     let unit_lower = lowers.iter().all(|&a| a == 1);
     let unit_upper = uppers.iter().all(|&b| b == 1);
     if unit_lower || unit_upper {
-        Some(fm_eliminate(rows, col, 0))
+        fm_eliminate(rows, col, 0).ok()
     } else {
         None
     }
+}
+
+/// The strict negation of a `Geq` row, `¬(w·x + c ≥ 0) = -w·x - c - 1 ≥ 0`,
+/// or `None` when negation itself would overflow (callers then treat the
+/// implication test as undecided, which is always sound).
+pub(crate) fn negate_geq(c: &[i64]) -> Option<Vec<i64>> {
+    let mut neg: Vec<i64> = Vec::with_capacity(c.len());
+    for &x in c {
+        neg.push(x.checked_neg()?);
+    }
+    neg[0] = neg[0].checked_sub(1)?;
+    Some(neg)
 }
 
 #[cfg(test)]

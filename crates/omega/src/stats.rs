@@ -57,6 +57,12 @@ mod enabled {
         pub gist_hits: AtomicU64,
         /// Gist memo-cache misses (each one runs the full gist pipeline).
         pub gist_misses: AtomicU64,
+        /// Sat queries that hit a resource limit and degraded to the
+        /// conservative "satisfiable" answer (never cached).
+        pub sat_degraded: AtomicU64,
+        /// Gist computations built on degraded implication answers
+        /// (sound, but excluded from the gist memo cache).
+        pub gist_degraded: AtomicU64,
     }
 
     /// The process-wide counter instance the `bump!` probes target.
@@ -69,6 +75,8 @@ mod enabled {
         evictions: AtomicU64::new(0),
         gist_hits: AtomicU64::new(0),
         gist_misses: AtomicU64::new(0),
+        sat_degraded: AtomicU64::new(0),
+        gist_degraded: AtomicU64::new(0),
     };
 
     /// A point-in-time copy of [`COUNTERS`].
@@ -90,6 +98,10 @@ mod enabled {
         pub gist_hits: u64,
         /// Gist memo-cache misses.
         pub gist_misses: u64,
+        /// Sat queries degraded to a conservative answer by the governor.
+        pub sat_degraded: u64,
+        /// Gist computations excluded from the cache as degraded.
+        pub gist_degraded: u64,
     }
 
     impl Snapshot {
@@ -121,7 +133,7 @@ mod enabled {
         fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
             write!(
                 f,
-                "tier0 unsat {} | tier1 unsat {} sat {} | cache hit {} miss {} evict {} | gist hit {} miss {} | fast-path {:.1}%",
+                "tier0 unsat {} | tier1 unsat {} sat {} | cache hit {} miss {} evict {} | gist hit {} miss {} | degraded sat {} gist {} | fast-path {:.1}%",
                 self.tier0_unsat,
                 self.tier1_unsat,
                 self.tier1_sat,
@@ -130,6 +142,8 @@ mod enabled {
                 self.evictions,
                 self.gist_hits,
                 self.gist_misses,
+                self.sat_degraded,
+                self.gist_degraded,
                 100.0 * self.fast_path_rate(),
             )
         }
@@ -146,6 +160,8 @@ mod enabled {
             evictions: COUNTERS.evictions.load(Ordering::Relaxed),
             gist_hits: COUNTERS.gist_hits.load(Ordering::Relaxed),
             gist_misses: COUNTERS.gist_misses.load(Ordering::Relaxed),
+            sat_degraded: COUNTERS.sat_degraded.load(Ordering::Relaxed),
+            gist_degraded: COUNTERS.gist_degraded.load(Ordering::Relaxed),
         }
     }
 
@@ -159,5 +175,7 @@ mod enabled {
         COUNTERS.evictions.store(0, Ordering::Relaxed);
         COUNTERS.gist_hits.store(0, Ordering::Relaxed);
         COUNTERS.gist_misses.store(0, Ordering::Relaxed);
+        COUNTERS.sat_degraded.store(0, Ordering::Relaxed);
+        COUNTERS.gist_degraded.store(0, Ordering::Relaxed);
     }
 }

@@ -445,6 +445,40 @@ mod differential {
                 "pipeline verdict diverged on {:?}", rows
             );
         }
+
+        #[test]
+        fn starved_pipeline_is_a_sound_overapproximation(rows in rows_strategy()) {
+            if rows.is_empty() {
+                return Ok(());
+            }
+            // Under an artificially tiny budget the pipeline may degrade,
+            // but only ever toward "satisfiable": a `false` answer must
+            // still agree with the unstarved oracle, and degraded verdicts
+            // must never poison the cache for a later full-budget query.
+            let tiny = crate::limits::Limits {
+                budget: 4,
+                max_depth: 2,
+                row_cap: 6,
+                ..crate::limits::Limits::default()
+            };
+            let (starved, _cert) = crate::limits::with_limits(tiny, || {
+                crate::sat::rows_satisfiable(&rows, 3)
+            });
+            let exact = crate::sat::exact_satisfiable(&rows, 3);
+            if !starved {
+                prop_assert!(
+                    !exact,
+                    "starved pipeline said Unsat on a satisfiable system: {rows:?}"
+                );
+            }
+            // A fresh full-budget query is exact even right after the
+            // starved one (degraded answers are never cached).
+            prop_assert_eq!(
+                crate::sat::rows_satisfiable(&rows, 3),
+                exact,
+                "full-budget verdict corrupted by earlier starved query on {:?}", rows
+            );
+        }
     }
 }
 

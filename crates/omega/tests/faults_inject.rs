@@ -1,0 +1,136 @@
+//! Deterministic fault-injection tests (`--features faults`): every solver
+//! failure mode is forced at the first counted operation and must surface
+//! as a conservative verdict with a matching degradation certificate —
+//! never a panic, never a poisoned cache.
+//!
+//! CI runs this file as a matrix over `OMEGA_FAULT` (a fault tag) and
+//! `OMEGA_FAULT_CACHE` (`cold` / `warm`); without those variables every
+//! combination runs in-process.
+
+#![cfg(feature = "faults")]
+
+use std::sync::Mutex;
+
+use omega::faults::{self, Fault};
+use omega::limits::with_limits;
+use omega::{Certainty, Conjunct, Limits, LinExpr, Space};
+
+/// The armed fault is process-global: tests in this binary serialize.
+static ARMED: Mutex<()> = Mutex::new(());
+
+/// Pugh's dark-shadow system (rationally feasible, integer-infeasible):
+/// undecidable for the syntactic and interval tiers, so the query always
+/// reaches the exact solver — where the armed fault fires.
+fn tier2_unsat() -> Conjunct {
+    let sp = Space::new::<&str>(&[], &["x", "y"]);
+    let x = || LinExpr::var(&sp, 0);
+    let y = || LinExpr::var(&sp, 1);
+    let mut c = Conjunct::universe(&sp);
+    c.add_constraint(&(x() * 11 + y() * 13 - 27).geq0());
+    c.add_constraint(&((-(x() * 11 + y() * 13)) + 45).geq0());
+    c.add_constraint(&(x() * 7 - y() * 9 + 10).geq0());
+    c.add_constraint(&((-(x() * 7 - y() * 9)) + 4).geq0());
+    c
+}
+
+/// Cold cache: the armed fault fires inside the exact solver, the query
+/// answers conservatively (satisfiable) with the fault's reason on the
+/// certificate, and the degraded verdict is NOT cached — disarming and
+/// re-querying yields the exact answer.
+fn check_cold(fault: Fault) {
+    let c = tier2_unsat();
+    omega::reset_sat_cache();
+    faults::inject_after(1, fault);
+    let (sat, cert) = with_limits(Limits::default(), || c.is_sat());
+    assert!(sat, "{fault:?}: faulted query must answer conservatively");
+    let reasons = cert.reasons();
+    assert!(
+        reasons.contains(fault.error()),
+        "{fault:?}: certificate {cert} must name the injected fault"
+    );
+
+    faults::clear();
+    let (sat, cert) = with_limits(Limits::default(), || c.is_sat());
+    assert!(
+        !sat,
+        "{fault:?}: degraded verdict must not have been cached"
+    );
+    assert_eq!(cert, Certainty::Exact);
+}
+
+/// Warm cache: an exact verdict cached before the fault is armed
+/// short-circuits the solver, so the armed fault never fires and the
+/// answer stays exact — a cache hit is exact by construction.
+fn check_warm(fault: Fault) {
+    let c = tier2_unsat();
+    faults::clear();
+    omega::reset_sat_cache();
+    let (sat, cert) = with_limits(Limits::default(), || c.is_sat());
+    assert!(!sat);
+    assert_eq!(cert, Certainty::Exact);
+
+    faults::inject_after(1, fault);
+    let (sat, cert) = with_limits(Limits::default(), || c.is_sat());
+    assert!(!sat, "{fault:?}: cached exact verdict must short-circuit");
+    assert_eq!(cert, Certainty::Exact, "{fault:?}: cache hits are exact");
+    faults::clear();
+}
+
+/// The CI matrix entry point: `OMEGA_FAULT` picks one fault tag (all five
+/// when unset), `OMEGA_FAULT_CACHE` picks `cold` or `warm` (both when
+/// unset).
+#[test]
+fn fault_matrix() {
+    let _g = ARMED.lock().unwrap_or_else(|e| e.into_inner());
+    let faults: Vec<Fault> = match std::env::var("OMEGA_FAULT") {
+        Ok(tag) => {
+            vec![Fault::from_tag(&tag).unwrap_or_else(|| panic!("unknown OMEGA_FAULT tag {tag:?}"))]
+        }
+        Err(_) => Fault::ALL.to_vec(),
+    };
+    let caches: Vec<String> = match std::env::var("OMEGA_FAULT_CACHE") {
+        Ok(mode) => vec![mode],
+        Err(_) => vec!["cold".into(), "warm".into()],
+    };
+    for &fault in &faults {
+        for cache in &caches {
+            match cache.as_str() {
+                "cold" => check_cold(fault),
+                "warm" => check_warm(fault),
+                other => panic!("unknown OMEGA_FAULT_CACHE mode {other:?}"),
+            }
+        }
+    }
+    faults::clear();
+}
+
+/// A fault armed past the query's op count never fires: the query
+/// completes exactly.
+#[test]
+fn fault_beyond_query_length_is_inert() {
+    let _g = ARMED.lock().unwrap_or_else(|e| e.into_inner());
+    let c = tier2_unsat();
+    omega::reset_sat_cache();
+    faults::inject_after(u64::MAX - 1, Fault::Overflow);
+    let (sat, cert) = with_limits(Limits::default(), || c.is_sat());
+    faults::clear();
+    assert!(!sat);
+    assert_eq!(cert, Certainty::Exact);
+}
+
+/// Determinism: with a fault armed, repeated cold-cache runs of the same
+/// query produce identical verdicts and identical certificates.
+#[test]
+fn faulted_queries_are_deterministic() {
+    let _g = ARMED.lock().unwrap_or_else(|e| e.into_inner());
+    let c = tier2_unsat();
+    let mut outcomes = Vec::new();
+    for _ in 0..3 {
+        omega::reset_sat_cache();
+        faults::inject_after(2, Fault::BudgetExhausted);
+        let (sat, cert) = with_limits(Limits::default(), || c.is_sat());
+        outcomes.push((sat, cert));
+    }
+    faults::clear();
+    assert!(outcomes.windows(2).all(|w| w[0] == w[1]), "{outcomes:?}");
+}

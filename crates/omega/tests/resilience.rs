@@ -1,0 +1,155 @@
+//! Resilience-layer integration tests: the resource governor degrades
+//! soundly, degraded verdicts never poison the shared caches, and parser
+//! overflow is a recoverable error with source-span context.
+
+use omega::limits::with_limits;
+use omega::{Certainty, Conjunct, Limits, LinExpr, OmegaError, Set, Space};
+
+/// Pugh's dark-shadow example: rationally satisfiable but with no integer
+/// point, so neither the syntactic nor the interval tier can decide it —
+/// only the exact (governed) Omega test answers, and a starved governor is
+/// forced to degrade on it. Built through the raw `Conjunct` API so no
+/// parse-time canonicalization can pre-solve it.
+fn tier2_unsat() -> Conjunct {
+    let sp = Space::new::<&str>(&[], &["x", "y"]);
+    let x = || LinExpr::var(&sp, 0);
+    let y = || LinExpr::var(&sp, 1);
+    let mut c = Conjunct::universe(&sp);
+    // 27 <= 11x + 13y <= 45 and -10 <= 7x - 9y <= 4.
+    c.add_constraint(&(x() * 11 + y() * 13 - 27).geq0());
+    c.add_constraint(&((-(x() * 11 + y() * 13)) + 45).geq0());
+    c.add_constraint(&(x() * 7 - y() * 9 + 10).geq0());
+    c.add_constraint(&((-(x() * 7 - y() * 9)) + 4).geq0());
+    c
+}
+
+/// A governor small enough that any query reaching the exact solver trips
+/// a limit before finishing.
+fn starving() -> Limits {
+    Limits {
+        budget: 1,
+        max_depth: 0,
+        row_cap: 1,
+        ..Limits::default()
+    }
+}
+
+/// The regression the cache fix guards against: a budget-starved query
+/// answers conservatively (and reports why), and a later query on the SAME
+/// system under fresh limits still gets the exact answer — the degraded
+/// verdict must not have been cached.
+#[test]
+fn starved_verdict_is_not_cached() {
+    let c = tier2_unsat();
+    omega::reset_sat_cache();
+
+    let (starved_sat, cert) = with_limits(starving(), || c.is_sat());
+    assert!(
+        starved_sat,
+        "starved query must answer conservatively (satisfiable)"
+    );
+    assert!(
+        !cert.is_exact(),
+        "conservative answer must carry an Approximate certificate, got {cert}"
+    );
+
+    // Fresh-budget re-query: exact, in spite of the starved one above.
+    let (sat, cert) = with_limits(Limits::default(), || c.is_sat());
+    assert!(
+        !sat,
+        "full-budget query must see the exact (unsat) answer, not a cached degraded one"
+    );
+    assert_eq!(cert, Certainty::Exact);
+
+    // And the exact verdict IS cached: a warm re-query stays exact even
+    // under a starving governor.
+    let (sat, cert) = with_limits(starving(), || c.is_sat());
+    assert!(!sat, "cached exact verdicts are exact under any limits");
+    assert_eq!(cert, Certainty::Exact);
+}
+
+#[test]
+fn exact_queries_report_exact() {
+    let s = Set::parse("{ [i] : 0 <= i <= 9 }").unwrap();
+    let (empty, cert) = with_limits(Limits::default(), || s.is_empty());
+    assert!(!empty);
+    assert_eq!(cert, Certainty::Exact);
+}
+
+#[test]
+fn degradation_reasons_name_the_tripped_limit() {
+    let c = tier2_unsat();
+    omega::reset_sat_cache();
+    let (_, cert) = with_limits(starving(), || c.is_sat());
+    let reasons = cert.reasons();
+    assert!(!reasons.is_empty());
+    // The starving governor trips depth, budget or the row cap — never
+    // overflow or the (unset) deadline.
+    assert!(!reasons.contains(OmegaError::Overflow), "{reasons}");
+    assert!(!reasons.contains(OmegaError::DeadlineExceeded), "{reasons}");
+}
+
+#[test]
+fn unlimited_limits_never_degrade() {
+    let c = tier2_unsat();
+    omega::reset_sat_cache();
+    let (sat, cert) = with_limits(Limits::unlimited(), || c.is_sat());
+    assert!(!sat);
+    assert_eq!(cert, Certainty::Exact);
+}
+
+/// Nested scopes: an inner degraded scope taints the outer certificate
+/// (an outer observer must not claim exactness over a degraded subtree).
+#[test]
+fn inner_degradation_taints_outer_scope() {
+    let c = tier2_unsat();
+    omega::reset_sat_cache();
+    let ((), outer) = with_limits(Limits::default(), || {
+        let (_, inner) = with_limits(starving(), || c.is_sat());
+        assert!(!inner.is_exact());
+    });
+    assert!(
+        !outer.is_exact(),
+        "outer scope must report the nested degradation"
+    );
+}
+
+#[test]
+fn parse_coefficient_overflow_is_recoverable() {
+    const MAX: &str = "9223372036854775807";
+    // parse_sum: MAX·i + MAX·i overflows when summing like terms.
+    let err = Set::parse(&format!("{{ [i] : i*{MAX} + i*{MAX} >= 0 }}")).unwrap_err();
+    assert!(
+        err.message().contains("overflow"),
+        "unexpected message: {err}"
+    );
+    assert!(err.position() > 0, "error must carry a source span: {err}");
+
+    // Unary negation of i64::MIN-like coefficients must not panic either.
+    let r = Set::parse(&format!("{{ [i] : -(i*{MAX} + i*{MAX}) >= 0 }}"));
+    assert!(r.is_err());
+
+    // A large-but-valid coefficient still parses.
+    let ok = Set::parse(&format!("{{ [i] : i*{MAX} >= 0 }}"));
+    assert!(ok.is_ok(), "{ok:?}");
+}
+
+#[test]
+fn parse_literal_too_large_is_recoverable() {
+    let err = Set::parse("{ [i] : i >= 92233720368547758080 }").unwrap_err();
+    assert!(err.message().contains("too large"), "{err}");
+}
+
+/// `contains` on honest inputs stays exact even when intermediate
+/// substitution values need i128: constant rows are decided exactly.
+#[test]
+fn contains_handles_huge_substituted_constants() {
+    let s = Set::parse("[n] -> { [i] : i*4611686018427387902 <= n }").unwrap();
+    // i = 4 makes the substituted row constant ≈ 4·(i64::MAX/2), out of
+    // i64 — but the row is local-free, so it is decided exactly in i128.
+    let ((), cert) = with_limits(Limits::default(), || {
+        assert!(!s.contains(&[100], &[4]));
+        assert!(s.contains(&[100], &[0]));
+    });
+    assert_eq!(cert, Certainty::Exact);
+}

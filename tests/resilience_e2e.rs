@@ -1,0 +1,94 @@
+//! End-to-end resilience: `CodeGen::limits` degrades soundly. At default
+//! limits all five Table 1 kernels generate with an `Exact` certificate;
+//! under an artificially starved governor the generated (extra-guarded)
+//! code still executes exactly the requested statement instances, and the
+//! output stays byte-identical across thread counts.
+
+use bench_harness::statements_of;
+use chill::recipes;
+use codegenplus::{CodeGen, Statement};
+use omega::{Certainty, Limits};
+
+/// A governor tiny enough to starve any query that reaches the exact
+/// solver, while leaving generation able to finish.
+fn tiny() -> Limits {
+    Limits {
+        budget: 4,
+        max_depth: 2,
+        row_cap: 6,
+        ..Limits::default()
+    }
+}
+
+fn emit(stmts: &[Statement], threads: usize, limits: Limits) -> (String, Certainty) {
+    let g = CodeGen::new()
+        .statements(stmts.to_vec())
+        .threads(threads)
+        .limits(limits)
+        .generate()
+        .unwrap();
+    (g.to_c(), g.certainty)
+}
+
+/// The paper's kernels never trip the default governor: every verdict on
+/// the default path is exact, and `Generated` says so.
+#[test]
+fn kernels_are_exact_at_default_limits() {
+    for k in recipes::all(10) {
+        let stmts = statements_of(&k);
+        let g = CodeGen::new().statements(stmts).generate().unwrap();
+        assert_eq!(
+            g.certainty,
+            Certainty::Exact,
+            "{} degraded at default limits",
+            k.name
+        );
+    }
+}
+
+/// Soundness of degradation end to end: code generated under a starved
+/// governor may carry extra guards, but the polyir interpreter executes
+/// the exact same statement trace as the default-limits code.
+#[test]
+fn starved_generation_executes_the_exact_trace() {
+    for k in recipes::all(8) {
+        let stmts = statements_of(&k);
+        omega::reset_sat_cache();
+        let exact = CodeGen::new().statements(stmts.clone()).generate().unwrap();
+        omega::reset_sat_cache();
+        let starved = CodeGen::new()
+            .statements(stmts.clone())
+            .limits(tiny())
+            .generate()
+            .unwrap();
+        let ra = polyir::execute(&exact.code, &k.params).expect("exact code executes");
+        let rb = polyir::execute(&starved.code, &k.params).expect("starved code executes");
+        assert_eq!(
+            ra.trace, rb.trace,
+            "{}: starved generation changed the executed instances",
+            k.name
+        );
+    }
+}
+
+/// Thread-count determinism survives degradation: the certificate is a
+/// commutative union and results are collected by input index, so both the
+/// code and the certainty are identical for every thread count.
+#[test]
+fn starved_generation_is_thread_count_invariant() {
+    for k in recipes::all(8) {
+        let stmts = statements_of(&k);
+        omega::reset_sat_cache();
+        let sequential = emit(&stmts, 1, tiny());
+        for threads in [2, 8] {
+            omega::reset_sat_cache();
+            assert_eq!(
+                sequential,
+                emit(&stmts, threads, tiny()),
+                "{} differs between threads(1) and threads({}) under tiny limits",
+                k.name,
+                threads
+            );
+        }
+    }
+}
