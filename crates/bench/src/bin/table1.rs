@@ -3,22 +3,76 @@
 //! the dynamic performance proxy for CLooG vs CodeGen+, with the ratio
 //! columns the paper reports.
 //!
-//! Usage: `cargo run --release -p bench-harness --bin table1 [N] [--gcc]`
+//! Usage: `cargo run --release -p bench-harness --bin table1 [N] [--gcc]
+//! [--trace FILE.json [--force]] [--dump-dir DIR]`
 //! (N = problem size; default 64). With `--gcc` and a gcc on PATH, two
 //! extra column groups report the *real* `gcc -O3` compile time and the
 //! compiled binary's execution time — the paper's literal methodology.
+//!
+//! With `--trace FILE.json`, one extra cold-cache CodeGen+ generation per
+//! kernel runs under a span collector; the merged trace is written as
+//! Chrome trace-event JSON (loadable in Perfetto / `chrome://tracing`)
+//! together with a hot-spot summary and per-span latency histograms. An
+//! existing trace file is not overwritten unless `--force` is given. With
+//! `--dump-dir DIR`, every tier-2 solver query of the traced runs is also
+//! written as a replayable `.omega` dump (see `omega-replay`).
 
 use bench_harness::gcc::{gcc_available, measure_with_gcc};
-use bench_harness::{compare, generate, statements_of, traces_match, Tool};
+use bench_harness::{compare, generate, statements_of, trace_kernel, traces_match, Tool};
+use std::path::PathBuf;
+use std::process::ExitCode;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let use_gcc = args.iter().any(|a| a == "--gcc");
-    let n: i64 = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(64);
+fn main() -> ExitCode {
+    let mut use_gcc = false;
+    let mut force = false;
+    let mut trace_path: Option<PathBuf> = None;
+    let mut dump_dir: Option<PathBuf> = None;
+    let mut n: i64 = 64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--gcc" => use_gcc = true,
+            "--force" => force = true,
+            "--trace" => match args.next() {
+                Some(p) => trace_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--trace requires a file argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--dump-dir" => match args.next() {
+                Some(p) => dump_dir = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--dump-dir requires a directory argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other if !other.starts_with("--") => match other.parse() {
+                Ok(v) => n = v,
+                Err(_) => {
+                    eprintln!("unrecognized argument {other}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown flag {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(p) = &trace_path {
+        if p.exists() && !force {
+            eprintln!(
+                "refusing to overwrite existing trace file {} (pass --force to overwrite)",
+                p.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    let collector = (trace_path.is_some() || dump_dir.is_some()).then(omega::trace::Collector::new);
+    if let (Some(c), Some(d)) = (&collector, &dump_dir) {
+        c.dump_queries(d);
+    }
     let gcc_ok = use_gcc && gcc_available();
     if use_gcc && !gcc_ok {
         eprintln!("--gcc requested but no usable gcc found; skipping real-compiler columns");
@@ -38,6 +92,12 @@ fn main() {
         "performance (dyn. cost)"
     );
     println!("{}", "-".repeat(130));
+    // Tier-2 query totals across the traced generations, from the stats
+    // counters; checked against the trace's root spans at the end.
+    #[cfg(feature = "stats")]
+    let mut expected_sat_exact = 0u64;
+    #[cfg(feature = "stats")]
+    let mut expected_gist_exact = 0u64;
     for kernel in chill::recipes::all(n) {
         #[cfg(feature = "stats")]
         let stats_before = omega::stats::snapshot();
@@ -100,6 +160,71 @@ fn main() {
             }
         }
         println!();
+        if let Some(c) = &collector {
+            println!("         cg+ codegen reps: {}", row.cgplus.codegen_hist);
+            #[cfg(feature = "stats")]
+            let before = omega::stats::snapshot();
+            trace_kernel(&kernel, c);
+            #[cfg(feature = "stats")]
+            {
+                let after = omega::stats::snapshot();
+                expected_sat_exact += after.exact_solves() - before.exact_solves();
+                expected_gist_exact += after.gist_misses - before.gist_misses;
+            }
+        }
     }
     println!("\n(All rows verified: both tools execute identical statement traces.)");
+    if let Some(c) = &collector {
+        let trace = c.finish();
+        assert!(trace.is_well_formed(), "recorded trace is not well-formed");
+        println!("\n--- trace summary (cold-cache CodeGen+ runs) ---");
+        print!("{}", trace.hotspots(14));
+        println!("\nper-span latency (log-bucketed, merged across threads):");
+        for name in ["sat_query", "sat_exact", "gist_query", "gist_exact"] {
+            let h = trace.histogram(name);
+            if h.count() > 0 {
+                println!("{name:<12} {h}");
+            }
+        }
+        #[cfg(feature = "stats")]
+        {
+            let sat_spans = trace.count_named("sat_exact") as u64;
+            let gist_spans = trace.count_named("gist_exact") as u64;
+            assert_eq!(
+                sat_spans, expected_sat_exact,
+                "sat_exact spans must equal tier-2 sat solves per omega::stats"
+            );
+            assert_eq!(
+                gist_spans, expected_gist_exact,
+                "gist_exact spans must equal tier-2 gist computations per omega::stats"
+            );
+            println!(
+                "tier-2 query spans match omega::stats: sat_exact {sat_spans}, gist_exact {gist_spans}"
+            );
+        }
+        if let Some(p) = &trace_path {
+            let file = match std::fs::File::create(p) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("cannot create trace file {}: {e}", p.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut w = std::io::BufWriter::new(file);
+            if let Err(e) = trace.write_chrome_json(&mut w) {
+                eprintln!("cannot write trace file {}: {e}", p.display());
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "chrome trace written to {} ({} spans, {} roots)",
+                p.display(),
+                trace.len(),
+                trace.roots.len()
+            );
+        }
+        if let Some(d) = &dump_dir {
+            println!("replayable query dumps in {}", d.display());
+        }
+    }
+    ExitCode::SUCCESS
 }

@@ -65,6 +65,11 @@ pub struct ToolReport {
     pub dynamic_cost: u64,
     /// Statement instances executed (sanity: equal across tools).
     pub instances: u64,
+    /// Log-bucketed histogram of every code-generation repetition's
+    /// wall-clock time; [`ToolReport::codegen_time`] is its minimum. The
+    /// histogram keeps the full latency distribution mergeable across
+    /// kernels and runs instead of a single number.
+    pub codegen_hist: omega::trace::LogHistogram,
 }
 
 /// Pads and converts a kernel's statements for the generators.
@@ -112,6 +117,8 @@ pub fn measure(kernel: &Kernel, tool: Tool) -> ToolReport {
     // repetition additionally warms the satisfiability cache for both tools
     // symmetrically.
     let (g, mut codegen_time) = generate(&stmts, tool);
+    let mut codegen_hist = omega::trace::LogHistogram::new();
+    codegen_hist.record(codegen_time.as_nanos() as u64);
     let mut spent = codegen_time;
     let mut reps = 1;
     // Sub-millisecond kernels get many repetitions inside the time budget;
@@ -120,6 +127,7 @@ pub fn measure(kernel: &Kernel, tool: Tool) -> ToolReport {
     // cover every repetition, or the min itself is an outlier.
     while reps < 100 && spent < Duration::from_millis(400) {
         let (_, t) = generate(&stmts, tool);
+        codegen_hist.record(t.as_nanos() as u64);
         codegen_time = codegen_time.min(t);
         spent += t;
         reps += 1;
@@ -141,7 +149,36 @@ pub fn measure(kernel: &Kernel, tool: Tool) -> ToolReport {
         metrics: CodeMetrics::of(&g.code, &g.names),
         dynamic_cost: cost,
         instances: run.counters.stmt_execs,
+        codegen_hist,
     }
+}
+
+/// One traced CodeGen+ generation of `kernel` against cold solver caches:
+/// every pass and solver query records a span (and, when the collector has
+/// a dump directory, every tier-2 query a replayable `.omega` dump) into
+/// `collector`. The result is also run through the stand-in compiler under
+/// the same collector so the `pass_*` spans are captured.
+///
+/// The caches are reset first because a warm cache answers everything at
+/// the `cache` tier — the per-query call trees the trace exists to show
+/// would be empty.
+///
+/// # Panics
+///
+/// Panics if generation fails (the kernels are known-good inputs).
+pub fn trace_kernel(kernel: &Kernel, collector: &omega::trace::Collector) -> Generated {
+    let stmts = statements_of(kernel);
+    omega::reset_sat_cache();
+    let g = CodeGen::new()
+        .statements(stmts)
+        .effort(1)
+        .trace(collector.clone())
+        .generate()
+        .expect("codegen+ generation failed");
+    omega::trace::with_collector(Some(collector.clone()), || {
+        polyir::passes::compile(&g.code);
+    });
+    g
 }
 
 /// One Table 1 row: both tools measured on the same spaces, with the

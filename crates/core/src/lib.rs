@@ -101,6 +101,7 @@ pub struct CodeGen {
     reorder_leaves: bool,
     threads: usize,
     limits: omega::Limits,
+    trace: Option<omega::trace::Collector>,
 }
 
 impl Default for CodeGen {
@@ -121,6 +122,7 @@ impl CodeGen {
             reorder_leaves: false,
             threads: 0,
             limits: omega::Limits::default(),
+            trace: None,
         }
     }
 
@@ -206,6 +208,18 @@ impl CodeGen {
         self
     }
 
+    /// Installs a span collector for this run: every pass and solver query
+    /// executed by [`CodeGen::generate`] records a timed span into it (see
+    /// [`omega::trace`]). Harvest with [`omega::trace::Collector::finish`]
+    /// after `generate` returns, then export via
+    /// [`omega::trace::Trace::write_chrome_json`] or
+    /// [`omega::trace::Trace::hotspots`]. Without a collector the probes
+    /// are dormant (one thread-local boolean test each).
+    pub fn trace(mut self, collector: omega::trace::Collector) -> CodeGen {
+        self.trace = Some(collector);
+        self
+    }
+
     /// Runs the scanner.
     ///
     /// The whole run executes under this builder's [`CodeGen::limits`]; the
@@ -218,7 +232,9 @@ impl CodeGen {
     /// statements disagree on the scanning space, every domain is empty, or
     /// a loop level is unbounded.
     pub fn generate(&self) -> Result<Generated, CodeGenError> {
-        let (result, certainty) = omega::limits::with_limits(self.limits, || self.generate_inner());
+        let (result, certainty) = omega::limits::with_limits(self.limits, || {
+            omega::trace::with_collector(self.trace.clone(), || self.generate_inner())
+        });
         let (code, names) = result?;
         Ok(Generated {
             code,
@@ -229,8 +245,13 @@ impl CodeGen {
 
     fn generate_inner(&self) -> Result<(Stmt, Names), CodeGenError> {
         let trace = std::env::var_os("CODEGENPLUS_TRACE").is_some();
+        let run_span = omega::span!(cg_generate, stmts = self.stmts.len(), effort = self.effort);
         let t0 = std::time::Instant::now();
-        let (pb, known, names) = self.prepare()?;
+        let (pb, known, names) = {
+            let _s = omega::span!(cg_prepare);
+            self.prepare()?
+        };
+        run_span.attr("pieces", pb.pieces.len());
         if trace {
             eprintln!(
                 "[cg+] prepare: {} pieces in {:.2?}",
@@ -240,26 +261,35 @@ impl CodeGen {
         }
         // 1. initial AST (Figure 2) + node properties (Figure 3)
         let t1 = std::time::Instant::now();
-        let root = init::init_ast(&pb);
+        let root = {
+            let _s = omega::span!(cg_init_ast);
+            init::init_ast(&pb)
+        };
         if trace {
             eprintln!("[cg+] initAST: {:.2?}", t1.elapsed());
         }
         let t2 = std::time::Instant::now();
         let all: Vec<usize> = (0..pb.pieces.len()).collect();
-        let root = root
-            .recompute(&pb, &all, &known, &Conjunct::universe(&pb.space))
-            .ok_or(CodeGenError::EmptyDomains)?;
+        let root = {
+            let _s = omega::span!(cg_recompute);
+            root.recompute(&pb, &all, &known, &Conjunct::universe(&pb.space))
+                .ok_or(CodeGenError::EmptyDomains)?
+        };
         if trace {
             eprintln!("[cg+] recompute: {:.2?}", t2.elapsed());
         }
         // 2. loop overhead removal at the requested depth (Figure 4)
         let t3 = std::time::Instant::now();
-        let root = lift::lift_overhead(&pb, root, self.effort);
+        let root = {
+            let _s = omega::span!(cg_lift, effort = self.effort);
+            lift::lift_overhead(&pb, root, self.effort)
+        };
         if trace {
             eprintln!("[cg+] liftOverhead: {:.2?}", t3.elapsed());
         }
         // 2b. optional min/max bound removal (§3.2.2 extension)
         let root = if self.minmax_effort > 0 {
+            let _s = omega::span!(cg_minmax, effort = self.minmax_effort);
             minmax::remove_minmax(&pb, root, self.minmax_effort)
         } else {
             root
@@ -272,7 +302,10 @@ impl CodeGen {
             merge_ifs: self.merge_ifs,
             reorder_leaves: self.reorder_leaves,
         };
-        let code = ctx.lower_root(&root, &known)?;
+        let code = {
+            let _s = omega::span!(cg_lower);
+            ctx.lower_root(&root, &known)?
+        };
         if trace {
             eprintln!("[cg+] lower: {:.2?}", t4.elapsed());
         }

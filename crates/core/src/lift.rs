@@ -22,7 +22,8 @@ pub(crate) fn lift_overhead(pb: &Problem, mut root: Node, d: usize) -> Node {
     let mut inserted: HashMap<String, u32> = HashMap::new();
     // Each iteration inserts at least one split or rejects at least one
     // candidate, so this terminates; the cap is a defensive backstop.
-    for _ in 0..10_000 {
+    for pass in 0..10_000u32 {
+        let _span = omega::span!(lift_pass, pass = pass, depth = d);
         let (cand, new_root) = lift(pb, root, d, false, &rejected, &mut inserted);
         root = new_root;
         match cand {
@@ -199,6 +200,7 @@ fn lift(
                     // driver, which rejects it for the rest of the run.
                     return (Some(l), node);
                 }
+                let _span = omega::span!(lift_split, level = level);
                 let v = level - 1;
                 let sign = l.cond.var_sign_hint(v);
                 let (first, second) = if sign > 0 {

@@ -105,6 +105,15 @@ impl LowerCtx<'_> {
                 detail: "mergeIfInOrder failed to converge".into(),
             });
         }
+        // One span per entry into the merge algorithm (depth 0 = one call
+        // per loop body, i.e. per nesting level); the recursion itself is
+        // not spanned to keep traces proportional to the AST, not to the
+        // merge search.
+        let _span = if depth == 0 {
+            omega::span!(merge_ifs, items = items.len())
+        } else {
+            omega::trace::SpanGuard::inert()
+        };
         if items.is_empty() {
             return Ok(Stmt::Nop);
         }

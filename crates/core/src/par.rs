@@ -37,6 +37,15 @@ impl Parallelism {
     /// and more than one item the items are claimed from a shared counter
     /// by scoped workers; the calling thread participates, so no work is
     /// done by a pool that outlives the call.
+    ///
+    /// Tracing: the whole call runs under one `par_map` span and each item
+    /// under a `par_item` span carrying its input index, on both the
+    /// sequential and the parallel path. Worker threads record into the
+    /// calling thread's collector via a captured fork context; at
+    /// `Collector::finish` their subtrees are stitched under this call's
+    /// `par_map` span and ordered by the index attribute — so the merged
+    /// trace *shape* is identical for every thread count, extending the
+    /// byte-identical-AST guarantee to the observability layer.
     pub fn map_ordered<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
     where
         T: Send,
@@ -44,8 +53,16 @@ impl Parallelism {
         F: Fn(T) -> R + Sync,
     {
         let n = items.len();
+        let _map_span = omega::span!(par_map, items = n);
         if self.threads <= 1 || n <= 1 {
-            return items.into_iter().map(f).collect();
+            return items
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    let _span = omega::span!(par_item, index = i);
+                    f(t)
+                })
+                .collect();
         }
         // Worker threads start with fresh thread-local solver state, so the
         // caller's limits are re-established in each one and any
@@ -53,23 +70,27 @@ impl Parallelism {
         // thread's certainty scope. The union is commutative, keeping the
         // final certificate independent of item interleaving.
         let limits = omega::limits::current();
+        let fork = omega::trace::fork_context();
         let observed: Mutex<omega::DegradeReasons> = Mutex::new(omega::DegradeReasons::default());
         let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let items: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
         let next = AtomicUsize::new(0);
         let run = || {
-            let ((), reasons) = omega::limits::with_limits(limits, || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let item = items[i]
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .take()
-                    .expect("item claimed twice");
-                let r = f(item);
-                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+            let ((), reasons) = omega::limits::with_limits(limits, || {
+                omega::trace::in_fork(fork.clone(), || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = items[i]
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .take()
+                        .expect("item claimed twice");
+                    let _span = omega::span!(par_item, index = i);
+                    let r = f(item);
+                    *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+                })
             });
             let reasons = reasons.reasons();
             if !reasons.is_empty() {

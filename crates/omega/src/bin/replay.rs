@@ -1,0 +1,58 @@
+//! `omega-replay` — re-runs `.omega` query dumps standalone.
+//!
+//! Dumps are produced by tracing a run with query provenance enabled
+//! (e.g. `table1 --trace out.json --dump-dir dumps/`); each file is a
+//! tier-2 sat or gist query in the parser's input syntax together with
+//! the verdict recorded at dump time. Replaying recomputes the verdict
+//! from scratch and reports whether it matches, turning any slow or
+//! degraded query found in a trace into a reproducible test case.
+//!
+//! Usage: `omega-replay FILE.omega [FILE.omega ...]`
+//!
+//! Exit status: 0 when every dump replays to its recorded verdict,
+//! 1 on any mismatch or error.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: omega-replay FILE.omega [FILE.omega ...]");
+        eprintln!("replays tier-2 solver query dumps and checks their recorded verdicts");
+        return if args.is_empty() {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+    let mut failures = 0usize;
+    for arg in &args {
+        match omega::provenance::replay_file(Path::new(arg)) {
+            Ok(r) => {
+                if r.matched {
+                    println!(
+                        "{arg}: {} ok (expected {}, got {})",
+                        r.kind, r.expected, r.got
+                    );
+                } else {
+                    println!(
+                        "{arg}: {} MISMATCH (expected {}, got {})",
+                        r.kind, r.expected, r.got
+                    );
+                    failures += 1;
+                }
+            }
+            Err(e) => {
+                println!("{arg}: error: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("{failures} of {} dump(s) failed", args.len());
+        ExitCode::FAILURE
+    }
+}

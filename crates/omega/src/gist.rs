@@ -29,12 +29,18 @@ pub(crate) fn gist(a: &Set, ctx: &Set) -> Set {
 /// `a ∧ ctx` is empty.
 pub(crate) fn gist_conjunct(a: &Conjunct, ctx: &Conjunct) -> Conjunct {
     assert_eq!(a.space(), ctx.space(), "space mismatch in gist");
+    let span = crate::span!(gist_query, rows = a.rows().len(), locals = a.n_locals());
     let key = gist_key(a, ctx);
     if let Some(hit) = crate::cache::GIST.lookup(key) {
         crate::stats::bump!(gist_hits);
+        span.attr("tier", "cache");
         return hit;
     }
     crate::stats::bump!(gist_misses);
+    // Uncached gist: a detached per-query trace root, keyed by the cache
+    // fingerprint so merged traces order it deterministically.
+    let exact = crate::root_span!(gist_exact, rows = a.rows().len(), locals = a.n_locals());
+    exact.attr("key", format!("{:016x}{:016x}", key.0, key.1));
     // Observe the degradation delta of this one computation: a gist built
     // on degraded (conservative) implication answers is still sound, but
     // it must not be memoized — a later caller with fresher limits
@@ -43,9 +49,19 @@ pub(crate) fn gist_conjunct(a: &Conjunct, ctx: &Conjunct) -> Conjunct {
     let (out, reasons) = crate::limits::observe(|| gist_conjunct_uncached(a, ctx));
     if reasons.is_empty() {
         crate::cache::GIST.insert(key, out.clone());
+        // Exact gists are dumpable as replayable test cases (degraded ones
+        // carry no checkable expectation and are only recorded in spans).
+        if let Some((dir, seq)) = crate::trace::current().and_then(|c| c.dump_target()) {
+            let text = crate::provenance::gist_dump_text(a, ctx, &out);
+            if let Err(e) = crate::provenance::write_dump(&dir, &format!("gist-{seq:06}"), &text) {
+                eprintln!("omega: failed to write query dump: {e}");
+            }
+        }
     } else {
         crate::stats::bump!(gist_degraded);
+        exact.attr("degraded", true);
     }
+    span.attr("tier", "tier2");
     out
 }
 

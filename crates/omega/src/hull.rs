@@ -11,6 +11,7 @@ use crate::set::Set;
 /// congruences over the same expression are merged into the coarsest common
 /// lattice (e.g. `j ≡ i mod 4` ∪ `j ≡ i mod 6` → `j ≡ i mod 2`).
 pub(crate) fn hull(s: &Set) -> Conjunct {
+    let _span = crate::span!(hull, conjuncts = s.conjuncts().len());
     let space = s.space().clone();
     let live: Vec<Conjunct> = s
         .conjuncts()

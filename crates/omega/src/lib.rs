@@ -34,7 +34,9 @@
 pub mod faults;
 pub mod limits;
 pub mod num;
+pub mod provenance;
 pub mod stats;
+pub mod trace;
 
 mod bounds;
 mod cache;

@@ -17,6 +17,7 @@ pub(crate) fn project_out(s: &Set, first: usize, count: usize) -> Set {
     if count == 0 {
         return s.clone();
     }
+    let _span = crate::span!(project, conjuncts = s.conjuncts().len(), count = count);
     let mut out = Set::empty(s.space());
     for c in s.conjuncts() {
         let named = 1 + c.space().n_named();
@@ -38,6 +39,7 @@ pub(crate) fn project_out(s: &Set, first: usize, count: usize) -> Set {
 /// locals are eliminated exactly, and remaining local-involving rows
 /// (stride/range constraints) are dropped. The result contains the input.
 pub(crate) fn approximate(s: &Set) -> Set {
+    let _span = crate::span!(approximate, conjuncts = s.conjuncts().len());
     let mut out = Set::empty(s.space());
     for c in s.conjuncts() {
         let mut c = simplify_conjunct(c);

@@ -87,6 +87,7 @@ fn satisfiable_normalized(rows: &[Row], n_vars: usize) -> bool {
     if rows.iter().all(|r| r.is_constant()) {
         return true;
     }
+    let span = crate::span!(sat_query, rows = rows.len(), vars = n_vars);
     // The cache sits *before* tiers 0 and 1 and stores their verdicts too:
     // on the warm path (scanning re-asks the same queries constantly) a
     // repeat query costs one fingerprint + shard probe — cheaper than even
@@ -94,12 +95,16 @@ fn satisfiable_normalized(rows: &[Row], n_vars: usize) -> bool {
     let key = cache_key(rows);
     if let Some(hit) = cache::SAT.lookup(key) {
         bump!(cache_hits);
+        span.attr("tier", "cache");
+        span.attr("sat", hit);
         return hit;
     }
     bump!(cache_misses);
     if tier::tier0(rows) == Verdict::Unsat {
         bump!(tier0_unsat);
         cache::SAT.insert(key, false);
+        span.attr("tier", "tier0");
+        span.attr("sat", false);
         return false;
     }
     // Miss: build the canonical (sorted, deduplicated) system. Determinism
@@ -112,26 +117,71 @@ fn satisfiable_normalized(rows: &[Row], n_vars: usize) -> bool {
     let result = match tier::tier1(&work, 1 + n_vars) {
         Verdict::Unsat => {
             bump!(tier1_unsat);
+            span.attr("tier", "tier1");
+            span.attr("sat", false);
             false
         }
         Verdict::Sat => {
             bump!(tier1_sat);
+            span.attr("tier", "tier1");
+            span.attr("sat", true);
             true
         }
         Verdict::Unknown => {
+            // Tier 2: the exact Omega test. The per-query call tree is a
+            // *detached* trace root keyed by the cache fingerprint —
+            // which thread or phase happens to ask a cold query first is
+            // scheduling-dependent, the query itself is not.
+            let exact = crate::root_span!(sat_exact, rows = work.len(), vars = n_vars);
+            exact.attr("key", format!("{:016x}{:016x}", key.0, key.1));
+            let dump = crate::trace::current().and_then(|c| c.dump_target());
+            let dump_rows = dump.as_ref().map(|_| work.clone());
             faults::begin_query();
             let lim = limits::current();
             let mut budget = lim.budget;
             match solve(work, 0, &mut budget, &lim) {
-                Ok(v) => v,
+                Ok(v) => {
+                    exact.attr("sat", v);
+                    if let Some((dir, seq)) = dump {
+                        let text = crate::provenance::sat_dump_text(
+                            dump_rows.as_deref().unwrap_or(&[]),
+                            n_vars,
+                            Some(v),
+                        );
+                        if let Err(e) =
+                            crate::provenance::write_dump(&dir, &format!("sat-{seq:06}"), &text)
+                        {
+                            eprintln!("omega: failed to write query dump: {e}");
+                        }
+                    }
+                    span.attr("tier", "tier2");
+                    span.attr("sat", v);
+                    v
+                }
                 Err(e) => {
                     // Degraded verdict: answer the conservative "sat",
                     // record why, and — critically — do NOT cache it. Exact
                     // verdicts are exact under any limits and always safe
                     // to share; a starved verdict must not be replayed to a
                     // later caller running with a fresh budget.
+                    exact.attr("degraded", format!("{e}"));
+                    if let Some((dir, seq)) = dump {
+                        let text = crate::provenance::sat_dump_text(
+                            dump_rows.as_deref().unwrap_or(&[]),
+                            n_vars,
+                            None,
+                        );
+                        if let Err(e) =
+                            crate::provenance::write_dump(&dir, &format!("sat-{seq:06}"), &text)
+                        {
+                            eprintln!("omega: failed to write query dump: {e}");
+                        }
+                    }
                     limits::note(e);
                     bump!(sat_degraded);
+                    span.attr("tier", "tier2");
+                    span.attr("sat", true);
+                    span.attr("degraded", true);
                     return true;
                 }
             }
@@ -466,6 +516,7 @@ fn fm_solve(
 /// panicking — FM squares coefficient magnitudes, so this is the solver's
 /// most overflow-prone step.
 pub(crate) fn fm_eliminate(rows: &[Row], col: usize, slack: i64) -> Result<Vec<Row>, OmegaError> {
+    let _span = crate::span!(fm_eliminate, rows = rows.len(), col = col, slack = slack);
     let mut out: Vec<Row> = Vec::new();
     let mut lowers: Vec<&Row> = Vec::new();
     let mut uppers: Vec<&Row> = Vec::new();

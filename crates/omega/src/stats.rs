@@ -38,70 +38,70 @@ pub use enabled::*;
 mod enabled {
     use std::sync::atomic::{AtomicU64, Ordering};
 
-    /// Live counters for the satisfiability pipeline.
-    #[derive(Debug, Default)]
-    pub struct Counters {
-        /// Queries answered unsatisfiable by tier 0 (syntactic checks).
-        pub tier0_unsat: AtomicU64,
-        /// Queries answered unsatisfiable by tier 1 (interval propagation).
-        pub tier1_unsat: AtomicU64,
-        /// Queries answered satisfiable by tier 1's witness probe.
-        pub tier1_sat: AtomicU64,
-        /// Tier-2 memo-cache hits.
-        pub cache_hits: AtomicU64,
-        /// Tier-2 memo-cache misses (each one runs the exact Omega test).
-        pub cache_misses: AtomicU64,
-        /// Entries evicted from the memo cache by second-chance sweeps.
-        pub evictions: AtomicU64,
-        /// Gist memo-cache hits.
-        pub gist_hits: AtomicU64,
-        /// Gist memo-cache misses (each one runs the full gist pipeline).
-        pub gist_misses: AtomicU64,
-        /// Sat queries that hit a resource limit and degraded to the
-        /// conservative "satisfiable" answer (never cached).
-        pub sat_degraded: AtomicU64,
-        /// Gist computations built on degraded implication answers
-        /// (sound, but excluded from the gist memo cache).
-        pub gist_degraded: AtomicU64,
+    /// The single source of truth for the counter list: generates
+    /// [`Counters`], the [`COUNTERS`] static, [`Snapshot`], [`snapshot`],
+    /// [`reset`], and `Snapshot`'s `Display` from one field list, so a new
+    /// counter cannot drift out of one of the (previously hand-written)
+    /// copies.
+    macro_rules! define_counters {
+        ($($field:ident: $doc:literal),+ $(,)?) => {
+            /// Live counters for the satisfiability pipeline.
+            #[derive(Debug, Default)]
+            pub struct Counters {
+                $(#[doc = $doc] pub $field: AtomicU64,)+
+            }
+
+            /// The process-wide counter instance the `bump!` probes target.
+            pub static COUNTERS: Counters = Counters {
+                $($field: AtomicU64::new(0),)+
+            };
+
+            /// A point-in-time copy of [`COUNTERS`].
+            #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+            pub struct Snapshot {
+                $(#[doc = $doc] pub $field: u64,)+
+            }
+
+            /// Reads all counters.
+            ///
+            /// Loads are **relaxed and per-field**: while worker threads
+            /// are still bumping counters, a snapshot is not an atomic
+            /// cross-field cut — one field can reflect an event whose
+            /// sibling field does not yet (e.g. a tier verdict counted
+            /// before its cache miss). Derived quantities clamp
+            /// accordingly (see [`Snapshot::exact_solves`]). Snapshots
+            /// are exact once the threads that bump counters are quiet.
+            pub fn snapshot() -> Snapshot {
+                Snapshot {
+                    $($field: COUNTERS.$field.load(Ordering::Relaxed),)+
+                }
+            }
+
+            /// Zeroes all counters.
+            pub fn reset() {
+                $(COUNTERS.$field.store(0, Ordering::Relaxed);)+
+            }
+
+            impl std::fmt::Display for Snapshot {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    $(write!(f, concat!(stringify!($field), " {} | "), self.$field)?;)+
+                    write!(f, "fast-path {:.1}%", 100.0 * self.fast_path_rate())
+                }
+            }
+        };
     }
 
-    /// The process-wide counter instance the `bump!` probes target.
-    pub static COUNTERS: Counters = Counters {
-        tier0_unsat: AtomicU64::new(0),
-        tier1_unsat: AtomicU64::new(0),
-        tier1_sat: AtomicU64::new(0),
-        cache_hits: AtomicU64::new(0),
-        cache_misses: AtomicU64::new(0),
-        evictions: AtomicU64::new(0),
-        gist_hits: AtomicU64::new(0),
-        gist_misses: AtomicU64::new(0),
-        sat_degraded: AtomicU64::new(0),
-        gist_degraded: AtomicU64::new(0),
-    };
-
-    /// A point-in-time copy of [`COUNTERS`].
-    #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-    pub struct Snapshot {
-        /// Queries answered unsatisfiable by tier 0.
-        pub tier0_unsat: u64,
-        /// Queries answered unsatisfiable by tier 1.
-        pub tier1_unsat: u64,
-        /// Queries answered satisfiable by tier 1's witness probe.
-        pub tier1_sat: u64,
-        /// Tier-2 memo-cache hits.
-        pub cache_hits: u64,
-        /// Tier-2 memo-cache misses.
-        pub cache_misses: u64,
-        /// Entries evicted by second-chance sweeps.
-        pub evictions: u64,
-        /// Gist memo-cache hits.
-        pub gist_hits: u64,
-        /// Gist memo-cache misses.
-        pub gist_misses: u64,
-        /// Sat queries degraded to a conservative answer by the governor.
-        pub sat_degraded: u64,
-        /// Gist computations excluded from the cache as degraded.
-        pub gist_degraded: u64,
+    define_counters! {
+        tier0_unsat: "Queries answered unsatisfiable by tier 0 (syntactic checks).",
+        tier1_unsat: "Queries answered unsatisfiable by tier 1 (interval propagation).",
+        tier1_sat: "Queries answered satisfiable by tier 1's witness probe.",
+        cache_hits: "Tier-2 memo-cache hits.",
+        cache_misses: "Tier-2 memo-cache misses (each one runs the tiered pipeline).",
+        evictions: "Entries evicted from the memo cache by second-chance sweeps.",
+        gist_hits: "Gist memo-cache hits.",
+        gist_misses: "Gist memo-cache misses (each one runs the full gist pipeline).",
+        sat_degraded: "Sat queries that hit a resource limit and degraded to the conservative \"satisfiable\" answer (never cached).",
+        gist_degraded: "Gist computations built on degraded implication answers (sound, but excluded from the gist memo cache).",
     }
 
     impl Snapshot {
@@ -114,68 +114,102 @@ mod enabled {
 
         /// Queries that ran the exact Omega test: cache misses not settled
         /// by tier 0 or tier 1.
+        ///
+        /// The tier sum is clamped to `cache_misses` before subtracting:
+        /// under the relaxed per-field loads of [`snapshot`] a tier
+        /// counter can race ahead of the cache counter it is a subset of,
+        /// and an unclamped difference would wrap (or saturate to a
+        /// misleading 0 while the true value is small but nonzero).
         pub fn exact_solves(&self) -> u64 {
-            self.cache_misses
-                .saturating_sub(self.tier0_unsat + self.tier1_unsat + self.tier1_sat)
+            let tiered =
+                (self.tier0_unsat + self.tier1_unsat + self.tier1_sat).min(self.cache_misses);
+            self.cache_misses - tiered
         }
 
         /// Fraction of queries answered without running the exact solver.
+        /// Returns 0.0 when no queries were recorded (consistent with the
+        /// clamping in [`Snapshot::exact_solves`]: derived quantities
+        /// never invent work that the base counters do not support).
         pub fn fast_path_rate(&self) -> f64 {
             let total = self.total();
             if total == 0 {
                 return 0.0;
             }
+            // exact_solves <= cache_misses <= total, so this cannot wrap.
             (total - self.exact_solves()) as f64 / total as f64
         }
     }
 
-    impl std::fmt::Display for Snapshot {
-        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-            write!(
-                f,
-                "tier0 unsat {} | tier1 unsat {} sat {} | cache hit {} miss {} evict {} | gist hit {} miss {} | degraded sat {} gist {} | fast-path {:.1}%",
-                self.tier0_unsat,
-                self.tier1_unsat,
-                self.tier1_sat,
-                self.cache_hits,
-                self.cache_misses,
-                self.evictions,
-                self.gist_hits,
-                self.gist_misses,
-                self.sat_degraded,
-                self.gist_degraded,
-                100.0 * self.fast_path_rate(),
-            )
-        }
-    }
+    #[cfg(test)]
+    mod tests {
+        use super::*;
 
-    /// Reads all counters (relaxed; exact once worker threads are quiet).
-    pub fn snapshot() -> Snapshot {
-        Snapshot {
-            tier0_unsat: COUNTERS.tier0_unsat.load(Ordering::Relaxed),
-            tier1_unsat: COUNTERS.tier1_unsat.load(Ordering::Relaxed),
-            tier1_sat: COUNTERS.tier1_sat.load(Ordering::Relaxed),
-            cache_hits: COUNTERS.cache_hits.load(Ordering::Relaxed),
-            cache_misses: COUNTERS.cache_misses.load(Ordering::Relaxed),
-            evictions: COUNTERS.evictions.load(Ordering::Relaxed),
-            gist_hits: COUNTERS.gist_hits.load(Ordering::Relaxed),
-            gist_misses: COUNTERS.gist_misses.load(Ordering::Relaxed),
-            sat_degraded: COUNTERS.sat_degraded.load(Ordering::Relaxed),
-            gist_degraded: COUNTERS.gist_degraded.load(Ordering::Relaxed),
+        #[test]
+        fn exact_solves_clamps_racing_tier_counters() {
+            // Tier counters ahead of the cache-miss counter (a transient
+            // relaxed-load artifact): the clamp keeps the result at 0
+            // instead of wrapping.
+            let s = Snapshot {
+                tier0_unsat: 5,
+                tier1_unsat: 4,
+                tier1_sat: 3,
+                cache_misses: 7,
+                ..Snapshot::default()
+            };
+            assert_eq!(s.exact_solves(), 0);
+            // Consistent counters subtract exactly.
+            let s = Snapshot {
+                tier0_unsat: 2,
+                tier1_unsat: 1,
+                tier1_sat: 1,
+                cache_misses: 7,
+                ..Snapshot::default()
+            };
+            assert_eq!(s.exact_solves(), 3);
         }
-    }
 
-    /// Zeroes all counters.
-    pub fn reset() {
-        COUNTERS.tier0_unsat.store(0, Ordering::Relaxed);
-        COUNTERS.tier1_unsat.store(0, Ordering::Relaxed);
-        COUNTERS.tier1_sat.store(0, Ordering::Relaxed);
-        COUNTERS.cache_hits.store(0, Ordering::Relaxed);
-        COUNTERS.cache_misses.store(0, Ordering::Relaxed);
-        COUNTERS.evictions.store(0, Ordering::Relaxed);
-        COUNTERS.gist_hits.store(0, Ordering::Relaxed);
-        COUNTERS.gist_misses.store(0, Ordering::Relaxed);
-        COUNTERS.sat_degraded.store(0, Ordering::Relaxed);
-        COUNTERS.gist_degraded.store(0, Ordering::Relaxed);
+        #[test]
+        fn fast_path_rate_is_zero_when_empty_and_bounded_otherwise() {
+            assert_eq!(Snapshot::default().fast_path_rate(), 0.0);
+            let s = Snapshot {
+                cache_hits: 90,
+                cache_misses: 10,
+                tier0_unsat: 6,
+                tier1_unsat: 2,
+                tier1_sat: 1,
+                ..Snapshot::default()
+            };
+            let r = s.fast_path_rate();
+            assert!((0.0..=1.0).contains(&r));
+            assert!((r - 0.99).abs() < 1e-9);
+            // Even racing counters keep the rate in [0, 1].
+            let s = Snapshot {
+                cache_hits: 1,
+                cache_misses: 1,
+                tier0_unsat: 100,
+                ..Snapshot::default()
+            };
+            assert!((0.0..=1.0).contains(&s.fast_path_rate()));
+        }
+
+        #[test]
+        fn display_lists_every_field() {
+            let text = Snapshot::default().to_string();
+            for field in [
+                "tier0_unsat",
+                "tier1_unsat",
+                "tier1_sat",
+                "cache_hits",
+                "cache_misses",
+                "evictions",
+                "gist_hits",
+                "gist_misses",
+                "sat_degraded",
+                "gist_degraded",
+                "fast-path",
+            ] {
+                assert!(text.contains(field), "Display missing {field}: {text}");
+            }
+        }
     }
 }

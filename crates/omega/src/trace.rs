@@ -1,0 +1,1043 @@
+//! Structured tracing: a span-tree profiler threaded through the solver
+//! and the scanner.
+//!
+//! The paper's whole contribution is a time/size/overhead trade-off, so
+//! knowing *where* code generation time goes (gist? FM elimination?
+//! if-simplification at level 3?) is the standing instrumentation every
+//! performance change is judged against. This module provides
+//!
+//! * a **span API** ([`span!`]) recording a per-query call tree with
+//!   monotonic timestamps, depth, thread id and key attributes (conjunct
+//!   counts, the tier that answered, degradation reasons);
+//! * a **collector** ([`Collector`]) installed for a scope; worker threads
+//!   record into local buffers that are merged *deterministically* at the
+//!   end of the scope (children stitched under their logical parent and
+//!   ordered by explicit `index` attributes, never by arrival time), so
+//!   the byte-identical-output-per-thread-count guarantee extends to the
+//!   span tree's *shape*;
+//! * **exporters** — a Chrome trace-event JSON file (loadable in
+//!   `chrome://tracing` / Perfetto) and a plain-text hot-spot summary
+//!   (top-N span names by inclusive/exclusive time);
+//! * **latency histograms** ([`LogHistogram`]): log-bucketed, mergeable
+//!   across threads, replacing single wall-clock numbers.
+//!
+//! # Cost when disabled
+//!
+//! Probes are always compiled but gated on a thread-local flag: with no
+//! collector installed, a [`span!`] site is a single `Cell<bool>` read and
+//! a branch — no timestamp read, no allocation. Probe sites sit at
+//! query/phase granularity (never inside arithmetic kernels), so the
+//! dormant cost is unmeasurable next to the work they would time.
+//!
+//! # Example
+//!
+//! ```
+//! use omega::trace::{self, Collector};
+//!
+//! let c = Collector::new();
+//! trace::with_collector(Some(c.clone()), || {
+//!     let _outer = omega::span!(example_outer);
+//!     let _inner = omega::span!(example_inner, items = 3);
+//! });
+//! let t = c.finish();
+//! assert_eq!(t.roots.len(), 1);
+//! assert_eq!(t.roots[0].name, "example_outer");
+//! assert_eq!(t.roots[0].children[0].attr("items"), Some(&trace::AttrValue::Int(3)));
+//! ```
+
+use std::cell::{Cell, RefCell};
+use std::fmt;
+use std::io::{self, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// An attribute value attached to a span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AttrValue {
+    /// Integer attribute (counts, levels, sizes).
+    Int(i64),
+    /// String attribute (tier names, verdicts, degradation reasons).
+    Str(String),
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Int(v) => write!(f, "{v}"),
+            AttrValue::Str(s) => f.write_str(s),
+        }
+    }
+}
+
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> AttrValue {
+        AttrValue::Int(v)
+    }
+}
+
+impl From<i32> for AttrValue {
+    fn from(v: i32) -> AttrValue {
+        AttrValue::Int(v as i64)
+    }
+}
+
+impl From<u32> for AttrValue {
+    fn from(v: u32) -> AttrValue {
+        AttrValue::Int(v as i64)
+    }
+}
+
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> AttrValue {
+        AttrValue::Int(v as i64)
+    }
+}
+
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> AttrValue {
+        AttrValue::Int(v as i64)
+    }
+}
+
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> AttrValue {
+        AttrValue::Int(v as i64)
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> AttrValue {
+        AttrValue::Str(v.to_owned())
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(v: String) -> AttrValue {
+        AttrValue::Str(v)
+    }
+}
+
+/// One completed span: a named interval with attributes and child spans.
+#[derive(Clone, Debug)]
+pub struct Span {
+    /// Static site name (e.g. `sat_query`, `cg_lower`).
+    pub name: &'static str,
+    /// Key/value attributes recorded at open or close time.
+    pub attrs: Vec<(String, AttrValue)>,
+    /// Start, in nanoseconds since the collector was created.
+    pub start_ns: u64,
+    /// End, in nanoseconds since the collector was created.
+    pub end_ns: u64,
+    /// Nesting depth at record time (0 for roots of the recording thread).
+    pub depth: u32,
+    /// Process-unique recording thread id (small integer, stable per
+    /// thread, not an OS tid).
+    pub thread: u64,
+    /// Child spans, in completion-site order (stitched children are
+    /// re-ordered deterministically at merge time).
+    pub children: Vec<Span>,
+    /// Stitching id: set when a parallel fan-out forked from this span.
+    id: Option<u64>,
+}
+
+impl Span {
+    /// Inclusive duration in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
+    /// Exclusive duration: inclusive minus the children's inclusive time.
+    pub fn exclusive_ns(&self) -> u64 {
+        self.duration_ns()
+            .saturating_sub(self.children.iter().map(Span::duration_ns).sum())
+    }
+
+    /// Looks up an attribute by key.
+    pub fn attr(&self, key: &str) -> Option<&AttrValue> {
+        self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// The structural shape of this span — name, attributes and child
+    /// shapes, but no timestamps or thread ids. Two traces of the same
+    /// work at different thread counts compare equal on shapes.
+    pub fn shape(&self) -> String {
+        let mut out = String::new();
+        self.write_shape(&mut out);
+        out
+    }
+
+    fn write_shape(&self, out: &mut String) {
+        out.push_str(self.name);
+        if !self.attrs.is_empty() {
+            out.push('{');
+            for (i, (k, v)) in self.attrs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(k);
+                out.push('=');
+                out.push_str(&v.to_string());
+            }
+            out.push('}');
+        }
+        if !self.children.is_empty() {
+            out.push('(');
+            for (i, c) in self.children.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                c.write_shape(out);
+            }
+            out.push(')');
+        }
+    }
+
+    /// Checks interval well-formedness: children are contained within the
+    /// parent interval and do not start before the previous sibling (the
+    /// LIFO-close property of the recording API, restated on the data).
+    pub fn is_well_formed(&self) -> bool {
+        if self.end_ns < self.start_ns {
+            return false;
+        }
+        let mut prev_start = self.start_ns;
+        for c in &self.children {
+            // Stitched children ran on other threads; same-thread children
+            // are totally ordered. Both must stay inside the parent.
+            if c.start_ns < self.start_ns || c.end_ns > self.end_ns {
+                return false;
+            }
+            if c.thread == self.thread {
+                if c.start_ns < prev_start {
+                    return false;
+                }
+                prev_start = c.start_ns;
+            }
+            if !c.is_well_formed() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Depth-first walk over this span and all descendants.
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a Span)) {
+        f(self);
+        for c in &self.children {
+            c.walk(f);
+        }
+    }
+}
+
+/// A merged forest of spans from one collection scope.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// Top-level spans, deterministically ordered.
+    pub roots: Vec<Span>,
+}
+
+impl Trace {
+    /// Depth-first walk over every span in the forest.
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a Span)) {
+        for r in &self.roots {
+            r.walk(f);
+        }
+    }
+
+    /// Total number of spans.
+    pub fn len(&self) -> usize {
+        let mut n = 0;
+        self.walk(&mut |_| n += 1);
+        n
+    }
+
+    /// True when no spans were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.roots.is_empty()
+    }
+
+    /// Number of spans with the given name anywhere in the forest.
+    pub fn count_named(&self, name: &str) -> usize {
+        let mut n = 0;
+        self.walk(&mut |s| {
+            if s.name == name {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    /// The canonical shape of the whole forest (see [`Span::shape`]).
+    pub fn shape(&self) -> String {
+        let mut out = String::new();
+        for (i, r) in self.roots.iter().enumerate() {
+            if i > 0 {
+                out.push('\n');
+            }
+            r.write_shape(&mut out);
+        }
+        out
+    }
+
+    /// Interval well-formedness of every recorded tree.
+    pub fn is_well_formed(&self) -> bool {
+        self.roots.iter().all(Span::is_well_formed)
+    }
+
+    /// Per-name latency histogram of span inclusive durations, merged
+    /// across all recording threads.
+    pub fn histogram(&self, name: &str) -> LogHistogram {
+        let mut h = LogHistogram::new();
+        self.walk(&mut |s| {
+            if s.name == name {
+                h.record(s.duration_ns());
+            }
+        });
+        h
+    }
+
+    /// Writes the forest as Chrome trace-event JSON (the array form): one
+    /// balanced `B`/`E` event pair per span, timestamps in microseconds,
+    /// attributes under `args`. Loadable in `chrome://tracing` / Perfetto.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors from `w`.
+    pub fn write_chrome_json<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        fn esc(s: &str, out: &mut String) {
+            for ch in s.chars() {
+                match ch {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    c if (c as u32) < 0x20 => {
+                        out.push_str(&format!("\\u{:04x}", c as u32));
+                    }
+                    c => out.push(c),
+                }
+            }
+        }
+        fn event(
+            w: &mut impl Write,
+            first: &mut bool,
+            ph: char,
+            s: &Span,
+            ts_ns: u64,
+        ) -> io::Result<()> {
+            if !*first {
+                w.write_all(b",\n")?;
+            }
+            *first = false;
+            let mut line = String::new();
+            line.push_str("{\"name\":\"");
+            esc(s.name, &mut line);
+            line.push_str("\",\"cat\":\"omega\",\"ph\":\"");
+            line.push(ph);
+            // Microsecond floats keep nanosecond precision for short spans.
+            line.push_str(&format!(
+                "\",\"ts\":{:.3},\"pid\":1,\"tid\":{}",
+                ts_ns as f64 / 1_000.0,
+                s.thread
+            ));
+            if ph == 'B' && !s.attrs.is_empty() {
+                line.push_str(",\"args\":{");
+                for (i, (k, v)) in s.attrs.iter().enumerate() {
+                    if i > 0 {
+                        line.push(',');
+                    }
+                    line.push('"');
+                    esc(k, &mut line);
+                    line.push_str("\":");
+                    match v {
+                        AttrValue::Int(n) => line.push_str(&n.to_string()),
+                        AttrValue::Str(t) => {
+                            line.push('"');
+                            esc(t, &mut line);
+                            line.push('"');
+                        }
+                    }
+                }
+                line.push('}');
+            }
+            line.push('}');
+            w.write_all(line.as_bytes())
+        }
+        fn emit(w: &mut impl Write, first: &mut bool, s: &Span) -> io::Result<()> {
+            event(w, first, 'B', s, s.start_ns)?;
+            for c in &s.children {
+                emit(w, first, c)?;
+            }
+            event(w, first, 'E', s, s.end_ns)
+        }
+        w.write_all(b"[\n")?;
+        let mut first = true;
+        for r in &self.roots {
+            emit(w, &mut first, r)?;
+        }
+        w.write_all(b"\n]\n")
+    }
+
+    /// A plain-text hot-spot summary: the top `n` span names by exclusive
+    /// time, with counts and inclusive totals.
+    pub fn hotspots(&self, n: usize) -> String {
+        struct Agg {
+            count: u64,
+            incl_ns: u64,
+            excl_ns: u64,
+        }
+        let mut by_name: Vec<(&'static str, Agg)> = Vec::new();
+        self.walk(&mut |s| {
+            let entry = match by_name.iter_mut().find(|(k, _)| *k == s.name) {
+                Some((_, a)) => a,
+                None => {
+                    by_name.push((
+                        s.name,
+                        Agg {
+                            count: 0,
+                            incl_ns: 0,
+                            excl_ns: 0,
+                        },
+                    ));
+                    &mut by_name.last_mut().unwrap().1
+                }
+            };
+            entry.count += 1;
+            entry.incl_ns += s.duration_ns();
+            entry.excl_ns += s.exclusive_ns();
+        });
+        by_name.sort_by(|a, b| b.1.excl_ns.cmp(&a.1.excl_ns).then(a.0.cmp(b.0)));
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<28} {:>9} {:>13} {:>13}\n",
+            "span", "count", "exclusive", "inclusive"
+        ));
+        for (name, a) in by_name.iter().take(n) {
+            out.push_str(&format!(
+                "{:<28} {:>9} {:>13} {:>13}\n",
+                name,
+                a.count,
+                format_ns(a.excl_ns),
+                format_ns(a.incl_ns),
+            ));
+        }
+        out
+    }
+}
+
+fn format_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// A log₂-bucketed latency histogram over nanosecond durations.
+///
+/// Bucket `i` counts samples with `floor(log2(ns)) == i` (bucket 0 also
+/// takes 0 ns). Merging is bucket-wise addition — commutative and
+/// associative, so per-thread histograms merge into the same result
+/// regardless of thread count or interleaving.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogHistogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> LogHistogram {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> LogHistogram {
+        LogHistogram {
+            buckets: [0; 64],
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+        }
+    }
+
+    /// Records one duration.
+    pub fn record(&mut self, ns: u64) {
+        let b = if ns == 0 {
+            0
+        } else {
+            63 - ns.leading_zeros() as usize
+        };
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.sum_ns = self.sum_ns.saturating_add(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Maximum recorded duration in nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Mean duration in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Merges another histogram into this one (bucket-wise addition).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// An upper bound on the `q`-quantile (0 ≤ q ≤ 1): the top edge of the
+    /// bucket containing that rank. 0 when empty.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return if i >= 63 { u64::MAX } else { (2u64 << i) - 1 };
+            }
+        }
+        self.max_ns
+    }
+}
+
+impl fmt::Display for LogHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} p50<={} p90<={} p99<={} max={}",
+            self.count,
+            format_ns(self.quantile_ns(0.50)),
+            format_ns(self.quantile_ns(0.90)),
+            format_ns(self.quantile_ns(0.99)),
+            format_ns(self.max_ns),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recording machinery
+// ---------------------------------------------------------------------------
+
+struct CollectorInner {
+    base: Instant,
+    next_id: AtomicU64,
+    // Completed roots from every recording thread: (stitch parent, span).
+    done: Mutex<Vec<(Option<u64>, Span)>>,
+    // When set, tier-2 sat/gist queries are dumped as replayable `.omega`
+    // files into this directory (see `crate::provenance`).
+    dump_dir: Mutex<Option<PathBuf>>,
+    dump_seq: AtomicU64,
+}
+
+/// A shared, thread-safe span collector. Clone-cheap (an `Arc`); install
+/// for a scope with [`with_collector`] and harvest with
+/// [`Collector::finish`].
+#[derive(Clone)]
+pub struct Collector {
+    inner: Arc<CollectorInner>,
+}
+
+impl fmt::Debug for Collector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Collector").finish_non_exhaustive()
+    }
+}
+
+impl Default for Collector {
+    fn default() -> Collector {
+        Collector::new()
+    }
+}
+
+impl Collector {
+    /// A fresh collector; its creation instant is timestamp zero.
+    pub fn new() -> Collector {
+        Collector {
+            inner: Arc::new(CollectorInner {
+                base: Instant::now(),
+                next_id: AtomicU64::new(1),
+                done: Mutex::new(Vec::new()),
+                dump_dir: Mutex::new(None),
+                dump_seq: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Enables query provenance: every tier-2 sat/gist query recorded
+    /// while this collector is installed is also written as a replayable
+    /// `.omega` file into `dir` (created on first dump).
+    pub fn dump_queries(&self, dir: impl Into<PathBuf>) {
+        *lock(&self.inner.dump_dir) = Some(dir.into());
+    }
+
+    pub(crate) fn dump_target(&self) -> Option<(PathBuf, u64)> {
+        let dir = lock(&self.inner.dump_dir).clone()?;
+        Some((dir, self.inner.dump_seq.fetch_add(1, Ordering::Relaxed)))
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.inner.base.elapsed().as_nanos() as u64
+    }
+
+    fn fresh_id(&self) -> u64 {
+        self.inner.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Drains everything recorded so far into a deterministic [`Trace`]:
+    /// worker-thread subtrees are stitched under the span active at their
+    /// fork point and ordered by their `index` attribute (then name), so
+    /// the resulting forest's *shape* is a pure function of the work done,
+    /// not of thread count or scheduling.
+    pub fn finish(&self) -> Trace {
+        let mut done = std::mem::take(&mut *lock(&self.inner.done));
+        // Partition into top-level roots and stitchable subtrees.
+        let mut roots: Vec<Span> = Vec::new();
+        let mut orphans: Vec<(u64, Span)> = Vec::new();
+        for (parent, span) in done.drain(..) {
+            match parent {
+                None => roots.push(span),
+                Some(pid) => orphans.push((pid, span)),
+            }
+        }
+        // Repeatedly attach orphans whose parent is already in the forest;
+        // an orphan's parent may itself be an orphan (nested fan-out).
+        loop {
+            let mut progressed = false;
+            let mut rest: Vec<(u64, Span)> = Vec::new();
+            for (pid, span) in orphans.drain(..) {
+                let mut placed = false;
+                for r in roots.iter_mut() {
+                    if let Some(slot) = find_span_mut(r, pid) {
+                        slot.children.push(span.clone());
+                        placed = true;
+                        break;
+                    }
+                }
+                if placed {
+                    progressed = true;
+                } else {
+                    rest.push((pid, span));
+                }
+            }
+            orphans = rest;
+            if orphans.is_empty() || !progressed {
+                break;
+            }
+        }
+        // Unstitchable subtrees (fork parent closed on a scope that never
+        // reported, or cross-collector confusion) surface as roots rather
+        // than being dropped.
+        roots.extend(orphans.into_iter().map(|(_, s)| s));
+        let mut trace = Trace { roots };
+        for r in &mut trace.roots {
+            canonicalize(r);
+        }
+        // Canonical root order: by name, then the query fingerprint `key`
+        // attribute (per-query call trees), then explicit `index`;
+        // timestamps only break ties between genuinely identical roots.
+        trace.roots.sort_by(|a, b| {
+            root_key(a)
+                .cmp(&root_key(b))
+                .then(a.start_ns.cmp(&b.start_ns))
+        });
+        trace
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn find_span_mut(s: &mut Span, id: u64) -> Option<&mut Span> {
+    if s.id == Some(id) {
+        return Some(s);
+    }
+    for c in s.children.iter_mut() {
+        if let Some(hit) = find_span_mut(c, id) {
+            return Some(hit);
+        }
+    }
+    None
+}
+
+/// Sort key for stitched children: the explicit `index` attribute (set by
+/// ordered parallel maps), then the name — never timestamps.
+fn stitch_key(s: &Span) -> (i64, &'static str) {
+    let idx = match s.attr("index") {
+        Some(AttrValue::Int(v)) => *v,
+        _ => i64::MAX,
+    };
+    (idx, s.name)
+}
+
+/// Sort key for top-level roots: name, then the query fingerprint `key`
+/// attribute, then the explicit `index` attribute — never timestamps.
+fn root_key(s: &Span) -> (&'static str, String, i64) {
+    let key = match s.attr("key") {
+        Some(v) => v.to_string(),
+        None => String::new(),
+    };
+    (s.name, key, stitch_key(s).0)
+}
+
+/// Re-orders children deterministically: children carrying an `index`
+/// attribute (ordered-parallel-map items — the only spans that can arrive
+/// from another thread via stitching) are sorted globally by
+/// (index, name) and placed first; all other children keep their recorded
+/// (program) order. The result is a pure function of the work done, not
+/// of which thread claimed which item.
+fn canonicalize(s: &mut Span) {
+    s.children.sort_by(|a, b| {
+        match (a.attr("index").is_some(), b.attr("index").is_some()) {
+            (true, true) => stitch_key(a).cmp(&stitch_key(b)),
+            (true, false) => std::cmp::Ordering::Less,
+            (false, true) => std::cmp::Ordering::Greater,
+            (false, false) => std::cmp::Ordering::Equal, // stable: keep order
+        }
+    });
+    for c in s.children.iter_mut() {
+        canonicalize(c);
+    }
+}
+
+thread_local! {
+    /// Fast gate: true iff a collector is installed on this thread.
+    static ACTIVE: Cell<bool> = const { Cell::new(false) };
+    static STATE: RefCell<ThreadState> = RefCell::new(ThreadState::new());
+    /// Process-unique small thread id for trace output.
+    static THREAD_ID: Cell<u64> = const { Cell::new(0) };
+}
+
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(1);
+
+fn thread_id() -> u64 {
+    THREAD_ID.with(|t| {
+        let v = t.get();
+        if v != 0 {
+            v
+        } else {
+            let v = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+            t.set(v);
+            v
+        }
+    })
+}
+
+struct OpenSpan {
+    name: &'static str,
+    attrs: Vec<(String, AttrValue)>,
+    start_ns: u64,
+    children: Vec<Span>,
+    id: Option<u64>,
+    /// Detached spans are recorded as top-level roots (per-query call
+    /// trees) even when enclosing spans are open — see [`root_span!`].
+    detached: bool,
+}
+
+struct ThreadState {
+    collector: Option<Collector>,
+    stack: Vec<OpenSpan>,
+    /// Stitch parent for roots recorded on this thread (worker scopes).
+    fork_parent: Option<u64>,
+}
+
+impl ThreadState {
+    fn new() -> ThreadState {
+        ThreadState {
+            collector: None,
+            stack: Vec::new(),
+            fork_parent: None,
+        }
+    }
+}
+
+/// True when a collector is installed on the current thread (probes are
+/// live). A single thread-local flag read.
+#[inline]
+pub fn active() -> bool {
+    ACTIVE.with(Cell::get)
+}
+
+/// The collector installed on the current thread, if any.
+pub fn current() -> Option<Collector> {
+    if !active() {
+        return None;
+    }
+    STATE.with(|s| s.borrow().collector.clone())
+}
+
+/// Installs `collector` (or none) on the current thread for the duration
+/// of `f`, restoring the previous state afterwards. Spans recorded inside
+/// land in the collector; the previous collector's open spans are
+/// unaffected.
+pub fn with_collector<R>(collector: Option<Collector>, f: impl FnOnce() -> R) -> R {
+    let ctx = collector.map(|c| ForkCtx {
+        collector: c,
+        parent: None,
+    });
+    in_fork(ctx, f)
+}
+
+/// A capture of the current collector plus the innermost open span,
+/// for handing to worker threads: spans the workers record become
+/// children of that span in the merged trace.
+#[derive(Clone, Debug)]
+pub struct ForkCtx {
+    collector: Collector,
+    parent: Option<u64>,
+}
+
+/// Captures the current collector and open span as a [`ForkCtx`], or
+/// `None` when tracing is inactive. Call on the coordinating thread right
+/// before fanning work out.
+pub fn fork_context() -> Option<ForkCtx> {
+    if !active() {
+        return None;
+    }
+    STATE.with(|s| {
+        let mut st = s.borrow_mut();
+        let collector = st.collector.clone()?;
+        let parent = match st.stack.last_mut() {
+            Some(open) => {
+                if open.id.is_none() {
+                    open.id = Some(collector.fresh_id());
+                }
+                open.id
+            }
+            None => st.fork_parent,
+        };
+        Some(ForkCtx { collector, parent })
+    })
+}
+
+/// Runs `f` with the forked trace context installed (a no-op wrapper when
+/// `ctx` is `None`). Roots recorded inside are stitched under the fork
+/// point at [`Collector::finish`] time.
+pub fn in_fork<R>(ctx: Option<ForkCtx>, f: impl FnOnce() -> R) -> R {
+    let Some(ctx) = ctx else {
+        return f();
+    };
+    // The outer scope's open spans are set aside so spans recorded inside
+    // `f` cannot attach to a different collector's tree.
+    let (prev_collector, prev_fork, prev_stack, prev_active) = STATE.with(|s| {
+        let mut st = s.borrow_mut();
+        let pc = st.collector.replace(ctx.collector);
+        let pf = std::mem::replace(&mut st.fork_parent, ctx.parent);
+        let ps = std::mem::take(&mut st.stack);
+        (pc, pf, ps, ACTIVE.with(Cell::get))
+    });
+    ACTIVE.with(|a| a.set(true));
+    // Panic safety: restore on unwind so a panicking worker cannot leave
+    // the thread recording into a finished collector.
+    struct Restore {
+        prev_collector: Option<Collector>,
+        prev_fork: Option<u64>,
+        prev_stack: Vec<OpenSpan>,
+        prev_active: bool,
+    }
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let pc = self.prev_collector.take();
+            let pf = self.prev_fork;
+            let ps = std::mem::take(&mut self.prev_stack);
+            STATE.with(|s| {
+                let mut st = s.borrow_mut();
+                // Close any spans left open by an unwinding scope so the
+                // stack cannot leak across scopes.
+                while !st.stack.is_empty() {
+                    close_top(&mut st);
+                }
+                st.collector = pc;
+                st.fork_parent = pf;
+                st.stack = ps;
+            });
+            ACTIVE.with(|a| a.set(self.prev_active));
+        }
+    }
+    let _restore = Restore {
+        prev_collector,
+        prev_fork,
+        prev_stack,
+        prev_active,
+    };
+    f()
+}
+
+fn close_top(st: &mut ThreadState) {
+    let Some(open) = st.stack.pop() else { return };
+    let Some(collector) = st.collector.clone() else {
+        return;
+    };
+    let detached = open.detached;
+    let span = Span {
+        name: open.name,
+        attrs: open.attrs,
+        start_ns: open.start_ns,
+        end_ns: collector.now_ns(),
+        depth: if detached { 0 } else { st.stack.len() as u32 },
+        thread: thread_id(),
+        children: open.children,
+        id: open.id,
+    };
+    if detached {
+        // Per-query call tree: always a top-level root, regardless of what
+        // phase happened to ask the query (cache races make the asker
+        // nondeterministic under threads, the query itself is not).
+        lock(&collector.inner.done).push((None, span));
+        return;
+    }
+    match st.stack.last_mut() {
+        Some(parent) => parent.children.push(span),
+        None => lock(&collector.inner.done).push((st.fork_parent, span)),
+    }
+}
+
+/// RAII guard returned by [`span!`]; records the span's end when dropped.
+/// The inert (tracing-off) variant carries no drop cost. Guards must be
+/// dropped in LIFO order (the natural scoping discipline); the
+/// well-formedness proptest in `tests/` asserts the resulting invariant.
+#[must_use = "a span guard records its end time when dropped"]
+pub struct SpanGuard {
+    /// Stack index of this guard's span while open; `usize::MAX` when
+    /// inert. While the guard lives, its `OpenSpan` sits at exactly this
+    /// index (children push above, LIFO close pops back down to it).
+    slot: usize,
+}
+
+impl SpanGuard {
+    /// Attaches an attribute to this guard's span (usable at any point
+    /// before the guard drops, including after nested spans opened and
+    /// closed). A no-op when tracing is inactive.
+    pub fn attr(&self, key: &str, value: impl Into<AttrValue>) {
+        if self.slot == usize::MAX {
+            return;
+        }
+        STATE.with(|s| {
+            if let Some(open) = s.borrow_mut().stack.get_mut(self.slot) {
+                open.attrs.push((key.to_owned(), value.into()));
+            }
+        });
+    }
+
+    /// The no-op guard used by [`span!`] when tracing is inactive.
+    #[inline]
+    pub fn inert() -> SpanGuard {
+        SpanGuard { slot: usize::MAX }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.slot != usize::MAX {
+            STATE.with(|s| close_top(&mut s.borrow_mut()));
+        }
+    }
+}
+
+fn begin(name: &'static str, detached: bool) -> SpanGuard {
+    STATE.with(|s| {
+        let mut st = s.borrow_mut();
+        let Some(collector) = st.collector.clone() else {
+            return SpanGuard::inert();
+        };
+        let slot = st.stack.len();
+        st.stack.push(OpenSpan {
+            name,
+            attrs: Vec::new(),
+            start_ns: collector.now_ns(),
+            children: Vec::new(),
+            id: None,
+            detached,
+        });
+        SpanGuard { slot }
+    })
+}
+
+/// Opens a span named `name`. Prefer the [`span!`] macro, which skips even
+/// the call when tracing is inactive.
+pub fn span_begin(name: &'static str) -> SpanGuard {
+    if !active() {
+        return SpanGuard::inert();
+    }
+    begin(name, false)
+}
+
+/// Opens a *detached* span: recorded as a top-level root of the trace (a
+/// per-query call tree) even when enclosing spans are open. Prefer the
+/// [`root_span!`] macro.
+pub fn root_span_begin(name: &'static str) -> SpanGuard {
+    if !active() {
+        return SpanGuard::inert();
+    }
+    begin(name, true)
+}
+
+/// Opens a span recording a call-tree interval, returning an RAII guard.
+///
+/// ```ignore
+/// let _s = span!(gist);                       // named span
+/// let _s = span!(fm_eliminate, vars = n);     // with open-time attributes
+/// _s.attr("tier", "cache");                   // close-time attribute
+/// ```
+///
+/// With no collector installed the expansion is one thread-local flag
+/// check; nothing is timed or allocated.
+#[macro_export]
+macro_rules! span {
+    ($name:ident) => {
+        if $crate::trace::active() {
+            $crate::trace::span_begin(stringify!($name))
+        } else {
+            $crate::trace::SpanGuard::inert()
+        }
+    };
+    ($name:ident, $($key:ident = $value:expr),+ $(,)?) => {{
+        let guard = $crate::span!($name);
+        $(guard.attr(stringify!($key), $value);)+
+        guard
+    }};
+}
+
+/// Like [`span!`], but the span becomes a top-level root of the trace — a
+/// per-query call tree — regardless of what spans are open around it.
+/// Roots are ordered canonically at [`Collector::finish`] time by
+/// (name, `key` attribute), so the trace shape stays a pure function of
+/// the queries asked, not of which phase or worker happened to ask first.
+#[macro_export]
+macro_rules! root_span {
+    ($name:ident) => {
+        if $crate::trace::active() {
+            $crate::trace::root_span_begin(stringify!($name))
+        } else {
+            $crate::trace::SpanGuard::inert()
+        }
+    };
+    ($name:ident, $($key:ident = $value:expr),+ $(,)?) => {{
+        let guard = $crate::root_span!($name);
+        $(guard.attr(stringify!($key), $value);)+
+        guard
+    }};
+}

@@ -1,0 +1,29 @@
+//! The committed sample dumps under `tests/dumps/` replay to their
+//! recorded verdicts — the compatibility contract for the
+//! `omega-replay v1` provenance format: dumps written by older builds must
+//! keep replaying on newer ones.
+
+#[test]
+fn committed_sample_dumps_replay_to_recorded_verdicts() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/dumps");
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&dir).expect("tests/dumps must exist") {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|x| x != "omega") {
+            continue;
+        }
+        let r = omega::provenance::replay_file(&path).expect("sample dump must parse");
+        assert!(
+            r.matched,
+            "{}: replayed to {} but dump recorded {}",
+            path.display(),
+            r.got,
+            r.expected
+        );
+        checked += 1;
+    }
+    assert!(
+        checked >= 3,
+        "expected the committed sat/unsat/gist samples"
+    );
+}

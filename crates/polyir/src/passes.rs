@@ -22,14 +22,30 @@ pub struct CompileReport {
 /// loop-invariant code motion / unswitching → dead code elimination →
 /// common-subexpression scan → lowering.
 pub fn compile(program: &Stmt) -> CompileReport {
+    // One timed span per pass when a trace collector is installed (see
+    // `omega::trace`); dormant probes otherwise.
+    fn timed<R>(name: &'static str, f: impl FnOnce() -> R) -> R {
+        let _span = if omega::trace::active() {
+            omega::trace::span_begin(name)
+        } else {
+            omega::trace::SpanGuard::inert()
+        };
+        f()
+    }
+    let _pipeline = omega::span!(pass_pipeline);
     let mut visits = 0usize;
-    let folded = fold_stmt(program, &mut visits);
-    let simplified = simplify_guards(&folded, &mut visits);
+    let folded = timed("pass_fold", || fold_stmt(program, &mut visits));
+    let simplified = timed("pass_simplify_guards", || {
+        simplify_guards(&folded, &mut visits)
+    });
     let mut next_slot = max_var_slot(&simplified).map_or(0, |v| v + 1);
-    let hoisted = licm(&simplified, &mut next_slot, &mut visits);
-    let cleaned = dce(&hoisted, &mut visits);
-    let cse_work = cse_scan(&cleaned, &mut visits);
-    let pseudo = lower(&cleaned, &mut visits) + cse_work / 97; // fold CSE work in deterministically
+    let hoisted = timed("pass_licm", || {
+        licm(&simplified, &mut next_slot, &mut visits)
+    });
+    let cleaned = timed("pass_dce", || dce(&hoisted, &mut visits));
+    let cse_work = timed("pass_cse", || cse_scan(&cleaned, &mut visits));
+    // fold CSE work in deterministically
+    let pseudo = timed("pass_lower", || lower(&cleaned, &mut visits)) + cse_work / 97;
     CompileReport {
         optimized: cleaned,
         node_visits: visits,
