@@ -4,10 +4,15 @@
 //! columns the paper reports.
 //!
 //! Usage: `cargo run --release -p bench-harness --bin table1 [N] [--gcc]
-//! [--trace FILE.json [--force]] [--dump-dir DIR]`
+//! [--json FILE] [--trace FILE.json [--force]] [--dump-dir DIR]`
 //! (N = problem size; default 64). With `--gcc` and a gcc on PATH, two
 //! extra column groups report the *real* `gcc -O3` compile time and the
 //! compiled binary's execution time — the paper's literal methodology.
+//!
+//! With `--json FILE`, the per-kernel measurements are also written as a
+//! machine-readable snapshot (see `BENCH_table1.json` at the repo root
+//! for the committed baseline and `scripts/compare_bench.py` for the CI
+//! regression gate that consumes it).
 //!
 //! With `--trace FILE.json`, one extra cold-cache CodeGen+ generation per
 //! kernel runs under a span collector; the merged trace is written as
@@ -27,12 +32,20 @@ fn main() -> ExitCode {
     let mut force = false;
     let mut trace_path: Option<PathBuf> = None;
     let mut dump_dir: Option<PathBuf> = None;
+    let mut json_path: Option<PathBuf> = None;
     let mut n: i64 = 64;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--gcc" => use_gcc = true,
             "--force" => force = true,
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--json requires a file argument");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--trace" => match args.next() {
                 Some(p) => trace_path = Some(PathBuf::from(p)),
                 None => {
@@ -98,6 +111,7 @@ fn main() -> ExitCode {
     let mut expected_sat_exact = 0u64;
     #[cfg(feature = "stats")]
     let mut expected_gist_exact = 0u64;
+    let mut json_rows: Vec<String> = Vec::new();
     for kernel in chill::recipes::all(n) {
         #[cfg(feature = "stats")]
         let stats_before = omega::stats::snapshot();
@@ -107,6 +121,14 @@ fn main() -> ExitCode {
             kernel.name
         );
         let row = compare(&kernel);
+        if json_path.is_some() {
+            json_rows.push(format!(
+                "    {{\"kernel\": {:?}, \"cloog\": {}, \"cgplus\": {}}}",
+                row.name,
+                json_report(&row.cloog),
+                json_report(&row.cgplus)
+            ));
+        }
         print!(
             "{:6} | {:>7} {:>7} {:>5.2}x | {:>10.2?} {:>10.2?} {:>6.2}x | {:>10.2?} {:>10.2?} {:>6.2}x | {:>12} {:>12} {:>6.3}x",
             row.name,
@@ -226,5 +248,31 @@ fn main() -> ExitCode {
             println!("replayable query dumps in {}", d.display());
         }
     }
+    if let Some(p) = &json_path {
+        let body = format!(
+            "{{\n  \"version\": 1,\n  \"n\": {n},\n  \"rows\": [\n{}\n  ]\n}}\n",
+            json_rows.join(",\n")
+        );
+        if let Err(e) = std::fs::write(p, body) {
+            eprintln!("cannot write bench snapshot {}: {e}", p.display());
+            return ExitCode::FAILURE;
+        }
+        println!("bench snapshot written to {}", p.display());
+    }
     ExitCode::SUCCESS
+}
+
+/// One tool's cell group as a JSON object. Timings are nanoseconds; only
+/// `codegen_ns` is compared (with a tolerance) by `scripts/compare_bench.py`
+/// — `lines`, `dynamic_cost`, and `instances` are deterministic and must
+/// match the committed baseline exactly.
+fn json_report(r: &bench_harness::ToolReport) -> String {
+    format!(
+        "{{\"lines\": {}, \"codegen_ns\": {}, \"compile_ns\": {}, \"dynamic_cost\": {}, \"instances\": {}}}",
+        r.lines,
+        r.codegen_time.as_nanos(),
+        r.compile_time.as_nanos(),
+        r.dynamic_cost,
+        r.instances
+    )
 }

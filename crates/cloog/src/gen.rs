@@ -143,7 +143,22 @@ impl Gen<'_> {
             };
             return Ok(Stmt::guarded(outer, guarded));
         }
-        let (lowers, uppers) = hull.bounds_on(v);
+        let (mut lowers, mut uppers) = hull.bounds_on(v);
+        if lowers.is_empty() || uppers.is_empty() {
+            // The hull may bound `v` only through an existential the
+            // integer-exact eliminator could not remove (non-unit
+            // coefficients on the local). The real shadow makes such bounds
+            // explicit; it over-approximates, which is sound for loop
+            // bounds because the residual guards re-test the domain.
+            let widened = hull.real_shadow();
+            let (wl, wu) = widened.bounds_on(v);
+            if lowers.is_empty() {
+                lowers = wl;
+            }
+            if uppers.is_empty() {
+                uppers = wu;
+            }
+        }
         if lowers.is_empty() || uppers.is_empty() {
             return Err(CodeGenError::UnboundedLoop { level });
         }
@@ -164,17 +179,7 @@ impl Gen<'_> {
                 // Strided loop with a constant residue; CLooG emits an
                 // aligned constant lower bound when it can fold it.
                 step = m;
-                let r0 = r.constant_term();
-                lower = match &lower {
-                    Expr::Const(c) => {
-                        let aligned = c + (r0 - c).rem_euclid(m);
-                        Expr::Const(aligned)
-                    }
-                    other => Expr::add(
-                        other.clone(),
-                        Expr::Mod(Box::new(Expr::sub(Expr::Const(r0), other.clone())), m),
-                    ),
-                };
+                lower = align_lower(&lower, m, r.constant_term());
                 bounds_rows.add_congruence(&(LinExpr::var(&self.space, v) - r), 0, m);
             }
             // Non-constant residues stay as modulo guards in the body —
@@ -280,23 +285,24 @@ impl Gen<'_> {
                     let union = prev_region.domain.to_set().union(&region.domain.to_set());
                     let hull = union.hull();
                     if hull.to_set().is_subset(&union) {
-                        // Sound merge: replace both by one loop over the hull.
-                        let (pr, _pc) = out.pop().unwrap();
-                        let merged_region = Region {
-                            domain: hull.clone(),
-                            active: {
-                                let mut a = pr.active.clone();
-                                for x in &region.active {
-                                    if !a.contains(x) {
-                                        a.push(*x);
+                        if let Some(merged_code) = remerge_loop(prev_code, &code, &hull, v) {
+                            // Sound merge: one loop over the hull.
+                            let (pr, _) = out.pop().unwrap();
+                            let merged_region = Region {
+                                domain: hull,
+                                active: {
+                                    let mut a = pr.active.clone();
+                                    for x in &region.active {
+                                        if !a.contains(x) {
+                                            a.push(*x);
+                                        }
                                     }
-                                }
-                                a
-                            },
-                        };
-                        let merged_code = remerge_loop(&_pc, &code, &hull, v);
-                        out.push((merged_region, merged_code));
-                        continue;
+                                    a
+                                },
+                            };
+                            out.push((merged_region, merged_code));
+                            continue;
+                        }
                     }
                 }
             }
@@ -328,8 +334,13 @@ fn bodies_mergeable(a: &Stmt, b: &Stmt) -> bool {
     }
 }
 
-/// Builds the merged loop over the union hull.
-fn remerge_loop(a: &Stmt, _b: &Stmt, hull: &Conjunct, v: usize) -> Stmt {
+/// Builds the merged loop over the union hull. For strided loops the
+/// hull's lower bound must be re-aligned to the residue class — a raw
+/// hull bound may start off-stride (e.g. `for (t1=8; ...; t1+=2)` over an
+/// odd-only domain). When the hull does not expose a matching constant
+/// residue to align against, the merge is refused (`None`) and the
+/// fragments stay separate, which is always sound.
+fn remerge_loop(a: &Stmt, _b: &Stmt, hull: &Conjunct, v: usize) -> Option<Stmt> {
     let Stmt::Loop {
         var, step, body, ..
     } = a
@@ -337,14 +348,38 @@ fn remerge_loop(a: &Stmt, _b: &Stmt, hull: &Conjunct, v: usize) -> Stmt {
         unreachable!()
     };
     let (lowers, uppers) = hull.bounds_on(v);
-    let lower = Expr::max_of(lowers.iter().map(lower_bound_expr).collect());
+    if lowers.is_empty() || uppers.is_empty() {
+        // Union hull bounds `v` only through a local; refuse the merge
+        // rather than widening (the separate fragments are always sound).
+        return None;
+    }
+    let mut lower = Expr::max_of(lowers.iter().map(lower_bound_expr).collect());
     let upper = Expr::min_of(uppers.iter().map(upper_bound_expr).collect());
-    Stmt::Loop {
+    if *step > 1 {
+        match hull.stride_on(v) {
+            Some((m, r)) if m == *step && r.is_constant() => {
+                lower = align_lower(&lower, m, r.constant_term());
+            }
+            _ => return None,
+        }
+    }
+    Some(Stmt::Loop {
         var: *var,
         lower,
         upper,
         step: *step,
         body: body.clone(),
+    })
+}
+
+/// First value `>= lower` congruent to `r0` modulo `m`.
+fn align_lower(lower: &Expr, m: i64, r0: i64) -> Expr {
+    match lower {
+        Expr::Const(c) => Expr::Const(c + (r0 - c).rem_euclid(m)),
+        other => Expr::add(
+            other.clone(),
+            Expr::Mod(Box::new(Expr::sub(Expr::Const(r0), other.clone())), m),
+        ),
     }
 }
 

@@ -60,20 +60,43 @@ pub(crate) fn separate(projections: &[(usize, Set)], space: &Space) -> Vec<Regio
 
 /// Orders regions along dimension `v`: `a` strictly precedes `b` when no
 /// point of `a` has a `v` value ≥ some point of `b` under a common prefix.
-/// Falls back to stable input order for incomparable pairs.
+///
+/// `strictly_before` is a *partial* order — parameter-dependent regions
+/// like `[n+2, 5]` and `[6, n-1]` hold in *both* directions (they are
+/// never non-empty together), and unrelated pairs in neither — so a
+/// comparison sort is wrong: an incomparable neighbour can block an
+/// element from reaching a region it is genuinely ordered against (found
+/// by differential fuzzing as an out-of-order scan). Instead, place
+/// regions by stable topological order of the one-directional relation;
+/// pairs related in both directions are unordered (either order is
+/// trivially correct), and on a relation cycle — a parametric ordering a
+/// single static sequence cannot express — the smallest unplaced index is
+/// forced, preserving input order within the cycle.
 pub(crate) fn sort_regions(regions: &mut [Region], v: usize) {
     let n = regions.len();
     if n <= 1 {
         return;
     }
-    // Insertion sort with the partial order (stable for incomparables).
-    for i in 1..n {
-        let mut j = i;
-        while j > 0 && strictly_before(&regions[j].domain, &regions[j - 1].domain, v) {
-            regions.swap(j, j - 1);
-            j -= 1;
+    let mut before = vec![false; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                before[i * n + j] = strictly_before(&regions[i].domain, &regions[j].domain, v);
+            }
         }
     }
+    let must_precede = |i: usize, j: usize| -> bool { before[i * n + j] && !before[j * n + i] };
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut placed = vec![false; n];
+    while order.len() < n {
+        let ready =
+            (0..n).find(|&i| !placed[i] && (0..n).all(|j| placed[j] || !must_precede(j, i)));
+        let pick = ready.unwrap_or_else(|| (0..n).find(|&i| !placed[i]).unwrap());
+        placed[pick] = true;
+        order.push(pick);
+    }
+    let sorted: Vec<Region> = order.iter().map(|&i| regions[i].clone()).collect();
+    regions.clone_from_slice(&sorted);
 }
 
 /// Is every `v` of `a` strictly below every `v` of `b` sharing the same

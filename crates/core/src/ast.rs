@@ -327,9 +327,31 @@ pub(crate) fn split_hull(
         // recompute of the body prunes everything.
         Conjunct::empty(&space)
     } else {
-        guard
+        lowerable_part(guard)
     };
     (bounds, guard, false)
+}
+
+/// Over-approximates a guard to its runtime-expressible part: atoms the
+/// condition language cannot test (coupled existentials that exact
+/// projection leaves behind, e.g. a parametric two-variable emptiness
+/// check) are dropped. Sound because a level guard only skips
+/// provably-empty subtrees — without the atom the inner loops run and
+/// their own bounds and leaf guards exclude every point, so the cost is
+/// empty iterations, never wrong execution. Dropping at the source also
+/// keeps every downstream gist context conservative: nothing is ever
+/// discharged against a condition that is not actually checked at runtime.
+fn lowerable_part(guard: Conjunct) -> Conjunct {
+    if crate::lower::try_cond_of_conjunct(&guard).is_ok() {
+        return guard;
+    }
+    let mut out = Conjunct::universe(guard.space());
+    for atom in guard.guard_atoms() {
+        if crate::lower::try_cond_of_conjunct(&atom).is_ok() {
+            out = out.intersect(&atom);
+        }
+    }
+    out
 }
 
 #[cfg(test)]

@@ -34,6 +34,7 @@
 #![warn(rust_2018_idioms)]
 
 mod ast;
+pub mod diff;
 mod init;
 mod input;
 mod lift;
@@ -278,37 +279,66 @@ impl CodeGen {
         if trace {
             eprintln!("[cg+] recompute: {:.2?}", t2.elapsed());
         }
-        // 2. loop overhead removal at the requested depth (Figure 4)
-        let t3 = std::time::Instant::now();
-        let root = {
-            let _s = omega::span!(cg_lift, effort = self.effort);
-            lift::lift_overhead(&pb, root, self.effort)
-        };
-        if trace {
-            eprintln!("[cg+] liftOverhead: {:.2?}", t3.elapsed());
-        }
-        // 2b. optional min/max bound removal (§3.2.2 extension)
-        let root = if self.minmax_effort > 0 {
-            let _s = omega::span!(cg_minmax, effort = self.minmax_effort);
-            minmax::remove_minmax(&pb, root, self.minmax_effort)
-        } else {
-            root
-        };
-        // 3. lowering with if-statement simplification (Figure 5/6, §3.3)
-        let t4 = std::time::Instant::now();
+        // 2+3. loop overhead removal at the requested depth (Figure 4),
+        // optional min/max bound removal (§3.2.2 extension), then lowering
+        // with if-statement simplification (Figure 5/6, §3.3). Overhead
+        // removal can manufacture a guard with several coupled existential
+        // variables (e.g. by substituting a degenerate level's equality
+        // into a stride condition) that has no closed form in the runtime
+        // condition language; when lowering rejects one, degrade the
+        // removal depth and retry — depth 0 adds no guards beyond the
+        // scanning pipeline's own, which always lower.
         let ctx = lower::LowerCtx {
             pb: &pb,
             stmts: &self.stmts,
             merge_ifs: self.merge_ifs,
             reorder_leaves: self.reorder_leaves,
         };
-        let code = {
-            let _s = omega::span!(cg_lower);
-            ctx.lower_root(&root, &known)?
+        let base = root;
+        let mut effort = self.effort;
+        let mut minmax_effort = self.minmax_effort;
+        let code = loop {
+            let t3 = std::time::Instant::now();
+            let root = {
+                let _s = omega::span!(cg_lift, effort = effort);
+                lift::lift_overhead(&pb, base.clone(), effort)
+            };
+            if trace {
+                eprintln!("[cg+] liftOverhead: {:.2?}", t3.elapsed());
+            }
+            let root = if minmax_effort > 0 {
+                let _s = omega::span!(cg_minmax, effort = minmax_effort);
+                minmax::remove_minmax(&pb, root, minmax_effort)
+            } else {
+                root
+            };
+            let t4 = std::time::Instant::now();
+            let lowered = {
+                let _s = omega::span!(cg_lower);
+                ctx.lower_root(&root, &known)
+            };
+            match lowered {
+                Ok(code) => {
+                    if trace {
+                        eprintln!("[cg+] lower: {:.2?}", t4.elapsed());
+                    }
+                    break code;
+                }
+                Err(CodeGenError::UnloweredGuard { atom }) if effort > 0 || minmax_effort > 0 => {
+                    if trace {
+                        eprintln!(
+                            "[cg+] lower rejected guard `{atom}` at effort {effort}: degrading"
+                        );
+                    }
+                    if effort > 0 {
+                        effort -= 1;
+                    } else {
+                        minmax_effort = 0;
+                    }
+                }
+                Err(e) => return Err(e),
+            }
         };
-        if trace {
-            eprintln!("[cg+] lower: {:.2?}", t4.elapsed());
-        }
         Ok((code, names))
     }
 

@@ -370,11 +370,28 @@ impl LowerCtx<'_> {
         if let Some((m, r)) = bounds.stride_on(v) {
             step = m;
             // Does the lower bound already satisfy the stride? (§3.3's two
-            // Gist tests collapse to: known ∧ bounds implies lb ≡ r mod m,
-            // testable when there is a single unit-coefficient lower bound.)
+            // Gist tests collapse to: context implies lb ≡ r mod m, testable
+            // when there is a single unit-coefficient lower bound.) The
+            // context must NOT contain the stride congruence itself — it is
+            // only enforced by the aligned stepping this test justifies, so
+            // including it is circular (with a pinned loop range it can
+            // back-derive a congruence on outer variables that no emitted
+            // code checks). Use known ∧ guard plus the inequality bounds on
+            // `v` only; the latter are sound because any outer point with an
+            // empty range runs zero iterations anyway.
+            let mut ineq = Conjunct::universe(&self.pb.space);
+            for b in &lowers {
+                let e = LinExpr::var(&self.pb.space, v) * b.coeff - b.expr.clone();
+                ineq.add_constraint(&e.geq0());
+            }
+            for b in &uppers {
+                let e = b.expr.clone() - LinExpr::var(&self.pb.space, v) * b.coeff;
+                ineq.add_constraint(&e.geq0());
+            }
+            let align_ctx = known.intersect(guard).intersect(&ineq);
             let aligned = lowers.len() == 1
                 && lowers[0].coeff == 1
-                && self.implies_congruence(&known_in, &(lowers[0].expr.clone() - r.clone()), m);
+                && self.implies_congruence(&align_ctx, &(lowers[0].expr.clone() - r.clone()), m);
             if !aligned {
                 // lb + ((r - lb) mod m), folded when the bound is constant.
                 let delta = Expr::Mod(Box::new(Expr::sub(conv(&r), lower.clone())), m);
@@ -430,7 +447,15 @@ impl LowerCtx<'_> {
                     continue;
                 }
                 let (lo, hi) = c.bounds_on(v);
-                let bounds = if lower { lo } else { hi };
+                let mut bounds = if lower { lo } else { hi };
+                if bounds.is_empty() {
+                    // The bound may exist only through a local (non-unit
+                    // coefficients defeat exact elimination); the real
+                    // shadow makes it explicit. Over-approximate, hence
+                    // sound here — guards re-tighten inside the loop.
+                    let (lo, hi) = c.real_shadow().bounds_on(v);
+                    bounds = if lower { lo } else { hi };
+                }
                 if bounds.is_empty() {
                     return None;
                 }
@@ -498,30 +523,80 @@ pub fn cond_of_conjunct(g: &Conjunct) -> Cond {
 pub fn try_cond_of_conjunct(g: &Conjunct) -> Result<Cond, CodeGenError> {
     let mut atoms = Vec::new();
     for atom in g.guard_atoms() {
-        if atom.n_locals() == 0 {
-            for k in atom.local_free_constraints() {
-                let e = conv(k.expr());
-                atoms.push(match k.kind() {
-                    ConstraintKind::Geq => CondAtom::GeqZero(e),
-                    ConstraintKind::Eq => CondAtom::EqZero(e),
-                });
-            }
-        } else if let Some((expr, m, lo, hi)) = atom.range_mod() {
-            let shifted = conv(&(expr - lo));
-            if lo == hi {
-                atoms.push(CondAtom::ModZero(shifted, m));
-            } else {
-                atoms.push(CondAtom::ModLeq(shifted, m, hi - lo));
-            }
-        } else if let Some(a) = exotic_single_local(&atom) {
-            atoms.push(a);
-        } else {
-            return Err(CodeGenError::UnloweredGuard {
-                atom: atom.to_string(),
-            });
-        }
+        lower_guard_atom(&atom, true, &mut atoms)?;
     }
     Ok(Cond::from_atoms(atoms))
+}
+
+/// Lowers one guard atom (a connected group of constraints sharing
+/// existential variables) into runtime condition atoms. `renorm` allows one
+/// re-normalization pass through the solver for a coupled multi-local atom
+/// (a gist can leave behind a coupling that a fresh simplification
+/// decouples); the recursive retry runs with `renorm = false` so the
+/// fallback cannot loop.
+fn lower_guard_atom(
+    atom: &Conjunct,
+    renorm: bool,
+    out: &mut Vec<CondAtom>,
+) -> Result<(), CodeGenError> {
+    if atom.n_locals() == 0 {
+        for k in atom.local_free_constraints() {
+            let e = conv(k.expr());
+            out.push(match k.kind() {
+                ConstraintKind::Geq => CondAtom::GeqZero(e),
+                ConstraintKind::Eq => CondAtom::EqZero(e),
+            });
+        }
+        return Ok(());
+    }
+    if let Some((expr, m, lo, hi)) = atom.range_mod() {
+        let shifted = conv(&(expr - lo));
+        if lo == hi {
+            out.push(CondAtom::ModZero(shifted, m));
+        } else {
+            out.push(CondAtom::ModLeq(shifted, m, hi - lo));
+        }
+        return Ok(());
+    }
+    if let Some(a) = exotic_single_local(atom) {
+        out.push(a);
+        return Ok(());
+    }
+    // An atom referencing no parameter or variable is a constant truth
+    // value: a closed existential the gist that produced it failed to
+    // discharge. Decide it here instead of rejecting the guard.
+    let named = 1 + atom.space().n_named();
+    if atom
+        .rows_raw()
+        .all(|(_, row)| row[1..named].iter().all(|&x| x == 0))
+    {
+        if !atom.is_sat() {
+            out.push(CondAtom::GeqZero(Expr::Const(-1)));
+        }
+        return Ok(());
+    }
+    if let Some(mut lowered) = exotic_locals(atom) {
+        out.append(&mut lowered);
+        return Ok(());
+    }
+    if renorm {
+        let fresh = atom.simplified();
+        if fresh.to_string() != atom.to_string() {
+            let mut tmp = Vec::new();
+            if fresh
+                .guard_atoms()
+                .iter()
+                .try_for_each(|a| lower_guard_atom(a, false, &mut tmp))
+                .is_ok()
+            {
+                out.extend(tmp);
+                return Ok(());
+            }
+        }
+    }
+    Err(CodeGenError::UnloweredGuard {
+        atom: atom.to_string(),
+    })
 }
 
 /// Lowers `∃α: rows(x, α)` with a single local to a runtime test: α is an
@@ -560,6 +635,204 @@ fn exotic_single_local(atom: &Conjunct) -> Option<CondAtom> {
     let hi = Expr::min_of(floors);
     let lo = Expr::max_of(ceils);
     Some(CondAtom::GeqZero(Expr::sub(hi, lo)))
+}
+
+/// Lowers `∃α, β, …: rows(x, α, β, …)` with several coupled locals, for
+/// the shape exact projection leaves behind: at most one *primary* local α
+/// carrying inequality bounds, every other local a single-use *witness*
+/// whose equality row encodes `e·α + f ≡ 0 (mod |c|)`. The congruences are
+/// modular-solved for α and CRT-merged; the final runtime test compares
+/// the stride-aligned lower bound of α against its upper bound. Returns
+/// `None` for shapes outside this fragment (several primary locals,
+/// congruences whose compatibility needs a symbolic division, …).
+fn exotic_locals(atom: &Conjunct) -> Option<Vec<CondAtom>> {
+    let space = atom.space().clone();
+    let named = 1 + space.n_named();
+    let nl = atom.n_locals();
+    if nl < 2 {
+        return None;
+    }
+    let mut rows: Vec<(ConstraintKind, Vec<i64>)> =
+        atom.rows_raw().map(|(k, row)| (k, row.to_vec())).collect();
+    // A local used only in one inequality can always be chosen large (or
+    // small) enough to satisfy it: drop such rows until none remain.
+    loop {
+        let uses = local_uses(&rows, named, nl);
+        let Some(drop) = rows.iter().position(|(k, row)| {
+            *k == ConstraintKind::Geq && (0..nl).any(|l| row[named + l] != 0 && uses[l] == 1)
+        }) else {
+            break;
+        };
+        rows.remove(drop);
+    }
+    let uses = local_uses(&rows, named, nl);
+    let witness: Vec<bool> = (0..nl).map(|l| uses[l] == 1).collect();
+    let primaries: Vec<usize> = (0..nl).filter(|&l| uses[l] > 1).collect();
+    if primaries.len() > 1 {
+        return None;
+    }
+    let alpha = primaries.first().copied();
+    let mut atoms = Vec::new();
+    let mut ceils: Vec<Expr> = Vec::new();
+    let mut floors: Vec<Expr> = Vec::new();
+    let mut congs: Vec<(Vec<i64>, i64)> = Vec::new(); // α ≡ residue (mod m)
+    for (kind, row) in &rows {
+        let wits: Vec<usize> = (0..nl)
+            .filter(|&l| row[named + l] != 0 && witness[l])
+            .collect();
+        let e = alpha.map_or(0, |a| row[named + a]);
+        let f = &row[..named];
+        if wits.is_empty() {
+            if e == 0 {
+                // Row free of live locals: a plain constraint.
+                let le = LinExpr::from_raw(&space, f);
+                atoms.push(match kind {
+                    ConstraintKind::Geq => CondAtom::GeqZero(conv(&le)),
+                    ConstraintKind::Eq => CondAtom::EqZero(conv(&le)),
+                });
+                continue;
+            }
+            let kinds: &[i64] = match kind {
+                ConstraintKind::Geq => &[1],
+                ConstraintKind::Eq => &[1, -1],
+            };
+            for &sgn in kinds {
+                let e = sgn * e;
+                let fe: Vec<i64> = f.iter().map(|&x| sgn * x).collect();
+                let le = LinExpr::from_raw(&space, &fe);
+                if e > 0 {
+                    // e·α + f >= 0  →  α >= ceild(-f, e)
+                    ceils.push(Expr::CeilDiv(Box::new(conv(&-le.clone())), e));
+                } else {
+                    // α <= floord(f, |e|)
+                    floors.push(Expr::FloorDiv(Box::new(conv(&le)), -e));
+                }
+            }
+            continue;
+        }
+        // Witness row `e·α + f + Σ cᵢ·βᵢ = 0`: ∃β is solvable exactly when
+        // e·α + f ≡ 0 (mod gcd |cᵢ|).
+        if *kind != ConstraintKind::Eq {
+            return None; // inequality witnesses were dropped above
+        }
+        if (0..nl).any(|l| row[named + l] != 0 && !witness[l] && alpha != Some(l)) {
+            return None;
+        }
+        let mut m = 0i64;
+        for &w in &wits {
+            m = gcd_i64(m, row[named + w].abs());
+        }
+        if m <= 1 {
+            continue; // always solvable
+        }
+        let (residue, modulus, side) = solve_congruence(e, f, m)?;
+        if let Some((t, g)) = side {
+            let le = LinExpr::from_raw(&space, &t);
+            atoms.push(CondAtom::ModZero(conv(&le), g));
+        }
+        if modulus > 1 {
+            congs.push((residue, modulus));
+        }
+    }
+    // CRT-merge the congruences on α into a single `α ≡ r (mod m)`.
+    let mut r = vec![0i64; named];
+    let mut m = 1i64;
+    for (r2, m2) in congs {
+        let g = gcd_i64(m, m2);
+        let diff: Vec<i64> = r2.iter().zip(&r).map(|(&a, &b)| a - b).collect();
+        if diff.iter().any(|&x| x % g != 0) {
+            return None; // compatibility needs a symbolic division
+        }
+        let u = mod_inverse((m / g).rem_euclid(m2 / g), m2 / g)?;
+        let m_new = m / g * m2;
+        for (ri, d) in r.iter_mut().zip(&diff) {
+            *ri = (*ri + m * u * (d / g)).rem_euclid(m_new);
+        }
+        m = m_new;
+    }
+    if alpha.is_none() || m == 1 {
+        if alpha.is_some() && !ceils.is_empty() && !floors.is_empty() {
+            atoms.push(CondAtom::GeqZero(Expr::sub(
+                Expr::min_of(floors),
+                Expr::max_of(ceils),
+            )));
+        }
+        return Some(atoms);
+    }
+    if ceils.is_empty() || floors.is_empty() {
+        return Some(atoms); // a residue class is infinite: always non-empty
+    }
+    let lo = Expr::max_of(ceils);
+    let hi = Expr::min_of(floors);
+    let r_expr = conv(&LinExpr::from_raw(&space, &r));
+    let aligned = Expr::add(lo.clone(), Expr::Mod(Box::new(Expr::sub(r_expr, lo)), m));
+    atoms.push(CondAtom::GeqZero(Expr::sub(hi, aligned)));
+    Some(atoms)
+}
+
+/// How many rows each local occurs in.
+fn local_uses(rows: &[(ConstraintKind, Vec<i64>)], named: usize, nl: usize) -> Vec<usize> {
+    let mut uses = vec![0usize; nl];
+    for (_, row) in rows {
+        for (l, u) in uses.iter_mut().enumerate() {
+            if row[named + l] != 0 {
+                *u += 1;
+            }
+        }
+    }
+    uses
+}
+
+/// Solves `e·α ≡ -f (mod m)` for α: returns `(residue, modulus, side)`
+/// with the solution set `α ≡ residue (mod modulus)` and an optional
+/// residual runtime test `side = (t, g)` meaning `t ≡ 0 (mod g)` that the
+/// named variables must satisfy for any solution to exist. `None` when the
+/// solution would need a symbolic division.
+#[allow(clippy::type_complexity)]
+fn solve_congruence(e: i64, f: &[i64], m: i64) -> Option<(Vec<i64>, i64, Option<(Vec<i64>, i64)>)> {
+    if e.rem_euclid(m) == 0 {
+        // No constraint on α; f ≡ 0 (mod m) is a test on the named part.
+        return Some((vec![0; f.len()], 1, Some((f.to_vec(), m))));
+    }
+    let g = gcd_i64(e.abs(), m);
+    if g > 1 {
+        if f.iter().any(|&x| x % g != 0) {
+            return None; // f ≡ 0 (mod g) would need a symbolic division
+        }
+        let fg: Vec<i64> = f.iter().map(|&x| x / g).collect();
+        return solve_congruence(e / g, &fg, m / g);
+    }
+    let inv = mod_inverse(e.rem_euclid(m), m)?;
+    // α ≡ -inv·f (mod m); reducing each coefficient mod m is sound since
+    // it changes the residue by m·(integer).
+    let residue: Vec<i64> = f.iter().map(|&x| (-inv * x).rem_euclid(m)).collect();
+    Some((residue, m, None))
+}
+
+fn gcd_i64(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// The inverse of `a` modulo `m` (`m > 0`), when `gcd(a, m) = 1`.
+fn mod_inverse(a: i64, m: i64) -> Option<i64> {
+    if m == 1 {
+        return Some(0);
+    }
+    let (mut t, mut new_t) = (0i64, 1i64);
+    let (mut r, mut new_r) = (m, a.rem_euclid(m));
+    while new_r != 0 {
+        let q = r / new_r;
+        (t, new_t) = (new_t, t - q * new_t);
+        (r, new_r) = (new_r, r - q * new_r);
+    }
+    if r != 1 {
+        return None;
+    }
+    Some(t.rem_euclid(m))
 }
 
 struct Item<'n> {

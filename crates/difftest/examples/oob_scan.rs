@@ -1,0 +1,20 @@
+//! Dev tool: execute both tools on a `.difftest` case and print every
+//! executed instance that is outside its statement's domain.
+//! `cargo run --release -p difftest --example oob_scan -- FILE`
+
+fn main() {
+    let path = std::env::args().nth(1).expect("usage: oob_scan FILE");
+    let text = std::fs::read_to_string(&path).expect("read case file");
+    let case = difftest::parse_case(&text).expect("parse case");
+    let g = cloog::Cloog::new()
+        .statements(case.stmts.clone())
+        .generate()
+        .expect("cloog generation");
+    let run = g.execute(&case.params).expect("execution");
+    println!("params {:?}, {} instances", case.params, run.trace.len());
+    for (k, p) in &run.trace {
+        if !case.stmts[*k].domain.contains(&case.params, p) {
+            println!("OOB: s{k}{p:?}");
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Fuzz cases: the structured representation the generator produces and
+//! the shrinker mutates, plus the `.difftest` text format regression
+//! corpus entries are stored in.
+//!
+//! # File format (`difftest v1`)
+//!
+//! UTF-8 text; `#` lines are comments except the version header; blank
+//! lines are ignored.
+//!
+//! ```text
+//! # difftest v1
+//! # seed: 42
+//! params: n=4 m=2
+//! stmt: [n,m] -> { [t1,t2] : 0 <= t1 && t1 <= n && ... }
+//! stmt: [n,m] -> { [t1,t2] : ... } | [n,m] -> { [t1,t2] : ... }
+//! ```
+//!
+//! `params:` binds every parameter of the shared space, in declaration
+//! order (omitted when the space has none). Each `stmt:` line is one
+//! statement domain in `omega` input syntax; statements are named `s0`,
+//! `s1`, … in file order. A parsed entry replays through both generators
+//! and the oracle with [`crate::check::check_statements`].
+
+use codegenplus::Statement;
+use omega::arbitrary::ArbSet;
+use omega::{Set, Space};
+use std::fmt;
+
+/// A structured fuzz case: a shared space, parameter values, and one
+/// structured domain per statement.
+#[derive(Clone, Debug)]
+pub struct DiffCase {
+    /// The seed that produced this case (kept through shrinking so the
+    /// minimized reproducer still names its origin).
+    pub seed: u64,
+    /// The scanning space shared by all statements.
+    pub space: Space,
+    /// One value per space parameter.
+    pub params: Vec<i64>,
+    /// Structured statement domains (named `s0`, `s1`, … by position).
+    pub stmts: Vec<ArbSet>,
+}
+
+impl DiffCase {
+    /// Lowers the case to generator inputs.
+    pub fn statements(&self) -> Vec<Statement> {
+        self.stmts
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Statement::new(format!("s{i}"), s.to_set(&self.space)))
+            .collect()
+    }
+
+    /// Total constraint count (affine + congruences) across all
+    /// statements — the size the shrinker minimizes.
+    pub fn n_constraints(&self) -> usize {
+        self.stmts.iter().map(ArbSet::len).sum()
+    }
+
+    /// Renders the case as a `difftest v1` document.
+    pub fn render(&self) -> String {
+        let mut out = String::from("# difftest v1\n");
+        out.push_str(&format!("# seed: {}\n", self.seed));
+        if !self.params.is_empty() {
+            out.push_str("params:");
+            for (name, value) in self.space.param_names().iter().zip(&self.params) {
+                out.push_str(&format!(" {name}={value}"));
+            }
+            out.push('\n');
+        }
+        for s in &self.stmts {
+            out.push_str(&format!(
+                "stmt: {}\n",
+                s.to_set(&self.space).to_input_syntax()
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for DiffCase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// A case parsed back from a `.difftest` document: generator-ready
+/// statements plus the parameter binding. (The structured form is not
+/// reconstructed — corpus replay only needs to run the case, not shrink
+/// it.)
+#[derive(Clone, Debug)]
+pub struct ReplayCase {
+    /// Seed recorded in the document, when present.
+    pub seed: Option<u64>,
+    /// Parameter values, in space order.
+    pub params: Vec<i64>,
+    /// The statements, named `s0`, `s1`, … in file order.
+    pub stmts: Vec<Statement>,
+}
+
+/// Why a `.difftest` document failed to parse.
+#[derive(Debug)]
+pub enum CaseParseError {
+    /// Structural problem (missing header, unknown line, bad binding, …).
+    Malformed(String),
+    /// A `stmt:` set failed to parse.
+    Set(omega::ParseSetError),
+}
+
+impl fmt::Display for CaseParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CaseParseError::Malformed(m) => write!(f, "malformed case: {m}"),
+            CaseParseError::Set(e) => write!(f, "bad stmt set: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CaseParseError {}
+
+impl From<omega::ParseSetError> for CaseParseError {
+    fn from(e: omega::ParseSetError) -> CaseParseError {
+        CaseParseError::Set(e)
+    }
+}
+
+/// Parses a `difftest v1` document.
+///
+/// # Errors
+///
+/// Returns [`CaseParseError`] on a missing version header, an
+/// unparseable set, statements over different spaces, or a `params:`
+/// binding that does not match the space's parameters.
+pub fn parse_case(text: &str) -> Result<ReplayCase, CaseParseError> {
+    let mut versioned = false;
+    let mut seed = None;
+    let mut bindings: Vec<(String, i64)> = Vec::new();
+    let mut sets: Vec<Set> = Vec::new();
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim();
+            if rest.starts_with("difftest") {
+                if rest != "difftest v1" {
+                    return Err(CaseParseError::Malformed(format!(
+                        "unsupported version line: {rest}"
+                    )));
+                }
+                versioned = true;
+            } else if let Some(s) = rest.strip_prefix("seed:") {
+                seed = s.trim().parse::<u64>().ok();
+            }
+            continue;
+        }
+        if let Some(v) = line.strip_prefix("params:") {
+            for tok in v.split_whitespace() {
+                let (name, value) = tok.split_once('=').ok_or_else(|| {
+                    CaseParseError::Malformed(format!("bad parameter binding: {tok}"))
+                })?;
+                let value = value.parse::<i64>().map_err(|_| {
+                    CaseParseError::Malformed(format!("bad parameter value: {tok}"))
+                })?;
+                bindings.push((name.to_owned(), value));
+            }
+        } else if let Some(v) = line.strip_prefix("stmt:") {
+            sets.push(Set::parse(v.trim())?);
+        } else {
+            return Err(CaseParseError::Malformed(format!(
+                "unrecognized line: {line}"
+            )));
+        }
+    }
+    if !versioned {
+        return Err(CaseParseError::Malformed(
+            "missing '# difftest v1' header".to_owned(),
+        ));
+    }
+    if sets.is_empty() {
+        return Err(CaseParseError::Malformed("no 'stmt:' lines".to_owned()));
+    }
+    let space = sets[0].space().clone();
+    for (i, s) in sets.iter().enumerate() {
+        if s.space() != &space {
+            return Err(CaseParseError::Malformed(format!(
+                "stmt {i} uses a different space"
+            )));
+        }
+    }
+    let mut params = Vec::new();
+    for name in space.param_names() {
+        let v = bindings
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .ok_or_else(|| CaseParseError::Malformed(format!("parameter {name} has no binding")))?;
+        params.push(v);
+    }
+    for (name, _) in &bindings {
+        if space.param_index(name).is_none() {
+            return Err(CaseParseError::Malformed(format!(
+                "binding for unknown parameter {name}"
+            )));
+        }
+    }
+    Ok(ReplayCase {
+        seed,
+        params,
+        stmts: sets
+            .into_iter()
+            .enumerate()
+            .map(|(i, d)| Statement::new(format!("s{i}"), d))
+            .collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::gen_case;
+
+    #[test]
+    fn render_parse_round_trip_preserves_membership() {
+        for seed in 0..40 {
+            let case = gen_case(seed);
+            let parsed = parse_case(&case.render()).expect("round trip");
+            assert_eq!(parsed.seed, Some(seed));
+            assert_eq!(parsed.params, case.params);
+            let orig = case.statements();
+            assert_eq!(parsed.stmts.len(), orig.len());
+            let b = omega::arbitrary::BOX_BOUND;
+            let nv = case.space.n_vars();
+            for (a, c) in parsed.stmts.iter().zip(&orig) {
+                for p in c
+                    .domain
+                    .enumerate(&case.params, &vec![-b; nv], &vec![b; nv])
+                {
+                    assert!(a.domain.contains(&case.params, &p), "{case}");
+                }
+                for p in a
+                    .domain
+                    .enumerate(&case.params, &vec![-b; nv], &vec![b; nv])
+                {
+                    assert!(c.domain.contains(&case.params, &p), "{case}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_documents_error() {
+        assert!(parse_case("stmt: { [i] : 0 <= i <= 3 }").is_err());
+        assert!(parse_case("# difftest v1\n").is_err());
+        assert!(parse_case("# difftest v1\nstmt: not a set").is_err());
+        assert!(parse_case("# difftest v1\nstmt: [n] -> { [i] : i >= 0 && i <= n }").is_err());
+        assert!(
+            parse_case("# difftest v1\nparams: n=3 q=1\nstmt: [n] -> { [i] : 0 <= i <= n }")
+                .is_err()
+        );
+        assert!(parse_case(
+            "# difftest v1\nstmt: { [i] : 0 <= i <= 3 }\nstmt: { [i,j] : 0 <= i <= 3 && j = 0 }"
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,87 @@
+//! Whole-case generation: picks a space shape (dimensionality, parameter
+//! count, statement count) from a distribution biased toward the paper's
+//! §2.2 repertoire, then fills in statement domains with
+//! [`omega::arbitrary`].
+
+use crate::case::DiffCase;
+use omega::arbitrary::{arb_set, ArbConfig, Rng, MAX_PARAM};
+use omega::Space;
+
+/// Generates the case for `seed`. Deterministic: the same seed always
+/// yields the same case, on every platform.
+pub fn gen_case(seed: u64) -> DiffCase {
+    gen_case_with(seed, &ArbConfig::default())
+}
+
+/// [`gen_case`] with explicit distribution knobs.
+pub fn gen_case_with(seed: u64, cfg: &ArbConfig) -> DiffCase {
+    let mut rng = Rng::new(seed);
+    // Dimensionality 1–3: low dims shake out boundary logic fastest, 3-D
+    // exercises deep lifting; deeper nests add cost, not new shapes.
+    let dims = rng.weighted(&[35, 45, 20]) + 1;
+    // 0–2 parameters; parameterized bounds are the common case.
+    let n_params = rng.weighted(&[30, 50, 20]);
+    let param_names: Vec<&str> = ["n", "m"][..n_params].to_vec();
+    let var_names: Vec<String> = (1..=dims).map(|i| format!("t{i}")).collect();
+    let vr: Vec<&str> = var_names.iter().map(String::as_str).collect();
+    let space = Space::new(&param_names, &vr);
+    // Parameter values stay small so boxes are cheap to enumerate but
+    // large enough that parameterized bounds dominate constant ones.
+    let params: Vec<i64> = (0..n_params).map(|_| rng.range(2, MAX_PARAM)).collect();
+    // 1–3 statements: multi-statement cases exercise lexicographic
+    // interleaving and if-merging across bodies.
+    let n_stmts = rng.weighted(&[40, 40, 20]) + 1;
+    let stmts = (0..n_stmts)
+        .map(|_| arb_set(&mut rng, &space, cfg))
+        .collect();
+    DiffCase {
+        seed,
+        space,
+        params,
+        stmts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in [0u64, 1, 42, 0xFFFF_FFFF_FFFF] {
+            assert_eq!(gen_case(seed).render(), gen_case(seed).render());
+        }
+        assert_ne!(gen_case(1).render(), gen_case(2).render());
+    }
+
+    #[test]
+    fn distribution_hits_the_target_shapes() {
+        let (mut strided, mut unions, mut multi, mut parametric, mut three_d) = (0, 0, 0, 0, 0);
+        for seed in 0..300 {
+            let c = gen_case(seed);
+            if c.stmts
+                .iter()
+                .any(|s| s.conjuncts.iter().any(|k| !k.congruences.is_empty()))
+            {
+                strided += 1;
+            }
+            if c.stmts.iter().any(|s| s.conjuncts.len() > 1) {
+                unions += 1;
+            }
+            if c.stmts.len() > 1 {
+                multi += 1;
+            }
+            if !c.params.is_empty() {
+                parametric += 1;
+            }
+            if c.space.n_vars() == 3 {
+                three_d += 1;
+            }
+        }
+        assert!(strided > 50, "strides too rare: {strided}/300");
+        assert!(unions > 40, "unions too rare: {unions}/300");
+        assert!(multi > 100, "multi-statement too rare: {multi}/300");
+        assert!(parametric > 150, "parameters too rare: {parametric}/300");
+        assert!(three_d > 20, "3-D too rare: {three_d}/300");
+    }
+}

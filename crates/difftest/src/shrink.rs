@@ -1,0 +1,283 @@
+//! Case minimization: greedy delta-debugging over the structured case,
+//! in the order that removes the most noise first — drop whole
+//! statements, then whole dimensions, then whole union conjuncts, then
+//! individual constraints and congruences, then shrink surviving
+//! coefficients toward zero.
+//!
+//! Every mutation only ever *removes* structure or reduces magnitudes,
+//! so the [`omega::arbitrary::BOX_BOUND`] enumeration invariant of the
+//! original case is preserved through shrinking. A mutation is kept only
+//! when `still_fails` says the property violation survives; mutations
+//! that make the case ungeneratable (e.g. dropping the last upper bound)
+//! come back as [`crate::check::CaseOutcome::Skip`] and are rejected by
+//! that predicate.
+
+use crate::case::DiffCase;
+use omega::LinExpr;
+
+/// Shrinks `case` to a local minimum under `still_fails` (which must be
+/// true for `case` itself). Returns the minimized case; the loop is
+/// bounded by the case's finite structure, every accepted mutation
+/// strictly reduces a well-founded measure.
+pub fn shrink(case: &DiffCase, still_fails: &dyn Fn(&DiffCase) -> bool) -> DiffCase {
+    let mut cur = case.clone();
+    loop {
+        let mut progress = false;
+        progress |= drop_statements(&mut cur, still_fails);
+        progress |= drop_dims(&mut cur, still_fails);
+        progress |= drop_conjuncts(&mut cur, still_fails);
+        progress |= drop_rows(&mut cur, still_fails);
+        progress |= shrink_numbers(&mut cur, still_fails);
+        if !progress {
+            return cur;
+        }
+    }
+}
+
+/// Projects variable `v` out of `case`: a smaller space, with `v`'s
+/// coefficient column deleted from every constraint and congruence.
+fn without_dim(case: &DiffCase, v: usize) -> DiffCase {
+    let space = &case.space;
+    let params: Vec<&str> = space.param_names().iter().map(String::as_str).collect();
+    let vars: Vec<&str> = space
+        .var_names()
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != v)
+        .map(|(_, n)| n.as_str())
+        .collect();
+    let new_space = omega::Space::new(&params, &vars);
+    let col = 1 + space.n_params() + v;
+    let strip = |e: &LinExpr| {
+        let mut coeffs = e.raw_coeffs().to_vec();
+        coeffs.remove(col);
+        LinExpr::from_raw(&new_space, &coeffs)
+    };
+    let mut out = case.clone();
+    out.space = new_space.clone();
+    for s in &mut out.stmts {
+        for c in &mut s.conjuncts {
+            for row in &mut c.constraints {
+                let e = strip(row.expr());
+                *row = match row.kind() {
+                    omega::ConstraintKind::Eq => e.eq0(),
+                    omega::ConstraintKind::Geq => e.geq0(),
+                };
+            }
+            for g in &mut c.congruences {
+                g.expr = strip(&g.expr);
+            }
+        }
+    }
+    out
+}
+
+fn drop_dims(cur: &mut DiffCase, still_fails: &dyn Fn(&DiffCase) -> bool) -> bool {
+    let mut progress = false;
+    let mut v = 0;
+    while cur.space.n_vars() > 1 && v < cur.space.n_vars() {
+        let cand = without_dim(cur, v);
+        if still_fails(&cand) {
+            *cur = cand;
+            progress = true;
+        } else {
+            v += 1;
+        }
+    }
+    progress
+}
+
+fn drop_statements(cur: &mut DiffCase, still_fails: &dyn Fn(&DiffCase) -> bool) -> bool {
+    let mut progress = false;
+    let mut i = 0;
+    while cur.stmts.len() > 1 && i < cur.stmts.len() {
+        let mut cand = cur.clone();
+        cand.stmts.remove(i);
+        if still_fails(&cand) {
+            *cur = cand;
+            progress = true;
+        } else {
+            i += 1;
+        }
+    }
+    progress
+}
+
+fn drop_conjuncts(cur: &mut DiffCase, still_fails: &dyn Fn(&DiffCase) -> bool) -> bool {
+    let mut progress = false;
+    for s in 0..cur.stmts.len() {
+        let mut j = 0;
+        while cur.stmts[s].conjuncts.len() > 1 && j < cur.stmts[s].conjuncts.len() {
+            let mut cand = cur.clone();
+            cand.stmts[s].conjuncts.remove(j);
+            if still_fails(&cand) {
+                *cur = cand;
+                progress = true;
+            } else {
+                j += 1;
+            }
+        }
+    }
+    progress
+}
+
+fn drop_rows(cur: &mut DiffCase, still_fails: &dyn Fn(&DiffCase) -> bool) -> bool {
+    let mut progress = false;
+    for s in 0..cur.stmts.len() {
+        for c in 0..cur.stmts[s].conjuncts.len() {
+            // Congruences first: a stride is the most complication per row.
+            let mut g = 0;
+            while g < cur.stmts[s].conjuncts[c].congruences.len() {
+                let mut cand = cur.clone();
+                cand.stmts[s].conjuncts[c].congruences.remove(g);
+                if still_fails(&cand) {
+                    *cur = cand;
+                    progress = true;
+                } else {
+                    g += 1;
+                }
+            }
+            let mut k = 0;
+            while k < cur.stmts[s].conjuncts[c].constraints.len() {
+                let mut cand = cur.clone();
+                cand.stmts[s].conjuncts[c].constraints.remove(k);
+                if still_fails(&cand) {
+                    *cur = cand;
+                    progress = true;
+                } else {
+                    k += 1;
+                }
+            }
+        }
+    }
+    progress
+}
+
+/// Candidate smaller values for one signed coefficient, largest step
+/// first.
+fn smaller(v: i64) -> Vec<i64> {
+    let mut out = Vec::new();
+    if v != 0 {
+        out.push(0);
+        if v.abs() > 1 {
+            out.push(v.signum());
+            out.push(v / 2);
+        }
+    }
+    out
+}
+
+fn shrink_numbers(cur: &mut DiffCase, still_fails: &dyn Fn(&DiffCase) -> bool) -> bool {
+    let mut progress = false;
+    // Parameter values toward 2 (the smallest value generation uses).
+    for p in 0..cur.params.len() {
+        while cur.params[p] > 2 {
+            let mut cand = cur.clone();
+            cand.params[p] -= 1;
+            if still_fails(&cand) {
+                *cur = cand;
+                progress = true;
+            } else {
+                break;
+            }
+        }
+    }
+    for s in 0..cur.stmts.len() {
+        for c in 0..cur.stmts[s].conjuncts.len() {
+            for k in 0..cur.stmts[s].conjuncts[c].constraints.len() {
+                let space = cur.space.clone();
+                loop {
+                    let row = &cur.stmts[s].conjuncts[c].constraints[k];
+                    let coeffs = row.expr().raw_coeffs().to_vec();
+                    let kind = row.kind();
+                    let mut improved = false;
+                    for (pos, &v) in coeffs.iter().enumerate() {
+                        for nv in smaller(v) {
+                            let mut nc = coeffs.clone();
+                            nc[pos] = nv;
+                            let e = LinExpr::from_raw(&space, &nc);
+                            let newrow = match kind {
+                                omega::ConstraintKind::Eq => e.eq0(),
+                                omega::ConstraintKind::Geq => e.geq0(),
+                            };
+                            let mut cand = cur.clone();
+                            cand.stmts[s].conjuncts[c].constraints[k] = newrow;
+                            if still_fails(&cand) {
+                                *cur = cand;
+                                progress = true;
+                                improved = true;
+                                break;
+                            }
+                        }
+                        if improved {
+                            break;
+                        }
+                    }
+                    if !improved {
+                        break;
+                    }
+                }
+            }
+            for g in 0..cur.stmts[s].conjuncts[c].congruences.len() {
+                let cg = cur.stmts[s].conjuncts[c].congruences[g].clone();
+                if cg.modulus > 2 {
+                    let mut cand = cur.clone();
+                    let slot = &mut cand.stmts[s].conjuncts[c].congruences[g];
+                    slot.modulus = 2;
+                    slot.rem %= 2;
+                    if still_fails(&cand) {
+                        *cur = cand;
+                        progress = true;
+                    }
+                }
+                if cur.stmts[s].conjuncts[c].congruences[g].rem != 0 {
+                    let mut cand = cur.clone();
+                    cand.stmts[s].conjuncts[c].congruences[g].rem = 0;
+                    if still_fails(&cand) {
+                        *cur = cand;
+                        progress = true;
+                    }
+                }
+            }
+        }
+    }
+    progress
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::gen_case;
+
+    /// A synthetic predicate: "fails" whenever statement 0 still has a
+    /// constraint mentioning t1's positive bound — everything else is
+    /// noise the shrinker must strip.
+    #[test]
+    fn shrinker_strips_unrelated_structure() {
+        // Find a seed with >= 2 statements and a healthy constraint count.
+        let case = (0..200)
+            .map(gen_case)
+            .find(|c| c.stmts.len() >= 2 && c.n_constraints() >= 6)
+            .expect("generator produces multi-statement cases");
+        let fails = |c: &DiffCase| !c.stmts.is_empty() && !c.stmts[0].conjuncts.is_empty();
+        let min = shrink(&case, &fails);
+        assert_eq!(min.stmts.len(), 1);
+        assert_eq!(min.stmts[0].conjuncts.len(), 1);
+        assert!(
+            min.n_constraints() <= 1,
+            "constraints left: {} in\n{min}",
+            min.n_constraints()
+        );
+        assert!(fails(&min));
+    }
+
+    #[test]
+    fn shrinking_is_a_no_op_on_an_already_minimal_case() {
+        let case = gen_case(3);
+        let min = shrink(&case, &|_| true);
+        // The predicate accepts everything, so shrinking drives the case
+        // to the floor: one statement, one conjunct, no constraints.
+        assert_eq!(min.stmts.len(), 1);
+        assert_eq!(min.n_constraints(), 0);
+    }
+}

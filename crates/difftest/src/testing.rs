@@ -1,0 +1,56 @@
+//! Fault-injection helpers for validating the harness itself: mutate
+//! generated code the way a real scanner bug would, then check that the
+//! differential pipeline catches and minimizes it.
+
+use polyir::{Expr, Stmt};
+
+/// Widens the first loop found in `code` by one iteration (upper bound
+/// `+ 1`) — the classic off-by-one a lift/lower bound-arithmetic slip
+/// produces. Returns false when the program has no loop to widen.
+pub fn widen_first_loop(code: &mut Stmt) -> bool {
+    match code {
+        Stmt::Loop { upper, .. } => {
+            let old = std::mem::replace(upper, Expr::Const(0));
+            *upper = Expr::Add(Box::new(old), Box::new(Expr::Const(1)));
+            true
+        }
+        Stmt::Seq(items) => items.iter_mut().any(widen_first_loop),
+        Stmt::If { then_, else_, .. } => {
+            widen_first_loop(then_) || else_.as_deref_mut().is_some_and(widen_first_loop)
+        }
+        Stmt::Assign { body, .. } => widen_first_loop(body),
+        Stmt::Call { .. } | Stmt::Nop => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widening_adds_exactly_one_iteration() {
+        let mut s = Stmt::Loop {
+            var: 0,
+            lower: Expr::Const(0),
+            upper: Expr::Const(4),
+            step: 1,
+            body: Box::new(Stmt::Call {
+                stmt: 0,
+                args: vec![Expr::Var(0)],
+            }),
+        };
+        assert!(widen_first_loop(&mut s));
+        let run = polyir::execute(&s, &[]).unwrap();
+        assert_eq!(run.trace.len(), 6);
+        assert_eq!(run.trace.last().unwrap().1, vec![5]);
+    }
+
+    #[test]
+    fn loopless_code_is_left_alone() {
+        let mut s = Stmt::Call {
+            stmt: 0,
+            args: vec![],
+        };
+        assert!(!widen_first_loop(&mut s));
+    }
+}

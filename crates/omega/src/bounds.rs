@@ -216,6 +216,15 @@ impl Conjunct {
         crate::project::simplify_conjunct(self)
     }
 
+    /// Local-free over-approximation: remaining existentials are removed
+    /// by real-shadow Fourier–Motzkin, so stride/congruence information is
+    /// dropped but inequality bounds expressible only *through* a local
+    /// become explicit rows that [`Conjunct::bounds_on`] can see. The
+    /// result contains `self`; use it where scanning a superset is sound.
+    pub fn real_shadow(&self) -> Conjunct {
+        crate::project::real_shadow(self)
+    }
+
     /// Drops inequality rows implied by the remaining rows (so bounds like
     /// `v ≤ n` next to `v ≤ n-1` disappear).
     pub fn without_redundant(&self) -> Conjunct {

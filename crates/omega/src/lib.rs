@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod arbitrary;
 pub mod faults;
 pub mod limits;
 pub mod num;

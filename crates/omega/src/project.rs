@@ -56,6 +56,64 @@ pub(crate) fn approximate(s: &Set) -> Set {
     out
 }
 
+/// Local-free over-approximation by real-shadow Fourier–Motzkin: after
+/// exact simplification, every remaining local is eliminated by combining
+/// its lower/upper rows (equalities touching it contribute both
+/// directions). Congruence information is lost, but inequality bounds that
+/// were only implicit through a local (e.g. `∃α: t ≥ 2α+1 ∧ 4α ≥ -t-5`,
+/// which implies `t ≥ 3`) become explicit local-free rows. The result
+/// always contains the input, so it is sound wherever a superset is — in
+/// particular for extracting loop bounds that guards re-tighten.
+pub(crate) fn real_shadow(c: &Conjunct) -> Conjunct {
+    let mut c = simplify_conjunct(c);
+    if c.is_known_false() {
+        return c;
+    }
+    let named = 1 + c.space().n_named();
+    loop {
+        let nl = c.n_locals();
+        let Some(l) = (0..nl).find(|&l| c.rows().iter().any(|r| r.c[named + l] != 0)) else {
+            break;
+        };
+        let col = named + l;
+        // FM wants pure inequalities on the eliminated column.
+        let mut rows: Vec<Row> = Vec::with_capacity(c.rows().len() + 1);
+        for r in c.rows() {
+            if r.c[col] != 0 && r.kind == ConstraintKind::Eq {
+                rows.push(Row::new(ConstraintKind::Geq, r.c.clone()));
+                rows.push(Row::new(
+                    ConstraintKind::Geq,
+                    r.c.iter().map(|&x| -x).collect(),
+                ));
+            } else {
+                rows.push(r.clone());
+            }
+        }
+        let lowers = rows.iter().filter(|r| r.c[col] > 0).count();
+        let uppers = rows.iter().filter(|r| r.c[col] < 0).count();
+        let eliminated = if lowers * uppers <= 64 {
+            sat::fm_eliminate(&rows, col, 0).ok()
+        } else {
+            None
+        };
+        // Overflow or pair blow-up: dropping the rows outright is coarser
+        // but still an over-approximation.
+        let new_rows =
+            eliminated.unwrap_or_else(|| rows.into_iter().filter(|r| r.c[col] == 0).collect());
+        let mut fresh = Vec::new();
+        std::mem::swap(c.rows_mut(), &mut fresh);
+        for r in new_rows {
+            c.push_row(r);
+        }
+        if c.is_known_false() {
+            return c;
+        }
+    }
+    c.compress_locals();
+    c.canonicalize();
+    c
+}
+
 /// Simplifies one conjunct:
 ///
 /// 1. substitutes out locals with unit coefficients in equalities,
@@ -321,6 +379,76 @@ mod tests {
         // Over-approximation: both parities contained now, but i >= 0 kept.
         assert!(a.contains(&[0], &[1, 0]));
         assert!(!a.contains(&[0], &[-2, 0]));
+    }
+
+    #[test]
+    fn real_shadow_exposes_implicit_bound() {
+        // The seed-784 shape: ∃a: -i - 4a - 5 >= 0 && i + 2a + 1 >= 0 &&
+        // -i + 8 >= 0. Exact elimination fails (no unit coefficient on a),
+        // but the real shadow derives the implicit lower bound i >= 3.
+        let s = sp2();
+        let mut c = Conjunct::universe(&s);
+        let l = c.add_local();
+        let named = 1 + s.n_named();
+        let icol = 1 + s.n_params();
+        let mut r1 = vec![0i64; named + 1];
+        r1[0] = -5;
+        r1[icol] = -1;
+        r1[named + l] = -4;
+        c.push_row(Row::new(ConstraintKind::Geq, r1));
+        let mut r2 = vec![0i64; named + 1];
+        r2[0] = 1;
+        r2[icol] = 1;
+        r2[named + l] = 2;
+        c.push_row(Row::new(ConstraintKind::Geq, r2));
+        let mut r3 = vec![0i64; named + 1];
+        r3[0] = 8;
+        r3[icol] = -1;
+        c.push_row(Row::new(ConstraintKind::Geq, r3));
+        assert!(c.bounds_on(0).0.is_empty(), "bound must start implicit");
+        let shadow = real_shadow(&c);
+        assert_eq!(shadow.n_locals(), 0);
+        let (lo, hi) = shadow.bounds_on(0);
+        assert!(!lo.is_empty() && !hi.is_empty());
+        // Over-approximation containing the input: i in [3, 8].
+        for i in -2..12 {
+            if c.contains(&[0], &[i, 0]) {
+                assert!(shadow.contains(&[0], &[i, 0]), "i={i}");
+            }
+        }
+        assert!(shadow.contains(&[0], &[3, 0]));
+        assert!(!shadow.contains(&[0], &[2, 0]));
+        assert!(!shadow.contains(&[0], &[9, 0]));
+    }
+
+    #[test]
+    fn real_shadow_splits_equality() {
+        // ∃a: i = 3a && 1 <= a <= 4  →  shadow keeps 3 <= i <= 12 (stride
+        // dropped).
+        let s = sp2();
+        let mut c = Conjunct::universe(&s);
+        let l = c.add_local();
+        let named = 1 + s.n_named();
+        let icol = 1 + s.n_params();
+        let mut r1 = vec![0i64; named + 1];
+        r1[icol] = 1;
+        r1[named + l] = -3;
+        c.push_row(Row::new(ConstraintKind::Eq, r1));
+        let mut r2 = vec![0i64; named + 1];
+        r2[0] = -1;
+        r2[named + l] = 1;
+        c.push_row(Row::new(ConstraintKind::Geq, r2));
+        let mut r3 = vec![0i64; named + 1];
+        r3[0] = 4;
+        r3[named + l] = -1;
+        c.push_row(Row::new(ConstraintKind::Geq, r3));
+        let shadow = real_shadow(&c);
+        assert_eq!(shadow.n_locals(), 0);
+        assert!(shadow.contains(&[0], &[3, 0]));
+        assert!(shadow.contains(&[0], &[4, 0])); // stride info gone
+        assert!(shadow.contains(&[0], &[12, 0]));
+        assert!(!shadow.contains(&[0], &[2, 0]));
+        assert!(!shadow.contains(&[0], &[13, 0]));
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Execution-trace diffing for the differential-testing harness: locate
+//! the first point where two statement traces diverge and report it with
+//! enough surrounding context to triage a fuzzer finding at a glance.
+
+use crate::interp::TraceEntry;
+use std::fmt;
+
+/// The first divergence between two execution traces.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Divergence {
+    /// Index of the first differing position.
+    pub index: usize,
+    /// Entry at `index` in the left trace (`None`: left ended early).
+    pub left: Option<TraceEntry>,
+    /// Entry at `index` in the right trace (`None`: right ended early).
+    pub right: Option<TraceEntry>,
+    /// Up to the last three entries both traces agree on before `index`.
+    pub common_tail: Vec<TraceEntry>,
+    /// Total lengths of the two traces.
+    pub lens: (usize, usize),
+}
+
+/// Compares two execution traces; `None` when they are identical.
+pub fn first_divergence(left: &[TraceEntry], right: &[TraceEntry]) -> Option<Divergence> {
+    let n = left.len().min(right.len());
+    let index = (0..n)
+        .find(|&i| left[i] != right[i])
+        .unwrap_or(n)
+        .min(left.len().max(right.len()));
+    if index == left.len() && index == right.len() {
+        return None;
+    }
+    let tail_from = index.saturating_sub(3);
+    Some(Divergence {
+        index,
+        left: left.get(index).cloned(),
+        right: right.get(index).cloned(),
+        common_tail: left[tail_from..index].to_vec(),
+        lens: (left.len(), right.len()),
+    })
+}
+
+fn entry(e: &Option<TraceEntry>) -> String {
+    match e {
+        Some((k, args)) => format!("s{k}{args:?}"),
+        None => "<end of trace>".to_owned(),
+    }
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "first divergence at instance {} (trace lengths {} vs {}): {} vs {}",
+            self.index,
+            self.lens.0,
+            self.lens.1,
+            entry(&self.left),
+            entry(&self.right),
+        )?;
+        if !self.common_tail.is_empty() {
+            write!(f, "; after ")?;
+            for (i, (k, args)) in self.common_tail.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "s{k}{args:?}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(entries: &[(usize, &[i64])]) -> Vec<TraceEntry> {
+        entries.iter().map(|(k, a)| (*k, a.to_vec())).collect()
+    }
+
+    #[test]
+    fn identical_traces_have_no_divergence() {
+        let a = t(&[(0, &[1]), (1, &[2])]);
+        assert_eq!(first_divergence(&a, &a.clone()), None);
+        assert_eq!(first_divergence(&[], &[]), None);
+    }
+
+    #[test]
+    fn mid_trace_divergence_reports_context() {
+        let a = t(&[(0, &[0]), (0, &[1]), (0, &[2]), (0, &[3]), (0, &[4])]);
+        let b = t(&[(0, &[0]), (0, &[1]), (0, &[2]), (0, &[3]), (0, &[9])]);
+        let d = first_divergence(&a, &b).unwrap();
+        assert_eq!(d.index, 4);
+        assert_eq!(d.left, Some((0, vec![4])));
+        assert_eq!(d.right, Some((0, vec![9])));
+        assert_eq!(d.common_tail, t(&[(0, &[1]), (0, &[2]), (0, &[3])]));
+        let msg = d.to_string();
+        assert!(msg.contains("instance 4") && msg.contains("s0[9]"), "{msg}");
+    }
+
+    #[test]
+    fn length_mismatch_diverges_at_shorter_end() {
+        let a = t(&[(0, &[0]), (0, &[1])]);
+        let b = t(&[(0, &[0])]);
+        let d = first_divergence(&a, &b).unwrap();
+        assert_eq!(d.index, 1);
+        assert_eq!(d.left, Some((0, vec![1])));
+        assert_eq!(d.right, None);
+        assert!(d.to_string().contains("<end of trace>"));
+    }
+}

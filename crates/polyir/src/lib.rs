@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod diff;
 mod expr;
 mod interp;
 pub mod metrics;

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Gate a fresh `table1 --json` snapshot against the committed baseline.
+
+Deterministic metrics (`lines`, `dynamic_cost`, `instances`) must match the
+baseline exactly — they only change when code generation itself changes, and
+such a change must be reviewed by re-committing `BENCH_table1.json`.
+
+`codegen_ns` is wall-clock and noisy, so it is gated with a relative
+tolerance (default +25%): the check fails only when a kernel's code
+generation got more than `tolerance` slower than the baseline. Getting
+faster never fails; refresh the baseline when an improvement should become
+the new floor. `compile_ns` is a stand-in metric and is reported but not
+gated.
+
+Exit status: 0 clean, 1 regression, 2 usage/shape error.
+"""
+
+import argparse
+import json
+import sys
+
+EXACT = ("lines", "dynamic_cost", "instances")
+TOOLS = ("cloog", "cgplus")
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("version") != 1:
+        sys.exit(f"{path}: unsupported snapshot version {doc.get('version')!r}")
+    return doc
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline", help="committed BENCH_table1.json")
+    ap.add_argument("current", help="freshly generated snapshot")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed relative codegen-time regression (default 0.25 = +25%%)",
+    )
+    args = ap.parse_args()
+    base, cur = load(args.baseline), load(args.current)
+
+    failures = []
+    if base["n"] != cur["n"]:
+        sys.exit(f"problem size differs: baseline n={base['n']}, current n={cur['n']}")
+    base_rows = {r["kernel"]: r for r in base["rows"]}
+    cur_rows = {r["kernel"]: r for r in cur["rows"]}
+    if set(base_rows) != set(cur_rows):
+        sys.exit(
+            f"kernel sets differ: baseline {sorted(base_rows)}, current {sorted(cur_rows)}"
+        )
+
+    for kernel in base_rows:
+        for tool in TOOLS:
+            b, c = base_rows[kernel][tool], cur_rows[kernel][tool]
+            for key in EXACT:
+                if b[key] != c[key]:
+                    failures.append(
+                        f"{kernel}/{tool}/{key}: {c[key]} != baseline {b[key]}"
+                        " (deterministic metric changed; review and re-commit"
+                        " BENCH_table1.json if intended)"
+                    )
+            ratio = c["codegen_ns"] / max(b["codegen_ns"], 1)
+            line = (
+                f"{kernel}/{tool}: codegen {b['codegen_ns']} -> {c['codegen_ns']} ns"
+                f" ({ratio:.2f}x)"
+            )
+            if ratio > 1 + args.tolerance:
+                failures.append(f"{line} exceeds +{args.tolerance:.0%} tolerance")
+                line += "  REGRESSION"
+            print(line)
+
+    if failures:
+        print(f"\n{len(failures)} regression(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        sys.exit(1)
+    print("\nbench snapshot within tolerance of baseline")
+
+
+if __name__ == "__main__":
+    main()
