@@ -98,6 +98,10 @@ fn main() -> ExitCode {
     let t0 = Instant::now();
     let (mut pass, mut skip) = (0u64, 0u64);
     let mut checked = 0u64;
+    // With a time budget the seed count is open-ended, so CI logs get a
+    // periodic heartbeat instead of the every-500-seeds progress line.
+    let beat_every = Duration::from_secs(10);
+    let mut next_beat = beat_every;
     for seed in start..start.saturating_add(seeds) {
         if let Some(b) = budget {
             if t0.elapsed() >= b {
@@ -122,7 +126,16 @@ fn main() -> ExitCode {
                 };
             }
         }
-        if checked % 500 == 0 {
+        if let Some(b) = budget {
+            if t0.elapsed() >= next_beat {
+                println!(
+                    "heartbeat: {checked} seeds done ({pass} pass, {skip} skip), {:.1?} elapsed of {:.0?} budget",
+                    t0.elapsed(),
+                    b
+                );
+                next_beat = t0.elapsed() + beat_every;
+            }
+        } else if checked % 500 == 0 {
             println!(
                 "{checked} seeds in {:.1?}: {pass} pass, {skip} skip",
                 t0.elapsed()

@@ -121,12 +121,29 @@ fn main() -> ExitCode {
             kernel.name
         );
         let row = compare(&kernel);
+        // Solver activity attributable to *this* kernel: snapshot-diff
+        // around the row, not process-cumulative totals (which would make
+        // every row's numbers depend on iteration order).
+        #[cfg(feature = "stats")]
+        let stats_delta = omega::stats::snapshot().delta(&stats_before);
         if json_path.is_some() {
+            #[cfg(feature = "stats")]
+            let counters = format!(
+                ", \"counters\": {{{}}}",
+                stats_delta
+                    .fields()
+                    .map(|(k, v)| format!("\"{k}\": {v}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            #[cfg(not(feature = "stats"))]
+            let counters = String::new();
             json_rows.push(format!(
-                "    {{\"kernel\": {:?}, \"cloog\": {}, \"cgplus\": {}}}",
+                "    {{\"kernel\": {:?}, \"cloog\": {}, \"cgplus\": {}{}}}",
                 row.name,
                 json_report(&row.cloog),
-                json_report(&row.cgplus)
+                json_report(&row.cgplus),
+                counters
             ));
         }
         print!(
@@ -150,9 +167,7 @@ fn main() -> ExitCode {
             // Verdicts the resource governor degraded to a conservative
             // answer while generating this kernel — expected 0 at the
             // default limits (every paper result rests on exact verdicts).
-            let s = omega::stats::snapshot();
-            let degraded = (s.sat_degraded - stats_before.sat_degraded)
-                + (s.gist_degraded - stats_before.gist_degraded);
+            let degraded = stats_delta.sat_degraded + stats_delta.gist_degraded;
             print!(" | degraded {degraded}");
         }
         if gcc_ok {

@@ -1,13 +1,19 @@
 //! `omega-replay` — re-runs `.omega` query dumps standalone.
 //!
 //! Dumps are produced by tracing a run with query provenance enabled
-//! (e.g. `table1 --trace out.json --dump-dir dumps/`); each file is a
-//! tier-2 sat or gist query in the parser's input syntax together with
-//! the verdict recorded at dump time. Replaying recomputes the verdict
-//! from scratch and reports whether it matches, turning any slow or
-//! degraded query found in a trace into a reproducible test case.
+//! (e.g. `table1 --trace out.json --dump-dir dumps/`, or `codegend
+//! --dump-dir dumps/`); each file is a tier-2 sat or gist query in the
+//! parser's input syntax together with the verdict recorded at dump
+//! time. Replaying recomputes the verdict from scratch and reports
+//! whether it matches, turning any slow or degraded query found in a
+//! trace into a reproducible test case.
 //!
-//! Usage: `omega-replay FILE.omega [FILE.omega ...]`
+//! Usage: `omega-replay [--stats] FILE.omega [FILE.omega ...]`
+//!
+//! With `--stats` (and the `stats` cargo feature), each replay is
+//! followed by the non-zero `omega::stats` counter deltas it caused —
+//! the same counters `codegend` exports at `/metrics` — so a dump can be
+//! profiled in isolation.
 //!
 //! Exit status: 0 when every dump replays to its recorded verdict,
 //! 1 on any mismatch or error.
@@ -16,18 +22,33 @@ use std::path::Path;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: omega-replay FILE.omega [FILE.omega ...]");
+    let mut show_stats = false;
+    let mut files: Vec<String> = Vec::new();
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--stats" => show_stats = true,
+            "--help" | "-h" => {
+                eprintln!("usage: omega-replay [--stats] FILE.omega [FILE.omega ...]");
+                eprintln!("replays tier-2 solver query dumps and checks their recorded verdicts");
+                return ExitCode::SUCCESS;
+            }
+            _ => files.push(a),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("usage: omega-replay [--stats] FILE.omega [FILE.omega ...]");
         eprintln!("replays tier-2 solver query dumps and checks their recorded verdicts");
-        return if args.is_empty() {
-            ExitCode::FAILURE
-        } else {
-            ExitCode::SUCCESS
-        };
+        return ExitCode::FAILURE;
+    }
+    #[cfg(not(feature = "stats"))]
+    if show_stats {
+        eprintln!("omega-replay: built without the `stats` feature; --stats prints nothing");
+        eprintln!("(rebuild with `--features omega/stats` to enable counters)");
     }
     let mut failures = 0usize;
-    for arg in &args {
+    for arg in &files {
+        #[cfg(feature = "stats")]
+        let before = omega::stats::snapshot();
         match omega::provenance::replay_file(Path::new(arg)) {
             Ok(r) => {
                 if r.matched {
@@ -48,11 +69,27 @@ fn main() -> ExitCode {
                 failures += 1;
             }
         }
+        if show_stats {
+            #[cfg(feature = "stats")]
+            {
+                let delta = omega::stats::snapshot().delta(&before);
+                let parts: Vec<String> = delta
+                    .fields()
+                    .filter(|(_, v)| *v > 0)
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect();
+                if parts.is_empty() {
+                    println!("  counters: (no activity)");
+                } else {
+                    println!("  counters: {}", parts.join(" "));
+                }
+            }
+        }
     }
     if failures == 0 {
         ExitCode::SUCCESS
     } else {
-        eprintln!("{failures} of {} dump(s) failed", args.len());
+        eprintln!("{failures} of {} dump(s) failed", files.len());
         ExitCode::FAILURE
     }
 }

@@ -259,9 +259,19 @@ pub fn current() -> Limits {
     LIMITS.with(Cell::get)
 }
 
-/// Records a degradation on the current thread's scope.
+/// Records a degradation on the current thread's scope, counting *why*
+/// per reason (the always-on histogram view of which limit actually fires
+/// in production — budget starvation and deadline shedding look identical
+/// in a `Certainty` but need different operator responses).
 pub(crate) fn note(e: OmegaError) {
     REASONS.with(|r| r.set(r.get() | e.bit()));
+    match e {
+        OmegaError::Overflow => crate::stats::bump!(degrade_overflow),
+        OmegaError::BudgetExhausted => crate::stats::bump!(degrade_budget),
+        OmegaError::DepthExceeded => crate::stats::bump!(degrade_depth),
+        OmegaError::RowCapExceeded => crate::stats::bump!(degrade_rowcap),
+        OmegaError::DeadlineExceeded => crate::stats::bump!(degrade_deadline),
+    }
 }
 
 /// Merges externally observed reasons into the current scope. Public so a

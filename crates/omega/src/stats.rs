@@ -82,6 +82,26 @@ mod enabled {
                 $(COUNTERS.$field.store(0, Ordering::Relaxed);)+
             }
 
+            impl Snapshot {
+                /// Field-wise difference `self - earlier`, saturating at 0
+                /// per field (relaxed per-field loads mean a later snapshot
+                /// can transiently trail an earlier one on a still-bumping
+                /// field; a delta must not wrap because of it).
+                pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
+                    Snapshot {
+                        $($field: self.$field.saturating_sub(earlier.$field),)+
+                    }
+                }
+
+                /// `(name, value)` pairs for every counter field, in
+                /// declaration order — the single iteration point for
+                /// exporters (JSON reports, metrics bridges) so a new
+                /// counter shows up everywhere without per-site edits.
+                pub fn fields(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+                    [$((stringify!($field), self.$field),)+].into_iter()
+                }
+            }
+
             impl std::fmt::Display for Snapshot {
                 fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
                     $(write!(f, concat!(stringify!($field), " {} | "), self.$field)?;)+
@@ -102,6 +122,11 @@ mod enabled {
         gist_misses: "Gist memo-cache misses (each one runs the full gist pipeline).",
         sat_degraded: "Sat queries that hit a resource limit and degraded to the conservative \"satisfiable\" answer (never cached).",
         gist_degraded: "Gist computations built on degraded implication answers (sound, but excluded from the gist memo cache).",
+        degrade_overflow: "Degradations caused by a coefficient leaving the i64 range (OmegaError::Overflow).",
+        degrade_budget: "Degradations caused by Limits::budget exhaustion (OmegaError::BudgetExhausted).",
+        degrade_depth: "Degradations caused by exceeding Limits::max_depth (OmegaError::DepthExceeded).",
+        degrade_rowcap: "Degradations caused by exceeding Limits::row_cap (OmegaError::RowCapExceeded).",
+        degrade_deadline: "Degradations caused by the Limits::deadline wall-clock firing (OmegaError::DeadlineExceeded).",
     }
 
     impl Snapshot {
@@ -206,6 +231,11 @@ mod enabled {
                 "gist_misses",
                 "sat_degraded",
                 "gist_degraded",
+                "degrade_overflow",
+                "degrade_budget",
+                "degrade_depth",
+                "degrade_rowcap",
+                "degrade_deadline",
                 "fast-path",
             ] {
                 assert!(text.contains(field), "Display missing {field}: {text}");

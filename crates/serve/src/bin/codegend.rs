@@ -1,0 +1,102 @@
+//! `codegend` — the long-running codegen daemon.
+//!
+//! Accepts codegen jobs over a line-delimited TCP protocol and serves
+//! Prometheus/OpenMetrics telemetry over HTTP. See `crates/serve` docs
+//! and the README quick-start.
+//!
+//! ```text
+//! codegend [--jobs ADDR] [--http ADDR] [--effort N] [--threads N]
+//!          [--deadline-ms MS] [--max-inflight N] [--dump-dir DIR]
+//!          [--log FILE] [--no-phase-trace]
+//! ```
+//!
+//! Defaults: jobs on 127.0.0.1:7077, HTTP on 127.0.0.1:9077, effort 1,
+//! 1 thread per job, 32 jobs in flight, no deadline, request log as JSON
+//! lines on stderr, phase tracing on.
+
+use serve::{spawn, Config, LogTarget};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn main() -> ExitCode {
+    let mut cfg = Config::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |flag: &str| match args.next() {
+            Some(v) => Ok(v),
+            None => {
+                eprintln!("{flag} requires an argument");
+                Err(())
+            }
+        };
+        let parsed = match a.as_str() {
+            "--jobs" => val("--jobs").map(|v| cfg.jobs_addr = v),
+            "--http" => val("--http").map(|v| cfg.http_addr = v),
+            "--effort" => match val("--effort").map(|v| v.parse()) {
+                Ok(Ok(v)) => {
+                    cfg.default_effort = v;
+                    Ok(())
+                }
+                _ => Err(()),
+            },
+            "--threads" => match val("--threads").map(|v| v.parse()) {
+                Ok(Ok(v)) if v >= 1 => {
+                    cfg.default_threads = v;
+                    Ok(())
+                }
+                _ => Err(()),
+            },
+            "--deadline-ms" => match val("--deadline-ms").map(|v| v.parse()) {
+                Ok(Ok(ms)) => {
+                    cfg.deadline = Some(Duration::from_millis(ms));
+                    Ok(())
+                }
+                _ => Err(()),
+            },
+            "--max-inflight" => match val("--max-inflight").map(|v| v.parse()) {
+                Ok(Ok(v)) => {
+                    cfg.max_inflight = v;
+                    Ok(())
+                }
+                _ => Err(()),
+            },
+            "--dump-dir" => val("--dump-dir").map(|v| cfg.dump_dir = Some(PathBuf::from(v))),
+            "--log" => val("--log").map(|v| cfg.log = LogTarget::File(PathBuf::from(v))),
+            "--no-phase-trace" => {
+                cfg.phase_trace = false;
+                Ok(())
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: codegend [--jobs ADDR] [--http ADDR] [--effort N] [--threads N]\n\
+                     \x20               [--deadline-ms MS] [--max-inflight N] [--dump-dir DIR]\n\
+                     \x20               [--log FILE] [--no-phase-trace]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                Err(())
+            }
+        };
+        if parsed.is_err() {
+            return ExitCode::FAILURE;
+        }
+    }
+    let daemon = match spawn(cfg) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("codegend: cannot start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The one stdout line scripts wait for before connecting.
+    println!(
+        "codegend listening jobs={} http={}",
+        daemon.jobs_addr(),
+        daemon.http_addr()
+    );
+    daemon.wait();
+    ExitCode::SUCCESS
+}

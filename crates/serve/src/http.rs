@@ -1,0 +1,79 @@
+//! A std-only HTTP/1.1 responder for the two observability endpoints.
+//!
+//! Deliberately minimal: no framework, no keep-alive, no chunking — each
+//! connection gets one request head (capped at 8 KiB), one
+//! `Content-Length`-framed response, `Connection: close`. That is all a
+//! Prometheus scraper or a `curl` health check needs, and it keeps the
+//! daemon's dependency set empty.
+
+use crate::State;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+pub(crate) fn handle_conn(state: Arc<State>, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let Some(head) = read_head(&mut stream) else {
+        return;
+    };
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, content_type, body) = route(&state, method, path);
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    if method != "HEAD" {
+        let _ = stream.write_all(body.as_bytes());
+    }
+    let _ = stream.flush();
+}
+
+fn route(state: &State, method: &str, path: &str) -> (&'static str, &'static str, String) {
+    if method != "GET" && method != "HEAD" {
+        return (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".to_owned(),
+        );
+    }
+    // Ignore any query string — scrapers sometimes append cache busters.
+    match path.split('?').next().unwrap_or("") {
+        "/metrics" => (
+            "200 OK",
+            // The classic Prometheus text content type; the body also
+            // satisfies the OpenMetrics checks in scripts/check_metrics.py.
+            "text/plain; version=0.0.4; charset=utf-8",
+            state.metrics_text(),
+        ),
+        "/healthz" => ("200 OK", "application/json", state.healthz_json()),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found (try /metrics or /healthz)\n".to_owned(),
+        ),
+    }
+}
+
+/// Reads until the blank line ending the request head, or gives up at
+/// 8 KiB / EOF / timeout. Returns the head as text.
+fn read_head(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 512];
+    loop {
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
+            break;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+        }
+    }
+    if buf.is_empty() {
+        return None;
+    }
+    Some(String::from_utf8_lossy(&buf).into_owned())
+}

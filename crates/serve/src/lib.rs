@@ -1,0 +1,523 @@
+//! # serve — the `codegend` daemon
+//!
+//! The first piece of the repo that runs as a *service* rather than a
+//! batch tool: a long-running process that accepts codegen jobs (a Table 1
+//! kernel name or ad-hoc iteration-space descriptions, plus effort and
+//! thread count) over a line-delimited TCP protocol ([`proto`]), runs them
+//! through the existing CodeGen+ pipeline, and exposes
+//!
+//! * **`GET /metrics`** — OpenMetrics text from a [`telemetry::Registry`]:
+//!   request counters, in-flight gauge, load-shedding and degradation
+//!   counters, per-phase latency histograms harvested from the `span!`
+//!   probes, and the cumulative `omega::stats` solver counters bridged at
+//!   scrape time;
+//! * **`GET /healthz`** — a JSON readiness probe with uptime and job
+//!   totals;
+//! * **structured JSON request logs** — one line per request with a
+//!   request id that, when `--dump-dir` is set, names the directory of
+//!   replayable `.omega` provenance dumps for that request's tier-2
+//!   solver queries (`omega-replay` closes the loop from a slow request
+//!   in the log to a standalone reproduction).
+//!
+//! Generation stays deterministic: a daemon answer for a kernel job is
+//! byte-identical to what the batch `table1` pipeline produces for the
+//! same statements, at any thread count (`tests/daemon_e2e.rs` pins this
+//! under concurrent requests). The only intentionally nondeterministic
+//! knob is `--deadline-ms`, which arms `omega::Limits::deadline` per job:
+//! under overload the solver degrades (soundly) instead of queueing
+//! without bound, and every such degradation is counted per reason.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod metrics;
+pub mod proto;
+
+mod http;
+
+use crate::metrics::Metrics;
+use crate::proto::{parse_request, JobSource, JobSpec, Request};
+use codegenplus::{pad_statements, CodeGen, Statement};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+use telemetry::log::{Logger, Record};
+
+/// Where the structured request log goes.
+#[derive(Clone, Debug, Default)]
+pub enum LogTarget {
+    /// One JSON line per request on stderr (the default).
+    #[default]
+    Stderr,
+    /// Append JSON lines to a file.
+    File(PathBuf),
+}
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Bind address of the line-delimited job listener.
+    pub jobs_addr: String,
+    /// Bind address of the HTTP listener (`/metrics`, `/healthz`).
+    pub http_addr: String,
+    /// Effort when a job does not specify one (the paper's default is 1).
+    pub default_effort: usize,
+    /// Worker threads per job when a job does not specify them.
+    pub default_threads: usize,
+    /// Per-job wall-clock deadline. When set, a job that blows it degrades
+    /// (sound, `Certainty::Approximate`) instead of running long — the
+    /// load-shedding behavior for overloaded deployments. `None` keeps
+    /// results a pure function of the input.
+    pub deadline: Option<Duration>,
+    /// Jobs admitted concurrently; further `gen` requests get `busy`.
+    pub max_inflight: usize,
+    /// When set, each request's tier-2 solver queries are dumped as
+    /// replayable `.omega` files under `<dump_dir>/<request-id>/`.
+    pub dump_dir: Option<PathBuf>,
+    /// Run each job under a span collector and feed the per-phase wall
+    /// times into the `codegend_phase_seconds` histograms.
+    pub phase_trace: bool,
+    /// Structured request-log sink.
+    pub log: LogTarget,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            jobs_addr: "127.0.0.1:7077".to_owned(),
+            http_addr: "127.0.0.1:9077".to_owned(),
+            default_effort: 1,
+            default_threads: 1,
+            deadline: None,
+            max_inflight: 32,
+            dump_dir: None,
+            phase_trace: true,
+            log: LogTarget::Stderr,
+        }
+    }
+}
+
+/// Shared daemon state: config, metrics, logger, and the counters the
+/// health endpoint reports.
+pub(crate) struct State {
+    cfg: Config,
+    pub(crate) metrics: Metrics,
+    logger: Logger,
+    started: Instant,
+    req_seq: AtomicU64,
+    inflight: AtomicU64,
+    jobs_total: AtomicU64,
+    stop: AtomicBool,
+}
+
+impl State {
+    /// The `/metrics` body: bridge the solver counters, refresh uptime,
+    /// render the registry.
+    pub(crate) fn metrics_text(&self) -> String {
+        self.metrics
+            .uptime_seconds
+            .set(self.started.elapsed().as_secs() as i64);
+        self.metrics.bridge_solver_stats();
+        self.metrics.registry.expose()
+    }
+
+    /// The `/healthz` body.
+    pub(crate) fn healthz_json(&self) -> String {
+        format!(
+            "{{\"status\":\"ready\",\"uptime_ms\":{},\"jobs_total\":{},\"inflight\":{},\"shed_total\":{}}}\n",
+            self.started.elapsed().as_millis(),
+            self.jobs_total.load(Ordering::Relaxed),
+            self.inflight.load(Ordering::Relaxed),
+            self.metrics.shed.get(),
+        )
+    }
+}
+
+/// A running daemon: two listener threads plus per-connection workers.
+pub struct Daemon {
+    state: Arc<State>,
+    jobs_addr: SocketAddr,
+    http_addr: SocketAddr,
+    accept_threads: Vec<JoinHandle<()>>,
+}
+
+/// Binds both listeners and starts serving.
+///
+/// # Errors
+///
+/// Propagates bind/logger I/O errors. Port 0 in either address picks an
+/// ephemeral port; read it back from [`Daemon::jobs_addr`] /
+/// [`Daemon::http_addr`].
+pub fn spawn(cfg: Config) -> io::Result<Daemon> {
+    let jobs = TcpListener::bind(&cfg.jobs_addr)?;
+    let http = TcpListener::bind(&cfg.http_addr)?;
+    let jobs_addr = jobs.local_addr()?;
+    let http_addr = http.local_addr()?;
+    let logger = match &cfg.log {
+        LogTarget::Stderr => Logger::stderr(),
+        LogTarget::File(p) => Logger::file(p)?,
+    };
+    let state = Arc::new(State {
+        metrics: Metrics::new(),
+        logger,
+        started: Instant::now(),
+        req_seq: AtomicU64::new(1),
+        inflight: AtomicU64::new(0),
+        jobs_total: AtomicU64::new(0),
+        stop: AtomicBool::new(false),
+        cfg,
+    });
+    state.logger.log(
+        Record::new("start")
+            .str("jobs_addr", &jobs_addr.to_string())
+            .str("http_addr", &http_addr.to_string())
+            .int("max_inflight", state.cfg.max_inflight as i64),
+    );
+    let mut accept_threads = Vec::new();
+    {
+        let state = Arc::clone(&state);
+        accept_threads.push(
+            thread::Builder::new()
+                .name("codegend-jobs".into())
+                .spawn(move || accept_loop(jobs, state, handle_jobs_conn))?,
+        );
+    }
+    {
+        let state = Arc::clone(&state);
+        accept_threads.push(
+            thread::Builder::new()
+                .name("codegend-http".into())
+                .spawn(move || accept_loop(http, state, http::handle_conn))?,
+        );
+    }
+    Ok(Daemon {
+        state,
+        jobs_addr,
+        http_addr,
+        accept_threads,
+    })
+}
+
+impl Daemon {
+    /// Actual bound address of the job listener.
+    pub fn jobs_addr(&self) -> SocketAddr {
+        self.jobs_addr
+    }
+
+    /// Actual bound address of the HTTP listener.
+    pub fn http_addr(&self) -> SocketAddr {
+        self.http_addr
+    }
+
+    /// Asks both accept loops to stop (idempotent). In-flight connection
+    /// handlers finish their current request.
+    pub fn shutdown(&self) {
+        self.state.stop.store(true, Ordering::SeqCst);
+        // Unblock the blocking accepts with one throwaway connection each.
+        let _ = TcpStream::connect(self.jobs_addr);
+        let _ = TcpStream::connect(self.http_addr);
+    }
+
+    /// Blocks until both accept loops exit (after [`Daemon::shutdown`],
+    /// or never in normal daemon operation).
+    pub fn wait(mut self) {
+        for t in self.accept_threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, state: Arc<State>, handler: fn(Arc<State>, TcpStream)) {
+    for stream in listener.incoming() {
+        if state.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let state = Arc::clone(&state);
+        let _ = thread::Builder::new()
+            .name("codegend-conn".into())
+            .spawn(move || handler(state, stream));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Job protocol handling
+// ---------------------------------------------------------------------------
+
+fn handle_jobs_conn(state: Arc<State>, stream: TcpStream) {
+    let peer = stream
+        .peer_addr()
+        .map(|p| p.to_string())
+        .unwrap_or_default();
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let reader = BufReader::new(read_half);
+    let mut w = BufWriter::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let done = match parse_request(&line) {
+            Ok(Request::Ping) => {
+                state.metrics.requests.with(&["control", "ok"]).inc();
+                writeln!(w, "pong").is_err()
+            }
+            Ok(Request::Quit) => {
+                state.metrics.requests.with(&["control", "ok"]).inc();
+                true
+            }
+            Ok(Request::Gen(spec)) => handle_gen(&state, &mut w, &peer, spec).is_err(),
+            Err(msg) => {
+                state.metrics.requests.with(&["control", "err"]).inc();
+                state.logger.log(
+                    Record::new("protocol_error")
+                        .str("peer", &peer)
+                        .str("msg", &msg),
+                );
+                writeln!(w, "err id=- msg={}", sanitize_line(&msg)).is_err()
+            }
+        };
+        if w.flush().is_err() || done {
+            break;
+        }
+    }
+}
+
+/// Admission control, execution, response and logging for one `gen`.
+fn handle_gen(state: &State, w: &mut impl Write, peer: &str, spec: JobSpec) -> io::Result<()> {
+    let t0 = Instant::now();
+    let id = spec
+        .id
+        .clone()
+        .unwrap_or_else(|| format!("r-{:06}", state.req_seq.fetch_add(1, Ordering::SeqCst)));
+    let kind = match spec.source {
+        JobSource::Kernel { .. } => "kernel",
+        JobSource::Spaces(_) => "adhoc",
+    };
+    let source_tag = spec.source.tag();
+    // Admission: reserve a slot, shed when over the cap. The increment is
+    // the reservation, so two racing requests cannot both squeeze into the
+    // last slot.
+    if state.inflight.fetch_add(1, Ordering::SeqCst) >= state.cfg.max_inflight as u64 {
+        state.inflight.fetch_sub(1, Ordering::SeqCst);
+        state.metrics.shed.inc();
+        state.metrics.requests.with(&[kind, "busy"]).inc();
+        state.logger.log(
+            Record::new("request")
+                .str("id", &id)
+                .str("peer", peer)
+                .str("kind", kind)
+                .str("source", &source_tag)
+                .str("status", "busy"),
+        );
+        return writeln!(
+            w,
+            "busy id={id} inflight={} max={}",
+            state.cfg.max_inflight, state.cfg.max_inflight
+        );
+    }
+    state.metrics.inflight.add(1);
+    // A panicking job must cost only that request, not the daemon: the
+    // solver itself is panic-free, but ad-hoc inputs reach library
+    // preconditions (space padding, arity checks) that assert.
+    let result = catch_unwind(AssertUnwindSafe(|| run_job(state, &id, &spec)));
+    state.inflight.fetch_sub(1, Ordering::SeqCst);
+    state.metrics.inflight.add(-1);
+    let result = match result {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "job panicked".to_owned());
+            Err(format!("job panicked: {msg}"))
+        }
+    };
+    let request_ns = t0.elapsed().as_nanos() as u64;
+    match result {
+        Ok(out) => {
+            state.jobs_total.fetch_add(1, Ordering::Relaxed);
+            state.metrics.requests.with(&[kind, "ok"]).inc();
+            state.metrics.request_seconds.observe_ns(request_ns);
+            state.metrics.response_bytes.add(out.code.len() as u64);
+            state.logger.log(
+                Record::new("request")
+                    .str("id", &id)
+                    .str("peer", peer)
+                    .str("kind", kind)
+                    .str("source", &source_tag)
+                    .int("effort", out.effort as i64)
+                    .int("threads", out.threads as i64)
+                    .str("status", "ok")
+                    .int("lines", out.lines as i64)
+                    .int("bytes", out.code.len() as i64)
+                    .int("codegen_ns", out.codegen_ns as i64)
+                    .int("compile_ns", out.compile_ns as i64)
+                    .int("request_ns", request_ns as i64)
+                    .str("certainty", &out.certainty)
+                    .opt_str("dump", out.dump.as_deref()),
+            );
+            writeln!(
+                w,
+                "ok id={id} source={source_tag} lines={} codegen_ns={} compile_ns={} certainty={} bytes={}",
+                out.lines,
+                out.codegen_ns,
+                out.compile_ns,
+                out.certainty,
+                out.code.len()
+            )?;
+            w.write_all(out.code.as_bytes())
+        }
+        Err(msg) => {
+            state.metrics.requests.with(&[kind, "err"]).inc();
+            state.metrics.request_seconds.observe_ns(request_ns);
+            state.logger.log(
+                Record::new("request")
+                    .str("id", &id)
+                    .str("peer", peer)
+                    .str("kind", kind)
+                    .str("source", &source_tag)
+                    .str("status", "err")
+                    .str("msg", &msg),
+            );
+            writeln!(w, "err id={id} msg={}", sanitize_line(&msg))
+        }
+    }
+}
+
+/// Keeps an error message on one protocol line.
+fn sanitize_line(msg: &str) -> String {
+    msg.replace(['\n', '\r'], "; ")
+}
+
+/// A completed job, ready to serialize.
+struct JobOutput {
+    code: String,
+    lines: usize,
+    codegen_ns: u64,
+    compile_ns: u64,
+    certainty: String,
+    effort: usize,
+    threads: usize,
+    dump: Option<String>,
+}
+
+/// Builds the statements, runs CodeGen+ (and the stand-in compiler for
+/// its pass timings), harvests the span trace into the phase histograms,
+/// and counts degradations per reason.
+fn run_job(state: &State, id: &str, spec: &JobSpec) -> Result<JobOutput, String> {
+    let stmts = match &spec.source {
+        JobSource::Kernel { name, n } => {
+            let kernel = chill::recipes::all(*n)
+                .into_iter()
+                .find(|k| k.name == name)
+                .ok_or_else(|| {
+                    format!("unknown kernel {name:?} (expected one of gemv qr swim gemm lu)")
+                })?;
+            bench_harness::statements_of(&kernel)
+        }
+        JobSource::Spaces(texts) => {
+            let mut stmts = Vec::with_capacity(texts.len());
+            for (i, text) in texts.iter().enumerate() {
+                let set = omega::Set::parse(text).map_err(|e| format!("statement {i}: {e}"))?;
+                stmts.push(Statement::new(format!("s{i}"), set));
+            }
+            pad_statements(&stmts, 0)
+        }
+    };
+    let effort = spec.effort.unwrap_or(state.cfg.default_effort);
+    let threads = spec.threads.unwrap_or(state.cfg.default_threads);
+    let collector =
+        (state.cfg.phase_trace || state.cfg.dump_dir.is_some()).then(omega::trace::Collector::new);
+    let dump = match (&collector, &state.cfg.dump_dir) {
+        (Some(c), Some(root)) => {
+            let dir = root.join(id);
+            c.dump_queries(&dir);
+            Some(dir.display().to_string())
+        }
+        _ => None,
+    };
+    let mut cg = CodeGen::new()
+        .statements(stmts)
+        .effort(effort)
+        .threads(threads);
+    if let Some(d) = state.cfg.deadline {
+        cg = cg.limits(omega::Limits {
+            deadline: Some(Instant::now() + d),
+            ..omega::Limits::default()
+        });
+    }
+    if let Some(c) = &collector {
+        cg = cg.trace(c.clone());
+    }
+    let t0 = Instant::now();
+    let g = cg.generate().map_err(|e| e.to_string())?;
+    let codegen_ns = t0.elapsed().as_nanos() as u64;
+    // The stand-in compiler pipeline, for its pass_* spans and the
+    // compile-time column the batch harness also reports.
+    let t1 = Instant::now();
+    omega::trace::with_collector(collector.clone(), || {
+        polyir::passes::compile(&g.code);
+    });
+    let compile_ns = t1.elapsed().as_nanos() as u64;
+    if let Some(c) = &collector {
+        state.metrics.record_phases(&c.finish());
+    }
+    state.metrics.codegen_seconds.observe_ns(codegen_ns);
+    for reason in g.certainty.reasons().iter() {
+        state.metrics.degraded.with(&[reason.as_str()]).inc();
+    }
+    let mut code = g.to_c();
+    if !code.ends_with('\n') {
+        code.push('\n');
+    }
+    Ok(JobOutput {
+        lines: polyir::lines_of_code(&g.code, &g.names),
+        code,
+        codegen_ns,
+        compile_ns,
+        certainty: certainty_tag(g.certainty),
+        effort,
+        threads,
+        dump,
+    })
+}
+
+/// `exact`, or `approximate:reason1+reason2` with the stable
+/// [`omega::OmegaError::as_str`] tags.
+fn certainty_tag(c: omega::Certainty) -> String {
+    if c.is_exact() {
+        "exact".to_owned()
+    } else {
+        let reasons: Vec<&str> = c.reasons().iter().map(|e| e.as_str()).collect();
+        format!("approximate:{}", reasons.join("+"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn certainty_tags() {
+        assert_eq!(certainty_tag(omega::Certainty::Exact), "exact");
+        let r = omega::DegradeReasons::default().with(omega::OmegaError::DeadlineExceeded);
+        assert_eq!(
+            certainty_tag(omega::Certainty::from_reasons(r)),
+            "approximate:deadline-exceeded"
+        );
+    }
+
+    #[test]
+    fn sanitize_keeps_one_line() {
+        assert_eq!(sanitize_line("a\nb\r\nc"), "a; b; ; c");
+    }
+}

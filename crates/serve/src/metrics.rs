@@ -1,0 +1,172 @@
+//! The daemon's metric families and the `omega::stats` bridge.
+//!
+//! Naming conventions (documented in `DESIGN.md` and validated by
+//! `scripts/check_metrics.py`):
+//!
+//! * everything the daemon itself observes is `codegend_*`; solver
+//!   counters bridged from `omega::stats` are `omega_*`;
+//! * counters are registered without `_total` (exposition appends it);
+//! * durations are histograms named `*_seconds` in base seconds;
+//! * label keys are closed sets baked into the binary (`kind`, `status`,
+//!   `phase`, `reason`, `event`) — never request-supplied strings, so
+//!   cardinality is bounded by program structure.
+
+use std::sync::Arc;
+use telemetry::{Counter, Family, Gauge, Histogram, Registry};
+
+/// Handles to every family the daemon updates. Acquired once at startup;
+/// request threads touch only the atomics behind these `Arc`s.
+pub struct Metrics {
+    /// The backing registry (exposed at `/metrics`).
+    pub registry: Registry,
+    /// Requests by `kind` (`kernel`/`adhoc`/`control`) and `status`
+    /// (`ok`/`err`/`busy`).
+    pub requests: Arc<Family<Counter>>,
+    /// Jobs currently executing.
+    pub inflight: Arc<Gauge>,
+    /// Jobs rejected at admission because `max_inflight` was reached.
+    pub shed: Arc<Counter>,
+    /// Jobs whose certificate degraded, by `reason`
+    /// (`omega::OmegaError::as_str` tags, e.g. `deadline-exceeded`).
+    pub degraded: Arc<Family<Counter>>,
+    /// End-to-end wall time per job (parse to response written).
+    pub request_seconds: Arc<Histogram>,
+    /// Code-generation wall time per job.
+    pub codegen_seconds: Arc<Histogram>,
+    /// Per-phase wall time harvested from the span trace, by `phase`
+    /// (span names: `cg_*` scanner phases, `pass_*` polyir passes,
+    /// `sat_*`/`gist_*` solver queries).
+    pub phase_seconds: Arc<Family<Histogram>>,
+    /// Total bytes of generated code returned to clients.
+    pub response_bytes: Arc<Counter>,
+    /// Bridged `omega::stats` counters, by `event` (field name).
+    pub solver_events: Arc<Family<Counter>>,
+    /// Seconds since the daemon started (set at scrape time).
+    pub uptime_seconds: Arc<Gauge>,
+}
+
+impl Metrics {
+    /// Registers every family into a fresh registry.
+    pub fn new() -> Metrics {
+        let registry = Registry::new();
+        Metrics {
+            requests: registry.counter_vec(
+                "codegend_requests",
+                "Requests handled, by kind (kernel/adhoc/control) and status (ok/err/busy).",
+                &["kind", "status"],
+            ),
+            inflight: registry.gauge("codegend_inflight_jobs", "Jobs currently executing."),
+            shed: registry.counter(
+                "codegend_jobs_shed",
+                "Jobs rejected at admission because max_inflight was reached.",
+            ),
+            degraded: registry.counter_vec(
+                "codegend_jobs_degraded",
+                "Jobs whose degradation certificate was Approximate, by limit reason.",
+                &["reason"],
+            ),
+            request_seconds: registry.histogram(
+                "codegend_request_seconds",
+                "End-to-end request latency (parse to response written).",
+            ),
+            codegen_seconds: registry.histogram(
+                "codegend_codegen_seconds",
+                "Code-generation wall time per job.",
+            ),
+            phase_seconds: registry.histogram_vec(
+                "codegend_phase_seconds",
+                "Per-phase wall time from span probes (cg_* scanner phases, pass_* polyir passes, sat_*/gist_* solver queries).",
+                &["phase"],
+            ),
+            response_bytes: registry.counter(
+                "codegend_response_bytes",
+                "Total bytes of generated code returned in ok responses.",
+            ),
+            solver_events: registry.counter_vec(
+                "omega_solver_events",
+                "Cumulative omega::stats counters (tier verdicts, cache traffic, degradations), by event.",
+                &["event"],
+            ),
+            uptime_seconds: registry.gauge(
+                "codegend_uptime_seconds",
+                "Seconds since the daemon started.",
+            ),
+            registry,
+        }
+    }
+
+    /// Publishes the current `omega::stats` snapshot into the bridge
+    /// counters. Called at scrape time: the snapshot is already cumulative
+    /// (exactly a Prometheus counter), so a store per field is race-free —
+    /// no delta bookkeeping that concurrent jobs could double-count.
+    pub fn bridge_solver_stats(&self) {
+        for (name, value) in omega::stats::snapshot().fields() {
+            self.solver_events.with(&[name]).set_total(value);
+        }
+    }
+
+    /// Harvests per-phase wall times out of a finished span trace into
+    /// the `phase_seconds` histograms. Only spans whose names belong to
+    /// the instrumented phase vocabulary are recorded (names are static
+    /// strings in the probes, so cardinality stays program-bounded).
+    pub fn record_phases(&self, trace: &omega::trace::Trace) {
+        trace.walk(&mut |span| {
+            if is_phase_name(span.name) {
+                self.phase_seconds
+                    .with(&[span.name])
+                    .observe_ns(span.duration_ns());
+            }
+        });
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Metrics {
+        Metrics::new()
+    }
+}
+
+/// The span names that feed `codegend_phase_seconds`: scanner phases,
+/// polyir passes, lift sub-phases, and the solver query entry points.
+fn is_phase_name(name: &str) -> bool {
+    name.starts_with("cg_")
+        || name.starts_with("pass_")
+        || name.starts_with("lift_")
+        || matches!(
+            name,
+            "merge_ifs"
+                | "sat_query"
+                | "sat_exact"
+                | "gist_query"
+                | "gist_exact"
+                | "fm_eliminate"
+                | "project"
+                | "hull"
+                | "approximate"
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bridge_exposes_every_stats_field() {
+        let m = Metrics::new();
+        m.bridge_solver_stats();
+        let text = m.registry.expose();
+        for (name, _) in omega::stats::snapshot().fields() {
+            let sample = format!("omega_solver_events_total{{event=\"{name}\"}}");
+            assert!(text.contains(&sample), "missing bridge sample {sample}");
+        }
+    }
+
+    #[test]
+    fn phase_vocabulary() {
+        assert!(is_phase_name("cg_lower"));
+        assert!(is_phase_name("pass_fold"));
+        assert!(is_phase_name("sat_exact"));
+        assert!(!is_phase_name("par_item"));
+        assert!(!is_phase_name("anything_else"));
+    }
+}

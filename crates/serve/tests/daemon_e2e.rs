@@ -1,0 +1,235 @@
+//! End-to-end daemon tests: boot `codegend` in-process on ephemeral
+//! ports, drive the line protocol and the HTTP endpoints over real
+//! sockets, and pin the acceptance criterion — concurrent daemon
+//! responses are byte-identical to batch CodeGen+ output.
+
+use serve::{spawn, Config, LogTarget};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// One protocol exchange: send `line`, read the response header and (for
+/// `ok`) the byte-counted payload.
+struct Reply {
+    header: String,
+    fields: HashMap<String, String>,
+    payload: Vec<u8>,
+}
+
+fn roundtrip(conn: &mut BufReader<TcpStream>, line: &str) -> Reply {
+    conn.get_mut()
+        .write_all(format!("{line}\n").as_bytes())
+        .unwrap();
+    let mut header = String::new();
+    conn.read_line(&mut header).unwrap();
+    let header = header.trim_end().to_owned();
+    let fields: HashMap<String, String> = header
+        .split_whitespace()
+        .skip(1)
+        .filter_map(|t| t.split_once('='))
+        .map(|(k, v)| (k.to_owned(), v.to_owned()))
+        .collect();
+    let mut payload = Vec::new();
+    if header.starts_with("ok ") {
+        let bytes: usize = fields["bytes"].parse().unwrap();
+        payload.resize(bytes, 0);
+        conn.read_exact(&mut payload).unwrap();
+    }
+    Reply {
+        header,
+        fields,
+        payload,
+    }
+}
+
+fn connect(addr: SocketAddr) -> BufReader<TcpStream> {
+    BufReader::new(TcpStream::connect(addr).unwrap())
+}
+
+fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let (head, body) = response.split_once("\r\n\r\n").unwrap();
+    (head.to_owned(), body.to_owned())
+}
+
+/// Batch-side reference: the same statements through the same pipeline,
+/// no daemon involved.
+fn batch_code(kernel: &chill::Kernel) -> String {
+    let stmts = bench_harness::statements_of(kernel);
+    let g = codegenplus::CodeGen::new()
+        .statements(stmts)
+        .effort(1)
+        .generate()
+        .expect("batch generation");
+    let mut code = g.to_c();
+    if !code.ends_with('\n') {
+        code.push('\n');
+    }
+    code
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("codegend-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn concurrent_kernel_jobs_are_byte_identical_to_batch() {
+    let dir = temp_dir("main");
+    let daemon = spawn(Config {
+        jobs_addr: "127.0.0.1:0".into(),
+        http_addr: "127.0.0.1:0".into(),
+        dump_dir: Some(dir.join("dumps")),
+        log: LogTarget::File(dir.join("requests.jsonl")),
+        ..Config::default()
+    })
+    .unwrap();
+    let n = 16;
+
+    // All five Table 1 kernels concurrently, at 2 worker threads each —
+    // the answer must still be a pure function of the job.
+    let expected: Vec<(String, String)> = chill::recipes::all(n)
+        .iter()
+        .map(|k| (k.name.to_owned(), batch_code(k)))
+        .collect();
+    // Cold cache for the daemon side: the batch run above warmed the
+    // process-wide memo caches, which would let every daemon job answer
+    // from tier 1 and skip the tier-2 provenance dumps this test checks.
+    omega::reset_sat_cache();
+    let jobs_addr = daemon.jobs_addr();
+    let handles: Vec<_> = expected
+        .iter()
+        .cloned()
+        .map(|(name, want)| {
+            std::thread::spawn(move || {
+                let mut conn = connect(jobs_addr);
+                let r = roundtrip(
+                    &mut conn,
+                    &format!("gen kernel={name} n={n} effort=1 threads=2 id=e2e-{name}"),
+                );
+                assert!(r.header.starts_with("ok "), "unexpected reply {}", r.header);
+                assert_eq!(r.fields["id"], format!("e2e-{name}"));
+                assert_eq!(r.fields["certainty"], "exact");
+                assert_eq!(
+                    String::from_utf8(r.payload).unwrap(),
+                    want,
+                    "daemon code for {name} differs from batch output"
+                );
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // /healthz reports ready with the five jobs counted.
+    let (head, body) = http_get(daemon.http_addr(), "/healthz");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(body.contains("\"status\":\"ready\""), "{body}");
+    assert!(body.contains("\"jobs_total\":5"), "{body}");
+
+    // /metrics passes the structural checks and shows the request
+    // counters, phase histograms and bridged solver counters.
+    let (head, metrics) = http_get(daemon.http_addr(), "/metrics");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(metrics.ends_with("# EOF\n"));
+    assert!(metrics.contains("codegend_requests_total{kind=\"kernel\",status=\"ok\"} 5"));
+    assert!(metrics.contains("codegend_inflight_jobs 0"));
+    assert!(metrics.contains("codegend_codegen_seconds_count 5"));
+    assert!(metrics.contains("codegend_phase_seconds_bucket{phase=\"cg_lower\""));
+    assert!(metrics.contains("omega_solver_events_total{event=\"cache_misses\"}"));
+
+    // 404 for unknown paths.
+    let (head, _) = http_get(daemon.http_addr(), "/nope");
+    assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+
+    // The structured log carries one ok line per request, ids linking to
+    // the per-request provenance dump directories.
+    let log = std::fs::read_to_string(dir.join("requests.jsonl")).unwrap();
+    for (name, _) in &expected {
+        let id = format!("e2e-{name}");
+        let line = log
+            .lines()
+            .find(|l| l.contains(&format!("\"id\":\"{id}\"")))
+            .unwrap_or_else(|| panic!("no log line for {id}"));
+        assert!(line.contains("\"event\":\"request\""), "{line}");
+        assert!(line.contains("\"status\":\"ok\""), "{line}");
+        assert!(line.contains("\"certainty\":\"exact\""), "{line}");
+        assert!(line.contains("\"dump\":"), "{line}");
+        assert!(line.contains("\"ts_ms\":"), "{line}");
+    }
+    // At least one request ran against a cold cache and dumped tier-2
+    // queries into its id-named directory.
+    let dumped: usize = std::fs::read_dir(dir.join("dumps"))
+        .map(|d| d.count())
+        .unwrap_or(0);
+    assert!(dumped >= 1, "expected per-request dump directories");
+
+    daemon.shutdown();
+    daemon.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn protocol_control_adhoc_and_error_paths() {
+    let daemon = spawn(Config {
+        jobs_addr: "127.0.0.1:0".into(),
+        http_addr: "127.0.0.1:0".into(),
+        log: LogTarget::File(temp_dir("proto").join("log.jsonl")),
+        ..Config::default()
+    })
+    .unwrap();
+    let mut conn = connect(daemon.jobs_addr());
+
+    let r = roundtrip(&mut conn, "ping");
+    assert_eq!(r.header, "pong");
+
+    // Ad-hoc iteration space, daemon-assigned id.
+    let r = roundtrip(&mut conn, "gen space=[n] -> { [i] : 0 <= i < n }");
+    assert!(r.header.starts_with("ok "), "{}", r.header);
+    assert!(r.fields["id"].starts_with("r-"));
+    assert_eq!(r.fields["source"], "adhoc[1]");
+    let code = String::from_utf8(r.payload).unwrap();
+    assert!(code.contains("for"), "{code}");
+
+    // Unknown kernel and malformed lines produce err, connection stays up.
+    let r = roundtrip(&mut conn, "gen kernel=nosuch");
+    assert!(r.header.starts_with("err "), "{}", r.header);
+    assert!(r.header.contains("unknown kernel"));
+    let r = roundtrip(&mut conn, "what even");
+    assert!(r.header.starts_with("err "), "{}", r.header);
+
+    // A bad set description errors without killing the daemon.
+    let r = roundtrip(&mut conn, "gen space={ not a set }");
+    assert!(r.header.starts_with("err "), "{}", r.header);
+    let r = roundtrip(&mut conn, "ping");
+    assert_eq!(r.header, "pong");
+
+    daemon.shutdown();
+    daemon.wait();
+}
+
+#[test]
+fn admission_control_sheds_jobs_over_the_cap() {
+    let daemon = spawn(Config {
+        jobs_addr: "127.0.0.1:0".into(),
+        http_addr: "127.0.0.1:0".into(),
+        max_inflight: 0,
+        log: LogTarget::File(temp_dir("shed").join("log.jsonl")),
+        ..Config::default()
+    })
+    .unwrap();
+    let mut conn = connect(daemon.jobs_addr());
+    let r = roundtrip(&mut conn, "gen kernel=gemv n=8");
+    assert!(r.header.starts_with("busy "), "{}", r.header);
+    let (_, metrics) = http_get(daemon.http_addr(), "/metrics");
+    assert!(metrics.contains("codegend_jobs_shed_total 1"), "{metrics}");
+    assert!(metrics.contains("codegend_requests_total{kind=\"kernel\",status=\"busy\"} 1"));
+    daemon.shutdown();
+    daemon.wait();
+}

@@ -1,0 +1,167 @@
+//! OpenMetrics / Prometheus text exposition.
+//!
+//! One format serves both scrapers: classic Prometheus text (0.0.4) plus
+//! the OpenMetrics strictness CI validates (`scripts/check_metrics.py`) —
+//! `# HELP`/`# TYPE` metadata before samples, counters suffixed `_total`,
+//! histogram `_bucket` series cumulative and capped by a `+Inf` bucket
+//! equal to `_count`, and a final `# EOF` line.
+
+use crate::registry::{lock, Entry, FamilyKind, Registry};
+use std::fmt::Write as _;
+
+impl Registry {
+    /// Renders every registered family as OpenMetrics text, ending with
+    /// `# EOF`. A pure read: concurrent updates keep running, and a value
+    /// races at most one observation relative to its siblings.
+    pub fn expose(&self) -> String {
+        let mut out = String::new();
+        let entries = lock(&self.entries);
+        for e in entries.iter() {
+            render_entry(&mut out, e);
+        }
+        out.push_str("# EOF\n");
+        out
+    }
+}
+
+fn render_entry(out: &mut String, e: &Entry) {
+    let kind = match e.kind {
+        FamilyKind::Counter(_) => "counter",
+        FamilyKind::Gauge(_) => "gauge",
+        FamilyKind::Histogram(_) => "histogram",
+    };
+    let _ = writeln!(out, "# HELP {} {}", e.name, escape_help(&e.help));
+    let _ = writeln!(out, "# TYPE {} {}", e.name, kind);
+    match &e.kind {
+        FamilyKind::Counter(fam) => {
+            for (values, c) in fam.children() {
+                let labels = render_labels(fam.label_names(), &values, None);
+                let _ = writeln!(out, "{}_total{} {}", e.name, labels, c.get());
+            }
+        }
+        FamilyKind::Gauge(fam) => {
+            for (values, g) in fam.children() {
+                let labels = render_labels(fam.label_names(), &values, None);
+                let _ = writeln!(out, "{}{} {}", e.name, labels, g.get());
+            }
+        }
+        FamilyKind::Histogram(fam) => {
+            for (values, h) in fam.children() {
+                let s = h.snapshot();
+                for (le, cum) in s.cumulative() {
+                    let labels = render_labels(fam.label_names(), &values, Some(&fmt_f64(le)));
+                    let _ = writeln!(out, "{}_bucket{} {}", e.name, labels, cum);
+                }
+                let labels = render_labels(fam.label_names(), &values, Some("+Inf"));
+                let _ = writeln!(out, "{}_bucket{} {}", e.name, labels, s.count);
+                let labels = render_labels(fam.label_names(), &values, None);
+                let _ = writeln!(out, "{}_count{} {}", e.name, labels, s.count);
+                let _ = writeln!(
+                    out,
+                    "{}_sum{} {}",
+                    e.name,
+                    labels,
+                    fmt_f64(s.sum_ns as f64 / 1e9)
+                );
+            }
+        }
+    }
+}
+
+fn render_labels(names: &[&'static str], values: &[String], le: Option<&str>) -> String {
+    if names.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (n, v)) in names.iter().zip(values).enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{n}=\"{}\"", escape_label(v));
+    }
+    if let Some(le) = le {
+        if !names.is_empty() {
+            out.push(',');
+        }
+        let _ = write!(out, "le=\"{le}\"");
+    }
+    out.push('}');
+    out
+}
+
+/// Floats print in the shortest form that round-trips (Rust's default),
+/// which never contains spaces or exponent signs the parser would trip on.
+fn fmt_f64(v: f64) -> String {
+    format!("{v}")
+}
+
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposition_shape() {
+        let reg = Registry::new();
+        let c = reg.counter_vec("reqs", "Requests \"served\".", &["status"]);
+        c.with(&["ok"]).add(3);
+        let g = reg.gauge("inflight", "In-flight jobs.");
+        g.set(2);
+        let h = reg.histogram("lat_seconds", "Latency.");
+        h.observe_ns(1000);
+        h.observe_ns(2000);
+        let text = reg.expose();
+        assert!(text.contains("# TYPE reqs counter"));
+        assert!(text.contains("reqs_total{status=\"ok\"} 3"));
+        assert!(text.contains("inflight 2"));
+        assert!(text.contains("# TYPE lat_seconds histogram"));
+        assert!(text.contains("lat_seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("lat_seconds_count 2"));
+        assert!(text.contains("lat_seconds_sum 0.000003"));
+        assert!(text.ends_with("# EOF\n"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let reg = Registry::new();
+        reg.counter_vec("c", "h", &["k"])
+            .with(&["a\"b\\c\nd"])
+            .inc();
+        let text = reg.expose();
+        assert!(text.contains(r#"c_total{k="a\"b\\c\nd"} 1"#));
+    }
+
+    #[test]
+    fn empty_histogram_still_exposes_count_sum_and_inf() {
+        let reg = Registry::new();
+        reg.histogram("h_seconds", "empty");
+        let text = reg.expose();
+        assert!(text.contains("h_seconds_bucket{le=\"+Inf\"} 0"));
+        assert!(text.contains("h_seconds_count 0"));
+        assert!(text.contains("h_seconds_sum 0"));
+    }
+}

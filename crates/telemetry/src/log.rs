@@ -1,0 +1,207 @@
+//! Structured JSON logging: one self-contained JSON object per line.
+//!
+//! A [`Record`] accumulates typed fields into a single-line JSON object;
+//! a [`Logger`] stamps it with a wall-clock `ts_ms` and writes it to a
+//! shared sink (stderr or a file). Lines are written under one mutex-held
+//! `write_all`, so concurrent request threads cannot interleave bytes.
+//!
+//! ```
+//! let r = telemetry::log::Record::new("request")
+//!     .str("id", "r-000001")
+//!     .int("lines", 42)
+//!     .bool("ok", true);
+//! assert_eq!(
+//!     r.finish(),
+//!     r#"{"event":"request","id":"r-000001","lines":42,"ok":true}"#
+//! );
+//! ```
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// A JSON object under construction. Field order is insertion order;
+/// keys are written verbatim (callers use static identifier-like keys).
+#[derive(Debug)]
+pub struct Record {
+    buf: String,
+}
+
+impl Record {
+    /// Starts a record with its `event` discriminator field.
+    pub fn new(event: &str) -> Record {
+        let mut r = Record {
+            buf: String::from("{"),
+        };
+        r.push_key("event");
+        r.push_str_value(event);
+        r
+    }
+
+    fn push_key(&mut self, key: &str) {
+        if self.buf.len() > 1 {
+            self.buf.push(',');
+        }
+        self.buf.push('"');
+        escape_into(key, &mut self.buf);
+        self.buf.push_str("\":");
+    }
+
+    fn push_str_value(&mut self, v: &str) {
+        self.buf.push('"');
+        escape_into(v, &mut self.buf);
+        self.buf.push('"');
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, key: &str, v: &str) -> Record {
+        self.push_key(key);
+        self.push_str_value(v);
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn int(mut self, key: &str, v: impl Into<i128>) -> Record {
+        self.push_key(key);
+        let _ = write!(self.buf, "{}", v.into());
+        self
+    }
+
+    /// Adds a float field (non-finite values are serialized as `null` —
+    /// JSON has no NaN/Inf).
+    pub fn float(mut self, key: &str, v: f64) -> Record {
+        self.push_key(key);
+        if v.is_finite() {
+            let _ = write!(self.buf, "{v}");
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, key: &str, v: bool) -> Record {
+        self.push_key(key);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a string field only when `v` is `Some` (absent fields beat
+    /// `null`s for line-oriented grep-ability).
+    pub fn opt_str(self, key: &str, v: Option<&str>) -> Record {
+        match v {
+            Some(v) => self.str(key, v),
+            None => self,
+        }
+    }
+
+    /// Closes the object and returns the JSON line (no trailing newline).
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// A shared line sink for [`Record`]s. Cheap to share behind an `Arc`.
+pub struct Logger {
+    sink: Mutex<Box<dyn Write + Send>>,
+}
+
+impl std::fmt::Debug for Logger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Logger").finish_non_exhaustive()
+    }
+}
+
+impl Logger {
+    /// A logger writing to stderr.
+    pub fn stderr() -> Logger {
+        Logger {
+            sink: Mutex::new(Box::new(io::stderr())),
+        }
+    }
+
+    /// A logger appending to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation errors.
+    pub fn file(path: &Path) -> io::Result<Logger> {
+        let f = File::options().create(true).append(true).open(path)?;
+        Ok(Logger {
+            sink: Mutex::new(Box::new(f)),
+        })
+    }
+
+    /// Stamps `record` with `ts_ms` (Unix milliseconds at write time) and
+    /// writes it as one line. Write errors are swallowed: telemetry must
+    /// never take down the instrumented service.
+    pub fn log(&self, record: Record) {
+        let ts_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis())
+            .unwrap_or(0);
+        let mut line = record.int("ts_ms", ts_ms as i128).finish();
+        line.push('\n');
+        let mut sink = self.sink.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = sink.write_all(line.as_bytes());
+        let _ = sink.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_escapes_and_orders_fields() {
+        let line = Record::new("e\"v")
+            .str("k", "a\\b\nc")
+            .int("n", -3)
+            .float("f", 1.5)
+            .float("nan", f64::NAN)
+            .bool("b", false)
+            .opt_str("absent", None)
+            .opt_str("present", Some("x"))
+            .finish();
+        assert_eq!(
+            line,
+            r#"{"event":"e\"v","k":"a\\b\nc","n":-3,"f":1.5,"nan":null,"b":false,"present":"x"}"#
+        );
+    }
+
+    #[test]
+    fn logger_appends_one_line_per_record() {
+        let dir = std::env::temp_dir().join(format!("telemetry-log-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.jsonl");
+        let logger = Logger::file(&path).unwrap();
+        logger.log(Record::new("a"));
+        logger.log(Record::new("b").int("x", 1));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with(r#"{"event":"a","ts_ms":"#));
+        assert!(lines[1].contains(r#""x":1"#));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

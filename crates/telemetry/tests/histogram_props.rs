@@ -1,0 +1,99 @@
+//! Property tests for the histogram invariants the OpenMetrics exposition
+//! promises: bucket series monotone-cumulative, `+Inf` == `_count` == the
+//! number of observations, `_sum` the exact sum, and the rendered text
+//! re-parses to the same numbers (the Rust half of the round-trip;
+//! `scripts/check_metrics.py --self-test` is the consumer-side half).
+
+use proptest::prelude::*;
+use telemetry::{Histogram, Registry};
+
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    // Mix tiny, mid and huge durations so every bucket range is exercised;
+    // the solver's real latency distribution spans exactly this skew.
+    prop::collection::vec(
+        (0u64..=40, 0u64..=1023).prop_map(|(shift, lo)| lo << shift),
+        0..64,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn cumulative_buckets_are_monotone_and_sum_to_count(ns in samples()) {
+        let h = Histogram::default();
+        for &v in &ns {
+            h.observe_ns(v);
+        }
+        let s = h.snapshot();
+        prop_assert_eq!(s.count, ns.len() as u64);
+        prop_assert_eq!(s.sum_ns, ns.iter().sum::<u64>());
+        let cum = s.cumulative();
+        // Monotone non-decreasing counts at strictly increasing edges.
+        for w in cum.windows(2) {
+            prop_assert!(w[0].0 < w[1].0);
+            prop_assert!(w[0].1 <= w[1].1);
+        }
+        // The last finite bucket already covers every observation.
+        if let Some(&(_, last)) = cum.last() {
+            prop_assert_eq!(last, s.count);
+        } else {
+            prop_assert_eq!(s.count, 0);
+        }
+        // Every observation is <= its bucket's upper edge.
+        let raw_total: u64 = s.buckets.iter().sum();
+        prop_assert_eq!(raw_total, s.count);
+    }
+
+    #[test]
+    fn exposition_roundtrips_through_a_parser(ns in samples()) {
+        let reg = Registry::new();
+        let h = reg.histogram_vec("lat_seconds", "Latency.", &["phase"]);
+        let child = h.with(&["lower"]);
+        for &v in &ns {
+            child.observe_ns(v);
+        }
+        let text = reg.expose();
+        prop_assert!(text.ends_with("# EOF\n"));
+        // Re-parse the _bucket/_count/_sum series out of the text.
+        let mut buckets: Vec<(f64, u64)> = Vec::new();
+        let mut count: Option<u64> = None;
+        let mut sum: Option<f64> = None;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("lat_seconds_bucket{") {
+                let (labels, value) = rest.split_once("} ").unwrap();
+                let le = labels.split("le=\"").nth(1).unwrap().trim_end_matches('"');
+                let le = if le == "+Inf" { f64::INFINITY } else { le.parse().unwrap() };
+                buckets.push((le, value.parse().unwrap()));
+            } else if let Some(rest) = line.strip_prefix("lat_seconds_count{") {
+                count = Some(rest.split_once("} ").unwrap().1.parse().unwrap());
+            } else if let Some(rest) = line.strip_prefix("lat_seconds_sum{") {
+                sum = Some(rest.split_once("} ").unwrap().1.parse().unwrap());
+            }
+        }
+        let count = count.expect("_count sample present");
+        let sum = sum.expect("_sum sample present");
+        prop_assert_eq!(count, ns.len() as u64);
+        let expected_sum = ns.iter().sum::<u64>() as f64 / 1e9;
+        prop_assert!((sum - expected_sum).abs() <= 1e-9 + expected_sum * 1e-12);
+        // Parsed bucket series: strictly increasing le, monotone counts,
+        // terminated by +Inf == count.
+        prop_assert!(!buckets.is_empty());
+        for w in buckets.windows(2) {
+            prop_assert!(w[0].0 < w[1].0, "le edges must increase");
+            prop_assert!(w[0].1 <= w[1].1, "cumulative counts must not decrease");
+        }
+        let (last_le, last_n) = *buckets.last().unwrap();
+        prop_assert!(last_le.is_infinite());
+        prop_assert_eq!(last_n, count);
+        // Every recorded sample fits under some finite bucket edge.
+        for &v in &ns {
+            let secs = v as f64 / 1e9;
+            prop_assert!(
+                buckets.iter().any(|&(le, _)| secs <= le),
+                "sample {} s not covered by any bucket",
+                secs
+            );
+        }
+    }
+}

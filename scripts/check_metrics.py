@@ -1,0 +1,305 @@
+#!/usr/bin/env python3
+"""Validate an OpenMetrics/Prometheus text exposition (e.g. a `codegend`
+`/metrics` scrape) for structural correctness.
+
+Checks, per metric family:
+
+* `# HELP` / `# TYPE` metadata appears before any sample of the family,
+  at most once each, with a known type;
+* counter samples use the `_total` suffix (and gauges never do);
+* histogram families expose `_bucket` series with `le` labels that are
+  parseable, strictly increasing, and cumulative (counts monotonically
+  non-decreasing), end in a `+Inf` bucket, and agree with `_count`;
+  `_sum` and `_count` are present per label set;
+* sample values parse as numbers, label strings are well-formed, and no
+  sample line appears for an undeclared family when `--strict` is given;
+* the exposition ends with the OpenMetrics `# EOF` terminator.
+
+Usage:
+    check_metrics.py FILE        validate a scrape saved to FILE ('-' = stdin)
+    check_metrics.py --self-test run the embedded good/bad corpus
+
+Exit status: 0 valid, 1 validation errors, 2 usage error.
+"""
+
+import argparse
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+# name{labels} value  — labels optional; value is the rest of the line.
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+KNOWN_TYPES = {"counter", "gauge", "histogram", "summary", "untyped", "info"}
+
+
+def base_family(name):
+    """Strips sample-series suffixes down to the declared family name."""
+    for suffix in ("_bucket", "_count", "_sum", "_total"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def parse_le(raw):
+    if raw == "+Inf":
+        return math.inf
+    try:
+        return float(raw)
+    except ValueError:
+        return None
+
+
+def check_text(text, strict=False):
+    """Returns a list of error strings; empty means the scrape is valid."""
+    errors = []
+    types = {}  # family -> declared type
+    helps = set()
+    samples_seen = set()  # families that have emitted a sample
+    # histogram accounting: (family, frozen labels minus le) -> state
+    buckets = {}
+    counts = {}
+    sums = {}
+    lines = text.split("\n")
+    if text and not text.endswith("\n"):
+        errors.append("exposition does not end with a newline")
+    saw_eof = False
+    for ln, line in enumerate(lines, 1):
+        if not line:
+            continue
+        if saw_eof:
+            errors.append(f"line {ln}: content after # EOF")
+            break
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] == "EOF":
+                saw_eof = True
+                continue
+            if len(parts) >= 3 and parts[1] in ("HELP", "TYPE"):
+                family = parts[2]
+                if not NAME_RE.fullmatch(family):
+                    errors.append(f"line {ln}: bad metric name {family!r}")
+                    continue
+                if family in samples_seen:
+                    errors.append(
+                        f"line {ln}: {parts[1]} for {family} after its samples"
+                    )
+                if parts[1] == "HELP":
+                    if family in helps:
+                        errors.append(f"line {ln}: duplicate HELP for {family}")
+                    helps.add(family)
+                else:
+                    if family in types:
+                        errors.append(f"line {ln}: duplicate TYPE for {family}")
+                    mtype = parts[3].strip() if len(parts) > 3 else ""
+                    if mtype not in KNOWN_TYPES:
+                        errors.append(f"line {ln}: unknown type {mtype!r}")
+                    types[family] = mtype
+            # other comments are legal and ignored
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {ln}: unparseable sample line {line!r}")
+            continue
+        name = m.group("name")
+        labels = dict(LABEL_RE.findall(m.group("labels") or ""))
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            errors.append(f"line {ln}: bad sample value {m.group('value')!r}")
+            continue
+        family = base_family(name)
+        if family not in types and name in types:
+            family = name  # e.g. a gauge whose name ends in _count
+        mtype = types.get(family)
+        if mtype is None:
+            if strict:
+                errors.append(f"line {ln}: sample for undeclared family {name}")
+            samples_seen.add(family)
+            continue
+        samples_seen.add(family)
+        if mtype == "counter":
+            if not name.endswith("_total"):
+                errors.append(
+                    f"line {ln}: counter sample {name} must end in _total"
+                )
+            if value < 0:
+                errors.append(f"line {ln}: negative counter {name} = {value}")
+        elif mtype == "gauge":
+            if name != family:
+                errors.append(f"line {ln}: gauge sample {name} has a suffix")
+        elif mtype == "histogram":
+            key = (family, tuple(sorted((k, v) for k, v in labels.items() if k != "le")))
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    errors.append(f"line {ln}: {name} bucket without le label")
+                    continue
+                le = parse_le(labels["le"])
+                if le is None:
+                    errors.append(f"line {ln}: bad le value {labels['le']!r}")
+                    continue
+                buckets.setdefault(key, []).append((le, value, ln))
+            elif name.endswith("_count"):
+                counts[key] = (value, ln)
+            elif name.endswith("_sum"):
+                sums[key] = (value, ln)
+            else:
+                errors.append(f"line {ln}: unexpected histogram sample {name}")
+    if not saw_eof:
+        errors.append("missing # EOF terminator")
+
+    for key, series in sorted(buckets.items()):
+        family, labels = key
+        where = f"{family}{dict(labels) if labels else ''}"
+        les = [le for le, _, _ in series]
+        if les != sorted(les) or len(set(les)) != len(les):
+            errors.append(f"{where}: le edges not strictly increasing: {les}")
+        vals = [v for _, v, _ in series]
+        if any(b > a for a, b in zip(vals[1:], vals)):
+            errors.append(f"{where}: bucket counts not cumulative: {vals}")
+        if not series or series[-1][0] != math.inf:
+            errors.append(f"{where}: missing le=\"+Inf\" bucket")
+        if key not in counts:
+            errors.append(f"{where}: missing _count")
+        elif series and series[-1][0] == math.inf and series[-1][1] != counts[key][0]:
+            errors.append(
+                f"{where}: +Inf bucket {series[-1][1]} != _count {counts[key][0]}"
+            )
+        if key not in sums:
+            errors.append(f"{where}: missing _sum")
+    for key in sorted(set(counts) | set(sums)):
+        if key not in buckets:
+            family, labels = key
+            errors.append(f"{family}{dict(labels) if labels else ''}: _count/_sum without buckets")
+    return errors
+
+
+GOOD = """\
+# HELP codegend_requests Requests handled.
+# TYPE codegend_requests counter
+codegend_requests_total{kind="kernel",status="ok"} 5
+codegend_requests_total{kind="adhoc",status="err"} 1
+# HELP codegend_inflight_jobs Jobs currently executing.
+# TYPE codegend_inflight_jobs gauge
+codegend_inflight_jobs 0
+# HELP codegend_request_seconds Request latency.
+# TYPE codegend_request_seconds histogram
+codegend_request_seconds_bucket{le="0.001"} 2
+codegend_request_seconds_bucket{le="0.004"} 5
+codegend_request_seconds_bucket{le="+Inf"} 6
+codegend_request_seconds_count 6
+codegend_request_seconds_sum 0.0125
+# EOF
+"""
+
+BAD = [
+    # counter sample without _total
+    (
+        "counter sample .* must end in _total",
+        "# TYPE x counter\nx 1\n# EOF\n",
+    ),
+    # metadata after samples
+    (
+        "after its samples",
+        "# TYPE x counter\nx_total 1\n# HELP x late help\n# EOF\n",
+    ),
+    # non-cumulative buckets
+    (
+        "not cumulative",
+        "# TYPE h histogram\n"
+        'h_bucket{le="1"} 5\nh_bucket{le="2"} 3\nh_bucket{le="+Inf"} 5\n'
+        "h_count 5\nh_sum 4\n# EOF\n",
+    ),
+    # +Inf disagrees with _count
+    (
+        r"\+Inf bucket .* != _count",
+        "# TYPE h histogram\n"
+        'h_bucket{le="1"} 1\nh_bucket{le="+Inf"} 2\nh_count 3\nh_sum 1\n# EOF\n',
+    ),
+    # missing +Inf
+    (
+        r'missing le="\+Inf"',
+        "# TYPE h histogram\n"
+        'h_bucket{le="1"} 1\nh_count 1\nh_sum 1\n# EOF\n',
+    ),
+    # missing _sum
+    (
+        "missing _sum",
+        "# TYPE h histogram\n"
+        'h_bucket{le="+Inf"} 0\nh_count 0\n# EOF\n',
+    ),
+    # le edges out of order
+    (
+        "not strictly increasing",
+        "# TYPE h histogram\n"
+        'h_bucket{le="2"} 1\nh_bucket{le="1"} 1\nh_bucket{le="+Inf"} 1\n'
+        "h_count 1\nh_sum 1\n# EOF\n",
+    ),
+    # missing terminator
+    ("missing # EOF", "# TYPE x gauge\nx 1\n"),
+    # garbage sample line
+    ("unparseable sample", "# TYPE x gauge\n{oops} yes\n# EOF\n"),
+    # duplicate TYPE
+    ("duplicate TYPE", "# TYPE x gauge\n# TYPE x gauge\nx 1\n# EOF\n"),
+]
+
+
+def self_test():
+    failures = 0
+    errs = check_text(GOOD, strict=True)
+    if errs:
+        failures += 1
+        print("self-test: GOOD corpus rejected:", file=sys.stderr)
+        for e in errs:
+            print(f"  {e}", file=sys.stderr)
+    for pattern, text in BAD:
+        errs = check_text(text, strict=True)
+        if not any(re.search(pattern, e) for e in errs):
+            failures += 1
+            print(
+                f"self-test: BAD corpus not caught (wanted /{pattern}/, got {errs})",
+                file=sys.stderr,
+            )
+    if failures:
+        print(f"self-test: {failures} failure(s)", file=sys.stderr)
+        return 1
+    print(f"self-test: ok (1 good, {len(BAD)} bad expositions)")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("file", nargs="?", help="scrape to validate ('-' = stdin)")
+    ap.add_argument(
+        "--self-test", action="store_true", help="run the embedded corpus instead"
+    )
+    ap.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail on samples with no TYPE declaration",
+    )
+    args = ap.parse_args()
+    if args.self_test:
+        sys.exit(self_test())
+    if not args.file:
+        ap.error("FILE required unless --self-test")
+    text = sys.stdin.read() if args.file == "-" else open(args.file).read()
+    errors = check_text(text, strict=args.strict)
+    for e in errors:
+        print(e, file=sys.stderr)
+    n_samples = sum(
+        1 for l in text.split("\n") if l and not l.startswith("#")
+    )
+    if errors:
+        print(f"{len(errors)} error(s) in {n_samples} samples", file=sys.stderr)
+        sys.exit(1)
+    print(f"ok: {n_samples} samples, valid exposition")
+
+
+if __name__ == "__main__":
+    main()
