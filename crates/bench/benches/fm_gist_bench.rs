@@ -1,0 +1,84 @@
+//! Microbenchmarks for the two solver hot loops the cache-friendly row
+//! representation targets: Fourier–Motzkin elimination (`project_out`) and
+//! the gist criterion, each run over the actual conjunct shapes of the
+//! Table 1 kernels — triangular gemm/qr/lu bounds, strided swim domains,
+//! rectangular gemv bands — rather than synthetic systems.
+
+use bench_harness::statements_of;
+use criterion::{criterion_group, criterion_main, Criterion};
+use omega::Set;
+
+/// Per-kernel statement domains, the conjunct shapes every scan pass
+/// projects and gists.
+fn domains(kernel: &chill::Kernel) -> Vec<Set> {
+    statements_of(kernel)
+        .into_iter()
+        .map(|s| s.domain)
+        .collect()
+}
+
+/// FM elimination over every suffix of every domain: eliminating the
+/// innermost variable first, then the two innermost, and so on — the
+/// projection ladder the scanner walks when computing per-level contexts.
+fn project_ladder(domains: &[Set]) -> usize {
+    let mut kept = 0;
+    for d in domains {
+        let n_vars = d.space().n_vars();
+        for level in 1..n_vars {
+            let p = d.project_out(level, n_vars - level);
+            kept += usize::from(!p.is_empty());
+        }
+    }
+    kept
+}
+
+/// The gist criterion at every loop level: simplify each domain against
+/// its own projected prefix, the exact query stream `initAST` issues.
+fn gist_ladder(domains: &[Set]) -> usize {
+    let mut nontrivial = 0;
+    for d in domains {
+        let n_vars = d.space().n_vars();
+        for level in 1..n_vars {
+            let ctx = d.project_out(level, n_vars - level);
+            let g = d.gist(&ctx);
+            nontrivial += usize::from(!g.is_empty());
+        }
+    }
+    nontrivial
+}
+
+fn bench_fm_elimination(c: &mut Criterion) {
+    for kernel in chill::recipes::all(64) {
+        let domains = domains(&kernel);
+        c.bench_function(&format!("fm_project_{}", kernel.name), |b| {
+            b.iter(|| {
+                // Cold caches each iteration so the FM loops themselves are
+                // measured, not memo hits.
+                omega::reset_sat_cache();
+                project_ladder(&domains)
+            })
+        });
+    }
+}
+
+fn bench_gist_criterion(c: &mut Criterion) {
+    for kernel in chill::recipes::all(64) {
+        let domains = domains(&kernel);
+        c.bench_function(&format!("gist_{}_cold", kernel.name), |b| {
+            b.iter(|| {
+                omega::reset_sat_cache();
+                gist_ladder(&domains)
+            })
+        });
+        // Warm: repeat queries land in the sharded gist cache — the
+        // steady state once sibling subtrees re-ask the same gists.
+        c.bench_function(&format!("gist_{}_warm", kernel.name), |b| {
+            omega::reset_sat_cache();
+            gist_ladder(&domains);
+            b.iter(|| gist_ladder(&domains))
+        });
+    }
+}
+
+criterion_group!(benches, bench_fm_elimination, bench_gist_criterion);
+criterion_main!(benches);

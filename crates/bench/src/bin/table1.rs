@@ -139,8 +139,9 @@ fn main() -> ExitCode {
             #[cfg(not(feature = "stats"))]
             let counters = String::new();
             json_rows.push(format!(
-                "    {{\"kernel\": {:?}, \"cloog\": {}, \"cgplus\": {}{}}}",
+                "    {{\"kernel\": {:?}, \"threads\": {}, \"cloog\": {}, \"cgplus\": {}{}}}",
                 row.name,
+                codegenplus::CodeGen::new().resolved_threads(),
                 json_report(&row.cloog),
                 json_report(&row.cgplus),
                 counters

@@ -35,10 +35,21 @@ fn build(pb: &Problem, level: usize, active: Vec<usize>, restriction: Conjunct) 
             (p, r.hull())
         })
         .collect();
+    // Each piece's set form is a pure function of `rs`; build it once here
+    // rather than once per (piece, candidate) subset test inside the loop.
+    let rsets: Vec<Set> = rs.iter().map(|(_, r)| r.to_set()).collect();
     let v = level - 1;
+    // Overlapping pieces share bound constraints, so the same candidate
+    // tends to come up once per piece; testing it again cannot succeed
+    // where the first identical test failed.
+    let mut tried: Vec<Constraint> = Vec::new();
     for (_, r) in &rs {
         for cand in split_candidates(r, v) {
-            if let Some((side_a, side_b)) = try_split(&rs, &cand) {
+            if tried.contains(&cand) {
+                continue;
+            }
+            tried.push(cand.clone());
+            if let Some((side_a, side_b)) = try_split(&rs, &rsets, &cand) {
                 // Order children so the side with smaller loop-variable
                 // values comes first (lexicographic order of the result).
                 let coeff = cand.expr().var_coeff(v);
@@ -117,7 +128,7 @@ fn split_candidates(r: &Conjunct, v: usize) -> Vec<Constraint> {
 /// Returns the groups with the constraint each satisfies.
 type Side = (Vec<usize>, Constraint);
 
-fn try_split(rs: &[(usize, Conjunct)], cand: &Constraint) -> Option<(Side, Side)> {
+fn try_split(rs: &[(usize, Conjunct)], rsets: &[Set], cand: &Constraint) -> Option<(Side, Side)> {
     let space = cand.space().clone();
     let c_set = Set::from_constraints(&space, [cand.clone()]);
     let not_c = c_set.complement();
@@ -125,8 +136,7 @@ fn try_split(rs: &[(usize, Conjunct)], cand: &Constraint) -> Option<(Side, Side)
     let not_cand = not_cand_conj.local_free_constraints().first()?.clone();
     let mut inside = Vec::new();
     let mut outside = Vec::new();
-    for (p, r) in rs {
-        let rset = r.to_set();
+    for ((p, _), rset) in rs.iter().zip(rsets) {
         if rset.is_subset(&c_set) {
             inside.push(*p);
         } else if rset.is_subset(&not_c) {

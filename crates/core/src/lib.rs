@@ -101,6 +101,7 @@ pub struct CodeGen {
     merge_ifs: bool,
     reorder_leaves: bool,
     threads: usize,
+    intra_threads: usize,
     limits: omega::Limits,
     trace: Option<omega::trace::Collector>,
 }
@@ -122,6 +123,7 @@ impl CodeGen {
             merge_ifs: true,
             reorder_leaves: false,
             threads: 0,
+            intra_threads: 0,
             limits: omega::Limits::default(),
             trace: None,
         }
@@ -177,14 +179,33 @@ impl CodeGen {
     }
 
     /// Sets the number of worker threads for the scanning passes. `0` (the
-    /// default) uses the machine's available parallelism; `1` runs the
-    /// fully sequential path. The generated AST is byte-identical for
-    /// every thread count: parallel maps collect results in input order
-    /// and the satisfiability cache stores verdicts of canonicalized
-    /// systems only.
+    /// default) uses the machine's available parallelism, probed once per
+    /// process (see [`CodeGen::resolved_threads`]); `1` runs the fully
+    /// sequential path. The generated AST is byte-identical for every
+    /// thread count: parallel maps collect results in input order and the
+    /// satisfiability cache stores verdicts of canonicalized systems only.
     pub fn threads(mut self, n: usize) -> CodeGen {
         self.threads = n;
         self
+    }
+
+    /// Sets the *intra-query* thread budget: solver-level task batches
+    /// (per-conjunct gists, hull candidate chunks, splinter branches) fan
+    /// out across up to `n` threads inside a single query. `0` (the
+    /// default) follows [`CodeGen::threads`]; `1` keeps every query on its
+    /// calling thread. Like the pass-level policy, results are joined in
+    /// input order, so generated code is byte-identical at every budget.
+    pub fn intra_threads(mut self, n: usize) -> CodeGen {
+        self.intra_threads = n;
+        self
+    }
+
+    /// The worker thread count [`CodeGen::generate`] will actually use:
+    /// `threads(0)` resolves to the machine's available parallelism, read
+    /// once per process so every run (and telemetry) reports the same
+    /// value.
+    pub fn resolved_threads(&self) -> usize {
+        par::resolve_threads(self.threads)
     }
 
     /// Enables or disables the Figure 5 if-statement simplification
@@ -233,8 +254,15 @@ impl CodeGen {
     /// statements disagree on the scanning space, every domain is empty, or
     /// a loop level is unbounded.
     pub fn generate(&self) -> Result<Generated, CodeGenError> {
+        let intra = if self.intra_threads == 0 {
+            self.resolved_threads()
+        } else {
+            self.intra_threads
+        };
         let (result, certainty) = omega::limits::with_limits(self.limits, || {
-            omega::trace::with_collector(self.trace.clone(), || self.generate_inner())
+            omega::trace::with_collector(self.trace.clone(), || {
+                omega::par::with_intra_threads(intra, || self.generate_inner())
+            })
         });
         let (code, names) = result?;
         Ok(Generated {

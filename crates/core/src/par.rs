@@ -15,16 +15,25 @@ pub(crate) struct Parallelism {
     threads: usize,
 }
 
+/// Resolves a requested thread count: `0` means "the machine's available
+/// parallelism", probed **once per process** so every pass of every run
+/// agrees on the same resolved value (and so telemetry can report it).
+pub(crate) fn resolve_threads(n: usize) -> usize {
+    static AVAILABLE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    if n == 0 {
+        *AVAILABLE.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+    } else {
+        n
+    }
+}
+
 impl Parallelism {
     /// `threads == 0` means "use the machine's available parallelism";
     /// `1` runs everything on the calling thread.
     pub fn new(threads: usize) -> Parallelism {
-        let threads = if threads == 0 {
-            std::thread::available_parallelism().map_or(1, |n| n.get())
-        } else {
-            threads
-        };
-        Parallelism { threads }
+        Parallelism {
+            threads: resolve_threads(threads),
+        }
     }
 
     /// Sequential-only policy (used by unit tests and internal helpers).
@@ -71,25 +80,31 @@ impl Parallelism {
         // final certificate independent of item interleaving.
         let limits = omega::limits::current();
         let fork = omega::trace::fork_context();
+        // Workers also inherit the caller's intra-query thread budget, so
+        // solver-level fan-outs (gist/hull/splinter batches) stay enabled
+        // inside items that run on a worker thread.
+        let intra = omega::par::intra_threads();
         let observed: Mutex<omega::DegradeReasons> = Mutex::new(omega::DegradeReasons::default());
         let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let items: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
         let next = AtomicUsize::new(0);
         let run = || {
             let ((), reasons) = omega::limits::with_limits(limits, || {
-                omega::trace::in_fork(fork.clone(), || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let item = items[i]
-                        .lock()
-                        .unwrap_or_else(|e| e.into_inner())
-                        .take()
-                        .expect("item claimed twice");
-                    let _span = omega::span!(par_item, index = i);
-                    let r = f(item);
-                    *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+                omega::par::with_intra_threads(intra, || {
+                    omega::trace::in_fork(fork.clone(), || loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let item = items[i]
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .take()
+                            .expect("item claimed twice");
+                        let _span = omega::span!(par_item, index = i);
+                        let r = f(item);
+                        *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+                    })
                 })
             });
             let reasons = reasons.reasons();

@@ -20,10 +20,37 @@
 //! [`crate::Certainty::Exact`] unconditionally.
 
 use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
 use std::sync::{Mutex, OnceLock};
 
 const SHARD_BITS: u32 = 6;
 const SHARDS: usize = 1 << SHARD_BITS;
+
+/// Pass-through hasher for keys that are already uniform 128-bit
+/// fingerprints (splitmix-avalanched in `sat::cache_key` and
+/// `gist::gist_key`). Re-hashing them with SipHash on every warm lookup
+/// costs more than the probe itself; folding the two halves together
+/// preserves their uniformity.
+#[derive(Default)]
+struct FpHasher(u64);
+
+impl std::hash::Hasher for FpHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (unused by `(u64, u64)` keys, which call
+        // `write_u64` twice).
+        for &b in bytes {
+            self.0 = self.0.rotate_left(8) ^ u64::from(b);
+        }
+    }
+
+    fn write_u64(&mut self, x: u64) {
+        self.0 = self.0.rotate_left(32) ^ x;
+    }
+}
 
 /// Exact satisfiability verdicts, keyed by a commutative row fingerprint.
 /// Capacity matches the old thread-local cache.
@@ -41,7 +68,7 @@ struct Entry<V> {
     hot: bool,
 }
 
-type Shard<V> = Mutex<HashMap<(u64, u64), Entry<V>>>;
+type Shard<V> = Mutex<HashMap<(u64, u64), Entry<V>, BuildHasherDefault<FpHasher>>>;
 
 /// A fixed-shard concurrent map with second-chance eviction. Lookups clone
 /// the stored value, so `V` should be cheap to clone relative to the work
@@ -60,9 +87,11 @@ impl<V: Clone> ShardedCache<V> {
     }
 
     fn shard(&self, key: (u64, u64)) -> &Shard<V> {
-        let shards = self
-            .shards
-            .get_or_init(|| (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect());
+        let shards = self.shards.get_or_init(|| {
+            (0..SHARDS)
+                .map(|_| Mutex::new(HashMap::default()))
+                .collect()
+        });
         // The map's own hashing consumes the low bits; pick the shard from
         // the high bits of the independent second fingerprint half.
         &shards[(key.1 >> (64 - SHARD_BITS)) as usize]
@@ -94,7 +123,9 @@ impl<V: Clone> ShardedCache<V> {
     }
 }
 
-fn lock<V>(shard: &Shard<V>) -> std::sync::MutexGuard<'_, HashMap<(u64, u64), Entry<V>>> {
+fn lock<V>(
+    shard: &Shard<V>,
+) -> std::sync::MutexGuard<'_, HashMap<(u64, u64), Entry<V>, BuildHasherDefault<FpHasher>>> {
     // A panic while holding the lock leaves only a cache, never broken
     // invariants; ignore poisoning.
     shard.lock().unwrap_or_else(|e| e.into_inner())
@@ -103,7 +134,7 @@ fn lock<V>(shard: &Shard<V>) -> std::sync::MutexGuard<'_, HashMap<(u64, u64), En
 /// Second-chance eviction: drop cold entries, demote hot ones. If the whole
 /// shard is hot (every entry re-hit since the last sweep), fall back to
 /// keeping every other entry so the sweep always frees space.
-fn sweep<V>(map: &mut HashMap<(u64, u64), Entry<V>>) {
+fn sweep<V, S>(map: &mut HashMap<(u64, u64), Entry<V>, S>) {
     let before = map.len();
     map.retain(|_, e| std::mem::replace(&mut e.hot, false));
     if map.len() == before {

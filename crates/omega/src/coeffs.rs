@@ -1,0 +1,324 @@
+//! Inline coefficient rows.
+//!
+//! Constraint rows in Table 1 shapes are short: one constant column, at
+//! most a few parameters, loop variables, and existential locals. Storing
+//! each row's coefficients in a separate `Vec<i64>` puts every row behind
+//! its own heap allocation, so the sat/FM/gist hot loops spend their time
+//! chasing pointers and hitting the allocator for clones. `Coeffs` keeps
+//! rows of up to [`INLINE`] columns inside the struct itself — a `Vec<Row>`
+//! then holds the actual coefficients contiguously — and spills longer rows
+//! to a heap `Vec` so nothing is ever truncated.
+//!
+//! The type dereferences to `&[i64]`/`&mut [i64]`, so all slice-shaped
+//! arithmetic (including the `i128`-widened checked paths in
+//! [`crate::num`]) is unchanged; only growth (`push`/`resize`) goes through
+//! `Coeffs` itself. Equality, ordering, and hashing are defined on the
+//! logical slice, independent of whether a row is inline or spilled.
+
+use std::hash::{Hash, Hasher};
+use std::ops::{Deref, DerefMut};
+
+/// Number of `i64` columns stored inline. Covers `1 + params + vars +
+/// locals` for the common Table 1 rows (≤3 loop variables, ≤2 parameters)
+/// while keeping `Row` small enough that system clones in the solver stay
+/// cheap memcpys; wider rows (many congruence locals, sigma columns from
+/// equality elimination) spill to the heap and lose nothing but locality.
+pub const INLINE: usize = 12;
+
+#[derive(Clone, Debug)]
+enum Repr {
+    Inline { len: u8, buf: [i64; INLINE] },
+    Spill(Vec<i64>),
+}
+
+/// A coefficient row: inline up to [`INLINE`] columns, heap-spilled beyond.
+#[derive(Clone, Debug)]
+pub struct Coeffs {
+    repr: Repr,
+}
+
+impl Coeffs {
+    /// Empty row.
+    pub fn new() -> Self {
+        Coeffs {
+            repr: Repr::Inline {
+                len: 0,
+                buf: [0; INLINE],
+            },
+        }
+    }
+
+    /// Row of `n` zero coefficients.
+    pub fn zeros(n: usize) -> Self {
+        if n <= INLINE {
+            Coeffs {
+                repr: Repr::Inline {
+                    len: n as u8,
+                    buf: [0; INLINE],
+                },
+            }
+        } else {
+            Coeffs {
+                repr: Repr::Spill(vec![0; n]),
+            }
+        }
+    }
+
+    /// Copy a slice into a row.
+    pub fn from_slice(s: &[i64]) -> Self {
+        if s.len() <= INLINE {
+            let mut buf = [0; INLINE];
+            buf[..s.len()].copy_from_slice(s);
+            Coeffs {
+                repr: Repr::Inline {
+                    len: s.len() as u8,
+                    buf,
+                },
+            }
+        } else {
+            Coeffs {
+                repr: Repr::Spill(s.to_vec()),
+            }
+        }
+    }
+
+    /// The logical coefficient slice.
+    pub fn as_slice(&self) -> &[i64] {
+        match &self.repr {
+            Repr::Inline { len, buf } => &buf[..*len as usize],
+            Repr::Spill(v) => v,
+        }
+    }
+
+    /// The logical coefficient slice, mutably.
+    pub fn as_mut_slice(&mut self) -> &mut [i64] {
+        match &mut self.repr {
+            Repr::Inline { len, buf } => &mut buf[..*len as usize],
+            Repr::Spill(v) => v,
+        }
+    }
+
+    /// Append one coefficient, spilling to the heap at the inline limit.
+    pub fn push(&mut self, x: i64) {
+        match &mut self.repr {
+            Repr::Inline { len, buf } => {
+                if (*len as usize) < INLINE {
+                    buf[*len as usize] = x;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(INLINE * 2);
+                    v.extend_from_slice(&buf[..]);
+                    v.push(x);
+                    self.repr = Repr::Spill(v);
+                }
+            }
+            Repr::Spill(v) => v.push(x),
+        }
+    }
+
+    /// Resize to `n` columns, filling new columns with `fill`.
+    pub fn resize(&mut self, n: usize, fill: i64) {
+        match &mut self.repr {
+            Repr::Inline { len, buf } => {
+                if n <= INLINE {
+                    for slot in &mut buf[(*len as usize).min(n)..n] {
+                        *slot = fill;
+                    }
+                    *len = n as u8;
+                } else {
+                    let mut v = Vec::with_capacity(n);
+                    v.extend_from_slice(&buf[..*len as usize]);
+                    v.resize(n, fill);
+                    self.repr = Repr::Spill(v);
+                }
+            }
+            Repr::Spill(v) => v.resize(n, fill),
+        }
+    }
+
+    /// Whether this row lives in the heap spill representation. Spilled
+    /// and inline rows are observationally identical; this exists only so
+    /// tests can force coverage of both.
+    pub fn is_spilled(&self) -> bool {
+        matches!(self.repr, Repr::Spill(_))
+    }
+}
+
+impl Default for Coeffs {
+    fn default() -> Self {
+        Coeffs::new()
+    }
+}
+
+impl Deref for Coeffs {
+    type Target = [i64];
+    fn deref(&self) -> &[i64] {
+        self.as_slice()
+    }
+}
+
+impl DerefMut for Coeffs {
+    fn deref_mut(&mut self) -> &mut [i64] {
+        self.as_mut_slice()
+    }
+}
+
+impl From<Vec<i64>> for Coeffs {
+    fn from(v: Vec<i64>) -> Self {
+        if v.len() <= INLINE {
+            Coeffs::from_slice(&v)
+        } else {
+            Coeffs {
+                repr: Repr::Spill(v),
+            }
+        }
+    }
+}
+
+impl From<&[i64]> for Coeffs {
+    fn from(s: &[i64]) -> Self {
+        Coeffs::from_slice(s)
+    }
+}
+
+impl FromIterator<i64> for Coeffs {
+    fn from_iter<I: IntoIterator<Item = i64>>(iter: I) -> Self {
+        let mut c = Coeffs::new();
+        for x in iter {
+            c.push(x);
+        }
+        c
+    }
+}
+
+impl PartialEq for Coeffs {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Coeffs {}
+
+impl PartialOrd for Coeffs {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Coeffs {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Coeffs {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl<'a> IntoIterator for &'a Coeffs {
+    type Item = &'a i64;
+    type IntoIter = std::slice::Iter<'a, i64>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a mut Coeffs {
+    type Item = &'a mut i64;
+    type IntoIter = std::slice::IterMut<'a, i64>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_mut_slice().iter_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::Rng;
+
+    /// Differential model test: a `Coeffs` driven by a random op sequence
+    /// must agree with a `Vec<i64>` reference model at every step, across
+    /// the inline/spill boundary in both directions (resize can shrink a
+    /// spilled row back under `INLINE`; it stays spilled, which must be
+    /// unobservable).
+    #[test]
+    fn model_equivalence_under_random_ops() {
+        let mut rng = Rng::new(0xc0ff_ee00);
+        for _ in 0..500 {
+            let mut c = Coeffs::new();
+            let mut m: Vec<i64> = Vec::new();
+            for _ in 0..40 {
+                match rng.range(0, 3) {
+                    0 => {
+                        let x = rng.range(-100, 100);
+                        c.push(x);
+                        m.push(x);
+                    }
+                    1 => {
+                        // Cross the INLINE boundary often.
+                        let n = rng.range(0, 2 * INLINE as i64) as usize;
+                        let fill = rng.range(-3, 3);
+                        c.resize(n, fill);
+                        m.resize(n, fill);
+                    }
+                    2 => {
+                        if !m.is_empty() {
+                            let i = rng.range(0, m.len() as i64 - 1) as usize;
+                            let x = rng.range(-100, 100);
+                            c[i] = x;
+                            m[i] = x;
+                        }
+                    }
+                    _ => {
+                        let clone = c.clone();
+                        assert_eq!(clone.as_slice(), m.as_slice());
+                        assert_eq!(clone, c);
+                    }
+                }
+                assert_eq!(c.as_slice(), m.as_slice(), "slice view diverged");
+                assert_eq!(c.len(), m.len());
+            }
+        }
+    }
+
+    #[test]
+    fn eq_ord_hash_ignore_representation() {
+        use std::collections::hash_map::DefaultHasher;
+        let long: Vec<i64> = (0..INLINE as i64 + 4).collect();
+        let mut spilled = Coeffs::from(long.clone());
+        assert!(spilled.is_spilled());
+        // Shrink back under the inline limit: stays spilled internally.
+        spilled.resize(3, 0);
+        assert!(spilled.is_spilled());
+        let inline = Coeffs::from_slice(&long[..3]);
+        assert!(!inline.is_spilled());
+        assert_eq!(spilled, inline);
+        assert_eq!(spilled.cmp(&inline), std::cmp::Ordering::Equal);
+        let h = |c: &Coeffs| {
+            let mut h = DefaultHasher::new();
+            c.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(h(&spilled), h(&inline));
+        // Ordering matches slice ordering on distinct rows.
+        let a = Coeffs::from_slice(&[1, 2]);
+        let b = Coeffs::from_slice(&[1, 3]);
+        assert!(a < b);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn push_spills_exactly_at_inline_limit() {
+        let mut c = Coeffs::new();
+        for i in 0..INLINE as i64 {
+            c.push(i);
+            assert!(!c.is_spilled());
+        }
+        c.push(99);
+        assert!(c.is_spilled());
+        let expect: Vec<i64> = (0..INLINE as i64).chain([99]).collect();
+        assert_eq!(c.as_slice(), expect.as_slice());
+    }
+}

@@ -1,21 +1,26 @@
 //! Conjunctions of affine constraints with existential (local) variables —
 //! the single-polyhedron building block of a [`crate::Set`].
 
+use crate::coeffs::Coeffs;
 use crate::linexpr::{Constraint, ConstraintKind, LinExpr};
 use crate::num;
 use crate::space::Space;
 use std::fmt;
 
 /// One affine row over the columns `[const | params | vars | locals]`.
+///
+/// Coefficients are stored inline ([`Coeffs`]) so a `Vec<Row>` keeps the
+/// whole constraint system contiguous in memory — the sat/FM/gist loops
+/// clone and scan rows without touching the allocator for typical widths.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub(crate) struct Row {
     pub(crate) kind: ConstraintKind,
-    pub(crate) c: Vec<i64>,
+    pub(crate) c: Coeffs,
 }
 
 impl Row {
-    pub(crate) fn new(kind: ConstraintKind, c: Vec<i64>) -> Self {
-        Row { kind, c }
+    pub(crate) fn new(kind: ConstraintKind, c: impl Into<Coeffs>) -> Self {
+        Row { kind, c: c.into() }
     }
 
     /// True if every non-constant coefficient is zero.
@@ -37,6 +42,10 @@ impl Row {
         let mut g = 0;
         for &x in &self.c[1..] {
             g = num::gcd(g, x);
+            if g == 1 {
+                // gcd can only shrink toward 1; nothing left to divide.
+                return true;
+            }
         }
         if g == 0 {
             // A false constant row survives as a canonical contradiction
@@ -419,7 +428,7 @@ impl Conjunct {
             for &l in &keep {
                 c.push(r.c[named + l]);
             }
-            r.c = c;
+            r.c = c.into();
         }
         self.n_locals = keep.len();
     }

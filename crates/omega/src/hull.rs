@@ -58,7 +58,7 @@ pub(crate) fn hull(s: &Set) -> Conjunct {
     // for the negated candidate: each implication test is then a single
     // row overwrite plus a satisfiability query instead of a conjunct
     // clone per (conjunct, candidate) pair.
-    let mut tests: Vec<(Vec<Row>, usize)> = live
+    let tests: Vec<(Vec<Row>, usize)> = live
         .iter()
         .map(|c| {
             let n_vars = c.ncols() - 1;
@@ -67,30 +67,86 @@ pub(crate) fn hull(s: &Set) -> Conjunct {
             (sys, n_vars)
         })
         .collect();
+    // Candidate tests are independent of each other (each only overwrites
+    // its scratch slot), so with an intra-query thread budget they fan out
+    // in fixed-size chunks — chunk boundaries don't depend on the budget,
+    // and the flag vector is joined in candidate order, so the hull is
+    // byte-identical at every thread count. Each worker clones the scratch
+    // systems once per chunk; sequential runs keep the zero-clone loop.
+    // Traced runs also keep it: the chunk decision reads the intra budget,
+    // which CodeGen derives from its thread count, so letting it shape the
+    // recorded spans would break trace-shape thread-count invariance
+    // (map_ordered would run the chunks sequentially under a trace anyway).
+    let implied: Vec<bool> = if crate::par::intra_threads() > 1
+        && candidates.len() > 1
+        && crate::trace::current().is_none()
+    {
+        const CHUNK: usize = 8;
+        let chunks: Vec<Vec<Vec<i64>>> = candidates.chunks(CHUNK).map(<[_]>::to_vec).collect();
+        crate::par::map_ordered(chunks, |chunk| {
+            let mut scratch = tests.clone();
+            chunk
+                .iter()
+                .map(|cand| implied_by_all(&mut scratch, cand))
+                .collect::<Vec<bool>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    } else {
+        let mut scratch = tests;
+        candidates
+            .iter()
+            .map(|cand| implied_by_all(&mut scratch, cand))
+            .collect()
+    };
     let mut out = Conjunct::universe(&space);
-    for cand in candidates {
-        // An unnegatable candidate (i64-extremal coefficients) is dropped:
-        // the hull only shrinks toward the bounding box, which is sound.
-        let implied = crate::sat::negate_geq(&cand).is_some_and(|neg| {
-            tests.iter_mut().all(|(sys, n_vars)| {
-                let slot = sys.len() - 1;
-                let mut neg = neg.clone();
-                neg.resize(1 + *n_vars, 0);
-                sys[slot] = Row::new(ConstraintKind::Geq, neg);
-                !crate::sat::rows_satisfiable(sys, *n_vars)
-            })
-        });
+    for (cand, implied) in candidates.into_iter().zip(implied) {
         if implied {
-            let mut row = cand.clone();
+            let mut row = cand;
             row.resize(out.ncols(), 0);
             out.push_row(Row::new(ConstraintKind::Geq, row));
         }
     }
 
+    apply_lattice(&mut out, &live, named, &space);
+    out.canonicalize();
+    // Drop dominated candidates (e.g. `v ≤ n` next to `v ≤ n-1`) so loop
+    // bounds stay minimal.
+    let out = crate::gist::drop_self_redundant(&out);
+    // The hull must contain every input conjunct (checked when decidable).
+    debug_assert!(live.iter().all(|c| {
+        crate::set::Set::from_conjunct(c.clone())
+            .try_is_subset(&crate::set::Set::from_conjunct(out.clone()))
+            .unwrap_or(true)
+    }));
+    out
+}
+
+/// Is the candidate inequality implied by every scratch system? (Each test
+/// overwrites the reserved trailing slot with the negated candidate and
+/// asks for unsatisfiability.) An unnegatable candidate (i64-extremal
+/// coefficients) is dropped: the hull only shrinks toward the bounding
+/// box, which is sound.
+fn implied_by_all(tests: &mut [(Vec<Row>, usize)], cand: &[i64]) -> bool {
+    crate::sat::negate_geq(cand).is_some_and(|neg| {
+        tests.iter_mut().all(|(sys, n_vars)| {
+            let slot = sys.len() - 1;
+            let mut neg = neg.clone();
+            neg.resize(1 + *n_vars, 0);
+            sys[slot] = Row::new(ConstraintKind::Geq, neg);
+            !crate::sat::rows_satisfiable(sys, *n_vars)
+        })
+    })
+}
+
+/// Merges common congruence (lattice) structure from every live conjunct
+/// into the hull.
+fn apply_lattice(out: &mut Conjunct, live: &[Conjunct], named: usize, space: &crate::Space) {
     // Common lattice: group congruences by sign-normalized non-constant
     // part; the combined modulus is the gcd of all moduli and residue
     // differences.
-    let groups = congruence_groups(&live, named);
+    let groups = congruence_groups(live, named);
     for (w, entries) in groups {
         if entries.len() != live.len() {
             continue; // some conjunct lacks a congruence on this expression
@@ -105,21 +161,10 @@ pub(crate) fn hull(s: &Set) -> Conjunct {
             let mut raw = vec![0i64; named];
             raw[0] = -num::mod_floor(r0, g);
             raw[1..].copy_from_slice(&w);
-            let expr = crate::linexpr::LinExpr::from_raw(&space, &raw);
+            let expr = crate::linexpr::LinExpr::from_raw(space, &raw);
             out.add_congruence(&expr, 0, g);
         }
     }
-    out.canonicalize();
-    // Drop dominated candidates (e.g. `v ≤ n` next to `v ≤ n-1`) so loop
-    // bounds stay minimal.
-    let out = crate::gist::drop_self_redundant(&out);
-    // The hull must contain every input conjunct (checked when decidable).
-    debug_assert!(live.iter().all(|c| {
-        crate::set::Set::from_conjunct(c.clone())
-            .try_is_subset(&crate::set::Set::from_conjunct(out.clone()))
-            .unwrap_or(true)
-    }));
-    out
 }
 
 type Groups = Vec<(Vec<i64>, Vec<(i64, i64)>)>;

@@ -32,9 +32,11 @@
 #![warn(rust_2018_idioms)]
 
 pub mod arbitrary;
+pub mod coeffs;
 pub mod faults;
 pub mod limits;
 pub mod num;
+pub mod par;
 pub mod provenance;
 pub mod stats;
 pub mod trace;

@@ -1,0 +1,201 @@
+//! Intra-query task parallelism for the solver.
+//!
+//! [`crate::Set::gist`], [`crate::Set::hull`], and the splinter loop of the
+//! exact Omega test decompose into independent tasks (per-conjunct gists,
+//! per-candidate hull entailment tests, per-splinter sub-solves). This
+//! module runs such task batches on scoped worker threads with an
+//! **ordered join**: results are collected by input index, so every
+//! consumer sees exactly the sequence the sequential loop would have
+//! produced — byte-identical output at every thread count.
+//!
+//! The thread budget is a *policy*, not a parameter: callers deep in the
+//! solver never know how many threads the embedding application wants.
+//! `CodeGen::generate` (or any other driver) installs the per-query budget
+//! with [`with_intra_threads`]; the default is 1, so plain library use of
+//! `omega` stays sequential unless a driver opts in.
+//!
+//! Scheduling is dynamic (workers claim the next unstarted task from a
+//! shared counter — cheap work stealing off a single deque), which only
+//! affects *when* a task runs, never what it computes or where its result
+//! lands. Each task runs under a `par_task` trace span carrying its input
+//! index as a `task` attribute — deliberately *not* `index`, which the
+//! collector's canonicalization reserves for stitched pass-level
+//! `par_item` spans and sorts ahead of same-thread children. Traced runs
+//! stay sequential (see below), so `par_task` spans are always recorded
+//! inline in program order.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::stats::bump;
+
+thread_local! {
+    /// Worker budget for intra-query fan-outs on this thread. 1 = run
+    /// everything inline on the calling thread.
+    static INTRA: Cell<usize> = const { Cell::new(1) };
+}
+
+/// The intra-query thread budget currently installed on this thread.
+pub fn intra_threads() -> usize {
+    INTRA.with(Cell::get)
+}
+
+/// Runs `f` with the intra-query thread budget set to `n` (clamped to at
+/// least 1), restoring the previous budget afterwards — including on
+/// unwind, so a panicking query cannot leak its policy into the next one.
+pub fn with_intra_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            INTRA.with(|c| c.set(self.0));
+        }
+    }
+    let prev = INTRA.with(|c| c.replace(n.max(1)));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Ordered parallel map over an independent task batch.
+///
+/// Semantically identical to `items.into_iter().map(f).collect()`; with an
+/// installed thread budget > 1 and more than one item, tasks are claimed
+/// dynamically by scoped workers (the calling thread participates, so no
+/// pool outlives the call). Worker threads re-establish the caller's
+/// [`crate::limits`] scope, and any degradation they observe is unioned
+/// back commutatively — the resulting certificate does not depend on the
+/// interleaving.
+pub(crate) fn map_ordered<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    // With a trace collector attached, run sequentially: a cache-miss race
+    // between workers can compute (and emit a detached root span for) the
+    // same query twice, so parallel trace shapes would not be reproducible.
+    // Generated *code* is thread-count invariant either way; this keeps
+    // recorded traces invariant too.
+    let threads = if crate::trace::current().is_some() {
+        1
+    } else {
+        intra_threads().min(n)
+    };
+    if threads <= 1 || n <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let _span = crate::span!(par_task, task = i);
+                f(t)
+            })
+            .collect();
+    }
+    bump!(par_batches);
+    bump!(par_tasks, n as u64);
+    let limits = crate::limits::current();
+    let fork = crate::trace::fork_context();
+    let observed: Mutex<crate::DegradeReasons> = Mutex::new(crate::DegradeReasons::default());
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let items: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let next = AtomicUsize::new(0);
+    let submitter = std::thread::current().id();
+    let run = || {
+        let ((), reasons) = crate::limits::with_limits(limits, || {
+            crate::trace::in_fork(fork.clone(), || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                if std::thread::current().id() != submitter {
+                    bump!(par_steals);
+                }
+                let item = items[i]
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .expect("task claimed twice");
+                let _span = crate::span!(par_task, task = i);
+                let r = f(item);
+                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+            })
+        });
+        let reasons = reasons.reasons();
+        if !reasons.is_empty() {
+            let mut obs = observed.lock().unwrap_or_else(|e| e.into_inner());
+            *obs = obs.union(reasons);
+        }
+    };
+    std::thread::scope(|s| {
+        for _ in 1..threads {
+            s.spawn(run);
+        }
+        run();
+    });
+    crate::limits::note_reasons(observed.into_inner().unwrap_or_else(|e| e.into_inner()));
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("worker skipped a slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_budget_is_sequential() {
+        assert_eq!(intra_threads(), 1);
+    }
+
+    #[test]
+    fn policy_scopes_nest_and_restore() {
+        with_intra_threads(4, || {
+            assert_eq!(intra_threads(), 4);
+            with_intra_threads(2, || assert_eq!(intra_threads(), 2));
+            assert_eq!(intra_threads(), 4);
+        });
+        assert_eq!(intra_threads(), 1);
+        // Clamped to at least one worker (the calling thread).
+        with_intra_threads(0, || assert_eq!(intra_threads(), 1));
+    }
+
+    #[test]
+    fn map_ordered_matches_sequential_at_every_budget() {
+        let expect: Vec<i64> = (0..97).map(|x| x * 3 - 5).collect();
+        for budget in [1, 2, 4, 8] {
+            let out = with_intra_threads(budget, || {
+                map_ordered((0..97).collect::<Vec<i64>>(), |x| x * 3 - 5)
+            });
+            assert_eq!(out, expect, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn map_ordered_empty_and_single() {
+        with_intra_threads(8, || {
+            assert_eq!(map_ordered(Vec::<i32>::new(), |x| x), Vec::<i32>::new());
+            assert_eq!(map_ordered(vec![7], |x| x + 1), vec![8]);
+        });
+    }
+
+    #[test]
+    fn worker_degradations_reach_the_callers_scope() {
+        let ((), cert) = crate::limits::with_limits(crate::Limits::default(), || {
+            with_intra_threads(4, || {
+                map_ordered(vec![0, 1, 2, 3], |i| {
+                    if i == 2 {
+                        crate::limits::note(crate::OmegaError::Overflow);
+                    }
+                    i
+                });
+            })
+        });
+        assert!(cert.reasons().contains(crate::OmegaError::Overflow));
+    }
+}

@@ -83,7 +83,7 @@ pub(crate) fn real_shadow(c: &Conjunct) -> Conjunct {
                 rows.push(Row::new(ConstraintKind::Geq, r.c.clone()));
                 rows.push(Row::new(
                     ConstraintKind::Geq,
-                    r.c.iter().map(|&x| -x).collect(),
+                    r.c.iter().map(|&x| -x).collect::<crate::coeffs::Coeffs>(),
                 ));
             } else {
                 rows.push(r.clone());

@@ -43,26 +43,57 @@ pub(crate) fn rows_satisfiable(rows: &[Row], n_vars: usize) -> bool {
     // normalized, so tier 0 and the cache probe can run on the borrowed
     // rows without cloning anything. Only a cache miss (or an unnormalized
     // row) pays for building the canonical system.
+    //
+    // The scan is fused: one walk over each row's coefficients checks for
+    // constant rows (gcd over the variable columns stays 0), verifies
+    // normality (gcd 1), and accumulates the cache fingerprint lanes — so
+    // the warm path touches every coefficient exactly once before the
+    // cache probe instead of three times (constant scan, gcd scan, hash).
+    let mut s1: u64 = 0;
+    let mut s2: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut n: u64 = 0;
     let mut normal = true;
     for r in rows {
         debug_assert_eq!(r.c.len(), 1 + n_vars);
-        if r.is_constant() {
+        let mut h1: u64 = 0xcbf2_9ce4_8422_2325 ^ (r.kind as u64);
+        let mut h2: u64 = 0x517c_c1b7_2722_0a95 ^ (r.kind as u64).rotate_left(32);
+        let mut it = r.c.iter();
+        let &c0 = it.next().expect("row has a constant column");
+        h1 = (h1 ^ c0 as u64).wrapping_mul(0x100_0000_01b3);
+        h2 = (h2.rotate_left(29) ^ (c0 as u64).wrapping_mul(0xff51_afd7_ed55_8ccd))
+            .wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+        let mut g = 0;
+        for &x in it {
+            if g != 1 {
+                g = num::gcd(g, x);
+            }
+            h1 = (h1 ^ x as u64).wrapping_mul(0x100_0000_01b3);
+            h2 = (h2.rotate_left(29) ^ (x as u64).wrapping_mul(0xff51_afd7_ed55_8ccd))
+                .wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+        }
+        if g == 0 {
+            // All variable coefficients are zero: a constant row. Decided
+            // here and excluded from the fingerprint (matching `cache_key`).
             if !r.constant_truth() {
                 return false;
             }
             continue;
         }
-        let mut g = 0;
-        for &x in &r.c[1..] {
-            g = num::gcd(g, x);
-        }
         if g != 1 {
             normal = false;
             break;
         }
+        s1 = s1.wrapping_add(splitmix(h1));
+        s2 = s2.wrapping_add(splitmix(h2 ^ 0x94d0_49bb_1331_11eb));
+        n += 1;
     }
     if normal {
-        return satisfiable_normalized(rows, n_vars);
+        if n == 0 {
+            return true; // every row was a (true) constant
+        }
+        let key = (splitmix(s1 ^ n), splitmix(s2.wrapping_add(n)));
+        debug_assert_eq!(key, cache_key(rows));
+        return satisfiable_with_key(rows, n_vars, key);
     }
     let mut work: Vec<Row> = Vec::with_capacity(rows.len());
     for r in rows {
@@ -87,12 +118,17 @@ fn satisfiable_normalized(rows: &[Row], n_vars: usize) -> bool {
     if rows.iter().all(|r| r.is_constant()) {
         return true;
     }
+    satisfiable_with_key(rows, n_vars, cache_key(rows))
+}
+
+/// The tiered pipeline proper, entered with the system's fingerprint
+/// already in hand (computed during the caller's coefficient scan).
+fn satisfiable_with_key(rows: &[Row], n_vars: usize, key: (u64, u64)) -> bool {
     let span = crate::span!(sat_query, rows = rows.len(), vars = n_vars);
     // The cache sits *before* tiers 0 and 1 and stores their verdicts too:
     // on the warm path (scanning re-asks the same queries constantly) a
     // repeat query costs one fingerprint + shard probe — cheaper than even
     // tier 0's pairwise scan.
-    let key = cache_key(rows);
     if let Some(hit) = cache::SAT.lookup(key) {
         bump!(cache_hits);
         span.attr("tier", "cache");
@@ -350,7 +386,7 @@ fn eliminate_equality(rows: &mut Vec<Row>, eq_idx: usize) -> Result<bool, OmegaE
     for r in rows.iter_mut() {
         r.c.push(0);
     }
-    let mut c: Vec<i64> = eq.c.iter().map(|&x| num::mod_hat(x, m)).collect();
+    let mut c: crate::coeffs::Coeffs = eq.c.iter().map(|&x| num::mod_hat(x, m)).collect();
     c.push(-m); // -m * sigma
     debug_assert_eq!(c[col].abs(), 1, "mod-hat must give unit coefficient");
     rows.push(Row::new(ConstraintKind::Eq, c));
@@ -491,22 +527,89 @@ fn fm_solve(
         // 0 ≤ i ≤ (a·b_max - a - b_max)/b_max.
         let vb = bounds_for(&rows, col);
         let b_max = vb.uppers.iter().map(|&(_, b)| b).max().unwrap_or(1);
-        for &(li, a) in &vb.lowers {
+        let mut branches: Vec<Vec<Row>> = Vec::new();
+        let mut materialized = true;
+        'mat: for &(li, a) in &vb.lowers {
             let spread = num::try_sub(num::try_sub(num::try_mul(a, b_max)?, a)?, b_max)?;
             let max_i = num::floor_div(spread, b_max);
             for i in 0..=max_i {
+                if branches.len() >= MAX_EAGER_SPLINTERS {
+                    // Pathologically wide splinter fan: stay lazy (and
+                    // sequential) so an early satisfiable branch avoids
+                    // materializing the rest. The cutoff depends only on
+                    // the system, never on the thread budget.
+                    branches.clear();
+                    materialized = false;
+                    break 'mat;
+                }
                 let mut sys = rows.clone();
                 let mut c = rows[li].c.clone();
                 c[0] = num::try_add(c[0], -i)?;
                 sys.push(Row::new(ConstraintKind::Eq, c));
-                if solve(sys, depth + 1, budget, lim)? {
-                    return Ok(true);
+                branches.push(sys);
+            }
+        }
+        if !materialized || faults::is_armed() {
+            // Lazy fallback, shared budget — the seed's behavior. Also
+            // taken under fault injection: the per-query fault counter is
+            // thread-local, so splitting one query's branches across
+            // workers would change which operation each branch counts.
+            for &(li, a) in &vb.lowers {
+                let spread = num::try_sub(num::try_sub(num::try_mul(a, b_max)?, a)?, b_max)?;
+                let max_i = num::floor_div(spread, b_max);
+                for i in 0..=max_i {
+                    let mut sys = rows.clone();
+                    let mut c = rows[li].c.clone();
+                    c[0] = num::try_add(c[0], -i)?;
+                    sys.push(Row::new(ConstraintKind::Eq, c));
+                    if solve(sys, depth + 1, budget, lim)? {
+                        return Ok(true);
+                    }
+                }
+            }
+            return Ok(false);
+        }
+        if branches.is_empty() {
+            return Ok(false);
+        }
+        // Independent sub-solves with *deterministic per-branch budget
+        // slices*: each branch owns remaining/n of the budget whether it
+        // runs on this thread or a worker, and the join consumes results
+        // in branch order — first satisfiable branch wins, an error in an
+        // earlier branch preempts later results, and budget spent by
+        // branches after the deciding one is not charged. Verdict,
+        // degradations, and final budget are therefore identical at every
+        // thread count (including 1).
+        let slice = *budget / branches.len() as u64;
+        let results = crate::par::map_ordered(branches, |sys| {
+            let mut b = slice;
+            let r = solve(sys, depth + 1, &mut b, lim);
+            (r, slice - b)
+        });
+        let mut used = 0u64;
+        let mut verdict = Ok(false);
+        for (r, u) in results {
+            used = used.saturating_add(u);
+            match r {
+                Ok(true) => {
+                    verdict = Ok(true);
+                    break;
+                }
+                Ok(false) => {}
+                Err(e) => {
+                    verdict = Err(e);
+                    break;
                 }
             }
         }
-        return Ok(false);
+        *budget -= used.min(*budget);
+        return verdict;
     }
 }
+
+/// Splinter fan-outs wider than this are solved lazily (one branch at a
+/// time, sequentially) instead of being materialized for the task pool.
+const MAX_EAGER_SPLINTERS: usize = 64;
 
 /// Fourier–Motzkin elimination of `col` from a pure-inequality system.
 /// `slack = 0` gives the real shadow (exact when a unit coefficient is
@@ -543,9 +646,9 @@ pub(crate) fn fm_eliminate(rows: &[Row], col: usize, slack: i64) -> Result<Vec<R
         for up in &uppers {
             let b = -up.c[col];
             // b*(a x + e_l) + a*(-b x + e_u) ≥ 0  →  b e_l + a e_u ≥ 0
-            let mut c = Vec::with_capacity(lo.c.len());
-            for (&l, &u) in lo.c.iter().zip(&up.c) {
-                c.push(num::try_add(num::try_mul(b, l)?, num::try_mul(a, u)?)?);
+            let mut c = crate::coeffs::Coeffs::zeros(lo.c.len());
+            for (j, (&l, &u)) in lo.c.iter().zip(&up.c).enumerate() {
+                c[j] = num::try_add(num::try_mul(b, l)?, num::try_mul(a, u)?)?;
             }
             c[col] = 0;
             if slack != 0 {

@@ -1,8 +1,21 @@
 //! Variable spaces: the named parameters and set variables a [`crate::Set`]
 //! is defined over.
 
+use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Process-wide intern table: structurally equal spaces constructed through
+/// [`Space::new`] share one `Arc`, so the `Arc::ptr_eq` shortcut in
+/// `PartialEq` fires on (nearly) every comparison and repeated
+/// constructions of the same space allocate nothing. Capped so adversarial
+/// workloads with unbounded distinct name sets cannot grow it forever —
+/// past the cap, spaces are simply not interned (still correct, just not
+/// pointer-shared).
+static INTERN: OnceLock<Mutex<HashMap<(Vec<String>, Vec<String>), Arc<SpaceInner>>>> =
+    OnceLock::new();
+
+const INTERN_CAP: usize = 4096;
 
 /// The space of a Presburger set: a list of symbolic parameters (free
 /// constants such as `n`) followed by the set variables (loop dimensions,
@@ -61,9 +74,22 @@ impl Space {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), all.len(), "duplicate variable name in space");
-        Space {
-            inner: Arc::new(SpaceInner { params, vars }),
+        let key = (params, vars);
+        let table = INTERN.get_or_init(|| Mutex::new(HashMap::new()));
+        let mut table = table.lock().unwrap();
+        if let Some(inner) = table.get(&key) {
+            return Space {
+                inner: Arc::clone(inner),
+            };
         }
+        let inner = Arc::new(SpaceInner {
+            params: key.0.clone(),
+            vars: key.1.clone(),
+        });
+        if table.len() < INTERN_CAP {
+            table.insert(key, Arc::clone(&inner));
+        }
+        Space { inner }
     }
 
     /// A space with `n_vars` anonymous set variables named `t1..tN` and no
@@ -203,6 +229,13 @@ mod tests {
         assert_eq!(a, b);
         let c = Space::new(&["n"], &["j"]);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn structurally_equal_spaces_are_interned() {
+        let a = Space::new(&["nq"], &["iq", "jq"]);
+        let b = Space::new(&["nq"], &["iq", "jq"]);
+        assert!(Arc::ptr_eq(&a.inner, &b.inner));
     }
 
     #[test]

@@ -127,6 +127,9 @@ mod enabled {
         degrade_depth: "Degradations caused by exceeding Limits::max_depth (OmegaError::DepthExceeded).",
         degrade_rowcap: "Degradations caused by exceeding Limits::row_cap (OmegaError::RowCapExceeded).",
         degrade_deadline: "Degradations caused by the Limits::deadline wall-clock firing (OmegaError::DeadlineExceeded).",
+        par_batches: "Intra-query parallel fan-outs (batches submitted to the task pool).",
+        par_tasks: "Tasks executed by the intra-query task pool; par_tasks / par_batches is the mean queue depth at submission.",
+        par_steals: "Intra-query tasks claimed by a worker other than the submitting thread (dynamic load-balancing transfers).",
     }
 
     impl Snapshot {
@@ -236,6 +239,9 @@ mod enabled {
                 "degrade_depth",
                 "degrade_rowcap",
                 "degrade_deadline",
+                "par_batches",
+                "par_tasks",
+                "par_steals",
                 "fast-path",
             ] {
                 assert!(text.contains(field), "Display missing {field}: {text}");

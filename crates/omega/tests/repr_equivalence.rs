@@ -1,0 +1,124 @@
+//! Observational equivalence of the constraint-row representation.
+//!
+//! Coefficient rows store up to `omega::coeffs::INLINE` values inline and
+//! spill wider rows to the heap; spaces are interned so structurally equal
+//! ones share one allocation. Both are pure representation choices — no
+//! observable behavior (equality, satisfiability verdicts, gist results)
+//! may depend on whether a row is inline or spilled, or on whether a space
+//! was interned or freshly built. These tests pin that on generated
+//! conjuncts, crossing the inline/spill boundary by embedding the same
+//! logical sets into wide spaces whose rows must spill.
+
+use omega::arbitrary::{arb_set, ArbConfig, Rng};
+use omega::coeffs::INLINE;
+use omega::{Set, Space};
+
+const NARROW_VARS: usize = 3;
+
+fn narrow_space() -> Space {
+    Space::new(&["n"], &["t1", "t2", "t3"])
+}
+
+/// A space with enough variables that every row (1 constant + 1 param +
+/// `wide_vars` variable columns) exceeds the inline capacity and spills.
+fn wide_space() -> Space {
+    let vars: Vec<String> = (1..=INLINE + 2).map(|i| format!("t{i}")).collect();
+    let refs: Vec<&str> = vars.iter().map(String::as_str).collect();
+    Space::new(&["n"], &refs)
+}
+
+/// Embeds a narrow set into the wide space: same constraints, trailing
+/// variables unconstrained. Narrow rows fit inline; embedded rows spill.
+fn embed(s: &Set, wide: &Space) -> Set {
+    let map: Vec<usize> = (0..NARROW_VARS).collect();
+    s.remap_vars(wide, &map)
+}
+
+#[test]
+fn emptiness_is_representation_independent() {
+    let narrow = narrow_space();
+    let wide = wide_space();
+    let cfg = ArbConfig::default();
+    let mut rng = Rng::new(0x5eed_0001);
+    for case in 0..150 {
+        let arb = arb_set(&mut rng, &narrow, &cfg);
+        let s = arb.to_set(&narrow);
+        let e = embed(&s, &wide);
+        // Extra unconstrained dimensions cannot change emptiness, and the
+        // embedded rows take the spilled representation.
+        assert_eq!(
+            s.is_empty(),
+            e.is_empty(),
+            "case {case}: emptiness differs between inline ({s}) and spilled embedding"
+        );
+    }
+}
+
+#[test]
+fn equality_is_representation_independent() {
+    let narrow = narrow_space();
+    let wide = wide_space();
+    let cfg = ArbConfig::default();
+    let mut rng = Rng::new(0x5eed_0002);
+    for case in 0..150 {
+        let arb = arb_set(&mut rng, &narrow, &cfg);
+        // Two independent constructions from the same description: the
+        // spaces intern to one allocation, the rows are rebuilt from
+        // scratch — equality must see through both.
+        let a = arb.to_set(&narrow);
+        let b = arb.to_set(&narrow);
+        assert_eq!(a, b, "case {case}: rebuilt set differs ({a})");
+        assert_eq!(
+            embed(&a, &wide),
+            embed(&b, &wide),
+            "case {case}: rebuilt spilled embedding differs"
+        );
+    }
+}
+
+#[test]
+fn sat_and_gist_agree_between_inline_and_spilled_rows() {
+    let narrow = narrow_space();
+    let wide = wide_space();
+    let cfg = ArbConfig::default();
+    let mut rng = Rng::new(0x5eed_0003);
+    for case in 0..60 {
+        let a = arb_set(&mut rng, &narrow, &cfg).to_set(&narrow);
+        let ctx = arb_set(&mut rng, &narrow, &cfg).to_set(&narrow);
+        if ctx.is_empty() {
+            continue; // gist against an empty context is unconstrained
+        }
+        let ea = embed(&a, &wide);
+        let ectx = embed(&ctx, &wide);
+        // Subset verdicts route through intersection + satisfiability on
+        // rows of both representations.
+        assert_eq!(
+            a.is_subset(&ctx),
+            ea.is_subset(&ectx),
+            "case {case}: subset verdict differs between representations"
+        );
+        // The gist defining property, evaluated entirely on spilled rows:
+        // gist(A, ctx) ∧ ctx = A ∧ ctx.
+        let g = ea.gist(&ectx);
+        assert!(
+            g.intersect(&ectx).same_set(&ea.intersect(&ectx)),
+            "case {case}: gist defining property fails on spilled rows"
+        );
+    }
+}
+
+#[test]
+fn self_intersection_is_identity_on_spilled_rows() {
+    let wide = wide_space();
+    let cfg = ArbConfig::default();
+    let mut rng = Rng::new(0x5eed_0004);
+    for case in 0..40 {
+        // Generated directly over the wide space: every row spills, and
+        // intersect/push/canonicalize all run on the heap representation.
+        let s = arb_set(&mut rng, &wide, &cfg).to_set(&wide);
+        assert!(
+            s.intersect(&s).same_set(&s),
+            "case {case}: s ∩ s differs from s on spilled rows"
+        );
+    }
+}

@@ -458,6 +458,10 @@ fn run_job(state: &State, id: &str, spec: &JobSpec) -> Result<JobOutput, String>
     if let Some(c) = &collector {
         cg = cg.trace(c.clone());
     }
+    // Log the *resolved* count: `threads == 0` means "available
+    // parallelism", probed once per process, and the structured request
+    // records should show what actually ran, not the sentinel.
+    let threads = cg.resolved_threads();
     let t0 = Instant::now();
     let g = cg.generate().map_err(|e| e.to_string())?;
     let codegen_ns = t0.elapsed().as_nanos() as u64;

@@ -8,15 +8,20 @@ such a change must be reviewed by re-committing `BENCH_table1.json`.
 `codegen_ns` is wall-clock and noisy, so it is gated with a relative
 tolerance (default +25%): the check fails only when a kernel's code
 generation got more than `tolerance` slower than the baseline. Getting
-faster never fails; refresh the baseline when an improvement should become
-the new floor. `compile_ns` is a stand-in metric and is reported but not
-gated.
+faster never fails, but an improvement beyond the same tolerance is
+flagged so the baseline gets refreshed and the gain becomes the new floor
+instead of slack for future regressions. `compile_ns` is a stand-in metric
+and is reported but not gated.
+
+When `$GITHUB_STEP_SUMMARY` is set (or `--summary FILE` is given), a
+per-kernel markdown delta table is appended to it for the CI job summary.
 
 Exit status: 0 clean, 1 regression, 2 usage/shape error.
 """
 
 import argparse
 import json
+import os
 import sys
 
 EXACT = ("lines", "dynamic_cost", "instances")
@@ -31,6 +36,23 @@ def load(path):
     return doc
 
 
+def delta_table(rows):
+    """Per-kernel markdown table of codegen-time deltas vs the baseline."""
+    lines = [
+        "### Bench snapshot vs committed baseline",
+        "",
+        "| kernel | tool | baseline codegen | current codegen | ratio | verdict |",
+        "|---|---|---:|---:|---:|---|",
+    ]
+    for kernel, tool, base_ns, cur_ns, ratio, verdict in rows:
+        lines.append(
+            f"| {kernel} | {tool} | {base_ns:,} ns | {cur_ns:,} ns"
+            f" | {ratio:.2f}x | {verdict} |"
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline", help="committed BENCH_table1.json")
@@ -39,12 +61,21 @@ def main():
         "--tolerance",
         type=float,
         default=0.25,
-        help="allowed relative codegen-time regression (default 0.25 = +25%%)",
+        help="allowed relative codegen-time regression (default 0.25 = +25%%);"
+        " improvements beyond the same margin are flagged for a baseline refresh",
+    )
+    ap.add_argument(
+        "--summary",
+        default=os.environ.get("GITHUB_STEP_SUMMARY"),
+        help="markdown file to append the per-kernel delta table to"
+        " (default: $GITHUB_STEP_SUMMARY when set)",
     )
     args = ap.parse_args()
     base, cur = load(args.baseline), load(args.current)
 
     failures = []
+    improvements = []
+    table_rows = []
     if base["n"] != cur["n"]:
         sys.exit(f"problem size differs: baseline n={base['n']}, current n={cur['n']}")
     base_rows = {r["kernel"]: r for r in base["rows"]}
@@ -69,10 +100,34 @@ def main():
                 f"{kernel}/{tool}: codegen {b['codegen_ns']} -> {c['codegen_ns']} ns"
                 f" ({ratio:.2f}x)"
             )
+            verdict = "ok"
             if ratio > 1 + args.tolerance:
                 failures.append(f"{line} exceeds +{args.tolerance:.0%} tolerance")
                 line += "  REGRESSION"
+                verdict = "**regression**"
+            elif ratio < 1 / (1 + args.tolerance):
+                improvements.append(
+                    f"{line} — faster than the -{args.tolerance:.0%} flag margin;"
+                    " refresh BENCH_table1.json to lock in the gain"
+                )
+                line += "  IMPROVEMENT"
+                verdict = "improvement — refresh baseline"
             print(line)
+            table_rows.append(
+                (kernel, tool, b["codegen_ns"], c["codegen_ns"], ratio, verdict)
+            )
+
+    if args.summary:
+        try:
+            with open(args.summary, "a") as f:
+                f.write(delta_table(table_rows) + "\n")
+        except OSError as e:
+            print(f"cannot write summary {args.summary}: {e}", file=sys.stderr)
+
+    if improvements:
+        print(f"\n{len(improvements)} significant improvement(s):")
+        for line in improvements:
+            print(f"  {line}")
 
     if failures:
         print(f"\n{len(failures)} regression(s):", file=sys.stderr)

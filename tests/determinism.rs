@@ -35,6 +35,39 @@ fn thread_count_never_changes_generated_code() {
 }
 
 #[test]
+fn intra_query_budget_never_changes_generated_code() {
+    // Intra-query task parallelism (per-conjunct gists, hull candidate
+    // chunks, splinter branches) makes the same promise as the pass-level
+    // pool: solver-level batches join in input order and splinter branches
+    // get budget slices that don't depend on the thread count, so the
+    // emitted code is byte-identical at every intra budget.
+    for k in recipes::all(10) {
+        let stmts = statements_of(&k);
+        let sequential = CodeGen::new()
+            .statements(stmts.to_vec())
+            .threads(2)
+            .intra_threads(1)
+            .generate()
+            .unwrap()
+            .to_c();
+        for intra in [2, 4, 8] {
+            let budgeted = CodeGen::new()
+                .statements(stmts.to_vec())
+                .threads(2)
+                .intra_threads(intra)
+                .generate()
+                .unwrap()
+                .to_c();
+            assert_eq!(
+                sequential, budgeted,
+                "{} differs between intra_threads(1) and intra_threads({})",
+                k.name, intra
+            );
+        }
+    }
+}
+
+#[test]
 fn cache_state_never_changes_generated_code() {
     // Warm-cache reruns and post-eviction reruns must also be identical:
     // the memo caches may change *when* work happens, never its result.
