@@ -5,21 +5,25 @@
 //!
 //! Usage:
 //!   difftest [--seeds N] [--start S] [--time-budget DUR] [--minimize]
-//!            [--intra N] [--out DIR] [--replay FILE.difftest]
+//!            [--intra N] [--out DIR] [--cache-dir DIR]
+//!            [--replay FILE.difftest]
 //!
 //! * `--seeds N`       check seeds `S .. S+N` (default 1000)
 //! * `--start S`       first seed (default 0)
 //! * `--time-budget D` stop early after D (`90s`, `20m`, `1h`, or bare
-//!                     seconds); with a budget the seed count is a cap,
-//!                     not a target
+//!   seconds); with a budget the seed count is a cap, not a target
 //! * `--minimize`      shrink a failing case before writing artifacts
 //! * `--intra N`       additionally generate every configuration with an
-//!                     intra-query task budget of N (default: budget 1
-//!                     only), asserting byte-identical output on that
-//!                     axis too
+//!   intra-query task budget of N (default: budget 1 only), asserting
+//!   byte-identical output on that axis too
 //! * `--out DIR`       artifact directory (default `difftest-out`)
+//! * `--cache-dir DIR` open a persistent solver cache at DIR: exact
+//!   verdicts recorded by earlier runs are served without re-solving, and
+//!   this run's new verdicts are flushed back on exit — fuzzing and
+//!   replay must be deterministic across cache states, so a warm cache
+//!   only changes speed, never outcomes
 //! * `--replay FILE`   check one committed `.difftest` case instead of
-//!                     fuzzing (reproduces a CI failure locally)
+//!   fuzzing (reproduces a CI failure locally)
 //!
 //! Exit status: 0 = no discrepancy, 1 = discrepancy found (artifacts
 //! written), 2 = usage or I/O error.
@@ -56,6 +60,7 @@ fn main() -> ExitCode {
     let mut minimize = false;
     let mut intra: usize = 1;
     let mut out = PathBuf::from("difftest-out");
+    let mut cache_dir: Option<PathBuf> = None;
     let mut replay: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -92,6 +97,10 @@ fn main() -> ExitCode {
                 Ok(p) => out = PathBuf::from(p),
                 Err(()) => return ExitCode::from(2),
             },
+            "--cache-dir" => match val("--cache-dir") {
+                Ok(p) => cache_dir = Some(PathBuf::from(p)),
+                Err(()) => return ExitCode::from(2),
+            },
             "--replay" => match val("--replay") {
                 Ok(p) => replay = Some(PathBuf::from(p)),
                 Err(()) => return ExitCode::from(2),
@@ -103,8 +112,29 @@ fn main() -> ExitCode {
         }
     }
 
+    if let Some(dir) = &cache_dir {
+        match omega::persist::init(dir) {
+            Ok(s) => eprintln!(
+                "persistent cache open at {} ({} sat / {} gist records, {} bytes truncated, warm tier {})",
+                dir.display(),
+                s.sat_records,
+                s.gist_records,
+                s.truncated_bytes,
+                if s.mmap { "mmap" } else { "heap" },
+            ),
+            Err(e) => eprintln!(
+                "persistent cache degraded ({}): {e}; continuing with process-local caching",
+                e.as_str()
+            ),
+        }
+    }
+
     if let Some(path) = replay {
-        return replay_one(&path);
+        let code = replay_one(&path);
+        if cache_dir.is_some() {
+            omega::persist::flush();
+        }
+        return code;
     }
 
     // Budget 1 always runs (it is the executed configuration); --intra N
@@ -136,6 +166,11 @@ fn main() -> ExitCode {
             CaseOutcome::Fail(d) => {
                 println!("seed {seed}: DISCREPANCY {d}");
                 println!("{case}");
+                if cache_dir.is_some() {
+                    // Exact verdicts stay valid even when codegen itself
+                    // disagrees with the oracle — keep them for the rerun.
+                    omega::persist::flush();
+                }
                 return match write_artifacts(&out, seed, &case, minimize) {
                     Ok(()) => ExitCode::FAILURE,
                     Err(e) => {
@@ -154,7 +189,7 @@ fn main() -> ExitCode {
                 );
                 next_beat = t0.elapsed() + beat_every;
             }
-        } else if checked % 500 == 0 {
+        } else if checked.is_multiple_of(500) {
             println!(
                 "{checked} seeds in {:.1?}: {pass} pass, {skip} skip",
                 t0.elapsed()
@@ -165,6 +200,9 @@ fn main() -> ExitCode {
         "clean: {checked} seeds in {:.1?} ({pass} pass, {skip} skip, 0 discrepancies)",
         t0.elapsed()
     );
+    if cache_dir.is_some() {
+        omega::persist::flush();
+    }
     ExitCode::SUCCESS
 }
 

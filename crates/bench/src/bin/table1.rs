@@ -4,7 +4,8 @@
 //! columns the paper reports.
 //!
 //! Usage: `cargo run --release -p bench-harness --bin table1 [N] [--gcc]
-//! [--json FILE] [--trace FILE.json [--force]] [--dump-dir DIR]`
+//! [--json FILE] [--trace FILE.json [--force]] [--dump-dir DIR]
+//! [--cache-dir DIR]`
 //! (N = problem size; default 64). With `--gcc` and a gcc on PATH, two
 //! extra column groups report the *real* `gcc -O3` compile time and the
 //! compiled binary's execution time — the paper's literal methodology.
@@ -21,6 +22,13 @@
 //! existing trace file is not overwritten unless `--force` is given. With
 //! `--dump-dir DIR`, every tier-2 solver query of the traced runs is also
 //! written as a replayable `.omega` dump (see `omega-replay`).
+//!
+//! With `--cache-dir DIR`, the run warm-starts from the crash-safe
+//! persistent solver cache in that directory and flushes new exact
+//! verdicts back at the end; the per-kernel `counters` in the `--json`
+//! snapshot then report the `persist_*` hit/miss/degrade deltas. A broken
+//! or unwritable cache degrades to process-local caching (reported on
+//! stderr + counted), never a failure.
 
 use bench_harness::gcc::{gcc_available, measure_with_gcc};
 use bench_harness::{compare, generate, statements_of, trace_kernel, traces_match, Tool};
@@ -33,6 +41,7 @@ fn main() -> ExitCode {
     let mut trace_path: Option<PathBuf> = None;
     let mut dump_dir: Option<PathBuf> = None;
     let mut json_path: Option<PathBuf> = None;
+    let mut cache_dir: Option<PathBuf> = None;
     let mut n: i64 = 64;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -60,6 +69,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--cache-dir" => match args.next() {
+                Some(p) => cache_dir = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--cache-dir requires a directory argument");
+                    return ExitCode::FAILURE;
+                }
+            },
             other if !other.starts_with("--") => match other.parse() {
                 Ok(v) => n = v,
                 Err(_) => {
@@ -80,6 +96,22 @@ fn main() -> ExitCode {
                 p.display()
             );
             return ExitCode::FAILURE;
+        }
+    }
+    if let Some(dir) = &cache_dir {
+        match omega::persist::init(dir) {
+            Ok(s) => eprintln!(
+                "persistent cache open at {} ({} sat / {} gist records, {} bytes truncated, warm tier {})",
+                dir.display(),
+                s.sat_records,
+                s.gist_records,
+                s.truncated_bytes,
+                if s.mmap { "mmap" } else { "heap" },
+            ),
+            Err(e) => eprintln!(
+                "persistent cache degraded ({}): {e}; continuing with process-local caching",
+                e.as_str()
+            ),
         }
     }
     let collector = (trace_path.is_some() || dump_dir.is_some()).then(omega::trace::Collector::new);
@@ -274,6 +306,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("bench snapshot written to {}", p.display());
+    }
+    if cache_dir.is_some() {
+        omega::persist::flush();
     }
     ExitCode::SUCCESS
 }

@@ -68,7 +68,8 @@ struct Entry<V> {
     hot: bool,
 }
 
-type Shard<V> = Mutex<HashMap<(u64, u64), Entry<V>, BuildHasherDefault<FpHasher>>>;
+type ShardMap<V> = HashMap<(u64, u64), Entry<V>, BuildHasherDefault<FpHasher>>;
+type Shard<V> = Mutex<ShardMap<V>>;
 
 /// A fixed-shard concurrent map with second-chance eviction. Lookups clone
 /// the stored value, so `V` should be cheap to clone relative to the work
@@ -123,9 +124,7 @@ impl<V: Clone> ShardedCache<V> {
     }
 }
 
-fn lock<V>(
-    shard: &Shard<V>,
-) -> std::sync::MutexGuard<'_, HashMap<(u64, u64), Entry<V>, BuildHasherDefault<FpHasher>>> {
+fn lock<V>(shard: &Shard<V>) -> std::sync::MutexGuard<'_, ShardMap<V>> {
     // A panic while holding the lock leaves only a cache, never broken
     // invariants; ignore poisoning.
     shard.lock().unwrap_or_else(|e| e.into_inner())

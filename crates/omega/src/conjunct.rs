@@ -124,6 +124,28 @@ impl Conjunct {
         c
     }
 
+    /// Reassembles a conjunct from its stored parts (the persistence
+    /// layer's deserializer). The caller is responsible for row widths
+    /// matching `1 + space.n_named() + n_locals`; rows are taken as-is —
+    /// no re-normalization — so a round-trip through
+    /// [`crate::persist`]'s codec reproduces the original exactly.
+    pub(crate) fn from_raw_parts(
+        space: Space,
+        n_locals: usize,
+        rows: Vec<Row>,
+        known_false: bool,
+    ) -> Self {
+        debug_assert!(rows
+            .iter()
+            .all(|r| r.c.len() == 1 + space.n_named() + n_locals));
+        Conjunct {
+            space,
+            n_locals,
+            rows,
+            known_false,
+        }
+    }
+
     /// The space of this conjunct.
     pub fn space(&self) -> &Space {
         &self.space
@@ -137,6 +159,23 @@ impl Conjunct {
     /// Number of constraint rows currently stored.
     pub fn n_rows(&self) -> usize {
         self.rows.len()
+    }
+
+    /// A canonical 128-bit fingerprint of this conjunct's constraint
+    /// system — stable across processes and invariant under row order,
+    /// duplicate rows, entailment-redundant inequalities, and gcd
+    /// scaling (the key the persistent sat tier shares verdicts under;
+    /// see [`crate::persist`]). Every provably-contradictory conjunct
+    /// collapses to one canonical FALSE fingerprint.
+    ///
+    /// Note this fingerprints the *constraints*, not the space: two
+    /// conjuncts over different same-arity spaces with identical rows
+    /// fingerprint identically.
+    pub fn canonical_fingerprint(&self) -> (u64, u64) {
+        if self.known_false {
+            return crate::persist::FALSE_KEY;
+        }
+        crate::persist::canonical_rows_key(&self.rows)
     }
 
     /// True if this conjunct is syntactically TRUE (no rows, not marked

@@ -163,7 +163,21 @@ fn satisfiable_with_key(rows: &[Row], n_vars: usize, key: (u64, u64)) -> bool {
             span.attr("sat", true);
             true
         }
-        Verdict::Unknown => {
+        Verdict::Unknown => 'tier2: {
+            // Warm persistent tier: an exact verdict computed by a prior
+            // process. Probed only past tiers 0/1 (so the on-disk log
+            // holds only queries that were worth an exact solve), keyed
+            // by the canonical cross-process hash — the in-memory `key`
+            // counts duplicate rows and is not canonical. A hit is exact
+            // by the no-poisoning-on-disk invariant, so it is promoted
+            // into the hot cache by the shared insert below.
+            let persist_key =
+                crate::persist::enabled().then(|| crate::persist::canonical_rows_key(&work));
+            if let Some(hit) = persist_key.and_then(crate::persist::sat_lookup) {
+                span.attr("tier", "persist");
+                span.attr("sat", hit);
+                break 'tier2 hit;
+            }
             // Tier 2: the exact Omega test. The per-query call tree is a
             // *detached* trace root keyed by the cache fingerprint —
             // which thread or phase happens to ask a cold query first is
@@ -178,6 +192,13 @@ fn satisfiable_with_key(rows: &[Row], n_vars: usize, key: (u64, u64)) -> bool {
             match solve(work, 0, &mut budget, &lim) {
                 Ok(v) => {
                     exact.attr("sat", v);
+                    // Exact verdict: queue it for the durable tier under
+                    // the same canonical key the warm probe used. The
+                    // Err arm below records nothing — degraded verdicts
+                    // never reach disk (no-poisoning-on-disk).
+                    if let Some(pk) = persist_key {
+                        crate::persist::sat_record(pk, v);
+                    }
                     if let Some((dir, seq)) = dump {
                         let text = crate::provenance::sat_dump_text(
                             dump_rows.as_deref().unwrap_or(&[]),

@@ -12,8 +12,8 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// workloads with unbounded distinct name sets cannot grow it forever —
 /// past the cap, spaces are simply not interned (still correct, just not
 /// pointer-shared).
-static INTERN: OnceLock<Mutex<HashMap<(Vec<String>, Vec<String>), Arc<SpaceInner>>>> =
-    OnceLock::new();
+type InternMap = HashMap<(Vec<String>, Vec<String>), Arc<SpaceInner>>;
+static INTERN: OnceLock<Mutex<InternMap>> = OnceLock::new();
 
 const INTERN_CAP: usize = 4096;
 

@@ -1,0 +1,165 @@
+//! Property tests for the persistent cache's canonical fingerprint
+//! ([`omega::Conjunct::canonical_fingerprint`]): semantically equal
+//! constraint systems reached through different syntactic routes — row
+//! order, duplicated rows, entailment-redundant inequalities, uniformly
+//! scaled constraints — must hash identically, and every provable
+//! contradiction must collapse to the one canonical FALSE fingerprint.
+//! These are exactly the invariants that let two processes (or two boots
+//! of one) share on-disk verdicts keyed by the fingerprint.
+
+use omega::{Conjunct, LinExpr, Space};
+use proptest::prelude::*;
+
+/// One random small system: rows `a·x + b·y + k (≥|=) 0`.
+#[derive(Debug, Clone)]
+struct Sys {
+    rows: Vec<(i64, i64, i64, bool)>,
+}
+
+fn sys_strategy() -> impl Strategy<Value = Sys> {
+    let row = (-4i64..=4, -4i64..=4, -9i64..=9, prop::bool::weighted(0.75));
+    prop::collection::vec(row, 1..6).prop_map(|rows| Sys { rows })
+}
+
+fn row_expr(space: &Space, (a, b, k, _): (i64, i64, i64, bool)) -> LinExpr {
+    LinExpr::var(space, 0) * a + LinExpr::var(space, 1) * b + k
+}
+
+fn add_row(c: &mut Conjunct, space: &Space, row: (i64, i64, i64, bool)) {
+    let e = row_expr(space, row);
+    c.add_constraint(&if row.3 { e.geq0() } else { e.eq0() });
+}
+
+fn build(rows: &[(i64, i64, i64, bool)], space: &Space) -> Conjunct {
+    let mut c = Conjunct::universe(space);
+    for &r in rows {
+        add_row(&mut c, space, r);
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Insertion order must not matter: the same rows rotated and/or
+    /// reversed fingerprint identically.
+    #[test]
+    fn fingerprint_is_row_order_invariant(
+        sys in sys_strategy(),
+        rot in 0usize..8,
+        rev in any::<bool>(),
+    ) {
+        let space = Space::new::<&str>(&[], &["x", "y"]);
+        let a = build(&sys.rows, &space);
+        let mut shuffled = sys.rows.clone();
+        let n = shuffled.len().max(1);
+        shuffled.rotate_left(rot % n);
+        if rev {
+            shuffled.reverse();
+        }
+        let b = build(&shuffled, &space);
+        prop_assert_eq!(a.canonical_fingerprint(), b.canonical_fingerprint());
+    }
+
+    /// Repeating a row exactly, or repeating an inequality with a looser
+    /// constant (entailed by the original), must not change the
+    /// fingerprint.
+    #[test]
+    fn fingerprint_ignores_duplicate_and_entailed_rows(
+        sys in sys_strategy(),
+        pick in 0usize..8,
+        slack in 0i64..6,
+    ) {
+        let space = Space::new::<&str>(&[], &["x", "y"]);
+        let a = build(&sys.rows, &space);
+        let (ra, rb, rk, geq) = sys.rows[pick % sys.rows.len()];
+        let mut extended = sys.rows.clone();
+        // A looser inequality is entailed; an equality only entails its
+        // exact copy.
+        let dup = if geq { (ra, rb, rk + slack, geq) } else { (ra, rb, rk, geq) };
+        extended.push(dup);
+        let b = build(&extended, &space);
+        prop_assert_eq!(a.canonical_fingerprint(), b.canonical_fingerprint());
+    }
+
+    /// Scaling one constraint by a positive integer leaves the system —
+    /// and the fingerprint — unchanged (gcd normalization).
+    #[test]
+    fn fingerprint_is_scale_invariant(
+        sys in sys_strategy(),
+        pick in 0usize..8,
+        scale in 1i64..5,
+    ) {
+        let space = Space::new::<&str>(&[], &["x", "y"]);
+        let a = build(&sys.rows, &space);
+        let i = pick % sys.rows.len();
+        let mut c = Conjunct::universe(&space);
+        for (j, &row) in sys.rows.iter().enumerate() {
+            if j == i {
+                let e = row_expr(&space, row) * scale;
+                c.add_constraint(&if row.3 { e.geq0() } else { e.eq0() });
+            } else {
+                add_row(&mut c, &space, row);
+            }
+        }
+        prop_assert_eq!(a.canonical_fingerprint(), c.canonical_fingerprint());
+    }
+
+    /// Any system plus a provably false constant row collapses to the
+    /// canonical FALSE fingerprint — the same one `Conjunct::empty`
+    /// reports — so contradictory queries share a single disk record no
+    /// matter how they were phrased.
+    #[test]
+    fn contradictions_collapse_to_one_fingerprint(sys in sys_strategy()) {
+        let space = Space::new::<&str>(&[], &["x", "y"]);
+        let mut c = build(&sys.rows, &space);
+        c.add_constraint(&(LinExpr::constant(&space, -1)).geq0());
+        prop_assert_eq!(
+            c.canonical_fingerprint(),
+            Conjunct::empty(&space).canonical_fingerprint()
+        );
+    }
+
+    /// The fingerprint must still *distinguish*: tightening an
+    /// inequality's constant by one (on a system that stays satisfiable
+    /// and non-degenerate) may not collide with the original. Collisions
+    /// here would silently merge different queries' verdicts on disk.
+    #[test]
+    fn fingerprint_separates_tightened_systems(
+        a0 in 1i64..4, b0 in -3i64..4, k in -6i64..7,
+    ) {
+        let space = Space::new::<&str>(&[], &["x", "y"]);
+        let mk = |kk: i64| {
+            let mut c = Conjunct::universe(&space);
+            let e = LinExpr::var(&space, 0) * a0 + LinExpr::var(&space, 1) * b0 + kk;
+            c.add_constraint(&e.geq0());
+            c
+        };
+        let (a, b) = (mk(k), mk(k + 1));
+        // Only compare when normalization keeps both rows distinct
+        // (gcd flooring can legitimately merge k and k+1).
+        if a0.gcd_check(b0) {
+            prop_assert_ne!(a.canonical_fingerprint(), b.canonical_fingerprint());
+        }
+    }
+}
+
+/// Helper trait: the tightened-system property only holds when the row's
+/// variable coefficients are coprime, so gcd flooring cannot merge
+/// adjacent constants.
+trait GcdCheck {
+    fn gcd_check(self, other: i64) -> bool;
+}
+
+impl GcdCheck for i64 {
+    fn gcd_check(self, other: i64) -> bool {
+        fn gcd(a: i64, b: i64) -> i64 {
+            if b == 0 {
+                a.abs()
+            } else {
+                gcd(b, a % b)
+            }
+        }
+        gcd(self, other) == 1
+    }
+}

@@ -7,12 +7,17 @@
 //! ```text
 //! codegend [--jobs ADDR] [--http ADDR] [--effort N] [--threads N]
 //!          [--deadline-ms MS] [--max-inflight N] [--dump-dir DIR]
+//!          [--cache-dir DIR] [--cache-flush-ms MS]
 //!          [--log FILE] [--no-phase-trace]
 //! ```
 //!
 //! Defaults: jobs on 127.0.0.1:7077, HTTP on 127.0.0.1:9077, effort 1,
 //! 1 thread per job, 32 jobs in flight, no deadline, request log as JSON
-//! lines on stderr, phase tracing on.
+//! lines on stderr, phase tracing on. `--cache-dir` warm-starts the
+//! crash-safe persistent solver cache from that directory and flushes new
+//! exact verdicts to it every `--cache-flush-ms` (default 5000) and at
+//! shutdown; a missing or broken cache degrades to process-local caching
+//! (logged + counted), never a startup failure.
 
 use serve::{spawn, Config, LogTarget};
 use std::path::PathBuf;
@@ -62,6 +67,14 @@ fn main() -> ExitCode {
                 _ => Err(()),
             },
             "--dump-dir" => val("--dump-dir").map(|v| cfg.dump_dir = Some(PathBuf::from(v))),
+            "--cache-dir" => val("--cache-dir").map(|v| cfg.cache_dir = Some(PathBuf::from(v))),
+            "--cache-flush-ms" => match val("--cache-flush-ms").map(|v| v.parse()) {
+                Ok(Ok(ms)) => {
+                    cfg.cache_flush = Duration::from_millis(ms);
+                    Ok(())
+                }
+                _ => Err(()),
+            },
             "--log" => val("--log").map(|v| cfg.log = LogTarget::File(PathBuf::from(v))),
             "--no-phase-trace" => {
                 cfg.phase_trace = false;
@@ -71,6 +84,7 @@ fn main() -> ExitCode {
                 eprintln!(
                     "usage: codegend [--jobs ADDR] [--http ADDR] [--effort N] [--threads N]\n\
                      \x20               [--deadline-ms MS] [--max-inflight N] [--dump-dir DIR]\n\
+                     \x20               [--cache-dir DIR] [--cache-flush-ms MS]\n\
                      \x20               [--log FILE] [--no-phase-trace]"
                 );
                 return ExitCode::SUCCESS;

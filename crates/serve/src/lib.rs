@@ -79,6 +79,18 @@ pub struct Config {
     /// When set, each request's tier-2 solver queries are dumped as
     /// replayable `.omega` files under `<dump_dir>/<request-id>/`.
     pub dump_dir: Option<PathBuf>,
+    /// When set, the persistent solver cache ([`omega::persist`]) is
+    /// opened under this directory at boot: warm-starts every exact sat
+    /// verdict and gist result a previous process flushed, and appends
+    /// this process's new exact results on a periodic + shutdown flush.
+    /// Every failure mode (unwritable dir, version skew, corruption)
+    /// degrades to plain process-local caching with the reason logged
+    /// and counted — never a startup failure.
+    pub cache_dir: Option<PathBuf>,
+    /// How often the durable cache tier is flushed to disk while running
+    /// (a final flush also runs at shutdown). Only meaningful with
+    /// `cache_dir`.
+    pub cache_flush: Duration,
     /// Run each job under a span collector and feed the per-phase wall
     /// times into the `codegend_phase_seconds` histograms.
     pub phase_trace: bool,
@@ -96,6 +108,8 @@ impl Default for Config {
             deadline: None,
             max_inflight: 32,
             dump_dir: None,
+            cache_dir: None,
+            cache_flush: Duration::from_secs(5),
             phase_trace: true,
             log: LogTarget::Stderr,
         }
@@ -178,7 +192,47 @@ pub fn spawn(cfg: Config) -> io::Result<Daemon> {
             .str("http_addr", &http_addr.to_string())
             .int("max_inflight", state.cfg.max_inflight as i64),
     );
+    // Warm-start the persistent solver cache. Failure is a logged
+    // degradation (the omega::stats counters carry the structured
+    // reason), never a startup error: a daemon on a broken disk serves
+    // from process-local caches exactly like one with no --cache-dir.
+    let cache_enabled = if let Some(dir) = &state.cfg.cache_dir {
+        match omega::persist::init(dir) {
+            Ok(s) => {
+                state.logger.log(
+                    Record::new("persist_open")
+                        .str("dir", &dir.display().to_string())
+                        .int("sat_records", s.sat_records as i64)
+                        .int("gist_records", s.gist_records as i64)
+                        .int("truncated_bytes", s.truncated_bytes as i64)
+                        .str("warm_tier", if s.mmap { "mmap" } else { "heap" }),
+                );
+                true
+            }
+            Err(e) => {
+                state.logger.log(
+                    Record::new("persist_degraded")
+                        .str("dir", &dir.display().to_string())
+                        .str("reason", e.as_str())
+                        .str("msg", &e.to_string()),
+                );
+                // An already-installed store (another daemon in this
+                // process) still wants this daemon's flush thread.
+                matches!(e, omega::persist::PersistError::AlreadyEnabled)
+            }
+        }
+    } else {
+        false
+    };
     let mut accept_threads = Vec::new();
+    if cache_enabled {
+        let state = Arc::clone(&state);
+        accept_threads.push(
+            thread::Builder::new()
+                .name("codegend-cache-flush".into())
+                .spawn(move || cache_flush_loop(state))?,
+        );
+    }
     {
         let state = Arc::clone(&state);
         accept_threads.push(
@@ -215,9 +269,13 @@ impl Daemon {
     }
 
     /// Asks both accept loops to stop (idempotent). In-flight connection
-    /// handlers finish their current request.
+    /// handlers finish their current request. Pending persistent-cache
+    /// records are flushed immediately (the flush thread also flushes on
+    /// its way out, but a caller that exits right after `shutdown` must
+    /// not race it).
     pub fn shutdown(&self) {
         self.state.stop.store(true, Ordering::SeqCst);
+        omega::persist::flush();
         // Unblock the blocking accepts with one throwaway connection each.
         let _ = TcpStream::connect(self.jobs_addr);
         let _ = TcpStream::connect(self.http_addr);
@@ -230,6 +288,23 @@ impl Daemon {
             let _ = t.join();
         }
     }
+}
+
+/// Periodic durable-tier flush, plus one final flush at shutdown. Sleeps
+/// in short steps so shutdown is prompt regardless of the interval.
+fn cache_flush_loop(state: Arc<State>) {
+    let interval = state.cfg.cache_flush.max(Duration::from_millis(10));
+    let step = interval.min(Duration::from_millis(100));
+    let mut since_flush = Duration::ZERO;
+    while !state.stop.load(Ordering::SeqCst) {
+        thread::sleep(step);
+        since_flush += step;
+        if since_flush >= interval {
+            omega::persist::flush();
+            since_flush = Duration::ZERO;
+        }
+    }
+    omega::persist::flush();
 }
 
 fn accept_loop(listener: TcpListener, state: Arc<State>, handler: fn(Arc<State>, TcpStream)) {

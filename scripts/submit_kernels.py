@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Submit the five Table 1 kernels to a running codegend concurrently.
+
+Usage: submit_kernels.py [--port PORT] [--n N] [--tag TAG]
+
+Opens one line-protocol connection per kernel, requires every reply to be
+`ok ... certainty=exact` with a complete body, and exits non-zero with the
+collected failures otherwise. CI uses this both for the telemetry smoke
+lane and for the crash-recovery lane (which submits the same load twice —
+cold and warm — around a SIGKILL).
+"""
+
+import argparse
+import socket
+import sys
+import threading
+
+KERNELS = ("gemv", "qr", "swim", "gemm", "lu")
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--port", type=int, default=7077)
+    ap.add_argument("--n", type=int, default=64)
+    ap.add_argument("--tag", default="ci")
+    args = ap.parse_args()
+
+    failures = []
+
+    def job(kernel: str) -> None:
+        try:
+            s = socket.create_connection(("127.0.0.1", args.port), timeout=120)
+            s.sendall(f"gen kernel={kernel} n={args.n} id={args.tag}-{kernel}\n".encode())
+            f = s.makefile("rb")
+            header = f.readline().decode().strip()
+            if not header.startswith("ok "):
+                failures.append(f"{kernel}: {header}")
+                return
+            fields = dict(t.split("=", 1) for t in header.split()[1:] if "=" in t)
+            body = f.read(int(fields["bytes"]))
+            if fields.get("certainty") != "exact" or len(body) != int(fields["bytes"]):
+                failures.append(f"{kernel}: bad reply {header}")
+            print(kernel, "->", header.split(" bytes=")[0])
+        except Exception as e:  # noqa: BLE001 - report, don't crash the thread
+            failures.append(f"{kernel}: {e!r}")
+
+    threads = [threading.Thread(target=job, args=(k,)) for k in KERNELS]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if failures:
+        sys.exit("\n".join(failures))
+
+
+if __name__ == "__main__":
+    main()
