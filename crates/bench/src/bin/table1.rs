@@ -13,7 +13,11 @@
 //! With `--json FILE`, the per-kernel measurements are also written as a
 //! machine-readable snapshot (see `BENCH_table1.json` at the repo root
 //! for the committed baseline and `scripts/compare_bench.py` for the CI
-//! regression gate that consumes it).
+//! regression gate that consumes it). Each row also embeds a `report`
+//! object — the same `QueryReport` wide-event schema the `codegend`
+//! daemon logs per job and serves at `/debug/requests` — so batch and
+//! daemon cost attribution share one vocabulary
+//! (`scripts/check_report.py` validates both sides).
 //!
 //! With `--trace FILE.json`, one extra cold-cache CodeGen+ generation per
 //! kernel runs under a span collector; the merged trace is written as
@@ -152,10 +156,14 @@ fn main() -> ExitCode {
             "generated code traces differ for {}",
             kernel.name
         );
-        let row = compare(&kernel);
         // Solver activity attributable to *this* kernel: snapshot-diff
         // around the row, not process-cumulative totals (which would make
         // every row's numbers depend on iteration order).
+        let row_before = omega::stats::snapshot();
+        let row_t0 = std::time::Instant::now();
+        let row = compare(&kernel);
+        let row_ns = row_t0.elapsed().as_nanos() as u64;
+        let row_delta = omega::stats::snapshot().delta(&row_before);
         #[cfg(feature = "stats")]
         let stats_delta = omega::stats::snapshot().delta(&stats_before);
         if json_path.is_some() {
@@ -170,13 +178,41 @@ fn main() -> ExitCode {
             );
             #[cfg(not(feature = "stats"))]
             let counters = String::new();
+            // The same wide-event schema the codegend daemon logs per job
+            // and serves at /debug/requests, so batch and daemon cost
+            // attribution diff field-for-field (scripts/check_report.py
+            // validates both). Phases stay empty here: the Table 1
+            // measurements run untraced so timing stays undisturbed.
+            let report = serve::report::QueryReport {
+                id: format!("table1-{}", row.name),
+                kind: "kernel",
+                source: row.name.to_owned(),
+                status: "ok",
+                ts_ms: serve::report::now_ms(),
+                effort: 1,
+                threads: codegenplus::CodeGen::new().resolved_threads(),
+                intra_threads: codegenplus::CodeGen::new().resolved_intra_threads(),
+                lines: row.cgplus.lines,
+                bytes: row.cgplus.bytes,
+                codegen_ns: row.cgplus.codegen_time.as_nanos() as u64,
+                compile_ns: row.cgplus.compile_time.as_nanos() as u64,
+                request_ns: row_ns,
+                certainty: row.cgplus.certainty.clone(),
+                dynamic_cost: Some(row.cgplus.dynamic_cost),
+                phases: Vec::new(),
+                counters: row_delta,
+                slow: false,
+                retained: None,
+                error: None,
+            };
             json_rows.push(format!(
-                "    {{\"kernel\": {:?}, \"threads\": {}, \"cloog\": {}, \"cgplus\": {}{}}}",
+                "    {{\"kernel\": {:?}, \"threads\": {}, \"cloog\": {}, \"cgplus\": {}{}, \"report\": {}}}",
                 row.name,
                 codegenplus::CodeGen::new().resolved_threads(),
                 json_report(&row.cloog),
                 json_report(&row.cgplus),
-                counters
+                counters,
+                report.to_json()
             ));
         }
         print!(

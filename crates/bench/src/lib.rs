@@ -65,6 +65,13 @@ pub struct ToolReport {
     pub dynamic_cost: u64,
     /// Statement instances executed (sanity: equal across tools).
     pub instances: u64,
+    /// Bytes of generated C, counted exactly like the daemon counts its
+    /// response body (trailing newline included), so a batch
+    /// `QueryReport` matches the daemon's for the same kernel.
+    pub bytes: usize,
+    /// `exact` or `approximate:reason+reason` — the shared
+    /// [`serve::report::certainty_tag`] vocabulary.
+    pub certainty: String,
     /// Log-bucketed histogram of every code-generation repetition's
     /// wall-clock time; [`ToolReport::codegen_time`] is its minimum. The
     /// histogram keeps the full latency distribution mergeable across
@@ -142,6 +149,7 @@ pub fn measure(kernel: &Kernel, tool: Tool) -> ToolReport {
     let run = polyir::execute_with(&compiled.optimized, &kernel.params, &cfg)
         .expect("generated code must execute");
     let cost = CostModel::default().cost(&run.counters);
+    let code = g.to_c();
     ToolReport {
         lines: polyir::lines_of_code(&g.code, &g.names),
         codegen_time,
@@ -149,6 +157,8 @@ pub fn measure(kernel: &Kernel, tool: Tool) -> ToolReport {
         metrics: CodeMetrics::of(&g.code, &g.names),
         dynamic_cost: cost,
         instances: run.counters.stmt_execs,
+        bytes: code.len() + usize::from(!code.ends_with('\n')),
+        certainty: serve::report::certainty_tag(g.certainty),
         codegen_hist,
     }
 }

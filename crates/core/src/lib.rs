@@ -208,6 +208,17 @@ impl CodeGen {
         par::resolve_threads(self.threads)
     }
 
+    /// The intra-query thread budget [`CodeGen::generate`] will actually
+    /// install: `intra_threads(0)` follows [`CodeGen::resolved_threads`].
+    /// Telemetry reports this resolved value, never the `0` sentinel.
+    pub fn resolved_intra_threads(&self) -> usize {
+        if self.intra_threads == 0 {
+            self.resolved_threads()
+        } else {
+            self.intra_threads
+        }
+    }
+
     /// Enables or disables the Figure 5 if-statement simplification
     /// (default on). Disabling it is the ablation of the paper's second
     /// algorithm: every guard is emitted separately.
@@ -254,11 +265,7 @@ impl CodeGen {
     /// statements disagree on the scanning space, every domain is empty, or
     /// a loop level is unbounded.
     pub fn generate(&self) -> Result<Generated, CodeGenError> {
-        let intra = if self.intra_threads == 0 {
-            self.resolved_threads()
-        } else {
-            self.intra_threads
-        };
+        let intra = self.resolved_intra_threads();
         let (result, certainty) = omega::limits::with_limits(self.limits, || {
             omega::trace::with_collector(self.trace.clone(), || {
                 omega::par::with_intra_threads(intra, || self.generate_inner())

@@ -11,9 +11,11 @@
 //! Usage: `omega-replay [--stats] FILE.omega [FILE.omega ...]`
 //!
 //! With `--stats` (and the `stats` cargo feature), each replay is
-//! followed by the non-zero `omega::stats` counter deltas it caused —
-//! the same counters `codegend` exports at `/metrics` — so a dump can be
-//! profiled in isolation.
+//! followed by one machine-readable JSON line with the `omega::stats`
+//! counter deltas it caused — the same field names as `codegend`'s
+//! per-request `QueryReport` records and the `/metrics` bridge — so a
+//! slow query's standalone replay diffs cleanly against its daemon
+//! report (`jq`-friendly: filter stdout lines starting with `{`).
 //!
 //! Exit status: 0 when every dump replays to its recorded verdict,
 //! 1 on any mismatch or error.
@@ -73,16 +75,7 @@ fn main() -> ExitCode {
             #[cfg(feature = "stats")]
             {
                 let delta = omega::stats::snapshot().delta(&before);
-                let parts: Vec<String> = delta
-                    .fields()
-                    .filter(|(_, v)| *v > 0)
-                    .map(|(k, v)| format!("{k}={v}"))
-                    .collect();
-                if parts.is_empty() {
-                    println!("  counters: (no activity)");
-                } else {
-                    println!("  counters: {}", parts.join(" "));
-                }
+                println!("{}", stats_json(arg, &delta));
             }
         }
     }
@@ -92,4 +85,29 @@ fn main() -> ExitCode {
         eprintln!("{failures} of {} dump(s) failed", files.len());
         ExitCode::FAILURE
     }
+}
+
+/// One JSON line per replayed file: every counter delta (zeros included,
+/// so files diff field-for-field) plus the derived `exact_solves`, under
+/// the exact field names `QueryReport` uses.
+#[cfg(feature = "stats")]
+fn stats_json(file: &str, delta: &omega::stats::Snapshot) -> String {
+    let mut out = String::from("{\"event\":\"replay_stats\",\"file\":\"");
+    for c in file.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push_str("\",\"counters\":{");
+    for (i, (name, value)) in delta.fields().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{name}\":{value}"));
+    }
+    out.push_str(&format!("}},\"exact_solves\":{}}}", delta.exact_solves()));
+    out
 }

@@ -71,11 +71,9 @@ pub(crate) fn gist_conjunct(a: &Conjunct, ctx: &Conjunct) -> Conjunct {
         crate::persist::gist_record(key, &out);
         // Exact gists are dumpable as replayable test cases (degraded ones
         // carry no checkable expectation and are only recorded in spans).
-        if let Some((dir, seq)) = crate::trace::current().and_then(|c| c.dump_target()) {
+        if let Some(c) = crate::trace::current().filter(|c| c.wants_dumps()) {
             let text = crate::provenance::gist_dump_text(a, ctx, &out);
-            if let Err(e) = crate::provenance::write_dump(&dir, &format!("gist-{seq:06}"), &text) {
-                eprintln!("omega: failed to write query dump: {e}");
-            }
+            c.submit_dump("gist", text);
         }
     } else {
         crate::stats::bump!(gist_degraded);

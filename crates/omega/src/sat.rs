@@ -184,7 +184,7 @@ fn satisfiable_with_key(rows: &[Row], n_vars: usize, key: (u64, u64)) -> bool {
             // scheduling-dependent, the query itself is not.
             let exact = crate::root_span!(sat_exact, rows = work.len(), vars = n_vars);
             exact.attr("key", format!("{:016x}{:016x}", key.0, key.1));
-            let dump = crate::trace::current().and_then(|c| c.dump_target());
+            let dump = crate::trace::current().filter(|c| c.wants_dumps());
             let dump_rows = dump.as_ref().map(|_| work.clone());
             faults::begin_query();
             let lim = limits::current();
@@ -199,17 +199,13 @@ fn satisfiable_with_key(rows: &[Row], n_vars: usize, key: (u64, u64)) -> bool {
                     if let Some(pk) = persist_key {
                         crate::persist::sat_record(pk, v);
                     }
-                    if let Some((dir, seq)) = dump {
+                    if let Some(c) = &dump {
                         let text = crate::provenance::sat_dump_text(
                             dump_rows.as_deref().unwrap_or(&[]),
                             n_vars,
                             Some(v),
                         );
-                        if let Err(e) =
-                            crate::provenance::write_dump(&dir, &format!("sat-{seq:06}"), &text)
-                        {
-                            eprintln!("omega: failed to write query dump: {e}");
-                        }
+                        c.submit_dump("sat", text);
                     }
                     span.attr("tier", "tier2");
                     span.attr("sat", v);
@@ -222,17 +218,13 @@ fn satisfiable_with_key(rows: &[Row], n_vars: usize, key: (u64, u64)) -> bool {
                     // to share; a starved verdict must not be replayed to a
                     // later caller running with a fresh budget.
                     exact.attr("degraded", format!("{e}"));
-                    if let Some((dir, seq)) = dump {
+                    if let Some(c) = &dump {
                         let text = crate::provenance::sat_dump_text(
                             dump_rows.as_deref().unwrap_or(&[]),
                             n_vars,
                             None,
                         );
-                        if let Err(e) =
-                            crate::provenance::write_dump(&dir, &format!("sat-{seq:06}"), &text)
-                        {
-                            eprintln!("omega: failed to write query dump: {e}");
-                        }
+                        c.submit_dump("sat", text);
                     }
                     limits::note(e);
                     bump!(sat_degraded);

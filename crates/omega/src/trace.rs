@@ -23,11 +23,20 @@
 //!
 //! # Cost when disabled
 //!
-//! Probes are always compiled but gated on a thread-local flag: with no
-//! collector installed, a [`span!`] site is a single `Cell<bool>` read and
-//! a branch — no timestamp read, no allocation. Probe sites sit at
-//! query/phase granularity (never inside arithmetic kernels), so the
-//! dormant cost is unmeasurable next to the work they would time.
+//! Probes are always compiled but gated on [`probes_live`]: with no
+//! collector installed and no flight hook, a [`span!`] site is a
+//! `Cell<bool>` read, a relaxed atomic load and a branch — no timestamp
+//! read, no allocation. Probe sites sit at query/phase granularity
+//! (never inside arithmetic kernels), so the dormant cost is
+//! unmeasurable next to the work they would time.
+//!
+//! # Flight recording
+//!
+//! A process may install one [`FlightHook`] (see [`install_flight_hook`])
+//! that observes every span open/close on every thread, independent of
+//! collectors — the seam an always-on bounded recorder
+//! (`telemetry::flight`, drained by `codegend`'s `/debug/flight`) plugs
+//! into without `omega` gaining a dependency.
 //!
 //! # Example
 //!
@@ -48,9 +57,9 @@
 use std::cell::{Cell, RefCell};
 use std::fmt;
 use std::io::{self, Write};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 /// An attribute value attached to a span.
@@ -541,14 +550,31 @@ impl fmt::Display for LogHistogram {
 // Recording machinery
 // ---------------------------------------------------------------------------
 
+/// Where a collector sends replayable `.omega` query dumps.
+enum DumpSink {
+    /// Write each dump to this directory as it happens (pre-armed
+    /// provenance: `--dump-dir`).
+    Dir(PathBuf),
+    /// Hold rendered dumps in memory as `(stem, text)` pairs; the owner
+    /// decides after the fact whether to keep them (tail sampling:
+    /// `--slow-ms` retains only slow/erroring/degrading jobs).
+    Buffer(Vec<(String, String)>),
+}
+
+/// Cap on in-memory buffered dumps per collector, so a pathological job
+/// cannot hold unbounded provenance text while waiting for the keep/drop
+/// decision. Overflow drops the newest dumps (the earliest queries are
+/// the ones that reproduce cold-cache behavior).
+const DUMP_BUFFER_CAP: usize = 4096;
+
 struct CollectorInner {
     base: Instant,
     next_id: AtomicU64,
     // Completed roots from every recording thread: (stitch parent, span).
     done: Mutex<Vec<(Option<u64>, Span)>>,
-    // When set, tier-2 sat/gist queries are dumped as replayable `.omega`
-    // files into this directory (see `crate::provenance`).
-    dump_dir: Mutex<Option<PathBuf>>,
+    // When set, tier-2 sat/gist queries are rendered as replayable
+    // `.omega` dumps (see `crate::provenance`) into the sink.
+    dump: Mutex<Option<DumpSink>>,
     dump_seq: AtomicU64,
 }
 
@@ -580,7 +606,7 @@ impl Collector {
                 base: Instant::now(),
                 next_id: AtomicU64::new(1),
                 done: Mutex::new(Vec::new()),
-                dump_dir: Mutex::new(None),
+                dump: Mutex::new(None),
                 dump_seq: AtomicU64::new(0),
             }),
         }
@@ -590,12 +616,68 @@ impl Collector {
     /// while this collector is installed is also written as a replayable
     /// `.omega` file into `dir` (created on first dump).
     pub fn dump_queries(&self, dir: impl Into<PathBuf>) {
-        *lock(&self.inner.dump_dir) = Some(dir.into());
+        *lock(&self.inner.dump) = Some(DumpSink::Dir(dir.into()));
     }
 
-    pub(crate) fn dump_target(&self) -> Option<(PathBuf, u64)> {
-        let dir = lock(&self.inner.dump_dir).clone()?;
-        Some((dir, self.inner.dump_seq.fetch_add(1, Ordering::Relaxed)))
+    /// Enables *buffered* query provenance: dumps are rendered and held
+    /// in memory (up to an internal cap) instead of touching disk, so the
+    /// owner can decide after the job whether to retain them — the
+    /// tail-sampling mode behind `codegend --slow-ms`. Retrieve with
+    /// [`Collector::take_buffered_dumps`] or persist with
+    /// [`Collector::write_buffered_dumps`].
+    pub fn buffer_queries(&self) {
+        *lock(&self.inner.dump) = Some(DumpSink::Buffer(Vec::new()));
+    }
+
+    /// True when a dump sink (directory or buffer) is armed; the solver's
+    /// dump sites skip rendering entirely when it is not.
+    pub(crate) fn wants_dumps(&self) -> bool {
+        lock(&self.inner.dump).is_some()
+    }
+
+    /// Routes one rendered dump to the armed sink. `prefix` is the dump
+    /// kind (`sat`/`gist`); the sequence number keeps stems unique and in
+    /// query order.
+    pub(crate) fn submit_dump(&self, prefix: &str, text: String) {
+        let seq = self.inner.dump_seq.fetch_add(1, Ordering::Relaxed);
+        let stem = format!("{prefix}-{seq:06}");
+        match &mut *lock(&self.inner.dump) {
+            Some(DumpSink::Dir(dir)) => {
+                if let Err(e) = crate::provenance::write_dump(dir, &stem, &text) {
+                    eprintln!("omega: failed to write query dump: {e}");
+                }
+            }
+            Some(DumpSink::Buffer(buf)) if buf.len() < DUMP_BUFFER_CAP => {
+                buf.push((stem, text));
+            }
+            _ => {}
+        }
+    }
+
+    /// Takes the buffered `(stem, text)` dumps accumulated under
+    /// [`Collector::buffer_queries`], leaving an empty buffer armed.
+    /// Empty when buffering was never enabled.
+    pub fn take_buffered_dumps(&self) -> Vec<(String, String)> {
+        match &mut *lock(&self.inner.dump) {
+            Some(DumpSink::Buffer(buf)) => std::mem::take(buf),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Writes the buffered dumps into `dir` (created if needed) as
+    /// replayable `.omega` files, returning how many were written. The
+    /// retention half of tail sampling: called only for jobs worth
+    /// keeping.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation and file-write errors.
+    pub fn write_buffered_dumps(&self, dir: &Path) -> io::Result<usize> {
+        let dumps = self.take_buffered_dumps();
+        for (stem, text) in &dumps {
+            crate::provenance::write_dump(dir, stem, text)?;
+        }
+        Ok(dumps.len())
     }
 
     fn now_ns(&self) -> u64 {
@@ -781,6 +863,41 @@ pub fn active() -> bool {
     ACTIVE.with(Cell::get)
 }
 
+/// A process-wide span sink for flight recording: called with
+/// `(true, name)` when a span opens and `(false, name)` when it closes,
+/// on the recording thread, whether or not a collector is installed.
+///
+/// This is the one seam between `omega` (which owns the probe sites but
+/// depends on nothing) and an always-on recorder living elsewhere
+/// (`telemetry::flight`, installed by `codegend` at boot). The hook must
+/// be cheap, lock-free and panic-free — it runs inside every `span!`
+/// site.
+pub type FlightHook = fn(begin: bool, name: &'static str);
+
+static FLIGHT_HOOK: OnceLock<FlightHook> = OnceLock::new();
+
+/// Installs the process-wide [`FlightHook`]. The first call wins;
+/// subsequent calls are ignored (a hook cannot be uninstalled — probe
+/// sites cache no state, so "installed once, on forever" keeps the gate
+/// a single atomic load).
+pub fn install_flight_hook(hook: FlightHook) {
+    let _ = FLIGHT_HOOK.set(hook);
+}
+
+#[inline]
+fn flight_hook() -> Option<FlightHook> {
+    FLIGHT_HOOK.get().copied()
+}
+
+/// True when any span sink wants events: a collector on this thread
+/// *or* the process-wide flight hook. This is the gate the [`span!`] /
+/// [`root_span!`] macros check; without either sink it is one
+/// thread-local read plus one relaxed atomic load.
+#[inline]
+pub fn probes_live() -> bool {
+    active() || FLIGHT_HOOK.get().is_some()
+}
+
 /// The collector installed on the current thread, if any.
 pub fn current() -> Option<Collector> {
     if !active() {
@@ -925,12 +1042,16 @@ pub struct SpanGuard {
     /// inert. While the guard lives, its `OpenSpan` sits at exactly this
     /// index (children push above, LIFO close pops back down to it).
     slot: usize,
+    /// Set when the flight hook saw this span open: its close is sent to
+    /// the hook on drop, whether or not a collector is also recording.
+    flight: Option<&'static str>,
 }
 
 impl SpanGuard {
     /// Attaches an attribute to this guard's span (usable at any point
     /// before the guard drops, including after nested spans opened and
-    /// closed). A no-op when tracing is inactive.
+    /// closed). A no-op when tracing is inactive (flight-only spans carry
+    /// no attributes — the recorder stores fixed-size records).
     pub fn attr(&self, key: &str, value: impl Into<AttrValue>) {
         if self.slot == usize::MAX {
             return;
@@ -945,7 +1066,10 @@ impl SpanGuard {
     /// The no-op guard used by [`span!`] when tracing is inactive.
     #[inline]
     pub fn inert() -> SpanGuard {
-        SpanGuard { slot: usize::MAX }
+        SpanGuard {
+            slot: usize::MAX,
+            flight: None,
+        }
     }
 }
 
@@ -953,6 +1077,11 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         if self.slot != usize::MAX {
             STATE.with(|s| close_top(&mut s.borrow_mut()));
+        }
+        if let Some(name) = self.flight {
+            if let Some(hook) = flight_hook() {
+                hook(false, name);
+            }
         }
     }
 }
@@ -972,27 +1101,40 @@ fn begin(name: &'static str, detached: bool) -> SpanGuard {
             id: None,
             detached,
         });
-        SpanGuard { slot }
+        SpanGuard { slot, flight: None }
     })
 }
 
-/// Opens a span named `name`. Prefer the [`span!`] macro, which skips even
-/// the call when tracing is inactive.
-pub fn span_begin(name: &'static str) -> SpanGuard {
-    if !active() {
-        return SpanGuard::inert();
+/// Opens `name` toward both sinks: the flight hook sees the begin
+/// immediately; the collector (when installed) gets a stack entry. The
+/// returned guard closes whichever sinks saw the open.
+fn begin_with_flight(name: &'static str, detached: bool) -> SpanGuard {
+    let flight = flight_hook();
+    if let Some(hook) = flight {
+        hook(true, name);
     }
-    begin(name, false)
+    let mut guard = if active() {
+        begin(name, detached)
+    } else {
+        SpanGuard::inert()
+    };
+    guard.flight = flight.map(|_| name);
+    guard
+}
+
+/// Opens a span named `name`. Prefer the [`span!`] macro, which skips even
+/// the call when no sink is live.
+pub fn span_begin(name: &'static str) -> SpanGuard {
+    begin_with_flight(name, false)
 }
 
 /// Opens a *detached* span: recorded as a top-level root of the trace (a
 /// per-query call tree) even when enclosing spans are open. Prefer the
-/// [`root_span!`] macro.
+/// [`root_span!`] macro. The flight recorder sees it as an ordinary
+/// nested span (its rings are per thread; detachment is a collector
+/// merge concept).
 pub fn root_span_begin(name: &'static str) -> SpanGuard {
-    if !active() {
-        return SpanGuard::inert();
-    }
-    begin(name, true)
+    begin_with_flight(name, true)
 }
 
 /// Opens a span recording a call-tree interval, returning an RAII guard.
@@ -1003,12 +1145,14 @@ pub fn root_span_begin(name: &'static str) -> SpanGuard {
 /// _s.attr("tier", "cache");                   // close-time attribute
 /// ```
 ///
-/// With no collector installed the expansion is one thread-local flag
-/// check; nothing is timed or allocated.
+/// With no collector installed and no flight hook, the expansion is one
+/// thread-local flag check plus one relaxed atomic load; nothing is
+/// timed or allocated. With only the flight hook live, the span is a
+/// fixed-size ring-buffer record at open and close.
 #[macro_export]
 macro_rules! span {
     ($name:ident) => {
-        if $crate::trace::active() {
+        if $crate::trace::probes_live() {
             $crate::trace::span_begin(stringify!($name))
         } else {
             $crate::trace::SpanGuard::inert()
@@ -1029,7 +1173,7 @@ macro_rules! span {
 #[macro_export]
 macro_rules! root_span {
     ($name:ident) => {
-        if $crate::trace::active() {
+        if $crate::trace::probes_live() {
             $crate::trace::root_span_begin(stringify!($name))
         } else {
             $crate::trace::SpanGuard::inert()

@@ -8,6 +8,7 @@
 //! codegend [--jobs ADDR] [--http ADDR] [--effort N] [--threads N]
 //!          [--deadline-ms MS] [--max-inflight N] [--dump-dir DIR]
 //!          [--cache-dir DIR] [--cache-flush-ms MS]
+//!          [--slow-ms MS] [--slow-dir DIR] [--flight-kb KB]
 //!          [--log FILE] [--no-phase-trace]
 //! ```
 //!
@@ -17,7 +18,12 @@
 //! crash-safe persistent solver cache from that directory and flushes new
 //! exact verdicts to it every `--cache-flush-ms` (default 5000) and at
 //! shutdown; a missing or broken cache degrades to process-local caching
-//! (logged + counted), never a startup failure.
+//! (logged + counted), never a startup failure. `--slow-ms` arms tail
+//! sampling: a job slower than the threshold (or erroring, or degrading)
+//! keeps its full span trace and replayable `.omega` provenance under
+//! `--slow-dir` (default `codegend-slow`); fast healthy jobs keep
+//! nothing. `--flight-kb` sizes the always-on flight recorder's
+//! per-thread rings (default 256), drained live at `/debug/flight`.
 
 use serve::{spawn, Config, LogTarget};
 use std::path::PathBuf;
@@ -75,6 +81,21 @@ fn main() -> ExitCode {
                 }
                 _ => Err(()),
             },
+            "--slow-ms" => match val("--slow-ms").map(|v| v.parse()) {
+                Ok(Ok(ms)) => {
+                    cfg.slow_ms = Some(ms);
+                    Ok(())
+                }
+                _ => Err(()),
+            },
+            "--slow-dir" => val("--slow-dir").map(|v| cfg.slow_dir = PathBuf::from(v)),
+            "--flight-kb" => match val("--flight-kb").map(|v| v.parse::<usize>()) {
+                Ok(Ok(kb)) => {
+                    cfg.flight_bytes = kb * 1024;
+                    Ok(())
+                }
+                _ => Err(()),
+            },
             "--log" => val("--log").map(|v| cfg.log = LogTarget::File(PathBuf::from(v))),
             "--no-phase-trace" => {
                 cfg.phase_trace = false;
@@ -85,6 +106,7 @@ fn main() -> ExitCode {
                     "usage: codegend [--jobs ADDR] [--http ADDR] [--effort N] [--threads N]\n\
                      \x20               [--deadline-ms MS] [--max-inflight N] [--dump-dir DIR]\n\
                      \x20               [--cache-dir DIR] [--cache-flush-ms MS]\n\
+                     \x20               [--slow-ms MS] [--slow-dir DIR] [--flight-kb KB]\n\
                      \x20               [--log FILE] [--no-phase-trace]"
                 );
                 return ExitCode::SUCCESS;

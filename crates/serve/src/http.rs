@@ -1,4 +1,5 @@
-//! A std-only HTTP/1.1 responder for the two observability endpoints.
+//! A std-only HTTP/1.1 responder for the observability endpoints
+//! (`/metrics`, `/healthz`, and the `/debug/*` introspection surface).
 //!
 //! Deliberately minimal: no framework, no keep-alive, no chunking — each
 //! connection gets one request head (capped at 8 KiB), one
@@ -50,10 +51,15 @@ fn route(state: &State, method: &str, path: &str) -> (&'static str, &'static str
             state.metrics_text(),
         ),
         "/healthz" => ("200 OK", "application/json", state.healthz_json()),
+        "/debug/requests" => ("200 OK", "application/json", state.debug_requests_json()),
+        "/debug/flight" => ("200 OK", "application/json", state.debug_flight_json()),
+        "/debug/stats" => ("200 OK", "application/json", state.debug_stats_json()),
+        "/debug/config" => ("200 OK", "application/json", state.debug_config_json()),
         _ => (
             "404 Not Found",
             "text/plain; charset=utf-8",
-            "not found (try /metrics or /healthz)\n".to_owned(),
+            "not found (try /metrics, /healthz, /debug/requests, /debug/flight, /debug/stats, /debug/config)\n"
+                .to_owned(),
         ),
     }
 }

@@ -11,13 +11,25 @@
 //!   counters, per-phase latency histograms harvested from the `span!`
 //!   probes, and the cumulative `omega::stats` solver counters bridged at
 //!   scrape time;
-//! * **`GET /healthz`** — a JSON readiness probe with uptime and job
-//!   totals;
+//! * **`GET /healthz`** — a JSON readiness probe with uptime, job
+//!   totals, resolved thread counts, cumulative degradations, and the
+//!   persistent-cache tier state;
 //! * **structured JSON request logs** — one line per request with a
 //!   request id that, when `--dump-dir` is set, names the directory of
 //!   replayable `.omega` provenance dumps for that request's tier-2
 //!   solver queries (`omega-replay` closes the loop from a slow request
-//!   in the log to a standalone reproduction).
+//!   in the log to a standalone reproduction), plus one canonical
+//!   [`report::QueryReport`] wide event per job with per-phase wall
+//!   times and solver counter deltas;
+//! * **`GET /debug/*`** — live introspection: `/debug/requests` (the
+//!   recent [`report::QueryReport`]s), `/debug/flight` (drains the
+//!   always-on [`telemetry::flight`] recorder as a Chrome trace),
+//!   `/debug/stats` (solver counters + recorder occupancy), and
+//!   `/debug/config` (the resolved [`Config`]);
+//! * **tail sampling** — with `--slow-ms N`, only jobs slower than `N`
+//!   milliseconds (or that error or degrade) retain their full span
+//!   trace and `.omega` provenance dumps under `--slow-dir`; fast,
+//!   healthy jobs leave nothing on disk.
 //!
 //! Generation stays deterministic: a daemon answer for a kernel job is
 //! byte-identical to what the batch `table1` pipeline produces for the
@@ -32,12 +44,15 @@
 
 pub mod metrics;
 pub mod proto;
+pub mod report;
 
 mod http;
 
 use crate::metrics::Metrics;
 use crate::proto::{parse_request, JobSource, JobSpec, Request};
+use crate::report::{certainty_tag, QueryReport};
 use codegenplus::{pad_statements, CodeGen, Statement};
+use std::fmt::Write as _;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -94,6 +109,20 @@ pub struct Config {
     /// Run each job under a span collector and feed the per-phase wall
     /// times into the `codegend_phase_seconds` histograms.
     pub phase_trace: bool,
+    /// Tail-sampling threshold. When set, a job slower than this many
+    /// milliseconds — or one that errors or degrades — retains its full
+    /// span trace (`trace.json`) and buffered `.omega` provenance dumps
+    /// under `<slow_dir>/<request-id>/`. Fast, healthy jobs retain
+    /// nothing. `0` retains every job (useful in tests).
+    pub slow_ms: Option<u64>,
+    /// Where tail-sampled slow-job artifacts land (only with `slow_ms`).
+    pub slow_dir: PathBuf,
+    /// Per-thread byte budget of the always-on flight recorder
+    /// ([`telemetry::flight`]); drained by `GET /debug/flight`.
+    pub flight_bytes: usize,
+    /// How many recent [`report::QueryReport`]s `GET /debug/requests`
+    /// retains in memory.
+    pub report_ring: usize,
     /// Structured request-log sink.
     pub log: LogTarget,
 }
@@ -111,13 +140,17 @@ impl Default for Config {
             cache_dir: None,
             cache_flush: Duration::from_secs(5),
             phase_trace: true,
+            slow_ms: None,
+            slow_dir: PathBuf::from("codegend-slow"),
+            flight_bytes: 256 * 1024,
+            report_ring: 256,
             log: LogTarget::Stderr,
         }
     }
 }
 
-/// Shared daemon state: config, metrics, logger, and the counters the
-/// health endpoint reports.
+/// Shared daemon state: config, metrics, logger, the report ring behind
+/// `/debug/requests`, and the counters the health endpoint reports.
 pub(crate) struct State {
     cfg: Config,
     pub(crate) metrics: Metrics,
@@ -127,6 +160,7 @@ pub(crate) struct State {
     inflight: AtomicU64,
     jobs_total: AtomicU64,
     stop: AtomicBool,
+    reports: report::ReportRing,
 }
 
 impl State {
@@ -140,16 +174,163 @@ impl State {
         self.metrics.registry.expose()
     }
 
-    /// The `/healthz` body.
+    /// The `/healthz` body: readiness plus the operational facts a probe
+    /// wants before paging anyone — resolved parallelism, cumulative
+    /// degradations by kind, and the persistent-cache tier state.
     pub(crate) fn healthz_json(&self) -> String {
-        format!(
-            "{{\"status\":\"ready\",\"uptime_ms\":{},\"jobs_total\":{},\"inflight\":{},\"shed_total\":{}}}\n",
+        let stats = omega::stats::snapshot();
+        let cg = CodeGen::new().threads(self.cfg.default_threads);
+        let mut out = format!(
+            "{{\"status\":\"ready\",\"uptime_ms\":{},\"jobs_total\":{},\"inflight\":{},\"shed_total\":{},\
+             \"threads\":{},\"intra_threads\":{},\
+             \"degraded\":{{\"sat\":{},\"gist\":{},\"by_reason\":{{\"overflow\":{},\"budget\":{},\
+             \"depth\":{},\"rowcap\":{},\"deadline\":{}}}}}",
             self.started.elapsed().as_millis(),
             self.jobs_total.load(Ordering::Relaxed),
             self.inflight.load(Ordering::Relaxed),
             self.metrics.shed.get(),
-        )
+            cg.resolved_threads(),
+            cg.resolved_intra_threads(),
+            stats.sat_degraded,
+            stats.gist_degraded,
+            stats.degrade_overflow,
+            stats.degrade_budget,
+            stats.degrade_depth,
+            stats.degrade_rowcap,
+            stats.degrade_deadline,
+        );
+        match omega::persist::installed() {
+            Some(store) => {
+                let s = store.open_summary();
+                let _ = write!(
+                    out,
+                    ",\"persist\":{{\"enabled\":true,\"dir\":\"{}\",\"sat_records\":{},\"gist_records\":{},\
+                     \"pending_bytes\":{},\"write_disabled\":{}}}",
+                    json_escape(&store.dir().display().to_string()),
+                    s.sat_records,
+                    s.gist_records,
+                    store.pending_bytes(),
+                    store.write_disabled(),
+                );
+            }
+            None => out.push_str(",\"persist\":{\"enabled\":false}"),
+        }
+        out.push_str("}\n");
+        out
     }
+
+    /// The `/debug/requests` body: recent [`QueryReport`]s, oldest first.
+    pub(crate) fn debug_requests_json(&self) -> String {
+        self.reports.to_json()
+    }
+
+    /// The `/debug/flight` body: drains the flight recorder into one
+    /// Chrome trace. Draining consumes — two concurrent drains split the
+    /// events between them, each still a valid trace.
+    pub(crate) fn debug_flight_json(&self) -> String {
+        let trace = telemetry::flight::drain();
+        let mut buf = Vec::new();
+        // Writing to a Vec cannot fail.
+        let _ = trace.write_chrome_json(&mut buf);
+        String::from_utf8(buf).unwrap_or_default()
+    }
+
+    /// The `/debug/stats` body: cumulative solver counters (with the
+    /// derived rates) plus flight-recorder occupancy.
+    pub(crate) fn debug_stats_json(&self) -> String {
+        let stats = omega::stats::snapshot();
+        let fl = telemetry::flight::stats();
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, value)) in stats.fields().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":{value}");
+        }
+        let _ = writeln!(
+            out,
+            "}},\"exact_solves\":{},\"fast_path_rate\":{:.4},\
+             \"flight\":{{\"threads\":{},\"allocated_bytes\":{},\"budget_bytes\":{},\"recorded\":{}}}}}",
+            stats.exact_solves(),
+            stats.fast_path_rate(),
+            fl.threads,
+            fl.allocated_bytes,
+            fl.budget_bytes,
+            fl.recorded,
+        );
+        out
+    }
+
+    /// The `/debug/config` body: the resolved daemon configuration.
+    pub(crate) fn debug_config_json(&self) -> String {
+        let c = &self.cfg;
+        let mut out = format!(
+            "{{\"jobs_addr\":\"{}\",\"http_addr\":\"{}\",\"default_effort\":{},\"default_threads\":{},\
+             \"max_inflight\":{},\"phase_trace\":{}",
+            json_escape(&c.jobs_addr),
+            json_escape(&c.http_addr),
+            c.default_effort,
+            c.default_threads,
+            c.max_inflight,
+            c.phase_trace,
+        );
+        match c.deadline {
+            Some(d) => {
+                let _ = write!(out, ",\"deadline_ms\":{}", d.as_millis());
+            }
+            None => out.push_str(",\"deadline_ms\":null"),
+        }
+        match &c.dump_dir {
+            Some(p) => {
+                let _ = write!(
+                    out,
+                    ",\"dump_dir\":\"{}\"",
+                    json_escape(&p.display().to_string())
+                );
+            }
+            None => out.push_str(",\"dump_dir\":null"),
+        }
+        match &c.cache_dir {
+            Some(p) => {
+                let _ = write!(
+                    out,
+                    ",\"cache_dir\":\"{}\"",
+                    json_escape(&p.display().to_string())
+                );
+            }
+            None => out.push_str(",\"cache_dir\":null"),
+        }
+        match c.slow_ms {
+            Some(ms) => {
+                let _ = write!(out, ",\"slow_ms\":{ms}");
+            }
+            None => out.push_str(",\"slow_ms\":null"),
+        }
+        let _ = writeln!(
+            out,
+            ",\"slow_dir\":\"{}\",\"flight_bytes\":{},\"report_ring\":{}}}",
+            json_escape(&c.slow_dir.display().to_string()),
+            c.flight_bytes,
+            c.report_ring,
+        );
+        out
+    }
+}
+
+/// Minimal JSON string escaping for the hand-rolled debug bodies.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// A running daemon: two listener threads plus per-connection workers.
@@ -176,6 +357,12 @@ pub fn spawn(cfg: Config) -> io::Result<Daemon> {
         LogTarget::Stderr => Logger::stderr(),
         LogTarget::File(p) => Logger::file(p)?,
     };
+    // The always-on flight recorder: bounded per-thread rings fed by every
+    // span probe in the process via the omega trace hook. Both calls are
+    // idempotent (first budget/hook wins), so embedding several daemons in
+    // one process (the tests do) shares one recorder.
+    telemetry::flight::enable(cfg.flight_bytes);
+    omega::trace::install_flight_hook(flight_bridge);
     let state = Arc::new(State {
         metrics: Metrics::new(),
         logger,
@@ -184,6 +371,7 @@ pub fn spawn(cfg: Config) -> io::Result<Daemon> {
         inflight: AtomicU64::new(0),
         jobs_total: AtomicU64::new(0),
         stop: AtomicBool::new(false),
+        reports: report::ReportRing::new(cfg.report_ring),
         cfg,
     });
     state.logger.log(
@@ -365,7 +553,8 @@ fn handle_jobs_conn(state: Arc<State>, stream: TcpStream) {
     }
 }
 
-/// Admission control, execution, response and logging for one `gen`.
+/// Admission control, execution, response, logging, the per-job
+/// [`QueryReport`] wide event, and tail sampling for one `gen`.
 fn handle_gen(state: &State, w: &mut impl Write, peer: &str, spec: JobSpec) -> io::Result<()> {
     let t0 = Instant::now();
     let id = spec
@@ -399,10 +588,35 @@ fn handle_gen(state: &State, w: &mut impl Write, peer: &str, spec: JobSpec) -> i
         );
     }
     state.metrics.inflight.add(1);
+    // Span collection runs when phase histograms or provenance dumps want
+    // it — and also whenever tail sampling is armed, because the trace is
+    // the artifact a slow job retains. Dumps go straight to --dump-dir
+    // when set; otherwise (tail sampling only) they are buffered in
+    // memory so the keep/discard decision can happen after the job.
+    let slow_armed = state.cfg.slow_ms.is_some();
+    let collector = (state.cfg.phase_trace || state.cfg.dump_dir.is_some() || slow_armed)
+        .then(omega::trace::Collector::new);
+    let dump = match (&collector, &state.cfg.dump_dir) {
+        (Some(c), Some(root)) => {
+            let dir = root.join(&id);
+            c.dump_queries(&dir);
+            Some(dir.display().to_string())
+        }
+        (Some(c), None) if slow_armed => {
+            c.buffer_queries();
+            None
+        }
+        _ => None,
+    };
+    let stats_before = omega::stats::snapshot();
+    telemetry::flight::record(telemetry::flight::FlightKind::Begin, "request");
     // A panicking job must cost only that request, not the daemon: the
     // solver itself is panic-free, but ad-hoc inputs reach library
     // preconditions (space padding, arity checks) that assert.
-    let result = catch_unwind(AssertUnwindSafe(|| run_job(state, &id, &spec)));
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        run_job(state, &spec, collector.as_ref())
+    }));
+    telemetry::flight::record(telemetry::flight::FlightKind::End, "request");
     state.inflight.fetch_sub(1, Ordering::SeqCst);
     state.metrics.inflight.add(-1);
     let result = match result {
@@ -417,7 +631,104 @@ fn handle_gen(state: &State, w: &mut impl Write, peer: &str, spec: JobSpec) -> i
         }
     };
     let request_ns = t0.elapsed().as_nanos() as u64;
-    match result {
+    let counters = omega::stats::snapshot().delta(&stats_before);
+    let trace = collector.as_ref().map(|c| c.finish());
+    if let Some(t) = &trace {
+        state.metrics.record_phases(t);
+    }
+    let phases = trace.as_ref().map(report::phase_totals).unwrap_or_default();
+    let mut rep = match &result {
+        Ok(out) => QueryReport {
+            id: id.clone(),
+            kind,
+            source: source_tag.clone(),
+            status: "ok",
+            ts_ms: report::now_ms(),
+            effort: out.effort,
+            threads: out.threads,
+            intra_threads: out.intra_threads,
+            lines: out.lines,
+            bytes: out.code.len(),
+            codegen_ns: out.codegen_ns,
+            compile_ns: out.compile_ns,
+            request_ns,
+            certainty: out.certainty.clone(),
+            dynamic_cost: out.dynamic_cost,
+            phases,
+            counters,
+            slow: false,
+            retained: None,
+            error: None,
+        },
+        Err(msg) => QueryReport {
+            id: id.clone(),
+            kind,
+            source: source_tag.clone(),
+            status: "err",
+            ts_ms: report::now_ms(),
+            effort: spec.effort.unwrap_or(state.cfg.default_effort),
+            threads: 0,
+            intra_threads: 0,
+            lines: 0,
+            bytes: 0,
+            codegen_ns: 0,
+            compile_ns: 0,
+            request_ns,
+            certainty: String::new(),
+            dynamic_cost: None,
+            phases,
+            counters,
+            slow: false,
+            retained: None,
+            error: Some(msg.clone()),
+        },
+    };
+    // Tail sampling: keep the full trace and provenance only for jobs
+    // worth a second look — over the latency threshold, errored, or
+    // degraded. Everything else leaves no artifacts.
+    if let Some(ms) = state.cfg.slow_ms {
+        let degraded = rep.certainty.starts_with("approximate");
+        let reason = if rep.status == "err" {
+            Some("error")
+        } else if degraded {
+            Some("degraded")
+        } else if request_ns > ms.saturating_mul(1_000_000) {
+            Some("threshold")
+        } else {
+            None
+        };
+        if let Some(reason) = reason {
+            rep.slow = true;
+            let dir = state.cfg.slow_dir.join(&id);
+            let mut kept = 0usize;
+            match retain_slow_artifacts(&dir, trace.as_ref(), collector.as_ref(), &mut kept) {
+                Ok(()) => rep.retained = Some(dir.display().to_string()),
+                // Retention must never fail the request.
+                Err(e) => state.logger.log(
+                    Record::new("slow_retain_error")
+                        .str("id", &id)
+                        .str("msg", &e.to_string()),
+                ),
+            }
+            state.metrics.slow.with(&[reason]).inc();
+            state.logger.log(
+                Record::new("slow_query")
+                    .str("id", &id)
+                    .str("reason", reason)
+                    .int("request_ns", request_ns as i64)
+                    .int("threshold_ms", ms as i64)
+                    .int("dumps", kept as i64)
+                    .str("dir", &dir.display().to_string()),
+            );
+        } else if let Some(c) = &collector {
+            // Fast healthy job: discard any buffered provenance.
+            drop(c.take_buffered_dumps());
+        }
+    }
+    // The compact per-request record first (the line older tooling greps
+    // for), then the canonical wide event — both carry the id, so either
+    // one joins to the other and to the provenance directories.
+    match &result {
         Ok(out) => {
             state.jobs_total.fetch_add(1, Ordering::Relaxed);
             state.metrics.requests.with(&[kind, "ok"]).inc();
@@ -438,18 +749,8 @@ fn handle_gen(state: &State, w: &mut impl Write, peer: &str, spec: JobSpec) -> i
                     .int("compile_ns", out.compile_ns as i64)
                     .int("request_ns", request_ns as i64)
                     .str("certainty", &out.certainty)
-                    .opt_str("dump", out.dump.as_deref()),
+                    .opt_str("dump", dump.as_deref()),
             );
-            writeln!(
-                w,
-                "ok id={id} source={source_tag} lines={} codegen_ns={} compile_ns={} certainty={} bytes={}",
-                out.lines,
-                out.codegen_ns,
-                out.compile_ns,
-                out.certainty,
-                out.code.len()
-            )?;
-            w.write_all(out.code.as_bytes())
         }
         Err(msg) => {
             state.metrics.requests.with(&[kind, "err"]).inc();
@@ -461,10 +762,26 @@ fn handle_gen(state: &State, w: &mut impl Write, peer: &str, spec: JobSpec) -> i
                     .str("kind", kind)
                     .str("source", &source_tag)
                     .str("status", "err")
-                    .str("msg", &msg),
+                    .str("msg", msg),
             );
-            writeln!(w, "err id={id} msg={}", sanitize_line(&msg))
         }
+    }
+    state.logger.log_line(&rep.to_json());
+    state.reports.push(rep);
+    match result {
+        Ok(out) => {
+            writeln!(
+                w,
+                "ok id={id} source={source_tag} lines={} codegen_ns={} compile_ns={} certainty={} bytes={}",
+                out.lines,
+                out.codegen_ns,
+                out.compile_ns,
+                out.certainty,
+                out.code.len()
+            )?;
+            w.write_all(out.code.as_bytes())
+        }
+        Err(msg) => writeln!(w, "err id={id} msg={}", sanitize_line(&msg)),
     }
 }
 
@@ -482,14 +799,34 @@ struct JobOutput {
     certainty: String,
     effort: usize,
     threads: usize,
-    dump: Option<String>,
+    intra_threads: usize,
+    dynamic_cost: Option<u64>,
+}
+
+/// Pads and converts a kernel's statements for the generators — the same
+/// preparation the batch `table1` harness performs, so a daemon answer
+/// for a kernel job stays byte-identical to the batch pipeline's.
+fn statements_of(kernel: &chill::Kernel) -> Vec<Statement> {
+    let stmts: Vec<Statement> = kernel
+        .nest
+        .statements()
+        .iter()
+        .map(|s| Statement::new(s.name.clone(), s.domain.clone()).with_args(s.args.clone()))
+        .collect();
+    pad_statements(&stmts, 0)
 }
 
 /// Builds the statements, runs CodeGen+ (and the stand-in compiler for
-/// its pass timings), harvests the span trace into the phase histograms,
-/// and counts degradations per reason.
-fn run_job(state: &State, id: &str, spec: &JobSpec) -> Result<JobOutput, String> {
-    let stmts = match &spec.source {
+/// its pass timings), executes kernel jobs for their dynamic cost, and
+/// counts degradations per reason. Span collection is the caller's: the
+/// collector (when any) is installed here but finished by `handle_gen`,
+/// which owns the trace for phase histograms, reports and tail sampling.
+fn run_job(
+    state: &State,
+    spec: &JobSpec,
+    collector: Option<&omega::trace::Collector>,
+) -> Result<JobOutput, String> {
+    let (stmts, params) = match &spec.source {
         JobSource::Kernel { name, n } => {
             let kernel = chill::recipes::all(*n)
                 .into_iter()
@@ -497,7 +834,7 @@ fn run_job(state: &State, id: &str, spec: &JobSpec) -> Result<JobOutput, String>
                 .ok_or_else(|| {
                     format!("unknown kernel {name:?} (expected one of gemv qr swim gemm lu)")
                 })?;
-            bench_harness::statements_of(&kernel)
+            (statements_of(&kernel), Some(kernel.params))
         }
         JobSource::Spaces(texts) => {
             let mut stmts = Vec::with_capacity(texts.len());
@@ -505,21 +842,11 @@ fn run_job(state: &State, id: &str, spec: &JobSpec) -> Result<JobOutput, String>
                 let set = omega::Set::parse(text).map_err(|e| format!("statement {i}: {e}"))?;
                 stmts.push(Statement::new(format!("s{i}"), set));
             }
-            pad_statements(&stmts, 0)
+            (pad_statements(&stmts, 0), None)
         }
     };
     let effort = spec.effort.unwrap_or(state.cfg.default_effort);
     let threads = spec.threads.unwrap_or(state.cfg.default_threads);
-    let collector =
-        (state.cfg.phase_trace || state.cfg.dump_dir.is_some()).then(omega::trace::Collector::new);
-    let dump = match (&collector, &state.cfg.dump_dir) {
-        (Some(c), Some(root)) => {
-            let dir = root.join(id);
-            c.dump_queries(&dir);
-            Some(dir.display().to_string())
-        }
-        _ => None,
-    };
     let mut cg = CodeGen::new()
         .statements(stmts)
         .effort(effort)
@@ -530,26 +857,36 @@ fn run_job(state: &State, id: &str, spec: &JobSpec) -> Result<JobOutput, String>
             ..omega::Limits::default()
         });
     }
-    if let Some(c) = &collector {
+    if let Some(c) = collector {
         cg = cg.trace(c.clone());
     }
-    // Log the *resolved* count: `threads == 0` means "available
+    // Log the *resolved* counts: `threads == 0` means "available
     // parallelism", probed once per process, and the structured request
     // records should show what actually ran, not the sentinel.
     let threads = cg.resolved_threads();
+    let intra_threads = cg.resolved_intra_threads();
     let t0 = Instant::now();
     let g = cg.generate().map_err(|e| e.to_string())?;
     let codegen_ns = t0.elapsed().as_nanos() as u64;
     // The stand-in compiler pipeline, for its pass_* spans and the
     // compile-time column the batch harness also reports.
     let t1 = Instant::now();
-    omega::trace::with_collector(collector.clone(), || {
-        polyir::passes::compile(&g.code);
-    });
+    let compiled =
+        omega::trace::with_collector(collector.cloned(), || polyir::passes::compile(&g.code));
     let compile_ns = t1.elapsed().as_nanos() as u64;
-    if let Some(c) = &collector {
-        state.metrics.record_phases(&c.finish());
-    }
+    // Dynamic cost under the default cost model, when the job's execution
+    // parameters are known (kernel jobs). This gives cost attribution a
+    // performance proxy comparable with the batch harness's Table 1
+    // column; ad-hoc spaces have no parameter values to execute with.
+    let dynamic_cost = params.and_then(|p| {
+        let cfg = polyir::ExecConfig {
+            record_trace: false,
+            ..polyir::ExecConfig::default()
+        };
+        polyir::execute_with(&compiled.optimized, &p, &cfg)
+            .ok()
+            .map(|run| polyir::CostModel::default().cost(&run.counters))
+    });
     state.metrics.codegen_seconds.observe_ns(codegen_ns);
     for reason in g.certainty.reasons().iter() {
         state.metrics.degraded.with(&[reason.as_str()]).inc();
@@ -566,19 +903,43 @@ fn run_job(state: &State, id: &str, spec: &JobSpec) -> Result<JobOutput, String>
         certainty: certainty_tag(g.certainty),
         effort,
         threads,
-        dump,
+        intra_threads,
+        dynamic_cost,
     })
 }
 
-/// `exact`, or `approximate:reason1+reason2` with the stable
-/// [`omega::OmegaError::as_str`] tags.
-fn certainty_tag(c: omega::Certainty) -> String {
-    if c.is_exact() {
-        "exact".to_owned()
-    } else {
-        let reasons: Vec<&str> = c.reasons().iter().map(|e| e.as_str()).collect();
-        format!("approximate:{}", reasons.join("+"))
+/// Writes a tail-sampled job's artifacts under `dir`: the span trace as
+/// `trace.json` (Chrome trace-event format, same exporter as `table1
+/// --trace`) and any buffered `.omega` provenance dumps, replayable with
+/// `omega-replay`.
+fn retain_slow_artifacts(
+    dir: &std::path::Path,
+    trace: Option<&omega::trace::Trace>,
+    collector: Option<&omega::trace::Collector>,
+    kept: &mut usize,
+) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    if let Some(t) = trace {
+        let mut f = std::fs::File::create(dir.join("trace.json"))?;
+        t.write_chrome_json(&mut f)?;
     }
+    if let Some(c) = collector {
+        *kept = c.write_buffered_dumps(dir)?;
+    }
+    Ok(())
+}
+
+/// The [`omega::trace::FlightHook`] bridging every span probe in the
+/// process into the flight recorder's per-thread rings.
+fn flight_bridge(begin: bool, name: &'static str) {
+    telemetry::flight::record(
+        if begin {
+            telemetry::flight::FlightKind::Begin
+        } else {
+            telemetry::flight::FlightKind::End
+        },
+        name,
+    );
 }
 
 #[cfg(test)]

@@ -11,6 +11,7 @@
 //!   `phase`, `reason`, `event`) — never request-supplied strings, so
 //!   cardinality is bounded by program structure.
 
+use crate::report::is_phase_name;
 use std::sync::Arc;
 use telemetry::{Counter, Family, Gauge, Histogram, Registry};
 
@@ -29,6 +30,9 @@ pub struct Metrics {
     /// Jobs whose certificate degraded, by `reason`
     /// (`omega::OmegaError::as_str` tags, e.g. `deadline-exceeded`).
     pub degraded: Arc<Family<Counter>>,
+    /// Jobs retained by tail sampling (`--slow-ms`), by trigger
+    /// (`threshold`/`error`/`degraded`).
+    pub slow: Arc<Family<Counter>>,
     /// End-to-end wall time per job (parse to response written).
     pub request_seconds: Arc<Histogram>,
     /// Code-generation wall time per job.
@@ -63,6 +67,11 @@ impl Metrics {
             degraded: registry.counter_vec(
                 "codegend_jobs_degraded",
                 "Jobs whose degradation certificate was Approximate, by limit reason.",
+                &["reason"],
+            ),
+            slow: registry.counter_vec(
+                "codegend_jobs_slow",
+                "Jobs retained by tail sampling, by trigger (threshold/error/degraded).",
                 &["reason"],
             ),
             request_seconds: registry.histogram(
@@ -124,26 +133,6 @@ impl Default for Metrics {
     fn default() -> Metrics {
         Metrics::new()
     }
-}
-
-/// The span names that feed `codegend_phase_seconds`: scanner phases,
-/// polyir passes, lift sub-phases, and the solver query entry points.
-fn is_phase_name(name: &str) -> bool {
-    name.starts_with("cg_")
-        || name.starts_with("pass_")
-        || name.starts_with("lift_")
-        || matches!(
-            name,
-            "merge_ifs"
-                | "sat_query"
-                | "sat_exact"
-                | "gist_query"
-                | "gist_exact"
-                | "fm_eliminate"
-                | "project"
-                | "hull"
-                | "approximate"
-        )
 }
 
 #[cfg(test)]

@@ -1,0 +1,431 @@
+//! Always-on flight recorder: a bounded, lock-free ring of recent span
+//! begin/end and instant events, drainable at any moment as a Chrome
+//! trace.
+//!
+//! The span collector (`omega::trace::Collector`) answers "profile *this*
+//! run" — it must be armed before the work starts. The flight recorder
+//! answers the operational question that arrives *after* the fact: "what
+//! was the process doing just now?" Every probe site writes a tiny fixed
+//! record into a per-thread ring buffer; when something looks wrong, an
+//! operator drains the rings into Chrome trace-event JSON
+//! (`/debug/flight` in `codegend`) and gets the recent past without any
+//! pre-arming.
+//!
+//! # Memory model
+//!
+//! * One ring per recording thread, allocated lazily on that thread's
+//!   first record, sized by the byte budget fixed at [`enable`] time
+//!   (capacity = budget / slot size, minimum 8 slots). Total memory is
+//!   `budget × threads-that-ever-recorded`; rings outlive their threads
+//!   (they stay drainable) but are never reallocated or grown.
+//! * Each slot is a fixed 16-byte group of atomics: timestamp, interned
+//!   name id, record kind. Names are `&'static str`s interned into a
+//!   process-wide table on first use per thread (a tiny thread-local
+//!   cache makes the steady-state lookup a short linear scan); the table
+//!   is bounded by the program's static probe vocabulary.
+//! * The writer is the ring's owning thread only. A record is three
+//!   relaxed stores plus one release store of the ring head — no CAS, no
+//!   lock, no allocation. When the ring is full the oldest records are
+//!   overwritten (that is the point: bounded memory, recent past).
+//!
+//! # Snapshot consistency
+//!
+//! A drain reads each ring without stopping its writer: it loads the head
+//! (acquire), copies the candidate slots, then re-loads the head and
+//! discards any slot the writer could have been overwriting in between
+//! (`head' < pos + capacity` guarantees slot `pos` was not reused). Torn
+//! records are therefore *dropped*, never exposed; the drop is counted in
+//! [`FlightTrace::dropped`].
+//!
+//! Begin/End balance is restored at export time: an `E` with no matching
+//! open `B` (its begin was overwritten or drained earlier) is discarded,
+//! and a `B` still open at snapshot time gets a synthetic `E` at the
+//! thread's last seen timestamp — so [`FlightTrace::write_chrome_json`]
+//! always emits a balanced trace that `scripts/check_trace.py` accepts.
+
+use std::cell::RefCell;
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// What a flight record marks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlightKind {
+    /// A span opened.
+    Begin,
+    /// A span closed.
+    End,
+    /// A point event with no duration.
+    Instant,
+}
+
+impl FlightKind {
+    fn from_u8(v: u8) -> Option<FlightKind> {
+        match v {
+            0 => Some(FlightKind::Begin),
+            1 => Some(FlightKind::End),
+            2 => Some(FlightKind::Instant),
+            _ => None,
+        }
+    }
+}
+
+/// One slot of a ring: plain atomics so a concurrent drain reads only
+/// whole fields (cross-field consistency comes from the head re-check).
+struct Slot {
+    ts_ns: AtomicU64,
+    name: AtomicU32,
+    kind: AtomicU8,
+}
+
+/// Per-slot cost used to convert the byte budget into a capacity. The
+/// real `Slot` is 16 bytes after padding; using the padded size keeps
+/// "never exceeds its byte budget" literal.
+const SLOT_BYTES: usize = std::mem::size_of::<Slot>();
+
+/// Floor on ring capacity so a pathological budget still records.
+const MIN_SLOTS: usize = 8;
+
+struct Ring {
+    /// Small dense thread id (registration order), used as the Chrome
+    /// `tid` and as the drain order key.
+    tid: u32,
+    /// Records ever completed by the owning thread. The writer bumps it
+    /// with a release store after the slot's fields are written.
+    head: AtomicU64,
+    /// First record number not yet returned by a drain.
+    drained: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+impl Ring {
+    fn new(tid: u32, budget_bytes: usize) -> Ring {
+        let cap = (budget_bytes / SLOT_BYTES).max(MIN_SLOTS);
+        let slots = (0..cap)
+            .map(|_| Slot {
+                ts_ns: AtomicU64::new(0),
+                name: AtomicU32::new(0),
+                kind: AtomicU8::new(0),
+            })
+            .collect();
+        Ring {
+            tid,
+            head: AtomicU64::new(0),
+            drained: AtomicU64::new(0),
+            slots,
+        }
+    }
+
+    /// Single-writer record: only the owning thread calls this.
+    fn push(&self, ts_ns: u64, name_id: u32, kind: FlightKind) {
+        let h = self.head.load(Ordering::Relaxed);
+        let slot = &self.slots[(h % self.slots.len() as u64) as usize];
+        slot.ts_ns.store(ts_ns, Ordering::Relaxed);
+        slot.name.store(name_id, Ordering::Relaxed);
+        slot.kind.store(kind as u8, Ordering::Relaxed);
+        // Publishes the fields above to any acquiring drain.
+        self.head.store(h + 1, Ordering::Release);
+    }
+}
+
+/// Process-wide recorder state, created once by [`enable`].
+struct Shared {
+    epoch: Instant,
+    budget_bytes: usize,
+    rings: Mutex<Vec<Arc<Ring>>>,
+    names: Mutex<Vec<&'static str>>,
+    /// Serializes drains so two concurrent `/debug/flight` requests do
+    /// not both advance the cursors over the same records.
+    drain: Mutex<()>,
+}
+
+static SHARED: OnceLock<Shared> = OnceLock::new();
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+thread_local! {
+    /// This thread's ring, created on first record after `enable`.
+    static RING: RefCell<Option<Arc<Ring>>> = const { RefCell::new(None) };
+    /// Name-interning cache: (str data pointer, table id). The probe
+    /// vocabulary is a few dozen static strings, so a linear scan beats
+    /// a hash map here.
+    static NAME_CACHE: RefCell<Vec<(usize, u32)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Turns the recorder on with a per-thread byte budget. Idempotent; the
+/// first call fixes the budget for the process (later calls only
+/// re-enable recording). Until called, [`record`] is a single relaxed
+/// load and a branch.
+pub fn enable(bytes_per_thread: usize) {
+    SHARED.get_or_init(|| Shared {
+        epoch: Instant::now(),
+        budget_bytes: bytes_per_thread.max(SLOT_BYTES * MIN_SLOTS),
+        rings: Mutex::new(Vec::new()),
+        names: Mutex::new(Vec::new()),
+        drain: Mutex::new(()),
+    });
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// True when [`enable`] has been called (and recording not paused).
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn intern(sh: &Shared, name: &'static str) -> u32 {
+    let ptr = name.as_ptr() as usize;
+    NAME_CACHE.with(|c| {
+        let mut cache = c.borrow_mut();
+        if let Some(&(_, id)) = cache.iter().find(|(p, _)| *p == ptr) {
+            return id;
+        }
+        let mut names = lock(&sh.names);
+        // Dedupe by content: the same literal can have distinct addresses
+        // across codegen units.
+        let id = match names.iter().position(|n| *n == name) {
+            Some(i) => i as u32,
+            None => {
+                names.push(name);
+                (names.len() - 1) as u32
+            }
+        };
+        cache.push((ptr, id));
+        id
+    })
+}
+
+/// Records one event on the calling thread's ring. A no-op (one relaxed
+/// load) before [`enable`]. Never blocks: the only lock in the path is
+/// taken once per thread (ring registration) and once per new name.
+pub fn record(kind: FlightKind, name: &'static str) {
+    if !enabled() {
+        return;
+    }
+    let Some(sh) = SHARED.get() else { return };
+    let name_id = intern(sh, name);
+    let ts_ns = sh.epoch.elapsed().as_nanos() as u64;
+    RING.with(|r| {
+        let mut ring = r.borrow_mut();
+        let ring = ring.get_or_insert_with(|| {
+            let mut rings = lock(&sh.rings);
+            let ring = Arc::new(Ring::new(rings.len() as u32, sh.budget_bytes));
+            rings.push(Arc::clone(&ring));
+            ring
+        });
+        ring.push(ts_ns, name_id, kind);
+    });
+}
+
+/// One drained flight record.
+#[derive(Clone, Debug)]
+pub struct FlightEvent {
+    /// Nanoseconds since [`enable`].
+    pub ts_ns: u64,
+    /// Dense recording-thread id.
+    pub tid: u32,
+    /// Probe site name.
+    pub name: &'static str,
+    /// Begin / End / Instant.
+    pub kind: FlightKind,
+}
+
+/// The result of one [`drain`]: events grouped by thread, each thread's
+/// events in record order.
+#[derive(Clone, Debug, Default)]
+pub struct FlightTrace {
+    /// Drained events (per-thread record order; threads concatenated in
+    /// tid order).
+    pub events: Vec<FlightEvent>,
+    /// Records lost since the previous drain: overwritten by the ring
+    /// wrapping, or discarded because the writer raced the snapshot.
+    pub dropped: u64,
+}
+
+/// Drains every ring: returns all records since the previous drain (up to
+/// each ring's capacity) and advances the cursors. Concurrent writers
+/// keep recording; records they overwrite mid-drain are counted in
+/// [`FlightTrace::dropped`] rather than returned torn.
+pub fn drain() -> FlightTrace {
+    let Some(sh) = SHARED.get() else {
+        return FlightTrace::default();
+    };
+    let _serialize = lock(&sh.drain);
+    let mut rings: Vec<Arc<Ring>> = lock(&sh.rings).clone();
+    rings.sort_by_key(|r| r.tid);
+    let names: Vec<&'static str> = lock(&sh.names).clone();
+    let mut out = FlightTrace::default();
+    for ring in rings {
+        let cap = ring.slots.len() as u64;
+        let h1 = ring.head.load(Ordering::Acquire);
+        let prev = ring.drained.load(Ordering::Relaxed);
+        let lo = prev.max(h1.saturating_sub(cap));
+        // Records the ring wrapped past before we got here.
+        out.dropped += lo - prev;
+        let mut pending: Vec<(u64, u64, u32, u8)> = Vec::with_capacity((h1 - lo) as usize);
+        for pos in lo..h1 {
+            let slot = &ring.slots[(pos % cap) as usize];
+            pending.push((
+                pos,
+                slot.ts_ns.load(Ordering::Relaxed),
+                slot.name.load(Ordering::Relaxed),
+                slot.kind.load(Ordering::Relaxed),
+            ));
+        }
+        // Anything the writer may have been re-writing while we copied is
+        // torn: slot `pos` is reused starting at record `pos + cap`.
+        let h2 = ring.head.load(Ordering::Acquire);
+        for (pos, ts_ns, name_id, kind) in pending {
+            let intact = pos + cap > h2;
+            let decoded = FlightKind::from_u8(kind)
+                .zip(names.get(name_id as usize).copied())
+                .filter(|_| intact);
+            match decoded {
+                Some((kind, name)) => out.events.push(FlightEvent {
+                    ts_ns,
+                    tid: ring.tid,
+                    name,
+                    kind,
+                }),
+                None => out.dropped += 1,
+            }
+        }
+        ring.drained.store(h1, Ordering::Relaxed);
+    }
+    out
+}
+
+/// Point-in-time recorder sizes, for `/debug` surfaces and the budget
+/// tests.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FlightStats {
+    /// Rings allocated so far (threads that ever recorded).
+    pub threads: usize,
+    /// Bytes of slot storage actually allocated, all rings summed.
+    pub allocated_bytes: usize,
+    /// The per-thread byte budget fixed at [`enable`] time.
+    pub budget_bytes: usize,
+    /// Records ever written, all rings summed.
+    pub recorded: u64,
+}
+
+/// Current recorder sizes. Zeroes before [`enable`].
+pub fn stats() -> FlightStats {
+    let Some(sh) = SHARED.get() else {
+        return FlightStats::default();
+    };
+    let rings = lock(&sh.rings);
+    FlightStats {
+        threads: rings.len(),
+        allocated_bytes: rings.iter().map(|r| r.slots.len() * SLOT_BYTES).sum(),
+        budget_bytes: sh.budget_bytes,
+        recorded: rings.iter().map(|r| r.head.load(Ordering::Relaxed)).sum(),
+    }
+}
+
+impl FlightTrace {
+    /// Writes the drained events as Chrome trace-event JSON (array form),
+    /// with per-thread Begin/End balance restored: orphan `E`s (begin lost
+    /// to the ring) are dropped, still-open `B`s get a synthetic `E` at
+    /// the thread's last timestamp, and `Instant` records become `i`
+    /// events. The output passes `scripts/check_trace.py`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors from `w`.
+    pub fn write_chrome_json<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        fn event(
+            w: &mut impl Write,
+            first: &mut bool,
+            name: &str,
+            ph: char,
+            ts_ns: u64,
+            tid: u32,
+        ) -> io::Result<()> {
+            if !*first {
+                w.write_all(b",\n")?;
+            }
+            *first = false;
+            // Probe names are static identifiers; no JSON escaping needed.
+            let mut line = format!(
+                "{{\"name\":\"{name}\",\"cat\":\"flight\",\"ph\":\"{ph}\",\"ts\":{:.3},\"pid\":1,\"tid\":{tid}",
+                ts_ns as f64 / 1_000.0,
+            );
+            if ph == 'i' {
+                line.push_str(",\"s\":\"t\"");
+            }
+            line.push('}');
+            w.write_all(line.as_bytes())
+        }
+        w.write_all(b"[\n")?;
+        let mut first = true;
+        // (tid, open-name stack, last ts seen) — events arrive grouped by
+        // thread, so one active stack at a time would do, but tracking
+        // per tid keeps correctness independent of grouping.
+        let mut stacks: Vec<(u32, Vec<&'static str>, u64)> = Vec::new();
+        for e in &self.events {
+            let stack = match stacks.iter_mut().find(|(t, _, _)| *t == e.tid) {
+                Some(s) => s,
+                None => {
+                    stacks.push((e.tid, Vec::new(), 0));
+                    stacks.last_mut().unwrap()
+                }
+            };
+            stack.2 = stack.2.max(e.ts_ns);
+            match e.kind {
+                FlightKind::Begin => {
+                    stack.1.push(e.name);
+                    event(w, &mut first, e.name, 'B', e.ts_ns, e.tid)?;
+                }
+                FlightKind::End => {
+                    // Balance: only close the innermost open span of the
+                    // same name; an orphan E (its B was overwritten) is
+                    // silently dropped.
+                    if stack.1.last() == Some(&e.name) {
+                        stack.1.pop();
+                        event(w, &mut first, e.name, 'E', e.ts_ns, e.tid)?;
+                    }
+                }
+                FlightKind::Instant => {
+                    event(w, &mut first, e.name, 'i', e.ts_ns, e.tid)?;
+                }
+            }
+        }
+        // Close spans still open at snapshot time.
+        for (tid, mut open, last_ts) in stacks {
+            while let Some(name) = open.pop() {
+                event(w, &mut first, name, 'E', last_ts, tid)?;
+            }
+        }
+        w.write_all(b"\n]\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_roundtrip_and_garbage() {
+        assert_eq!(FlightKind::from_u8(0), Some(FlightKind::Begin));
+        assert_eq!(FlightKind::from_u8(1), Some(FlightKind::End));
+        assert_eq!(FlightKind::from_u8(2), Some(FlightKind::Instant));
+        assert_eq!(FlightKind::from_u8(7), None);
+    }
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        // Must run before any enable() in this process; record() and
+        // drain() on the never-enabled recorder are no-ops. (Integration
+        // tests that enable the recorder live in tests/flight_props.rs —
+        // a separate process — so this stays valid.)
+        record(FlightKind::Begin, "never");
+        let t = drain();
+        assert!(t.events.is_empty());
+        assert_eq!(stats().threads, 0);
+    }
+}

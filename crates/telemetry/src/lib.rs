@@ -5,8 +5,10 @@
 //! *right now*" for a scraper. It provides a [`Registry`] of named metric
 //! families — [`Counter`]s, [`Gauge`]s and log₂-bucketed latency
 //! [`Histogram`]s, each optionally split by a small fixed label set — plus
-//! OpenMetrics/Prometheus text exposition ([`Registry::expose`]) and a
-//! structured JSON log-line builder ([`log::Record`]).
+//! OpenMetrics/Prometheus text exposition ([`Registry::expose`]), a
+//! structured JSON log-line builder ([`log::Record`]), and an always-on
+//! bounded [`flight`] recorder of recent span events, drainable at any
+//! moment as a Chrome trace.
 //!
 //! # Design
 //!
@@ -45,6 +47,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod flight;
 pub mod log;
 
 mod expose;

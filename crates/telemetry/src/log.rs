@@ -166,6 +166,18 @@ impl Logger {
         let _ = sink.write_all(line.as_bytes());
         let _ = sink.flush();
     }
+
+    /// Writes one pre-rendered JSON object verbatim as a log line. For
+    /// records built outside [`Record`] — e.g. wide events embedding
+    /// nested objects — whose byte-identical rendering is also served
+    /// elsewhere; the caller supplies its own timestamp field. Write
+    /// errors are swallowed like in [`Logger::log`].
+    pub fn log_line(&self, json_object: &str) {
+        let mut sink = self.sink.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = sink.write_all(json_object.as_bytes());
+        let _ = sink.write_all(b"\n");
+        let _ = sink.flush();
+    }
 }
 
 #[cfg(test)]

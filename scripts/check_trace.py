@@ -1,11 +1,14 @@
 #!/usr/bin/env python3
-"""Validate a Chrome trace-event JSON file produced by `table1 --trace`.
+"""Validate a Chrome trace-event JSON file.
 
-Checks that the file is well-formed JSON and that the duration events are
-balanced: every `E` closes the innermost open `B` of the same thread, and
-no thread ends with an open span. Run with `--self-test` to verify the
-checker itself rejects the malformed shapes it exists to catch (CI does
-this before trusting a pass verdict).
+Accepts traces from `table1 --trace` and from the codegend flight
+recorder (`GET /debug/flight`). Checks that the file is well-formed JSON
+and that the duration events are balanced: every `E` closes the
+innermost open `B` of the same thread, and no thread ends with an open
+span. Instant events (`ph: "i"`) are allowed and do not affect balance.
+Run with `--self-test` to verify the checker itself rejects the
+malformed shapes it exists to catch (CI does this before trusting a
+pass verdict).
 """
 
 import argparse
@@ -17,6 +20,8 @@ def check(events):
     """Returns the event count; raises AssertionError on a malformed trace."""
     stacks = {}
     for e in events:
+        if e["ph"] == "i":  # instant event: no stack discipline to keep
+            continue
         if e["ph"] not in ("B", "E"):
             raise AssertionError(f"unexpected phase: {e}")
         s = stacks.setdefault(e["tid"], [])
@@ -36,12 +41,13 @@ def self_test():
     good = [
         {"ph": "B", "tid": 1, "name": "a"},
         {"ph": "B", "tid": 2, "name": "c"},
+        {"ph": "i", "tid": 2, "name": "tick"},
         {"ph": "B", "tid": 1, "name": "b"},
         {"ph": "E", "tid": 1, "name": "b"},
         {"ph": "E", "tid": 2, "name": "c"},
         {"ph": "E", "tid": 1, "name": "a"},
     ]
-    assert check(good) == 6
+    assert check(good) == 7
     bad_traces = [
         [{"ph": "B", "tid": 1, "name": "a"}],  # unclosed span
         [{"ph": "E", "tid": 1, "name": "a"}],  # E without B
