@@ -6,15 +6,22 @@
 //!
 //! ```text
 //! codegend [--jobs ADDR] [--http ADDR] [--effort N] [--threads N]
-//!          [--deadline-ms MS] [--max-inflight N] [--dump-dir DIR]
-//!          [--cache-dir DIR] [--cache-flush-ms MS]
+//!          [--deadline-ms MS] [--workers N] [--queue-depth N]
+//!          [--queue-timeout-ms MS] [--quantum N] [--shards N]
+//!          [--dump-dir DIR] [--cache-dir DIR] [--cache-flush-ms MS]
 //!          [--slow-ms MS] [--slow-dir DIR] [--flight-kb KB]
 //!          [--log FILE] [--no-phase-trace]
 //! ```
 //!
 //! Defaults: jobs on 127.0.0.1:7077, HTTP on 127.0.0.1:9077, effort 1,
-//! 1 thread per job, 32 jobs in flight, no deadline, request log as JSON
-//! lines on stderr, phase tracing on. `--cache-dir` warm-starts the
+//! 1 thread per job, no deadline, request log as JSON lines on stderr,
+//! phase tracing on. `--workers` sizes the pool draining the job queue
+//! (0 = machine cores, the default); `--queue-depth` bounds how many
+//! admitted jobs may wait (default 256 — over it, requests get `busy` /
+//! HTTP 503); `--queue-timeout-ms` errors jobs that wait longer instead
+//! of running them stale; `--quantum` is the deficit-round-robin credit
+//! per client visit (default 8); `--shards` spreads the queue locks
+//! (0 = auto). `--cache-dir` warm-starts the
 //! crash-safe persistent solver cache from that directory and flushes new
 //! exact verdicts to it every `--cache-flush-ms` (default 5000) and at
 //! shutdown; a missing or broken cache degrades to process-local caching
@@ -65,9 +72,37 @@ fn main() -> ExitCode {
                 }
                 _ => Err(()),
             },
-            "--max-inflight" => match val("--max-inflight").map(|v| v.parse()) {
+            "--workers" => match val("--workers").map(|v| v.parse()) {
                 Ok(Ok(v)) => {
-                    cfg.max_inflight = v;
+                    cfg.workers = v;
+                    Ok(())
+                }
+                _ => Err(()),
+            },
+            "--queue-depth" => match val("--queue-depth").map(|v| v.parse()) {
+                Ok(Ok(v)) => {
+                    cfg.queue_depth = v;
+                    Ok(())
+                }
+                _ => Err(()),
+            },
+            "--queue-timeout-ms" => match val("--queue-timeout-ms").map(|v| v.parse()) {
+                Ok(Ok(ms)) => {
+                    cfg.queue_timeout = Some(Duration::from_millis(ms));
+                    Ok(())
+                }
+                _ => Err(()),
+            },
+            "--quantum" => match val("--quantum").map(|v| v.parse()) {
+                Ok(Ok(v)) if v >= 1 => {
+                    cfg.drr_quantum = v;
+                    Ok(())
+                }
+                _ => Err(()),
+            },
+            "--shards" => match val("--shards").map(|v| v.parse()) {
+                Ok(Ok(v)) => {
+                    cfg.shards = v;
                     Ok(())
                 }
                 _ => Err(()),
@@ -104,8 +139,9 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: codegend [--jobs ADDR] [--http ADDR] [--effort N] [--threads N]\n\
-                     \x20               [--deadline-ms MS] [--max-inflight N] [--dump-dir DIR]\n\
-                     \x20               [--cache-dir DIR] [--cache-flush-ms MS]\n\
+                     \x20               [--deadline-ms MS] [--workers N] [--queue-depth N]\n\
+                     \x20               [--queue-timeout-ms MS] [--quantum N] [--shards N]\n\
+                     \x20               [--dump-dir DIR] [--cache-dir DIR] [--cache-flush-ms MS]\n\
                      \x20               [--slow-ms MS] [--slow-dir DIR] [--flight-kb KB]\n\
                      \x20               [--log FILE] [--no-phase-trace]"
                 );

@@ -1,27 +1,93 @@
-//! A std-only HTTP/1.1 responder for the observability endpoints
-//! (`/metrics`, `/healthz`, and the `/debug/*` introspection surface).
+//! A std-only HTTP/1.1 responder: the observability endpoints
+//! (`/metrics`, `/healthz`, the `/debug/*` introspection surface) and
+//! the JSON job API (`POST /v1/gen`, `POST /v1/batch`).
 //!
-//! Deliberately minimal: no framework, no keep-alive, no chunking — each
-//! connection gets one request head (capped at 8 KiB), one
-//! `Content-Length`-framed response, `Connection: close`. That is all a
-//! Prometheus scraper or a `curl` health check needs, and it keeps the
-//! daemon's dependency set empty.
+//! Deliberately minimal: no framework, no keep-alive — each connection
+//! gets one request (head capped at 8 KiB, body at 4 MiB), one
+//! response, `Connection: close`. GET responses are
+//! `Content-Length`-framed; `POST /v1/batch` streams its per-space
+//! replies as chunked NDJSON, one object per chunk, so a client sees
+//! early results while later spaces still generate. That is all a
+//! Prometheus scraper, a `curl` health check, or a line-at-a-time JSON
+//! client needs, and it keeps the daemon's dependency set empty.
+//!
+//! `POST /v1/gen` body (one job; `kernel`/`n` or `spaces`):
+//!
+//! ```json
+//! {"kernel": "gemm", "n": 64, "effort": 1, "threads": 2,
+//!  "id": "x-1", "priority": "interactive", "client": "alice"}
+//! ```
+//!
+//! `POST /v1/batch` body (independent single-space generations):
+//!
+//! ```json
+//! {"spaces": ["[n] -> { [i] : 0 <= i < n }", "{ [i] : i = 0 }"],
+//!  "priority": "bulk", "client": "alice"}
+//! ```
+//!
+//! Over queue capacity, both answer `503` with `Retry-After` instead of
+//! queueing the connection — the HTTP spelling of the line protocol's
+//! `busy`.
 
-use crate::State;
-use std::io::{Read, Write};
+use crate::json::{self, Json};
+use crate::proto::{JobSource, JobSpec, MAX_BATCH_SPACES};
+use crate::queue::{Priority, TaskReply, Work};
+use crate::{submit, Shed, State};
+use std::fmt::Write as _;
+use std::io::{self, Read, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::Duration;
 
+/// Largest accepted `POST /v1/*` body. Generous for a full-size batch
+/// (4096 spaces of a few hundred bytes each) while bounding what one
+/// connection can make the daemon buffer.
+const MAX_BODY: usize = 4 << 20;
+
 pub(crate) fn handle_conn(state: Arc<State>, mut stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-    let Some(head) = read_head(&mut stream) else {
+    let peer = stream
+        .peer_addr()
+        .map(|p| p.to_string())
+        .unwrap_or_default();
+    let Some((head, mut rest)) = read_head(&mut stream) else {
         return;
     };
     let mut parts = head.lines().next().unwrap_or("").split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("");
-    let (status, content_type, body) = route(&state, method, path);
+    let method = parts.next().unwrap_or("").to_owned();
+    let path = parts
+        .next()
+        .unwrap_or("")
+        .split('?')
+        .next()
+        .unwrap_or("")
+        .to_owned();
+    if method == "POST" {
+        let body = match read_body(&mut stream, &head, &mut rest) {
+            Ok(body) => body,
+            Err(msg) => {
+                respond(
+                    &mut stream,
+                    "400 Bad Request",
+                    "application/json",
+                    &error_body(&msg),
+                );
+                return;
+            }
+        };
+        match path.as_str() {
+            "/v1/gen" => post_gen(&state, &mut stream, &peer, &body),
+            "/v1/batch" => post_batch(&state, &mut stream, &peer, &body),
+            _ => respond(
+                &mut stream,
+                "404 Not Found",
+                "application/json",
+                &error_body("not found (POST /v1/gen or /v1/batch)"),
+            ),
+        }
+        return;
+    }
+    let (status, content_type, body) = route(&state, &method, &path);
     let _ = write!(
         stream,
         "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
@@ -41,8 +107,7 @@ fn route(state: &State, method: &str, path: &str) -> (&'static str, &'static str
             "method not allowed\n".to_owned(),
         );
     }
-    // Ignore any query string — scrapers sometimes append cache busters.
-    match path.split('?').next().unwrap_or("") {
+    match path {
         "/metrics" => (
             "200 OK",
             // The classic Prometheus text content type; the body also
@@ -58,19 +123,322 @@ fn route(state: &State, method: &str, path: &str) -> (&'static str, &'static str
         _ => (
             "404 Not Found",
             "text/plain; charset=utf-8",
-            "not found (try /metrics, /healthz, /debug/requests, /debug/flight, /debug/stats, /debug/config)\n"
+            "not found (try /metrics, /healthz, /debug/requests, /debug/flight, /debug/stats, /debug/config, POST /v1/gen, POST /v1/batch)\n"
                 .to_owned(),
         ),
     }
 }
 
+// ---------------------------------------------------------------------------
+// The JSON job API
+// ---------------------------------------------------------------------------
+
+/// `POST /v1/gen`: one job, one `Content-Length`-framed JSON reply.
+fn post_gen(state: &State, stream: &mut TcpStream, peer: &str, body: &str) {
+    let spec = match gen_spec_of(body) {
+        Ok(spec) => spec,
+        Err(msg) => {
+            respond(
+                stream,
+                "400 Bad Request",
+                "application/json",
+                &error_body(&msg),
+            );
+            return;
+        }
+    };
+    match submit(state, peer, Priority::Interactive, Work::Single(spec)) {
+        Err(shed) => respond_busy(stream, &shed),
+        Ok((id, rx)) => {
+            let body = task_reply_json(rx.recv().ok(), &id);
+            respond(stream, "200 OK", "application/json", &body);
+        }
+    }
+}
+
+/// `POST /v1/batch`: one queue entry, chunked NDJSON streaming — a
+/// header object, then one object per space in submission order, each
+/// flushed as its own chunk as the worker finishes it.
+fn post_batch(state: &State, stream: &mut TcpStream, peer: &str, body: &str) {
+    let (base, spaces) = match batch_spec_of(body) {
+        Ok(v) => v,
+        Err(msg) => {
+            respond(
+                stream,
+                "400 Bad Request",
+                "application/json",
+                &error_body(&msg),
+            );
+            return;
+        }
+    };
+    let count = spaces.len();
+    match submit(state, peer, Priority::Batch, Work::Batch { base, spaces }) {
+        Err(shed) => respond_busy(stream, &shed),
+        Ok((id, rx)) => {
+            let _ = (|| -> io::Result<()> {
+                write!(
+                    stream,
+                    "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\n\
+                     Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+                )?;
+                let mut head = String::new();
+                let _ = write!(head, "{{\"id\":\"");
+                json::escape_into(&id, &mut head);
+                let _ = writeln!(head, "\",\"count\":{count}}}");
+                write_chunk(stream, &head)?;
+                for i in 0..count {
+                    let fallback = format!("{id}#{i}");
+                    let mut line = task_reply_json(rx.recv().ok(), &fallback);
+                    line.push('\n');
+                    write_chunk(stream, &line)?;
+                }
+                stream.write_all(b"0\r\n\r\n")?;
+                stream.flush()
+            })();
+        }
+    }
+}
+
+/// One chunked-transfer-encoding chunk, flushed so the client sees it
+/// before the next space finishes.
+fn write_chunk(stream: &mut TcpStream, data: &str) -> io::Result<()> {
+    write!(stream, "{:x}\r\n", data.len())?;
+    stream.write_all(data.as_bytes())?;
+    stream.write_all(b"\r\n")?;
+    stream.flush()
+}
+
+/// Renders one worker reply as a JSON object (no trailing newline).
+/// `None` means the daemon dropped the job at shutdown.
+fn task_reply_json(reply: Option<TaskReply>, fallback_id: &str) -> String {
+    let mut out = String::with_capacity(256);
+    out.push_str("{\"id\":\"");
+    match reply {
+        None => {
+            json::escape_into(fallback_id, &mut out);
+            out.push_str("\",\"error\":\"daemon shutting down\"}");
+        }
+        Some(r) => {
+            json::escape_into(&r.id, &mut out);
+            out.push_str("\",\"source\":\"");
+            json::escape_into(&r.source, &mut out);
+            match r.outcome {
+                Ok(job) => {
+                    let _ = write!(
+                        out,
+                        "\",\"lines\":{},\"codegen_ns\":{},\"compile_ns\":{},\"certainty\":\"{}\",\"bytes\":{},\"code\":\"",
+                        job.lines,
+                        job.codegen_ns,
+                        job.compile_ns,
+                        job.certainty,
+                        job.code.len(),
+                    );
+                    json::escape_into(&job.code, &mut out);
+                    out.push_str("\"}");
+                }
+                Err(msg) => {
+                    out.push_str("\",\"error\":\"");
+                    json::escape_into(&msg, &mut out);
+                    out.push_str("\"}");
+                }
+            }
+        }
+    }
+    out
+}
+
+fn error_body(msg: &str) -> String {
+    let mut out = String::from("{\"error\":\"");
+    json::escape_into(msg, &mut out);
+    out.push_str("\"}\n");
+    out
+}
+
+fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.flush();
+}
+
+/// The HTTP spelling of the line protocol's `busy`: `503` with a
+/// `Retry-After` hint and the queue facts in the body.
+fn respond_busy(stream: &mut TcpStream, shed: &Shed) {
+    let mut body = String::from("{\"error\":\"busy\",\"id\":\"");
+    json::escape_into(&shed.id, &mut body);
+    let _ = writeln!(
+        body,
+        "\",\"class\":\"{}\",\"queued\":{},\"capacity\":{}}}",
+        shed.class, shed.queued, shed.capacity
+    );
+    let _ = write!(
+        stream,
+        "HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\nRetry-After: 1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.flush();
+}
+
+// ---------------------------------------------------------------------------
+// Body parsing
+// ---------------------------------------------------------------------------
+
+/// The optional fields shared by both `/v1/*` bodies, in body order:
+/// `id`, `effort`, `threads`, `priority`, `client`.
+type CommonFields = (
+    Option<String>,
+    Option<usize>,
+    Option<usize>,
+    Option<Priority>,
+    Option<String>,
+);
+
+/// The fields shared by both `/v1/*` bodies.
+fn common_fields(v: &Json) -> Result<CommonFields, String> {
+    let id = match v.get("id") {
+        None | Some(Json::Null) => None,
+        Some(j) => {
+            let s = j.as_str().ok_or("id must be a string")?;
+            if s.contains(|c: char| c.is_whitespace() || c == '/') {
+                return Err("id must not contain whitespace or '/'".to_owned());
+            }
+            Some(s.to_owned())
+        }
+    };
+    let effort = match v.get("effort") {
+        None | Some(Json::Null) => None,
+        Some(j) => Some(j.as_u64().ok_or("effort must be a non-negative integer")? as usize),
+    };
+    let threads = match v.get("threads") {
+        None | Some(Json::Null) => None,
+        Some(j) => match j.as_u64() {
+            Some(t) if t >= 1 => Some(t as usize),
+            _ => return Err("threads must be a positive integer".to_owned()),
+        },
+    };
+    let priority = match v.get("priority") {
+        None | Some(Json::Null) => None,
+        Some(j) => {
+            let s = j.as_str().ok_or("priority must be a string")?;
+            Some(Priority::parse(s).ok_or("priority must be one of interactive, batch, bulk")?)
+        }
+    };
+    let client = match v.get("client") {
+        None | Some(Json::Null) => None,
+        Some(j) => {
+            let s = j.as_str().ok_or("client must be a string")?;
+            if s.is_empty() || s.contains(char::is_whitespace) {
+                return Err("client must be a non-empty whitespace-free name".to_owned());
+            }
+            Some(s.to_owned())
+        }
+    };
+    Ok((id, effort, threads, priority, client))
+}
+
+fn spaces_field(v: &Json) -> Result<Option<Vec<String>>, String> {
+    match v.get("spaces") {
+        None | Some(Json::Null) => Ok(None),
+        Some(j) => {
+            let arr = j.as_arr().ok_or("spaces must be an array of strings")?;
+            let mut out = Vec::with_capacity(arr.len());
+            for s in arr {
+                let text = s.as_str().ok_or("spaces must be an array of strings")?;
+                if !text.trim().is_empty() {
+                    out.push(text.to_owned());
+                }
+            }
+            Ok(Some(out))
+        }
+    }
+}
+
+/// Parses a `POST /v1/gen` body into a [`JobSpec`].
+fn gen_spec_of(body: &str) -> Result<JobSpec, String> {
+    let v = json::parse(body)?;
+    let (id, effort, threads, priority, client) = common_fields(&v)?;
+    let kernel = v.get("kernel").and_then(Json::as_str);
+    let spaces = spaces_field(&v)?;
+    let source = match (kernel, spaces) {
+        (Some(_), Some(_)) => return Err("kernel and spaces are mutually exclusive".to_owned()),
+        (Some(name), None) => JobSource::Kernel {
+            name: name.to_owned(),
+            n: v.get("n")
+                .map(|j| j.as_i64().ok_or("n must be an integer"))
+                .transpose()?
+                .unwrap_or(64),
+        },
+        (None, Some(sets)) => {
+            if sets.is_empty() {
+                return Err("spaces needs at least one set description".to_owned());
+            }
+            if v.get("n").is_some() {
+                return Err("n only applies to kernel jobs".to_owned());
+            }
+            JobSource::Spaces(sets)
+        }
+        (None, None) => return Err("body needs \"kernel\" or \"spaces\"".to_owned()),
+    };
+    Ok(JobSpec {
+        id,
+        source,
+        effort,
+        threads,
+        priority,
+        client,
+    })
+}
+
+/// Parses a `POST /v1/batch` body into the shared base spec plus the
+/// per-space work list.
+fn batch_spec_of(body: &str) -> Result<(JobSpec, Vec<String>), String> {
+    let v = json::parse(body)?;
+    let (id, effort, threads, priority, client) = common_fields(&v)?;
+    if v.get("kernel").is_some() {
+        return Err("batch takes \"spaces\", not \"kernel\"".to_owned());
+    }
+    let sets = spaces_field(&v)?.ok_or("batch needs a \"spaces\" array")?;
+    if sets.is_empty() {
+        return Err("batch needs at least one set description".to_owned());
+    }
+    if sets.len() > MAX_BATCH_SPACES {
+        return Err(format!(
+            "batch of {} spaces exceeds the {MAX_BATCH_SPACES}-space cap",
+            sets.len()
+        ));
+    }
+    Ok((
+        JobSpec {
+            id,
+            source: JobSource::Spaces(sets.clone()),
+            effort,
+            threads,
+            priority,
+            client,
+        },
+        sets,
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Request framing
+// ---------------------------------------------------------------------------
+
 /// Reads until the blank line ending the request head, or gives up at
-/// 8 KiB / EOF / timeout. Returns the head as text.
-fn read_head(stream: &mut TcpStream) -> Option<String> {
+/// 8 KiB / EOF / timeout. Returns the head as text plus any body bytes
+/// already read past it.
+fn read_head(stream: &mut TcpStream) -> Option<(String, Vec<u8>)> {
     let mut buf = Vec::with_capacity(1024);
     let mut chunk = [0u8; 512];
     loop {
-        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
+        if let Some(end) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            let rest = buf.split_off(end + 4);
+            return Some((String::from_utf8_lossy(&buf).into_owned(), rest));
+        }
+        if buf.len() > 8192 {
             break;
         }
         match stream.read(&mut chunk) {
@@ -81,5 +449,117 @@ fn read_head(stream: &mut TcpStream) -> Option<String> {
     if buf.is_empty() {
         return None;
     }
-    Some(String::from_utf8_lossy(&buf).into_owned())
+    Some((String::from_utf8_lossy(&buf).into_owned(), Vec::new()))
+}
+
+/// Reads a `Content-Length`-framed request body (capped at
+/// [`MAX_BODY`]), starting from the bytes `read_head` over-read.
+fn read_body(stream: &mut TcpStream, head: &str, rest: &mut Vec<u8>) -> Result<String, String> {
+    let len = head
+        .lines()
+        .find_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            name.eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse::<usize>().ok())
+                .flatten()
+        })
+        .ok_or("missing or malformed Content-Length")?;
+    if len > MAX_BODY {
+        return Err(format!(
+            "body of {len} bytes exceeds the {MAX_BODY}-byte cap"
+        ));
+    }
+    let mut body = std::mem::take(rest);
+    body.truncate(body.len().min(len));
+    let mut chunk = [0u8; 4096];
+    while body.len() < len {
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err("body shorter than Content-Length".to_owned()),
+            Ok(n) => body.extend_from_slice(&chunk[..n.min(len - body.len())]),
+            Err(e) => return Err(format!("body read failed: {e}")),
+        }
+    }
+    String::from_utf8(body).map_err(|_| "body is not UTF-8".to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gen_body_shapes() {
+        let spec = gen_spec_of(
+            r#"{"kernel":"gemm","n":32,"effort":2,"threads":4,
+                "id":"x-1","priority":"bulk","client":"alice"}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            spec.source,
+            JobSource::Kernel {
+                name: "gemm".into(),
+                n: 32
+            }
+        );
+        assert_eq!(spec.effort, Some(2));
+        assert_eq!(spec.threads, Some(4));
+        assert_eq!(spec.id.as_deref(), Some("x-1"));
+        assert_eq!(spec.priority, Some(Priority::Bulk));
+        assert_eq!(spec.client.as_deref(), Some("alice"));
+
+        let spec = gen_spec_of(r#"{"spaces":["{ [i] : 0 <= i < 4 }"]}"#).unwrap();
+        assert_eq!(
+            spec.source,
+            JobSource::Spaces(vec!["{ [i] : 0 <= i < 4 }".into()])
+        );
+        assert_eq!(spec.priority, None);
+
+        for bad in [
+            "{}",
+            r#"{"kernel":"gemm","spaces":["x"]}"#,
+            r#"{"spaces":[]}"#,
+            r#"{"spaces":["x"],"n":4}"#,
+            r#"{"kernel":"gemm","threads":0}"#,
+            r#"{"kernel":"gemm","priority":"vip"}"#,
+            r#"{"kernel":"gemm","client":"a b"}"#,
+            r#"{"kernel":"gemm","id":"a/b"}"#,
+            "not json",
+        ] {
+            assert!(gen_spec_of(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn batch_body_shapes() {
+        let (base, spaces) =
+            batch_spec_of(r#"{"spaces":["{ [i] : i = 0 }","{ [i] : i = 1 }"],"id":"b1"}"#).unwrap();
+        assert_eq!(spaces.len(), 2);
+        assert_eq!(base.id.as_deref(), Some("b1"));
+        assert_eq!(base.source, JobSource::Spaces(spaces));
+
+        for bad in [
+            "{}",
+            r#"{"spaces":[]}"#,
+            r#"{"kernel":"gemm"}"#,
+            r#"{"spaces":[1]}"#,
+        ] {
+            assert!(batch_spec_of(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn reply_rendering() {
+        assert_eq!(
+            task_reply_json(None, "r-1"),
+            "{\"id\":\"r-1\",\"error\":\"daemon shutting down\"}"
+        );
+        let r = TaskReply {
+            id: "b1#0".into(),
+            source: "adhoc[1]".into(),
+            outcome: Err("bad \"set\"".into()),
+        };
+        assert_eq!(
+            task_reply_json(Some(r), "b1#0"),
+            "{\"id\":\"b1#0\",\"source\":\"adhoc[1]\",\"error\":\"bad \\\"set\\\"\"}"
+        );
+    }
 }

@@ -1,26 +1,27 @@
 //! # serve — the `codegend` daemon
 //!
-//! The first piece of the repo that runs as a *service* rather than a
-//! batch tool: a long-running process that accepts codegen jobs (a Table 1
-//! kernel name or ad-hoc iteration-space descriptions, plus effort and
-//! thread count) over a line-delimited TCP protocol ([`proto`]), runs them
-//! through the existing CodeGen+ pipeline, and exposes
+//! A long-running multi-tenant service in front of the CodeGen+
+//! pipeline. Connections (line-delimited TCP, [`proto`], or HTTP/JSON,
+//! `POST /v1/gen` and `POST /v1/batch`) *submit* jobs into a bounded
+//! priority queue ([`queue`]); a sharded worker pool sized to cores
+//! drains it and streams replies back per job. The daemon exposes
 //!
 //! * **`GET /metrics`** — OpenMetrics text from a [`telemetry::Registry`]:
-//!   request counters, in-flight gauge, load-shedding and degradation
-//!   counters, per-phase latency histograms harvested from the `span!`
-//!   probes, and the cumulative `omega::stats` solver counters bridged at
-//!   scrape time;
+//!   request counters, queue depth by class, in-flight and worker
+//!   gauges, shed/timeout counters by class, queue-wait and service
+//!   histograms by class, per-phase latency histograms harvested from
+//!   the `span!` probes, and the cumulative `omega::stats` solver
+//!   counters bridged at scrape time;
 //! * **`GET /healthz`** — a JSON readiness probe with uptime, job
-//!   totals, resolved thread counts, cumulative degradations, and the
-//!   persistent-cache tier state;
+//!   totals, queue occupancy, resolved thread counts, cumulative
+//!   degradations, and the persistent-cache tier state;
 //! * **structured JSON request logs** — one line per request with a
 //!   request id that, when `--dump-dir` is set, names the directory of
 //!   replayable `.omega` provenance dumps for that request's tier-2
 //!   solver queries (`omega-replay` closes the loop from a slow request
 //!   in the log to a standalone reproduction), plus one canonical
 //!   [`report::QueryReport`] wide event per job with per-phase wall
-//!   times and solver counter deltas;
+//!   times, queue wait, and solver counter deltas;
 //! * **`GET /debug/*`** — live introspection: `/debug/requests` (the
 //!   recent [`report::QueryReport`]s), `/debug/flight` (drains the
 //!   always-on [`telemetry::flight`] recorder as a Chrome trace),
@@ -31,10 +32,23 @@
 //!   trace and `.omega` provenance dumps under `--slow-dir`; fast,
 //!   healthy jobs leave nothing on disk.
 //!
+//! ## The service core
+//!
+//! Admission is a single compare-and-swap against `--queue-depth`
+//! ([`queue::Scheduler::try_enqueue`]) — over capacity, the request gets
+//! `busy` (line protocol) or `503` + `Retry-After` (HTTP) immediately
+//! instead of a connection thread piling onto the pipeline. Admitted
+//! jobs carry a [`queue::Priority`] class (`interactive` > `batch` >
+//! `bulk`, strict) and a client key scheduled deficit-round-robin within
+//! the class, so one flooding tenant cannot starve a neighbor. A
+//! `batch` request runs N spaces as one queue entry — one parse, one
+//! scheduling cost of N, per-space replies streamed back in order.
+//!
 //! Generation stays deterministic: a daemon answer for a kernel job is
 //! byte-identical to what the batch `table1` pipeline produces for the
-//! same statements, at any thread count (`tests/daemon_e2e.rs` pins this
-//! under concurrent requests). The only intentionally nondeterministic
+//! same statements, at any worker count, queue depth, or shard count
+//! (`tests/daemon_e2e.rs` pins this under concurrent requests and
+//! across queue configurations). The only intentionally nondeterministic
 //! knob is `--deadline-ms`, which arms `omega::Limits::deadline` per job:
 //! under overload the solver degrades (soundly) instead of queueing
 //! without bound, and every such degradation is counted per reason.
@@ -42,14 +56,17 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod json;
 pub mod metrics;
 pub mod proto;
+pub mod queue;
 pub mod report;
 
 mod http;
 
 use crate::metrics::Metrics;
 use crate::proto::{parse_request, JobSource, JobSpec, Request};
+use crate::queue::{Job, Priority, Scheduler, TaskReply, Work};
 use crate::report::{certainty_tag, QueryReport};
 use codegenplus::{pad_statements, CodeGen, Statement};
 use std::fmt::Write as _;
@@ -58,7 +75,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 use telemetry::log::{Logger, Record};
@@ -78,7 +95,8 @@ pub enum LogTarget {
 pub struct Config {
     /// Bind address of the line-delimited job listener.
     pub jobs_addr: String,
-    /// Bind address of the HTTP listener (`/metrics`, `/healthz`).
+    /// Bind address of the HTTP listener (`/metrics`, `/healthz`,
+    /// `/v1/*`).
     pub http_addr: String,
     /// Effort when a job does not specify one (the paper's default is 1).
     pub default_effort: usize,
@@ -89,8 +107,25 @@ pub struct Config {
     /// load-shedding behavior for overloaded deployments. `None` keeps
     /// results a pure function of the input.
     pub deadline: Option<Duration>,
-    /// Jobs admitted concurrently; further `gen` requests get `busy`.
-    pub max_inflight: usize,
+    /// Size of the worker pool draining the job queue. `0` resolves to
+    /// the machine's available parallelism.
+    pub workers: usize,
+    /// Bound of the admission queue: jobs queued beyond the pool. Over
+    /// capacity, requests are answered `busy` (line protocol) or `503`
+    /// (HTTP) instead of queueing without bound.
+    pub queue_depth: usize,
+    /// Maximum time a job may wait in the queue before it is answered
+    /// with an error instead of executing (`None` waits forever). Bounds
+    /// the staleness of work under sustained overload: shed at admission
+    /// when full, time out in queue when slow.
+    pub queue_timeout: Option<Duration>,
+    /// Deficit-round-robin quantum: scheduling credits a client gains
+    /// per visit. A `gen` costs 1 credit, a `batch` costs its space
+    /// count; larger quanta favor throughput, smaller favor fairness.
+    pub drr_quantum: u64,
+    /// Queue shards (admission lock spread). `0` resolves to
+    /// `min(workers, 4)`.
+    pub shards: usize,
     /// When set, each request's tier-2 solver queries are dumped as
     /// replayable `.omega` files under `<dump_dir>/<request-id>/`.
     pub dump_dir: Option<PathBuf>,
@@ -135,7 +170,11 @@ impl Default for Config {
             default_effort: 1,
             default_threads: 1,
             deadline: None,
-            max_inflight: 32,
+            workers: 0,
+            queue_depth: 256,
+            queue_timeout: None,
+            drr_quantum: 8,
+            shards: 0,
             dump_dir: None,
             cache_dir: None,
             cache_flush: Duration::from_secs(5),
@@ -149,8 +188,9 @@ impl Default for Config {
     }
 }
 
-/// Shared daemon state: config, metrics, logger, the report ring behind
-/// `/debug/requests`, and the counters the health endpoint reports.
+/// Shared daemon state: config, metrics, logger, the scheduler, the
+/// report ring behind `/debug/requests`, and the counters the health
+/// endpoint reports.
 pub(crate) struct State {
     cfg: Config,
     pub(crate) metrics: Metrics,
@@ -161,34 +201,57 @@ pub(crate) struct State {
     jobs_total: AtomicU64,
     stop: AtomicBool,
     reports: report::ReportRing,
+    pub(crate) sched: Arc<Scheduler>,
+    /// Resolved worker-pool size (`cfg.workers` with 0 resolved).
+    workers: usize,
 }
 
 impl State {
-    /// The `/metrics` body: bridge the solver counters, refresh uptime,
-    /// render the registry.
+    /// The `/metrics` body: bridge the solver counters, refresh the
+    /// queue gauges and uptime, render the registry.
     pub(crate) fn metrics_text(&self) -> String {
         self.metrics
             .uptime_seconds
             .set(self.started.elapsed().as_secs() as i64);
+        for p in Priority::ALL {
+            self.metrics
+                .queue_depth
+                .with(&[p.as_str()])
+                .set(self.sched.queued_in(p) as i64);
+        }
+        self.metrics.workers.set(self.workers as i64);
         self.metrics.bridge_solver_stats();
         self.metrics.registry.expose()
     }
 
+    fn shed_total(&self) -> u64 {
+        Priority::ALL
+            .iter()
+            .map(|p| self.metrics.shed.with(&[p.as_str()]).get())
+            .sum()
+    }
+
     /// The `/healthz` body: readiness plus the operational facts a probe
-    /// wants before paging anyone — resolved parallelism, cumulative
-    /// degradations by kind, and the persistent-cache tier state.
+    /// wants before paging anyone — queue occupancy, resolved
+    /// parallelism, cumulative degradations by kind, and the
+    /// persistent-cache tier state.
     pub(crate) fn healthz_json(&self) -> String {
         let stats = omega::stats::snapshot();
         let cg = CodeGen::new().threads(self.cfg.default_threads);
         let mut out = format!(
             "{{\"status\":\"ready\",\"uptime_ms\":{},\"jobs_total\":{},\"inflight\":{},\"shed_total\":{},\
+             \"queue\":{{\"depth\":{},\"capacity\":{},\"workers\":{},\"shards\":{}}},\
              \"threads\":{},\"intra_threads\":{},\
              \"degraded\":{{\"sat\":{},\"gist\":{},\"by_reason\":{{\"overflow\":{},\"budget\":{},\
              \"depth\":{},\"rowcap\":{},\"deadline\":{}}}}}",
             self.started.elapsed().as_millis(),
             self.jobs_total.load(Ordering::Relaxed),
             self.inflight.load(Ordering::Relaxed),
-            self.metrics.shed.get(),
+            self.shed_total(),
+            self.sched.queued(),
+            self.sched.capacity(),
+            self.workers,
+            self.sched.shard_count(),
             cg.resolved_threads(),
             cg.resolved_intra_threads(),
             stats.sat_degraded,
@@ -266,14 +329,23 @@ impl State {
         let c = &self.cfg;
         let mut out = format!(
             "{{\"jobs_addr\":\"{}\",\"http_addr\":\"{}\",\"default_effort\":{},\"default_threads\":{},\
-             \"max_inflight\":{},\"phase_trace\":{}",
+             \"workers\":{},\"queue_depth\":{},\"drr_quantum\":{},\"shards\":{},\"phase_trace\":{}",
             json_escape(&c.jobs_addr),
             json_escape(&c.http_addr),
             c.default_effort,
             c.default_threads,
-            c.max_inflight,
+            self.workers,
+            c.queue_depth,
+            c.drr_quantum,
+            self.sched.shard_count(),
             c.phase_trace,
         );
+        match c.queue_timeout {
+            Some(d) => {
+                let _ = write!(out, ",\"queue_timeout_ms\":{}", d.as_millis());
+            }
+            None => out.push_str(",\"queue_timeout_ms\":null"),
+        }
         match c.deadline {
             Some(d) => {
                 let _ = write!(out, ",\"deadline_ms\":{}", d.as_millis());
@@ -320,28 +392,21 @@ impl State {
 /// Minimal JSON string escaping for the hand-rolled debug bodies.
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
+    json::escape_into(s, &mut out);
     out
 }
 
-/// A running daemon: two listener threads plus per-connection workers.
+/// A running daemon: two listener threads, the worker pool, and
+/// per-connection submitter threads.
 pub struct Daemon {
     state: Arc<State>,
     jobs_addr: SocketAddr,
     http_addr: SocketAddr,
     accept_threads: Vec<JoinHandle<()>>,
+    worker_threads: Vec<JoinHandle<()>>,
 }
 
-/// Binds both listeners and starts serving.
+/// Binds both listeners, starts the worker pool, and starts serving.
 ///
 /// # Errors
 ///
@@ -363,6 +428,19 @@ pub fn spawn(cfg: Config) -> io::Result<Daemon> {
     // one process (the tests do) shares one recorder.
     telemetry::flight::enable(cfg.flight_bytes);
     omega::trace::install_flight_hook(flight_bridge);
+    let workers = if cfg.workers == 0 {
+        thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    } else {
+        cfg.workers
+    };
+    let shards = if cfg.shards == 0 {
+        workers.clamp(1, 4)
+    } else {
+        cfg.shards
+    };
+    let sched = Arc::new(Scheduler::new(shards, cfg.queue_depth, cfg.drr_quantum));
     let state = Arc::new(State {
         metrics: Metrics::new(),
         logger,
@@ -372,13 +450,28 @@ pub fn spawn(cfg: Config) -> io::Result<Daemon> {
         jobs_total: AtomicU64::new(0),
         stop: AtomicBool::new(false),
         reports: report::ReportRing::new(cfg.report_ring),
+        sched,
+        workers,
         cfg,
     });
+    state.metrics.workers.set(workers as i64);
+    // Pre-register every class-labeled series so a scrape before (or
+    // without) traffic shows explicit zeros — a gate asserting
+    // `codegend_jobs_timeout_total == 0` must distinguish "none" from
+    // "series never existed".
+    for p in Priority::ALL {
+        let class = p.as_str();
+        state.metrics.shed.with(&[class]).get();
+        state.metrics.timeout.with(&[class]).get();
+        state.metrics.queue_depth.with(&[class]).set(0);
+    }
     state.logger.log(
         Record::new("start")
             .str("jobs_addr", &jobs_addr.to_string())
             .str("http_addr", &http_addr.to_string())
-            .int("max_inflight", state.cfg.max_inflight as i64),
+            .int("workers", workers as i64)
+            .int("queue_depth", state.cfg.queue_depth as i64)
+            .int("shards", state.sched.shard_count() as i64),
     );
     // Warm-start the persistent solver cache. Failure is a logged
     // degradation (the omega::stats counters carry the structured
@@ -412,6 +505,15 @@ pub fn spawn(cfg: Config) -> io::Result<Daemon> {
     } else {
         false
     };
+    let mut worker_threads = Vec::with_capacity(workers);
+    for i in 0..workers {
+        let state = Arc::clone(&state);
+        worker_threads.push(
+            thread::Builder::new()
+                .name(format!("codegend-worker-{i}"))
+                .spawn(move || worker_loop(state, i))?,
+        );
+    }
     let mut accept_threads = Vec::new();
     if cache_enabled {
         let state = Arc::clone(&state);
@@ -442,6 +544,7 @@ pub fn spawn(cfg: Config) -> io::Result<Daemon> {
         jobs_addr,
         http_addr,
         accept_threads,
+        worker_threads,
     })
 }
 
@@ -456,23 +559,29 @@ impl Daemon {
         self.http_addr
     }
 
-    /// Asks both accept loops to stop (idempotent). In-flight connection
-    /// handlers finish their current request. Pending persistent-cache
-    /// records are flushed immediately (the flush thread also flushes on
-    /// its way out, but a caller that exits right after `shutdown` must
-    /// not race it).
+    /// Asks the accept loops and the worker pool to stop (idempotent).
+    /// In-flight connection handlers finish their current request;
+    /// workers finish their current job; still-queued jobs are dropped
+    /// and their submitters answered with a shutdown error. Pending
+    /// persistent-cache records are flushed immediately (the flush
+    /// thread also flushes on its way out, but a caller that exits right
+    /// after `shutdown` must not race it).
     pub fn shutdown(&self) {
         self.state.stop.store(true, Ordering::SeqCst);
+        self.state.sched.stop();
         omega::persist::flush();
         // Unblock the blocking accepts with one throwaway connection each.
         let _ = TcpStream::connect(self.jobs_addr);
         let _ = TcpStream::connect(self.http_addr);
     }
 
-    /// Blocks until both accept loops exit (after [`Daemon::shutdown`],
-    /// or never in normal daemon operation).
+    /// Blocks until the accept loops and workers exit (after
+    /// [`Daemon::shutdown`], or never in normal daemon operation).
     pub fn wait(mut self) {
         for t in self.accept_threads.drain(..) {
+            let _ = t.join();
+        }
+        for t in self.worker_threads.drain(..) {
             let _ = t.join();
         }
     }
@@ -509,6 +618,93 @@ fn accept_loop(listener: TcpListener, state: Arc<State>, handler: fn(Arc<State>,
 }
 
 // ---------------------------------------------------------------------------
+// Job submission (shared by the line protocol and the HTTP API)
+// ---------------------------------------------------------------------------
+
+/// Why a submission was refused: the queue was at capacity. Carries the
+/// facts the refusal response needs; shed metrics and the log record are
+/// already emitted when this is returned.
+pub(crate) struct Shed {
+    pub(crate) id: String,
+    pub(crate) class: &'static str,
+    pub(crate) queued: u64,
+    pub(crate) capacity: u64,
+}
+
+/// The request kind label for the `codegend_requests` family.
+fn kind_of(work: &Work) -> &'static str {
+    match work {
+        Work::Single(spec) => match spec.source {
+            JobSource::Kernel { .. } => "kernel",
+            JobSource::Spaces(_) => "adhoc",
+        },
+        Work::Batch { .. } => "batch",
+    }
+}
+
+/// Builds a [`Job`] from a parsed spec and enqueues it: assigns the id
+/// (`r-NNNNNN` when the client chose none), derives the fair-scheduling
+/// client key (the peer IP when unnamed), and resolves the priority
+/// class (`default_priority` when untagged). On shed, the class-labeled
+/// shed counter, the `busy` request counter, and the request log record
+/// are all emitted here; the caller only formats the refusal.
+pub(crate) fn submit(
+    state: &State,
+    peer: &str,
+    default_priority: Priority,
+    work: Work,
+) -> Result<(String, mpsc::Receiver<TaskReply>), Shed> {
+    let kind = kind_of(&work);
+    let spec = match &work {
+        Work::Single(spec) => spec,
+        Work::Batch { base, .. } => base,
+    };
+    let id = spec
+        .id
+        .clone()
+        .unwrap_or_else(|| format!("r-{:06}", state.req_seq.fetch_add(1, Ordering::SeqCst)));
+    let client = spec.client.clone().unwrap_or_else(|| {
+        peer.rsplit_once(':')
+            .map(|(host, _)| host.to_owned())
+            .unwrap_or_else(|| peer.to_owned())
+    });
+    let priority = spec.priority.unwrap_or(default_priority);
+    let (tx, rx) = mpsc::channel();
+    let job = Job {
+        id: id.clone(),
+        client,
+        priority,
+        peer: peer.to_owned(),
+        work,
+        enqueued: Instant::now(),
+        reply: tx,
+    };
+    match state.sched.try_enqueue(job) {
+        Ok(()) => Ok((id, rx)),
+        Err(job) => {
+            let class = job.priority.as_str();
+            state.metrics.shed.with(&[class]).inc();
+            state.metrics.requests.with(&[kind, "busy"]).inc();
+            state.logger.log(
+                Record::new("request")
+                    .str("id", &job.id)
+                    .str("peer", peer)
+                    .str("kind", kind)
+                    .str("class", class)
+                    .str("client", &job.client)
+                    .str("status", "busy"),
+            );
+            Err(Shed {
+                id: job.id.clone(),
+                class,
+                queued: state.sched.queued(),
+                capacity: state.sched.capacity(),
+            })
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Job protocol handling
 // ---------------------------------------------------------------------------
 
@@ -537,6 +733,9 @@ fn handle_jobs_conn(state: Arc<State>, stream: TcpStream) {
                 true
             }
             Ok(Request::Gen(spec)) => handle_gen(&state, &mut w, &peer, spec).is_err(),
+            Ok(Request::Batch(base, spaces)) => {
+                handle_batch(&state, &mut w, &peer, base, spaces).is_err()
+            }
             Err(msg) => {
                 state.metrics.requests.with(&["control", "err"]).inc();
                 state.logger.log(
@@ -553,41 +752,218 @@ fn handle_jobs_conn(state: Arc<State>, stream: TcpStream) {
     }
 }
 
-/// Admission control, execution, response, logging, the per-job
-/// [`QueryReport`] wide event, and tail sampling for one `gen`.
-fn handle_gen(state: &State, w: &mut impl Write, peer: &str, spec: JobSpec) -> io::Result<()> {
-    let t0 = Instant::now();
-    let id = spec
-        .id
-        .clone()
-        .unwrap_or_else(|| format!("r-{:06}", state.req_seq.fetch_add(1, Ordering::SeqCst)));
-    let kind = match spec.source {
-        JobSource::Kernel { .. } => "kernel",
-        JobSource::Spaces(_) => "adhoc",
-    };
-    let source_tag = spec.source.tag();
-    // Admission: reserve a slot, shed when over the cap. The increment is
-    // the reservation, so two racing requests cannot both squeeze into the
-    // last slot.
-    if state.inflight.fetch_add(1, Ordering::SeqCst) >= state.cfg.max_inflight as u64 {
-        state.inflight.fetch_sub(1, Ordering::SeqCst);
-        state.metrics.shed.inc();
-        state.metrics.requests.with(&[kind, "busy"]).inc();
-        state.logger.log(
-            Record::new("request")
-                .str("id", &id)
-                .str("peer", peer)
-                .str("kind", kind)
-                .str("source", &source_tag)
-                .str("status", "busy"),
-        );
-        return writeln!(
-            w,
-            "busy id={id} inflight={} max={}",
-            state.cfg.max_inflight, state.cfg.max_inflight
-        );
+/// Formats one worker reply on the line protocol. `None` means the
+/// daemon dropped the job (shutdown closed the reply channel).
+fn write_task_reply(
+    w: &mut impl Write,
+    reply: Option<TaskReply>,
+    fallback_id: &str,
+) -> io::Result<()> {
+    match reply {
+        None => writeln!(w, "err id={fallback_id} msg=daemon shutting down"),
+        Some(r) => match r.outcome {
+            Ok(out) => {
+                writeln!(
+                    w,
+                    "ok id={} source={} lines={} codegen_ns={} compile_ns={} certainty={} bytes={}",
+                    r.id,
+                    r.source,
+                    out.lines,
+                    out.codegen_ns,
+                    out.compile_ns,
+                    out.certainty,
+                    out.code.len()
+                )?;
+                w.write_all(out.code.as_bytes())
+            }
+            Err(msg) => writeln!(w, "err id={} msg={}", r.id, sanitize_line(&msg)),
+        },
     }
-    state.metrics.inflight.add(1);
+}
+
+/// One `gen`: submit into the queue, wait for the single reply.
+fn handle_gen(state: &State, w: &mut impl Write, peer: &str, spec: JobSpec) -> io::Result<()> {
+    match submit(state, peer, Priority::Interactive, Work::Single(spec)) {
+        Err(shed) => writeln!(
+            w,
+            "busy id={} class={} queued={} max={}",
+            shed.id, shed.class, shed.queued, shed.capacity
+        ),
+        Ok((id, rx)) => write_task_reply(w, rx.recv().ok(), &id),
+    }
+}
+
+/// One `batch`: submit the whole batch as one queue entry, then stream
+/// the per-space replies in submission order, flushing each so a slow
+/// later space does not hold back earlier results.
+fn handle_batch(
+    state: &State,
+    w: &mut impl Write,
+    peer: &str,
+    base: JobSpec,
+    spaces: Vec<String>,
+) -> io::Result<()> {
+    let count = spaces.len();
+    match submit(state, peer, Priority::Batch, Work::Batch { base, spaces }) {
+        Err(shed) => writeln!(
+            w,
+            "busy id={} class={} queued={} max={}",
+            shed.id, shed.class, shed.queued, shed.capacity
+        ),
+        Ok((id, rx)) => {
+            writeln!(w, "batch id={id} count={count}")?;
+            w.flush()?;
+            for i in 0..count {
+                let fallback = format!("{id}#{i}");
+                write_task_reply(w, rx.recv().ok(), &fallback)?;
+                w.flush()?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Keeps an error message on one protocol line.
+fn sanitize_line(msg: &str) -> String {
+    msg.replace(['\n', '\r'], "; ")
+}
+
+// ---------------------------------------------------------------------------
+// The worker pool
+// ---------------------------------------------------------------------------
+
+/// One worker: pop (home shard first), enforce the queue timeout,
+/// execute, stream replies. Exits when the scheduler stops.
+fn worker_loop(state: Arc<State>, home: usize) {
+    while let Some(job) = state.sched.pop(home) {
+        let class = job.priority.as_str();
+        let queue_ns = job.enqueued.elapsed().as_nanos() as u64;
+        state
+            .metrics
+            .queue_wait_seconds
+            .with(&[class])
+            .observe_ns(queue_ns);
+        if let Some(limit) = state.cfg.queue_timeout {
+            if job.enqueued.elapsed() > limit {
+                timeout_job(&state, job, queue_ns);
+                continue;
+            }
+        }
+        state.inflight.fetch_add(1, Ordering::SeqCst);
+        state.metrics.inflight.add(1);
+        let t0 = Instant::now();
+        // The final reply is held back until the in-flight gauge is
+        // decremented: a submitter that scrapes /metrics right after its
+        // last reply must not see this job still counted as executing.
+        let last = match &job.work {
+            Work::Single(spec) => {
+                let kind = kind_of(&job.work);
+                let outcome = execute_task(&state, &job.id, &job.peer, kind, class, queue_ns, spec);
+                Some(TaskReply {
+                    id: job.id.clone(),
+                    source: spec.source.tag(),
+                    outcome,
+                })
+            }
+            Work::Batch { base, spaces } => {
+                let mut last = None;
+                for (i, space) in spaces.iter().enumerate() {
+                    let task_id = format!("{}#{i}", job.id);
+                    let spec = JobSpec {
+                        id: Some(task_id.clone()),
+                        source: JobSource::Spaces(vec![space.clone()]),
+                        effort: base.effort,
+                        threads: base.threads,
+                        priority: base.priority,
+                        client: base.client.clone(),
+                    };
+                    let outcome =
+                        execute_task(&state, &task_id, &job.peer, "batch", class, queue_ns, &spec);
+                    let reply = TaskReply {
+                        id: task_id,
+                        source: spec.source.tag(),
+                        outcome,
+                    };
+                    if i + 1 == spaces.len() {
+                        last = Some(reply);
+                    } else if job.reply.send(reply).is_err() {
+                        // The submitter hung up: stop burning the worker
+                        // on replies nobody reads.
+                        break;
+                    }
+                }
+                last
+            }
+        };
+        state.metrics.inflight.add(-1);
+        state.inflight.fetch_sub(1, Ordering::SeqCst);
+        state
+            .metrics
+            .service_seconds
+            .with(&[class])
+            .observe_ns(t0.elapsed().as_nanos() as u64);
+        if let Some(reply) = last {
+            let _ = job.reply.send(reply);
+        }
+    }
+}
+
+/// Answers a job that overran the queue timeout: an error per expected
+/// reply, the class-labeled timeout counter, and a request log record.
+/// Counted separately from sheds — a shed never entered the queue, a
+/// timeout waited and lost.
+fn timeout_job(state: &State, job: Job, queue_ns: u64) {
+    let class = job.priority.as_str();
+    let kind = kind_of(&job.work);
+    state.metrics.timeout.with(&[class]).inc();
+    state.metrics.requests.with(&[kind, "timeout"]).inc();
+    state.logger.log(
+        Record::new("request")
+            .str("id", &job.id)
+            .str("peer", &job.peer)
+            .str("kind", kind)
+            .str("class", class)
+            .str("status", "timeout")
+            .int("queue_ns", queue_ns as i64),
+    );
+    let msg = format!("timed out in queue after {}ms", queue_ns / 1_000_000);
+    match &job.work {
+        Work::Single(spec) => {
+            let _ = job.reply.send(TaskReply {
+                id: job.id.clone(),
+                source: spec.source.tag(),
+                outcome: Err(msg),
+            });
+        }
+        Work::Batch { spaces, .. } => {
+            for i in 0..spaces.len() {
+                let sent = job.reply.send(TaskReply {
+                    id: format!("{}#{i}", job.id),
+                    source: "adhoc[1]".to_owned(),
+                    outcome: Err(msg.clone()),
+                });
+                if sent.is_err() {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Executes one task (a `gen`, or one space of a `batch`) on a worker:
+/// span collection, provenance dumps, the panic fence, the
+/// [`QueryReport`] wide event, tail sampling, logging, and metrics.
+fn execute_task(
+    state: &State,
+    id: &str,
+    peer: &str,
+    kind: &'static str,
+    class: &'static str,
+    queue_ns: u64,
+    spec: &JobSpec,
+) -> Result<JobOutput, String> {
+    let t0 = Instant::now();
+    let source_tag = spec.source.tag();
     // Span collection runs when phase histograms or provenance dumps want
     // it — and also whenever tail sampling is armed, because the trace is
     // the artifact a slow job retains. Dumps go straight to --dump-dir
@@ -598,7 +974,7 @@ fn handle_gen(state: &State, w: &mut impl Write, peer: &str, spec: JobSpec) -> i
         .then(omega::trace::Collector::new);
     let dump = match (&collector, &state.cfg.dump_dir) {
         (Some(c), Some(root)) => {
-            let dir = root.join(&id);
+            let dir = root.join(id);
             c.dump_queries(&dir);
             Some(dir.display().to_string())
         }
@@ -614,11 +990,9 @@ fn handle_gen(state: &State, w: &mut impl Write, peer: &str, spec: JobSpec) -> i
     // solver itself is panic-free, but ad-hoc inputs reach library
     // preconditions (space padding, arity checks) that assert.
     let result = catch_unwind(AssertUnwindSafe(|| {
-        run_job(state, &spec, collector.as_ref())
+        run_job(state, spec, collector.as_ref())
     }));
     telemetry::flight::record(telemetry::flight::FlightKind::End, "request");
-    state.inflight.fetch_sub(1, Ordering::SeqCst);
-    state.metrics.inflight.add(-1);
     let result = match result {
         Ok(r) => r,
         Err(payload) => {
@@ -639,10 +1013,12 @@ fn handle_gen(state: &State, w: &mut impl Write, peer: &str, spec: JobSpec) -> i
     let phases = trace.as_ref().map(report::phase_totals).unwrap_or_default();
     let mut rep = match &result {
         Ok(out) => QueryReport {
-            id: id.clone(),
+            id: id.to_owned(),
             kind,
             source: source_tag.clone(),
             status: "ok",
+            class,
+            queue_ns,
             ts_ms: report::now_ms(),
             effort: out.effort,
             threads: out.threads,
@@ -661,10 +1037,12 @@ fn handle_gen(state: &State, w: &mut impl Write, peer: &str, spec: JobSpec) -> i
             error: None,
         },
         Err(msg) => QueryReport {
-            id: id.clone(),
+            id: id.to_owned(),
             kind,
             source: source_tag.clone(),
             status: "err",
+            class,
+            queue_ns,
             ts_ms: report::now_ms(),
             effort: spec.effort.unwrap_or(state.cfg.default_effort),
             threads: 0,
@@ -699,21 +1077,21 @@ fn handle_gen(state: &State, w: &mut impl Write, peer: &str, spec: JobSpec) -> i
         };
         if let Some(reason) = reason {
             rep.slow = true;
-            let dir = state.cfg.slow_dir.join(&id);
+            let dir = state.cfg.slow_dir.join(id);
             let mut kept = 0usize;
             match retain_slow_artifacts(&dir, trace.as_ref(), collector.as_ref(), &mut kept) {
                 Ok(()) => rep.retained = Some(dir.display().to_string()),
                 // Retention must never fail the request.
                 Err(e) => state.logger.log(
                     Record::new("slow_retain_error")
-                        .str("id", &id)
+                        .str("id", id)
                         .str("msg", &e.to_string()),
                 ),
             }
             state.metrics.slow.with(&[reason]).inc();
             state.logger.log(
                 Record::new("slow_query")
-                    .str("id", &id)
+                    .str("id", id)
                     .str("reason", reason)
                     .int("request_ns", request_ns as i64)
                     .int("threshold_ms", ms as i64)
@@ -736,9 +1114,10 @@ fn handle_gen(state: &State, w: &mut impl Write, peer: &str, spec: JobSpec) -> i
             state.metrics.response_bytes.add(out.code.len() as u64);
             state.logger.log(
                 Record::new("request")
-                    .str("id", &id)
+                    .str("id", id)
                     .str("peer", peer)
                     .str("kind", kind)
+                    .str("class", class)
                     .str("source", &source_tag)
                     .int("effort", out.effort as i64)
                     .int("threads", out.threads as i64)
@@ -747,6 +1126,7 @@ fn handle_gen(state: &State, w: &mut impl Write, peer: &str, spec: JobSpec) -> i
                     .int("bytes", out.code.len() as i64)
                     .int("codegen_ns", out.codegen_ns as i64)
                     .int("compile_ns", out.compile_ns as i64)
+                    .int("queue_ns", queue_ns as i64)
                     .int("request_ns", request_ns as i64)
                     .str("certainty", &out.certainty)
                     .opt_str("dump", dump.as_deref()),
@@ -757,9 +1137,10 @@ fn handle_gen(state: &State, w: &mut impl Write, peer: &str, spec: JobSpec) -> i
             state.metrics.request_seconds.observe_ns(request_ns);
             state.logger.log(
                 Record::new("request")
-                    .str("id", &id)
+                    .str("id", id)
                     .str("peer", peer)
                     .str("kind", kind)
+                    .str("class", class)
                     .str("source", &source_tag)
                     .str("status", "err")
                     .str("msg", msg),
@@ -768,39 +1149,20 @@ fn handle_gen(state: &State, w: &mut impl Write, peer: &str, spec: JobSpec) -> i
     }
     state.logger.log_line(&rep.to_json());
     state.reports.push(rep);
-    match result {
-        Ok(out) => {
-            writeln!(
-                w,
-                "ok id={id} source={source_tag} lines={} codegen_ns={} compile_ns={} certainty={} bytes={}",
-                out.lines,
-                out.codegen_ns,
-                out.compile_ns,
-                out.certainty,
-                out.code.len()
-            )?;
-            w.write_all(out.code.as_bytes())
-        }
-        Err(msg) => writeln!(w, "err id={id} msg={}", sanitize_line(&msg)),
-    }
+    result
 }
 
-/// Keeps an error message on one protocol line.
-fn sanitize_line(msg: &str) -> String {
-    msg.replace(['\n', '\r'], "; ")
-}
-
-/// A completed job, ready to serialize.
-struct JobOutput {
-    code: String,
-    lines: usize,
-    codegen_ns: u64,
-    compile_ns: u64,
-    certainty: String,
-    effort: usize,
-    threads: usize,
-    intra_threads: usize,
-    dynamic_cost: Option<u64>,
+/// A completed job, ready to serialize (over either protocol).
+pub(crate) struct JobOutput {
+    pub(crate) code: String,
+    pub(crate) lines: usize,
+    pub(crate) codegen_ns: u64,
+    pub(crate) compile_ns: u64,
+    pub(crate) certainty: String,
+    pub(crate) effort: usize,
+    pub(crate) threads: usize,
+    pub(crate) intra_threads: usize,
+    pub(crate) dynamic_cost: Option<u64>,
 }
 
 /// Pads and converts a kernel's statements for the generators — the same
@@ -819,8 +1181,9 @@ fn statements_of(kernel: &chill::Kernel) -> Vec<Statement> {
 /// Builds the statements, runs CodeGen+ (and the stand-in compiler for
 /// its pass timings), executes kernel jobs for their dynamic cost, and
 /// counts degradations per reason. Span collection is the caller's: the
-/// collector (when any) is installed here but finished by `handle_gen`,
-/// which owns the trace for phase histograms, reports and tail sampling.
+/// collector (when any) is installed here but finished by
+/// `execute_task`, which owns the trace for phase histograms, reports
+/// and tail sampling.
 fn run_job(
     state: &State,
     spec: &JobSpec,
@@ -959,5 +1322,25 @@ mod tests {
     #[test]
     fn sanitize_keeps_one_line() {
         assert_eq!(sanitize_line("a\nb\r\nc"), "a; b; ; c");
+    }
+
+    #[test]
+    fn kind_labels() {
+        let spec = JobSpec {
+            id: None,
+            source: JobSource::Spaces(vec!["{ [i] : i = 0 }".into()]),
+            effort: None,
+            threads: None,
+            priority: None,
+            client: None,
+        };
+        assert_eq!(kind_of(&Work::Single(spec.clone())), "adhoc");
+        assert_eq!(
+            kind_of(&Work::Batch {
+                base: spec,
+                spaces: vec!["{ [i] : i = 0 }".into()],
+            }),
+            "batch"
+        );
     }
 }

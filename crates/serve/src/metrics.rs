@@ -20,13 +20,26 @@ use telemetry::{Counter, Family, Gauge, Histogram, Registry};
 pub struct Metrics {
     /// The backing registry (exposed at `/metrics`).
     pub registry: Registry,
-    /// Requests by `kind` (`kernel`/`adhoc`/`control`) and `status`
-    /// (`ok`/`err`/`busy`).
+    /// Requests by `kind` (`kernel`/`adhoc`/`batch`/`control`) and
+    /// `status` (`ok`/`err`/`busy`/`timeout`).
     pub requests: Arc<Family<Counter>>,
-    /// Jobs currently executing.
+    /// Jobs currently executing on the worker pool.
     pub inflight: Arc<Gauge>,
-    /// Jobs rejected at admission because `max_inflight` was reached.
-    pub shed: Arc<Counter>,
+    /// Jobs currently queued, by scheduling `class` (set at scrape time
+    /// from the scheduler's depth counters).
+    pub queue_depth: Arc<Family<Gauge>>,
+    /// Resolved size of the worker pool.
+    pub workers: Arc<Gauge>,
+    /// Jobs rejected at admission because the queue was full, by `class`.
+    pub shed: Arc<Family<Counter>>,
+    /// Jobs that waited past the queue timeout and were answered with an
+    /// error instead of executing, by `class`.
+    pub timeout: Arc<Family<Counter>>,
+    /// Time jobs spent queued before a worker picked them up, by `class`.
+    pub queue_wait_seconds: Arc<Family<Histogram>>,
+    /// Time workers spent executing jobs (all spaces of a batch), by
+    /// `class`.
+    pub service_seconds: Arc<Family<Histogram>>,
     /// Jobs whose certificate degraded, by `reason`
     /// (`omega::OmegaError::as_str` tags, e.g. `deadline-exceeded`).
     pub degraded: Arc<Family<Counter>>,
@@ -56,13 +69,38 @@ impl Metrics {
         Metrics {
             requests: registry.counter_vec(
                 "codegend_requests",
-                "Requests handled, by kind (kernel/adhoc/control) and status (ok/err/busy).",
+                "Requests handled, by kind (kernel/adhoc/batch/control) and status (ok/err/busy/timeout).",
                 &["kind", "status"],
             ),
-            inflight: registry.gauge("codegend_inflight_jobs", "Jobs currently executing."),
-            shed: registry.counter(
+            inflight: registry.gauge(
+                "codegend_inflight_jobs",
+                "Jobs currently executing on the worker pool.",
+            ),
+            queue_depth: registry.gauge_vec(
+                "codegend_queue_depth",
+                "Jobs currently queued awaiting a worker, by scheduling class.",
+                &["class"],
+            ),
+            workers: registry.gauge("codegend_workers", "Resolved size of the worker pool."),
+            shed: registry.counter_vec(
                 "codegend_jobs_shed",
-                "Jobs rejected at admission because max_inflight was reached.",
+                "Jobs rejected at admission because the queue was at capacity, by class.",
+                &["class"],
+            ),
+            timeout: registry.counter_vec(
+                "codegend_jobs_timeout",
+                "Jobs that overran the queue timeout before a worker picked them up, by class.",
+                &["class"],
+            ),
+            queue_wait_seconds: registry.histogram_vec(
+                "codegend_queue_wait_seconds",
+                "Time from admission to a worker picking the job up, by scheduling class.",
+                &["class"],
+            ),
+            service_seconds: registry.histogram_vec(
+                "codegend_service_seconds",
+                "Worker execution time per job (every space of a batch), by scheduling class.",
+                &["class"],
             ),
             degraded: registry.counter_vec(
                 "codegend_jobs_degraded",
@@ -148,6 +186,24 @@ mod tests {
             let sample = format!("omega_solver_events_total{{event=\"{name}\"}}");
             assert!(text.contains(&sample), "missing bridge sample {sample}");
         }
+    }
+
+    #[test]
+    fn queue_families_expose_by_class() {
+        let m = Metrics::new();
+        for c in ["interactive", "batch", "bulk"] {
+            m.shed.with(&[c]).inc();
+            m.timeout.with(&[c]).inc();
+            m.queue_wait_seconds.with(&[c]).observe_ns(1_000);
+            m.service_seconds.with(&[c]).observe_ns(2_000);
+            m.queue_depth.with(&[c]).set(3);
+        }
+        let text = m.registry.expose();
+        assert!(text.contains("codegend_jobs_shed_total{class=\"interactive\"} 1"));
+        assert!(text.contains("codegend_jobs_timeout_total{class=\"bulk\"} 1"));
+        assert!(text.contains("codegend_queue_wait_seconds_bucket{class=\"batch\""));
+        assert!(text.contains("codegend_service_seconds_count{class=\"interactive\"} 1"));
+        assert!(text.contains("codegend_queue_depth{class=\"bulk\"} 3"));
     }
 
     #[test]

@@ -10,12 +10,23 @@
 //! ```text
 //! ping
 //! quit
-//! gen kernel=gemm n=64 [effort=1] [threads=2] [id=my-req]
+//! gen kernel=gemm n=64 [effort=1] [threads=2] [id=my-req] [prio=interactive] [client=alice]
 //! gen [effort=1] [threads=2] space=[n] -> { [i] : 0 <= i < n } ; [n] -> { ... }
+//! batch [effort=1] [threads=2] [id=b1] [prio=bulk] [client=alice] space=S1 ; S2 ; S3
 //! ```
 //!
 //! `space=` must come last: it consumes the rest of the line (set syntax
-//! contains spaces), with multiple statements separated by `;`.
+//! contains spaces), with multiple statements separated by `;`. A `gen`
+//! with several spaces runs them as *one* multi-statement generation; a
+//! `batch` runs each space as an *independent* generation sharing one
+//! queue slot, one parse, and the warm caches, streaming one reply per
+//! space in submission order.
+//!
+//! `prio=` selects the scheduling class (`interactive` > `batch` >
+//! `bulk`; `gen` defaults to interactive, `batch` to batch). `client=`
+//! names the fair-scheduling key — jobs are scheduled deficit
+//! round-robin per client, so one flooding client cannot starve another;
+//! unnamed clients default to their peer IP.
 //!
 //! Responses (header line, then `bytes=` payload bytes for `ok`):
 //!
@@ -24,8 +35,11 @@
 //! ok id=r-000001 source=gemm lines=41 codegen_ns=123456 compile_ns=2345 certainty=exact bytes=812
 //! <812 bytes of generated code, always ending in a newline>
 //! err id=r-000002 msg=unknown kernel "nope" (expected one of gemv qr swim gemm lu)
-//! busy id=r-000003 inflight=8 max=8
+//! busy id=r-000003 class=interactive queued=256 max=256
+//! batch id=b1 count=3        (then one ok/err reply per space, in order)
 //! ```
+
+use crate::queue::Priority;
 
 /// A parsed request line.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -36,6 +50,9 @@ pub enum Request {
     Quit,
     /// Run a codegen job.
     Gen(JobSpec),
+    /// Run each space as an independent generation, streaming one reply
+    /// per space.
+    Batch(JobSpec, Vec<String>),
 }
 
 /// What to generate and how hard to try.
@@ -49,6 +66,11 @@ pub struct JobSpec {
     pub effort: Option<usize>,
     /// Worker threads (`CodeGen::threads`); daemon default if absent.
     pub threads: Option<usize>,
+    /// Scheduling class; defaults per request kind (`gen` interactive,
+    /// `batch` batch).
+    pub priority: Option<Priority>,
+    /// Fair-scheduling key; defaults to the peer IP.
+    pub client: Option<String>,
 }
 
 /// Where the iteration spaces come from.
@@ -76,6 +98,10 @@ impl JobSource {
     }
 }
 
+/// Most spaces one `batch` line may carry; a guard against one request
+/// monopolizing a worker for unbounded wall time.
+pub const MAX_BATCH_SPACES: usize = 4096;
+
 /// Parses one request line.
 ///
 /// # Errors
@@ -89,9 +115,13 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "quit" => return Ok(Request::Quit),
         _ => {}
     }
-    let Some(rest) = line.strip_prefix("gen") else {
+    let (is_batch, rest) = if let Some(rest) = line.strip_prefix("batch") {
+        (true, rest)
+    } else if let Some(rest) = line.strip_prefix("gen") {
+        (false, rest)
+    } else {
         return Err(format!(
-            "unknown command {:?} (expected ping, quit, or gen)",
+            "unknown command {:?} (expected ping, quit, gen, or batch)",
             line.split_whitespace().next().unwrap_or("")
         ));
     };
@@ -112,6 +142,8 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     let mut n: Option<i64> = None;
     let mut effort = None;
     let mut threads = None;
+    let mut priority = None;
+    let mut client = None;
     for tok in head.split_whitespace() {
         let Some((key, value)) = tok.split_once('=') else {
             return Err(format!("malformed field {tok:?} (expected key=value)"));
@@ -131,6 +163,15 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 Ok(v) if v >= 1 => threads = Some(v),
                 _ => return Err(format!("threads={value:?} is not a positive integer")),
             },
+            "prio" => match Priority::parse(value) {
+                Some(p) => priority = Some(p),
+                None => {
+                    return Err(format!(
+                        "prio={value:?} is not one of interactive, batch, bulk"
+                    ))
+                }
+            },
+            "client" => client = Some(value.to_owned()),
             other => return Err(format!("unknown field {other:?}")),
         }
     }
@@ -139,6 +180,47 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             return Err("id must not contain whitespace or '/'".to_owned());
         }
     }
+    if let Some(client) = &client {
+        if client.is_empty() || client.contains(char::is_whitespace) {
+            return Err("client must be a non-empty whitespace-free name".to_owned());
+        }
+    }
+    let split_spaces = |text: &str| -> Vec<String> {
+        text.split(';')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_owned)
+            .collect()
+    };
+    if is_batch {
+        if kernel.is_some() || n.is_some() {
+            return Err("batch takes space=SETS, not kernel=/n=".to_owned());
+        }
+        let Some(text) = spaces else {
+            return Err("batch needs space=SET ; SET ; ...".to_owned());
+        };
+        let sets = split_spaces(text);
+        if sets.is_empty() {
+            return Err("batch needs at least one set description".to_owned());
+        }
+        if sets.len() > MAX_BATCH_SPACES {
+            return Err(format!(
+                "batch of {} spaces exceeds the {MAX_BATCH_SPACES}-space cap",
+                sets.len()
+            ));
+        }
+        return Ok(Request::Batch(
+            JobSpec {
+                id,
+                source: JobSource::Spaces(sets.clone()),
+                effort,
+                threads,
+                priority,
+                client,
+            },
+            sets,
+        ));
+    }
     let source = match (kernel, spaces) {
         (Some(_), Some(_)) => return Err("kernel= and space= are mutually exclusive".to_owned()),
         (Some(name), None) => JobSource::Kernel {
@@ -146,12 +228,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             n: n.unwrap_or(64),
         },
         (None, Some(text)) => {
-            let sets: Vec<String> = text
-                .split(';')
-                .map(str::trim)
-                .filter(|s| !s.is_empty())
-                .map(str::to_owned)
-                .collect();
+            let sets = split_spaces(text);
             if sets.is_empty() {
                 return Err("space= needs at least one set description".to_owned());
             }
@@ -167,6 +244,8 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         source,
         effort,
         threads,
+        priority,
+        client,
     }))
 }
 
@@ -187,6 +266,8 @@ mod tests {
                 },
                 effort: Some(2),
                 threads: Some(4),
+                priority: None,
+                client: None,
             })
         );
         // n defaults to 64, the Table 1 problem size.
@@ -224,6 +305,58 @@ mod tests {
     }
 
     #[test]
+    fn priority_and_client_tags_round_trip() {
+        for (tag, want) in [
+            ("interactive", Priority::Interactive),
+            ("batch", Priority::Batch),
+            ("bulk", Priority::Bulk),
+        ] {
+            assert_eq!(Priority::parse(tag), Some(want));
+            assert_eq!(want.as_str(), tag);
+            let r = parse_request(&format!("gen kernel=gemv prio={tag} client=alice")).unwrap();
+            match r {
+                Request::Gen(s) => {
+                    assert_eq!(s.priority, Some(want));
+                    assert_eq!(s.client.as_deref(), Some("alice"));
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(parse_request("gen kernel=gemv prio=vip").is_err());
+        assert!(parse_request("gen kernel=gemv client=").is_err());
+    }
+
+    #[test]
+    fn batch_parses_per_space_jobs() {
+        let r = parse_request(
+            "batch id=b1 prio=bulk client=alice effort=2 space={ [i] : 0 <= i < 4 } ; { [i] : i = 9 }",
+        )
+        .unwrap();
+        match r {
+            Request::Batch(spec, spaces) => {
+                assert_eq!(spec.id.as_deref(), Some("b1"));
+                assert_eq!(spec.priority, Some(Priority::Bulk));
+                assert_eq!(spec.client.as_deref(), Some("alice"));
+                assert_eq!(spec.effort, Some(2));
+                assert_eq!(
+                    spaces,
+                    vec![
+                        "{ [i] : 0 <= i < 4 }".to_owned(),
+                        "{ [i] : i = 9 }".to_owned()
+                    ]
+                );
+                assert_eq!(spec.source, JobSource::Spaces(spaces));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // batch without spaces, with kernel=, or empty is malformed.
+        assert!(parse_request("batch").is_err());
+        assert!(parse_request("batch kernel=gemm").is_err());
+        assert!(parse_request("batch space=").is_err());
+        assert!(parse_request("batch space= ; ;").is_err());
+    }
+
+    #[test]
     fn control_lines_and_errors() {
         assert_eq!(parse_request(" ping "), Ok(Request::Ping));
         assert_eq!(parse_request("quit"), Ok(Request::Quit));
@@ -232,6 +365,7 @@ mod tests {
         assert!(parse_request("gen kernel=a space=b").is_err());
         assert!(parse_request("gen kernel=a threads=0").is_err());
         assert!(parse_request("gen kernel=a id=a b").is_err());
+        assert!(parse_request("batches x").is_err());
         assert!(parse_request("frobnicate x").is_err());
     }
 }

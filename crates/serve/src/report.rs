@@ -39,6 +39,12 @@ pub struct QueryReport {
     pub source: String,
     /// `ok` or `err`.
     pub status: &'static str,
+    /// Scheduling class the job ran under (`interactive`/`batch`/`bulk`;
+    /// batch harnesses like `table1` report `batch`).
+    pub class: &'static str,
+    /// Time the job waited in the admission queue before a worker picked
+    /// it up (0 for batch harnesses that run inline).
+    pub queue_ns: u64,
     /// Unix milliseconds at completion.
     pub ts_ms: u64,
     /// Overhead-removal effort the job ran at.
@@ -96,10 +102,12 @@ impl QueryReport {
         esc(&self.source, &mut out);
         out.push_str("\",\"status\":\"");
         esc(self.status, &mut out);
+        out.push_str("\",\"class\":\"");
+        esc(self.class, &mut out);
         let _ = write!(
             out,
             "\",\"ts_ms\":{},\"effort\":{},\"threads\":{},\"intra_threads\":{},\
-             \"lines\":{},\"bytes\":{},\"codegen_ns\":{},\"compile_ns\":{},\"request_ns\":{}",
+             \"lines\":{},\"bytes\":{},\"codegen_ns\":{},\"compile_ns\":{},\"queue_ns\":{},\"request_ns\":{}",
             self.ts_ms,
             self.effort,
             self.threads,
@@ -108,6 +116,7 @@ impl QueryReport {
             self.bytes,
             self.codegen_ns,
             self.compile_ns,
+            self.queue_ns,
             self.request_ns,
         );
         out.push_str(",\"certainty\":\"");
@@ -273,6 +282,8 @@ mod tests {
             kind: "kernel",
             source: "gemm/n=20".into(),
             status: "ok",
+            class: "interactive",
+            queue_ns: 700,
             ts_ms: 123,
             effort: 1,
             threads: 2,
@@ -296,6 +307,8 @@ mod tests {
     fn report_json_shape() {
         let json = sample().to_json();
         assert!(json.starts_with("{\"event\":\"report\",\"id\":\"r-000001\""));
+        assert!(json.contains("\"class\":\"interactive\""));
+        assert!(json.contains("\"queue_ns\":700"));
         assert!(json.contains("\"phases\":{\"cg_generate\":900}"));
         assert!(json.contains("\"counters\":{\"tier0_unsat\":0"));
         assert!(json.contains("\"exact_solves\":0"));

@@ -219,7 +219,7 @@ fn admission_control_sheds_jobs_over_the_cap() {
     let daemon = spawn(Config {
         jobs_addr: "127.0.0.1:0".into(),
         http_addr: "127.0.0.1:0".into(),
-        max_inflight: 0,
+        queue_depth: 0,
         log: LogTarget::File(temp_dir("shed").join("log.jsonl")),
         ..Config::default()
     })
@@ -227,9 +227,66 @@ fn admission_control_sheds_jobs_over_the_cap() {
     let mut conn = connect(daemon.jobs_addr());
     let r = roundtrip(&mut conn, "gen kernel=gemv n=8");
     assert!(r.header.starts_with("busy "), "{}", r.header);
+    assert_eq!(r.fields["class"], "interactive");
+    assert_eq!(r.fields["max"], "0");
     let (_, metrics) = http_get(daemon.http_addr(), "/metrics");
-    assert!(metrics.contains("codegend_jobs_shed_total 1"), "{metrics}");
+    assert!(
+        metrics.contains("codegend_jobs_shed_total{class=\"interactive\"} 1"),
+        "{metrics}"
+    );
     assert!(metrics.contains("codegend_requests_total{kind=\"kernel\",status=\"busy\"} 1"));
     daemon.shutdown();
     daemon.wait();
+}
+
+/// The tentpole acceptance pin: daemon answers stay byte-identical to
+/// the batch pipeline at *every* queue/worker configuration — worker
+/// pool size, queue depth, shard count, and DRR quantum must never leak
+/// into generated code.
+#[test]
+fn byte_identical_across_queue_configurations() {
+    let n = 8;
+    let expected: Vec<(String, String)> = chill::recipes::all(n)
+        .iter()
+        .map(|k| (k.name.to_owned(), batch_code(k)))
+        .collect();
+    for (workers, queue_depth, shards, quantum) in [(1, 8, 1, 1), (2, 64, 2, 8), (4, 256, 4, 2)] {
+        let daemon = spawn(Config {
+            jobs_addr: "127.0.0.1:0".into(),
+            http_addr: "127.0.0.1:0".into(),
+            workers,
+            queue_depth,
+            shards,
+            drr_quantum: quantum,
+            log: LogTarget::File(temp_dir(&format!("cfg-{workers}")).join("log.jsonl")),
+            ..Config::default()
+        })
+        .unwrap();
+        let jobs_addr = daemon.jobs_addr();
+        let handles: Vec<_> = expected
+            .iter()
+            .cloned()
+            .map(|(name, want)| {
+                std::thread::spawn(move || {
+                    let mut conn = connect(jobs_addr);
+                    let r = roundtrip(
+                        &mut conn,
+                        &format!("gen kernel={name} n={n} effort=1 client={name}"),
+                    );
+                    assert!(r.header.starts_with("ok "), "unexpected reply {}", r.header);
+                    assert_eq!(
+                        String::from_utf8(r.payload).unwrap(),
+                        want,
+                        "workers={workers} depth={queue_depth} shards={shards} quantum={quantum}: \
+                         daemon code for {name} differs from batch output"
+                    );
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        daemon.shutdown();
+        daemon.wait();
+    }
 }

@@ -1,0 +1,329 @@
+//! End-to-end tests for the multi-tenant service core: batch requests
+//! streaming per-space replies, priority + fairness under a flooding
+//! client, the queue timeout, and the HTTP/JSON job API (`POST
+//! /v1/gen`, `POST /v1/batch`) including shedding as `503`.
+
+use serve::{spawn, Config, LogTarget};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+struct Reply {
+    header: String,
+    fields: HashMap<String, String>,
+    payload: Vec<u8>,
+}
+
+fn read_reply(conn: &mut BufReader<TcpStream>) -> Reply {
+    let mut header = String::new();
+    conn.read_line(&mut header).unwrap();
+    let header = header.trim_end().to_owned();
+    let fields: HashMap<String, String> = header
+        .split_whitespace()
+        .skip(1)
+        .filter_map(|t| t.split_once('='))
+        .map(|(k, v)| (k.to_owned(), v.to_owned()))
+        .collect();
+    let mut payload = Vec::new();
+    if header.starts_with("ok ") {
+        let bytes: usize = fields["bytes"].parse().unwrap();
+        payload.resize(bytes, 0);
+        conn.read_exact(&mut payload).unwrap();
+    }
+    Reply {
+        header,
+        fields,
+        payload,
+    }
+}
+
+fn roundtrip(conn: &mut BufReader<TcpStream>, line: &str) -> Reply {
+    conn.get_mut()
+        .write_all(format!("{line}\n").as_bytes())
+        .unwrap();
+    read_reply(conn)
+}
+
+fn connect(addr: SocketAddr) -> BufReader<TcpStream> {
+    BufReader::new(TcpStream::connect(addr).unwrap())
+}
+
+fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let (head, body) = response.split_once("\r\n\r\n").unwrap();
+    (head.to_owned(), body.to_owned())
+}
+
+fn http_post(addr: SocketAddr, path: &str, body: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(
+        stream,
+        "POST {path} HTTP/1.1\r\nHost: x\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let (head, body) = response.split_once("\r\n\r\n").unwrap();
+    (head.to_owned(), body.to_owned())
+}
+
+fn temp_log(tag: &str) -> LogTarget {
+    let dir = std::env::temp_dir().join(format!("codegend-queue-e2e-{}", std::process::id()));
+    let _ = std::fs::create_dir_all(&dir);
+    LogTarget::File(dir.join(format!("{tag}.jsonl")))
+}
+
+/// Reads the `"depth":N` out of the `/healthz` `"queue"` object.
+fn queue_depth(addr: SocketAddr) -> u64 {
+    let (_, body) = http_get(addr, "/healthz");
+    let tail = body
+        .split("\"queue\":{\"depth\":")
+        .nth(1)
+        .unwrap_or_else(|| panic!("no queue object in {body}"));
+    tail.chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap()
+}
+
+#[test]
+fn batch_streams_per_space_replies_in_order() {
+    let daemon = spawn(Config {
+        jobs_addr: "127.0.0.1:0".into(),
+        http_addr: "127.0.0.1:0".into(),
+        log: temp_log("batch"),
+        ..Config::default()
+    })
+    .unwrap();
+    let mut conn = connect(daemon.jobs_addr());
+
+    // Two good spaces around one bad one: per-space isolation means the
+    // bad space errors while its neighbors still generate.
+    let r = roundtrip(
+        &mut conn,
+        "batch id=b1 space={ [i] : 0 <= i < 4 } ; { not a set } ; { [i] : i = 2 }",
+    );
+    assert_eq!(r.header, "batch id=b1 count=3");
+    let first = read_reply(&mut conn);
+    assert!(first.header.starts_with("ok "), "{}", first.header);
+    assert_eq!(first.fields["id"], "b1#0");
+    assert!(String::from_utf8(first.payload).unwrap().contains("for"));
+    let second = read_reply(&mut conn);
+    assert!(second.header.starts_with("err "), "{}", second.header);
+    assert_eq!(second.fields["id"], "b1#1");
+    let third = read_reply(&mut conn);
+    assert!(third.header.starts_with("ok "), "{}", third.header);
+    assert_eq!(third.fields["id"], "b1#2");
+
+    // The batch kind is counted per space, and batch-class histograms
+    // observed the work.
+    let (_, metrics) = http_get(daemon.http_addr(), "/metrics");
+    assert!(
+        metrics.contains("codegend_requests_total{kind=\"batch\",status=\"ok\"} 2"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("codegend_requests_total{kind=\"batch\",status=\"err\"} 1"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("codegend_service_seconds_count{class=\"batch\"} 1"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("codegend_queue_wait_seconds_count{class=\"batch\"} 1"),
+        "{metrics}"
+    );
+
+    daemon.shutdown();
+    daemon.wait();
+}
+
+/// A client flooding large batches cannot starve another client's
+/// interactive job: with one worker, the interactive job must be served
+/// ahead of still-queued batches.
+#[test]
+fn flooding_batches_do_not_starve_interactive_jobs() {
+    let daemon = spawn(Config {
+        jobs_addr: "127.0.0.1:0".into(),
+        http_addr: "127.0.0.1:0".into(),
+        workers: 1,
+        shards: 1,
+        drr_quantum: 1,
+        log: temp_log("fairness"),
+        ..Config::default()
+    })
+    .unwrap();
+    let jobs_addr = daemon.jobs_addr();
+    let http_addr = daemon.http_addr();
+
+    // Mallory floods three 48-space batches from three connections.
+    let space = "[n] -> { [i,j] : 0 <= i < n and 0 <= j < n and i <= j }";
+    let line = format!("batch client=mallory space={}", vec![space; 48].join(" ; "));
+    let floods: Vec<_> = (0..3)
+        .map(|_| {
+            let line = line.clone();
+            std::thread::spawn(move || {
+                let mut conn = connect(jobs_addr);
+                let r = roundtrip(&mut conn, &line);
+                assert!(r.header.starts_with("batch "), "{}", r.header);
+                for _ in 0..48 {
+                    let reply = read_reply(&mut conn);
+                    assert!(reply.header.starts_with("ok "), "{}", reply.header);
+                }
+            })
+        })
+        .collect();
+
+    // Wait until the worker is saturated: at least two whole batches
+    // still queued behind the one executing.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while queue_depth(http_addr) < 2 {
+        assert!(Instant::now() < deadline, "flood never queued up");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // Alice's interactive job lands while the flood is queued — it must
+    // complete while mallory still has whole batches waiting.
+    let mut conn = connect(jobs_addr);
+    let r = roundtrip(&mut conn, "gen client=alice space={ [i] : 0 <= i < 4 }");
+    assert!(r.header.starts_with("ok "), "{}", r.header);
+    assert!(
+        queue_depth(http_addr) >= 1,
+        "interactive job was served only after the flood drained"
+    );
+
+    for f in floods {
+        f.join().unwrap();
+    }
+    daemon.shutdown();
+    daemon.wait();
+}
+
+#[test]
+fn queue_timeout_answers_stale_jobs_with_an_error() {
+    let daemon = spawn(Config {
+        jobs_addr: "127.0.0.1:0".into(),
+        http_addr: "127.0.0.1:0".into(),
+        queue_timeout: Some(Duration::ZERO),
+        log: temp_log("timeout"),
+        ..Config::default()
+    })
+    .unwrap();
+    let mut conn = connect(daemon.jobs_addr());
+    let r = roundtrip(&mut conn, "gen kernel=gemv n=8");
+    assert!(r.header.starts_with("err "), "{}", r.header);
+    assert!(r.header.contains("timed out in queue"), "{}", r.header);
+    let (_, metrics) = http_get(daemon.http_addr(), "/metrics");
+    assert!(
+        metrics.contains("codegend_jobs_timeout_total{class=\"interactive\"} 1"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("codegend_requests_total{kind=\"kernel\",status=\"timeout\"} 1"),
+        "{metrics}"
+    );
+    daemon.shutdown();
+    daemon.wait();
+}
+
+#[test]
+fn http_json_api_gen_batch_and_errors() {
+    let daemon = spawn(Config {
+        jobs_addr: "127.0.0.1:0".into(),
+        http_addr: "127.0.0.1:0".into(),
+        log: temp_log("http"),
+        ..Config::default()
+    })
+    .unwrap();
+    let addr = daemon.http_addr();
+
+    // One kernel job over JSON.
+    let (head, body) = http_post(
+        addr,
+        "/v1/gen",
+        r#"{"kernel":"gemv","n":8,"id":"h-1","client":"alice"}"#,
+    );
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(
+        body.starts_with("{\"id\":\"h-1\",\"source\":\"gemv\""),
+        "{body}"
+    );
+    assert!(body.contains("\"certainty\":\"exact\""), "{body}");
+    assert!(body.contains("\"code\":\""), "{body}");
+
+    // A job-level error is still a 200 with an error field (the request
+    // was well-formed; the generation failed).
+    let (head, body) = http_post(addr, "/v1/gen", r#"{"kernel":"nosuch"}"#);
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(body.contains("\"error\":\"unknown kernel"), "{body}");
+
+    // Batch streams chunked NDJSON: a header object, then one object per
+    // space in order.
+    let (head, body) = http_post(
+        addr,
+        "/v1/batch",
+        r#"{"id":"hb","spaces":["{ [i] : 0 <= i < 4 }","{ nope }","{ [i] : i = 1 }"]}"#,
+    );
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(head.contains("Transfer-Encoding: chunked"), "{head}");
+    assert!(body.contains("{\"id\":\"hb\",\"count\":3}"), "{body}");
+    assert!(body.contains("\"id\":\"hb#0\""), "{body}");
+    assert!(
+        body.contains("\"id\":\"hb#1\",\"source\":\"adhoc[1]\",\"error\""),
+        "{body}"
+    );
+    assert!(body.contains("\"id\":\"hb#2\""), "{body}");
+    let p0 = body.find("hb#0").unwrap();
+    let p1 = body.find("hb#1").unwrap();
+    let p2 = body.find("hb#2").unwrap();
+    assert!(p0 < p1 && p1 < p2, "replies out of order: {body}");
+    // Chunked framing terminates properly.
+    assert!(body.ends_with("0\r\n\r\n"), "{body:?}");
+
+    // Malformed bodies are 400s.
+    for (path, bad) in [
+        ("/v1/gen", "not json"),
+        ("/v1/gen", "{}"),
+        ("/v1/gen", r#"{"kernel":"gemv","priority":"vip"}"#),
+        ("/v1/batch", r#"{"spaces":[]}"#),
+        ("/v1/batch", r#"{"kernel":"gemv"}"#),
+    ] {
+        let (head, body) = http_post(addr, path, bad);
+        assert!(head.starts_with("HTTP/1.1 400"), "{path} {bad}: {head}");
+        assert!(body.contains("\"error\""), "{body}");
+    }
+
+    // Unknown POST path.
+    let (head, _) = http_post(addr, "/v1/nope", "{}");
+    assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+
+    daemon.shutdown();
+    daemon.wait();
+}
+
+#[test]
+fn http_api_sheds_with_503_and_retry_after() {
+    let daemon = spawn(Config {
+        jobs_addr: "127.0.0.1:0".into(),
+        http_addr: "127.0.0.1:0".into(),
+        queue_depth: 0,
+        log: temp_log("shed503"),
+        ..Config::default()
+    })
+    .unwrap();
+    let (head, body) = http_post(daemon.http_addr(), "/v1/gen", r#"{"kernel":"gemv","n":8}"#);
+    assert!(head.starts_with("HTTP/1.1 503"), "{head}");
+    assert!(head.contains("Retry-After: 1"), "{head}");
+    assert!(body.contains("\"error\":\"busy\""), "{body}");
+    assert!(body.contains("\"class\":\"interactive\""), "{body}");
+    assert!(body.contains("\"capacity\":0"), "{body}");
+    daemon.shutdown();
+    daemon.wait();
+}

@@ -15,11 +15,29 @@ Checks, per metric family:
   sample line appears for an undeclared family when `--strict` is given;
 * the exposition ends with the OpenMetrics `# EOF` terminator.
 
+Beyond structural validation, the checker evaluates threshold
+assertions against the scrape (`--assert EXPR`, repeatable) and renders
+a per-class queue summary as GitHub-flavored markdown (`--summary`, for
+`$GITHUB_STEP_SUMMARY`). Assertion expressions are comparisons over
+metric selectors with arithmetic:
+
+    p99(codegend_queue_wait_seconds{class="interactive"}) <= 0.25
+    codegend_jobs_shed_total / codegend_requests_total < 0.05
+    sum(codegend_requests_total{status="ok"}) >= 2000
+
+A bare selector sums every matching sample (labels are subset-matched);
+`pNN(family{...})` reads the family's cumulative `le` buckets and
+returns the smallest edge covering the NN-th percentile; `count()` and
+`avg()` count and average matching samples. A selector matching nothing
+is an error, not zero — a typo must not pass a gate.
+
 Usage:
     check_metrics.py FILE        validate a scrape saved to FILE ('-' = stdin)
+    check_metrics.py FILE --assert EXPR [--assert EXPR ...]
+    check_metrics.py FILE --summary
     check_metrics.py --self-test run the embedded good/bad corpus
 
-Exit status: 0 valid, 1 validation errors, 2 usage error.
+Exit status: 0 valid, 1 validation or assertion errors, 2 usage error.
 """
 
 import argparse
@@ -179,6 +197,298 @@ def check_text(text, strict=False):
     return errors
 
 
+# ---------------------------------------------------------------------------
+# Assertion expressions
+# ---------------------------------------------------------------------------
+
+
+class EvalError(Exception):
+    """An assertion expression that cannot be evaluated (syntax error,
+    selector matching nothing, quantile of a non-histogram)."""
+
+
+def parse_samples(text):
+    """Returns the scrape as a flat list of (name, labels, value)."""
+    samples = []
+    for line in text.split("\n"):
+        if not line or line.startswith("#"):
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            continue
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            continue
+        labels = dict(LABEL_RE.findall(m.group("labels") or ""))
+        samples.append((m.group("name"), labels, value))
+    return samples
+
+
+SELECTOR_RE = re.compile(
+    r"(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(?P<labels>[^}]*)\})?$"
+)
+
+
+def split_selector(sel):
+    m = SELECTOR_RE.match(sel)
+    if not m:
+        raise EvalError(f"bad selector {sel!r}")
+    return m.group("name"), dict(LABEL_RE.findall(m.group("labels") or ""))
+
+
+def select(samples, sel, suffix=""):
+    """Samples whose name is `selector name + suffix` and whose labels are
+    a superset of the selector's."""
+    name, want = split_selector(sel)
+    name += suffix
+    return [
+        (n, ls, v)
+        for n, ls, v in samples
+        if n == name and all(ls.get(k) == v for k, v in want.items())
+    ]
+
+
+def quantile(samples, sel, q):
+    """The q-quantile of a histogram family: merges the cumulative `le`
+    buckets of every matching series and returns the smallest edge whose
+    count covers q of the total. An empty histogram is 0.0; a quantile
+    past the last finite edge is +Inf (which fails any `<=` gate —
+    honest, not forgiving)."""
+    by_le = {}
+    for _, ls, v in select(samples, sel, "_bucket"):
+        le = parse_le(ls.get("le", ""))
+        if le is None:
+            raise EvalError(f"bad le bucket in {sel!r}")
+        by_le[le] = by_le.get(le, 0.0) + v
+    if math.inf not in by_le:
+        raise EvalError(f"{sel!r} has no +Inf bucket (not a histogram?)")
+    total = by_le[math.inf]
+    if total == 0:
+        return 0.0
+    rank = q * total
+    for le in sorted(by_le):
+        if by_le[le] >= rank - 1e-9:
+            return le
+    return math.inf
+
+
+TOKEN_RE = re.compile(
+    r"\s*(?:"
+    r"(?P<op><=|>=|==|!=|<|>|[()+\-*/])"
+    r"|(?P<num>\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)"
+    r"|(?P<sel>[a-zA-Z_:][a-zA-Z0-9_:]*(?:\{[^}]*\})?)"
+    r")"
+)
+
+
+def tokenize(expr):
+    tokens, i = [], 0
+    while i < len(expr):
+        m = TOKEN_RE.match(expr, i)
+        if not m or m.end() == i:
+            if expr[i:].strip():
+                raise EvalError(f"unparseable at {expr[i:]!r}")
+            break
+        i = m.end()
+        if m.group("op"):
+            tokens.append(("op", m.group("op")))
+        elif m.group("num"):
+            tokens.append(("num", float(m.group("num"))))
+        else:
+            tokens.append(("sel", m.group("sel")))
+    return tokens
+
+
+class Parser:
+    """Recursive descent over `comparison := sum (CMP sum)?`,
+    `sum := product (('+'|'-') product)*`,
+    `product := unary (('*'|'/') unary)*`,
+    `unary := '-'? primary`,
+    `primary := number | '(' sum ')' | func '(' selector ')' | selector`."""
+
+    FUNCS = ("sum", "avg", "count")
+
+    def __init__(self, tokens, samples):
+        self.tokens = tokens
+        self.pos = 0
+        self.samples = samples
+
+    def peek(self):
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self, kind=None, value=None):
+        t = self.peek()
+        if t is None or (kind and t[0] != kind) or (value and t[1] != value):
+            raise EvalError(f"expected {value or kind}, got {t}")
+        self.pos += 1
+        return t
+
+    def comparison(self):
+        left = self.sum()
+        t = self.peek()
+        if t is None:
+            raise EvalError("assertion must be a comparison, e.g. 'x <= 1'")
+        op = self.take("op")[1]
+        right = self.sum()
+        if self.peek() is not None:
+            raise EvalError(f"trailing tokens after comparison: {self.peek()}")
+        ok = {
+            "<=": left <= right,
+            "<": left < right,
+            ">=": left >= right,
+            ">": left > right,
+            "==": left == right,
+            "!=": left != right,
+        }[op]
+        return ok, left, op, right
+
+    def sum(self):
+        v = self.product()
+        while self.peek() in (("op", "+"), ("op", "-")):
+            op = self.take("op")[1]
+            rhs = self.product()
+            v = v + rhs if op == "+" else v - rhs
+        return v
+
+    def product(self):
+        v = self.unary()
+        while self.peek() in (("op", "*"), ("op", "/")):
+            op = self.take("op")[1]
+            rhs = self.unary()
+            if op == "/":
+                if rhs == 0:
+                    raise EvalError("division by zero (empty denominator?)")
+                v /= rhs
+            else:
+                v *= rhs
+        return v
+
+    def unary(self):
+        if self.peek() == ("op", "-"):
+            self.take("op")
+            return -self.primary()
+        return self.primary()
+
+    def primary(self):
+        t = self.take()
+        if t[0] == "num":
+            return t[1]
+        if t == ("op", "("):
+            v = self.sum()
+            self.take("op", ")")
+            return v
+        if t[0] != "sel":
+            raise EvalError(f"unexpected token {t}")
+        name = t[1]
+        if self.peek() == ("op", "("):  # function call
+            self.take("op")
+            arg = self.take("sel")[1]
+            self.take("op", ")")
+            return self.call(name, arg)
+        return self.value_of(name)
+
+    def call(self, func, arg):
+        m = re.fullmatch(r"p(\d{1,2})", func)
+        if m:
+            return quantile(self.samples, arg, int(m.group(1)) / 100.0)
+        if func not in self.FUNCS:
+            raise EvalError(f"unknown function {func!r} (want pNN/sum/avg/count)")
+        matched = select(self.samples, arg)
+        if not matched and func != "count":
+            raise EvalError(f"selector {arg!r} matched no samples")
+        if func == "count":
+            return float(len(matched))
+        total = sum(v for _, _, v in matched)
+        return total / len(matched) if func == "avg" else total
+
+    def value_of(self, sel):
+        matched = select(self.samples, sel)
+        if not matched:
+            raise EvalError(f"selector {sel!r} matched no samples")
+        return sum(v for _, _, v in matched)
+
+
+def evaluate(expr, samples):
+    """Returns (ok, rendered) for one assertion expression."""
+    ok, left, op, right = Parser(tokenize(expr), samples).comparison()
+    return ok, f"{left:.6g} {op} {right:.6g}"
+
+
+# ---------------------------------------------------------------------------
+# Markdown summary
+# ---------------------------------------------------------------------------
+
+
+def fmt_seconds(s):
+    if s == math.inf:
+        return "inf"
+    if s >= 1.0:
+        return f"{s:.2f}s"
+    if s >= 1e-3:
+        return f"{s * 1e3:.2f}ms"
+    return f"{s * 1e6:.0f}us"
+
+
+def summarize(text):
+    """Renders the codegend queue families as a GitHub-flavored markdown
+    table: one row per priority class with job counts, queue-wait and
+    service p50/p99, and shed/timeout counts."""
+    samples = parse_samples(text)
+
+    def by_class(name, suffix=""):
+        return {
+            ls["class"]: v
+            for _, ls, v in select(samples, name, suffix)
+            if "class" in ls
+        }
+
+    served = by_class("codegend_service_seconds", "_count")
+    shed = by_class("codegend_jobs_shed_total")
+    timeout = by_class("codegend_jobs_timeout_total")
+    classes = [
+        c
+        for c in ("interactive", "batch", "bulk")
+        if c in served or c in shed or c in timeout
+    ]
+    lines = [
+        "### codegend queue",
+        "",
+        "| class | served | queue p50 | queue p99 | service p50 | service p99 | shed | timeout |",
+        "|---|---|---|---|---|---|---|---|",
+    ]
+    for c in classes:
+        sel = f'{{class="{c}"}}'
+        if served.get(c, 0) > 0:
+            qw = f"codegend_queue_wait_seconds{sel}"
+            sv = f"codegend_service_seconds{sel}"
+            q50, q99 = quantile(samples, qw, 0.50), quantile(samples, qw, 0.99)
+            s50, s99 = quantile(samples, sv, 0.50), quantile(samples, sv, 0.99)
+            stats = [fmt_seconds(x) for x in (q50, q99, s50, s99)]
+        else:
+            stats = ["-"] * 4
+        lines.append(
+            "| {} | {} | {} | {} | {} | {} | {} | {} |".format(
+                c,
+                int(served.get(c, 0)),
+                *stats,
+                int(shed.get(c, 0)),
+                int(timeout.get(c, 0)),
+            )
+        )
+    # Shed requests are answered `busy` and counted in requests_total, so
+    # the rate is shed-over-total, not shed-over-(total+shed).
+    total = sum(v for _, _, v in select(samples, "codegend_requests_total"))
+    shed_n = sum(shed.values())
+    if total > 0:
+        lines.append("")
+        lines.append(
+            f"{int(total)} requests, {int(shed_n)} shed "
+            f"({100.0 * shed_n / total:.2f}% shed rate)"
+        )
+    return "\n".join(lines) + "\n"
+
+
 GOOD = """\
 # HELP codegend_requests Requests handled.
 # TYPE codegend_requests counter
@@ -249,6 +559,49 @@ BAD = [
 ]
 
 
+# A codegend-shaped scrape for the assertion/summary corpus: 100
+# interactive jobs with a known queue-wait distribution (90 under 1ms,
+# 9 more under 4ms, 1 in +Inf), 2 sheds against 102 requests.
+ASSERT_SCRAPE = """\
+# TYPE codegend_requests counter
+codegend_requests_total{kind="kernel",status="ok"} 100
+codegend_requests_total{kind="kernel",status="busy"} 2
+# TYPE codegend_jobs_shed counter
+codegend_jobs_shed_total{class="interactive"} 2
+# TYPE codegend_queue_wait_seconds histogram
+codegend_queue_wait_seconds_bucket{class="interactive",le="0.001"} 90
+codegend_queue_wait_seconds_bucket{class="interactive",le="0.004"} 99
+codegend_queue_wait_seconds_bucket{class="interactive",le="+Inf"} 100
+codegend_queue_wait_seconds_count{class="interactive"} 100
+codegend_queue_wait_seconds_sum{class="interactive"} 0.2
+# TYPE codegend_service_seconds histogram
+codegend_service_seconds_bucket{class="interactive",le="0.001"} 50
+codegend_service_seconds_bucket{class="interactive",le="+Inf"} 100
+codegend_service_seconds_count{class="interactive"} 100
+codegend_service_seconds_sum{class="interactive"} 0.3
+# EOF
+"""
+
+# (expression, expected verdict) — or (expression, EvalError) when the
+# expression itself must be rejected.
+ASSERT_CASES = [
+    ('p50(codegend_queue_wait_seconds{class="interactive"}) <= 0.001', True),
+    ('p99(codegend_queue_wait_seconds{class="interactive"}) <= 0.004', True),
+    # The 100th percentile lands in the +Inf bucket — no finite bound
+    # can pass, by design.
+    ('p99(codegend_queue_wait_seconds{class="interactive"}) <= 0.001', False),
+    ("codegend_jobs_shed_total / codegend_requests_total <= 0.05", True),
+    ("codegend_jobs_shed_total / codegend_requests_total < 0.01", False),
+    ('sum(codegend_requests_total{status="ok"}) >= 100', True),
+    ("count(codegend_requests_total) == 2", True),
+    ('codegend_requests_total{status="ok"} + codegend_jobs_shed_total == 102', True),
+    ("no_such_metric > 0", EvalError),  # typos fail loudly, not as 0
+    ("p99(codegend_requests_total) > 0", EvalError),  # not a histogram
+    ("codegend_requests_total", EvalError),  # not a comparison
+    ("codegend_requests_total / (1 - 1) > 0", EvalError),  # div by zero
+]
+
+
 def self_test():
     failures = 0
     errs = check_text(GOOD, strict=True)
@@ -265,10 +618,36 @@ def self_test():
                 f"self-test: BAD corpus not caught (wanted /{pattern}/, got {errs})",
                 file=sys.stderr,
             )
+    samples = parse_samples(ASSERT_SCRAPE)
+    for expr, want in ASSERT_CASES:
+        try:
+            ok, rendered = evaluate(expr, samples)
+        except EvalError as e:
+            if want is not EvalError:
+                failures += 1
+                print(f"self-test: {expr!r} raised {e}", file=sys.stderr)
+            continue
+        if want is EvalError:
+            failures += 1
+            print(f"self-test: {expr!r} should be rejected", file=sys.stderr)
+        elif ok is not want:
+            failures += 1
+            print(
+                f"self-test: {expr!r} -> {ok} ({rendered}), want {want}",
+                file=sys.stderr,
+            )
+    md = summarize(ASSERT_SCRAPE)
+    for needle in ("| interactive | 100 |", "1.00ms", "4.00ms", "1.96% shed rate"):
+        if needle not in md:
+            failures += 1
+            print(f"self-test: summary missing {needle!r}:\n{md}", file=sys.stderr)
     if failures:
         print(f"self-test: {failures} failure(s)", file=sys.stderr)
         return 1
-    print(f"self-test: ok (1 good, {len(BAD)} bad expositions)")
+    print(
+        f"self-test: ok (1 good, {len(BAD)} bad expositions, "
+        f"{len(ASSERT_CASES)} assertions)"
+    )
     return 0
 
 
@@ -283,20 +662,55 @@ def main():
         action="store_true",
         help="also fail on samples with no TYPE declaration",
     )
+    ap.add_argument(
+        "--assert",
+        dest="asserts",
+        action="append",
+        default=[],
+        metavar="EXPR",
+        help="threshold assertion over the scrape, e.g. "
+        "'p99(codegend_queue_wait_seconds{class=\"interactive\"}) <= 0.25' "
+        "(repeatable; all must hold)",
+    )
+    ap.add_argument(
+        "--summary",
+        action="store_true",
+        help="print the per-class queue table as GitHub-flavored markdown",
+    )
     args = ap.parse_args()
     if args.self_test:
         sys.exit(self_test())
     if not args.file:
         ap.error("FILE required unless --self-test")
     text = sys.stdin.read() if args.file == "-" else open(args.file).read()
+    if args.summary:
+        print(summarize(text), end="")
+        return
     errors = check_text(text, strict=args.strict)
     for e in errors:
         print(e, file=sys.stderr)
+    samples = parse_samples(text)
+    failed = 0
+    for expr in args.asserts:
+        try:
+            ok, rendered = evaluate(expr, samples)
+        except EvalError as e:
+            failed += 1
+            print(f"assert ERROR {expr}  ({e})", file=sys.stderr)
+            continue
+        verdict = "ok" if ok else "FAIL"
+        out = sys.stdout if ok else sys.stderr
+        print(f"assert {verdict} {expr}  ({rendered})", file=out)
+        failed += 0 if ok else 1
     n_samples = sum(
         1 for l in text.split("\n") if l and not l.startswith("#")
     )
-    if errors:
-        print(f"{len(errors)} error(s) in {n_samples} samples", file=sys.stderr)
+    if errors or failed:
+        print(
+            f"{len(errors)} error(s), {failed} failed assertion(s) "
+            f"in {n_samples} samples",
+            file=sys.stderr,
+        )
         sys.exit(1)
     print(f"ok: {n_samples} samples, valid exposition")
 

@@ -56,6 +56,8 @@ REQUIRED = {
     "kind": str,
     "source": str,
     "status": str,
+    "class": str,
+    "queue_ns": int,
     "ts_ms": int,
     "effort": int,
     "threads": int,
@@ -83,10 +85,14 @@ def check_report(r):
         )
         if not ok:
             raise AssertionError(f"field {key!r} is not {ty.__name__}: {r[key]!r}")
-    if r["kind"] not in ("kernel", "adhoc"):
+    if r["kind"] not in ("kernel", "adhoc", "batch"):
         raise AssertionError(f"unknown kind {r['kind']!r}")
     if r["status"] not in ("ok", "err"):
         raise AssertionError(f"unknown status {r['status']!r}")
+    if r["class"] not in ("interactive", "batch", "bulk"):
+        raise AssertionError(f"unknown priority class {r['class']!r}")
+    if r["queue_ns"] < 0:
+        raise AssertionError(f"negative queue_ns: {r['queue_ns']!r}")
     if r["status"] == "err" and not isinstance(r.get("error"), str):
         raise AssertionError(f"err report without error message: {r}")
     if r["status"] == "ok":
@@ -161,6 +167,8 @@ def sample():
         "kind": "kernel",
         "source": "gemm",
         "status": "ok",
+        "class": "interactive",
+        "queue_ns": 700,
         "ts_ms": 1,
         "effort": 1,
         "threads": 2,
@@ -198,6 +206,10 @@ def self_test():
     bad = [
         mutate(id=None),  # missing required field
         mutate(status="maybe"),  # unknown status
+        mutate(**{"class": "vip"}),  # unknown priority class
+        mutate(**{"class": None}),  # missing priority class
+        mutate(queue_ns=-1),  # negative queue wait
+        mutate(queue_ns=None),  # missing queue wait
         mutate(status="err"),  # err without error message
         mutate(certainty="sure"),  # unknown certainty
         mutate(lines=0),  # ok without code

@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Drive a running codegend with a concurrent mixed-priority job load.
+
+Usage: load_driver.py [--port PORT] [--jobs N] [--concurrency C]
+                      [--clients K] [--batch-share PCT]
+
+Submits N line-protocol jobs from C concurrent connections spread over K
+client identities, mixing the three priority classes (60% interactive,
+30% batch, 10% bulk by default weight) and folding a share of the batch
+traffic into multi-space `batch` requests so the queue sees both unit-
+and N-cost entries. Ad-hoc iteration spaces are drawn from a small
+rotation of parametric sets, so each job is real solver work but bounded.
+
+Shed replies (`busy ...`) are an expected answer under load, not a
+failure: they are counted and reported, and the exit status reflects
+only protocol failures (malformed replies, truncated bodies, socket
+errors) and `err` replies. CI asserts the shed *rate* separately from
+the scraped /metrics via check_metrics.py --assert.
+
+The deterministic seed makes a given (jobs, concurrency, clients)
+configuration replayable.
+"""
+
+import argparse
+import collections
+import random
+import socket
+import sys
+import threading
+import time
+
+SPACES = (
+    "[n] -> { [i] : 0 <= i < n }",
+    "[n] -> { [i,j] : 0 <= i < n and 0 <= j < i }",
+    "[n] -> { [i,j] : 0 <= i < n and 0 <= j < n and i + j < n }",
+    "[n,m] -> { [i,j] : 0 <= i < n and 0 <= j < m }",
+)
+
+# (class tag, weight): the interactive-heavy mix of a shared deployment.
+CLASS_MIX = (("interactive", 6), ("batch", 3), ("bulk", 1))
+
+
+def read_reply(f):
+    """One reply: the header line plus, for `ok`, the byte-counted body.
+    Returns (status, header) where status is ok/err/busy/batch/bad."""
+    header = f.readline().decode().strip()
+    if not header:
+        return "bad", "empty reply (connection closed?)"
+    fields = dict(t.split("=", 1) for t in header.split()[1:] if "=" in t)
+    if header.startswith("ok "):
+        body = f.read(int(fields["bytes"]))
+        if len(body) != int(fields["bytes"]):
+            return "bad", f"truncated body: {header}"
+        return "ok", header
+    if header.startswith("busy "):
+        return "busy", header
+    if header.startswith("err "):
+        return "err", header
+    if header.startswith("batch "):
+        return "batch", header
+    return "bad", f"unrecognized reply: {header}"
+
+
+def job_lines(args):
+    """The full job list, pre-shuffled: (line, priority class, replies)."""
+    rng = random.Random(args.seed)
+    classes = [c for c, w in CLASS_MIX for _ in range(w)]
+    jobs = []
+    i = 0
+    while i < args.jobs:
+        prio = rng.choice(classes)
+        client = f"c{rng.randrange(args.clients)}"
+        if prio == "batch" and rng.random() < args.batch_share / 100.0:
+            # One batch request carrying several spaces: costs its space
+            # count in the queue, streams one reply per space.
+            count = rng.randint(2, 6)
+            spaces = " ; ".join(rng.choice(SPACES) for _ in range(count))
+            jobs.append(
+                (
+                    f"batch id=ld-{i} prio=batch client={client} space={spaces}",
+                    prio,
+                    count,
+                )
+            )
+            i += count
+        else:
+            space = rng.choice(SPACES)
+            jobs.append(
+                (
+                    f"gen id=ld-{i} prio={prio} client={client} space={space}",
+                    prio,
+                    1,
+                )
+            )
+            i += 1
+    rng.shuffle(jobs)
+    return jobs
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--port", type=int, default=7077)
+    ap.add_argument("--jobs", type=int, default=2000, help="total job count")
+    ap.add_argument("--concurrency", type=int, default=64)
+    ap.add_argument("--clients", type=int, default=16)
+    ap.add_argument(
+        "--batch-share",
+        type=float,
+        default=50.0,
+        help="%% of batch-class traffic folded into multi-space requests",
+    )
+    ap.add_argument("--seed", type=int, default=1)
+    args = ap.parse_args()
+
+    jobs = job_lines(args)
+    cursor = [0]
+    lock = threading.Lock()
+    tally = collections.Counter()  # (class, status) -> replies
+    failures = []
+
+    def worker() -> None:
+        try:
+            s = socket.create_connection(("127.0.0.1", args.port), timeout=300)
+            f = s.makefile("rb")
+        except OSError as e:
+            failures.append(f"connect: {e!r}")
+            return
+        while True:
+            with lock:
+                if cursor[0] >= len(jobs):
+                    return
+                line, prio, replies = jobs[cursor[0]]
+                cursor[0] += 1
+            try:
+                s.sendall((line + "\n").encode())
+                status, header = read_reply(f)
+                if status == "busy":
+                    # One shed reply answers the whole request, batch or
+                    # not: count it as one shed request.
+                    with lock:
+                        tally[(prio, "busy")] += 1
+                    continue
+                # A batch acknowledgment precedes its per-space replies.
+                expect = replies if status == "batch" else 0
+                if status != "batch":
+                    with lock:
+                        tally[(prio, status)] += 1
+                for _ in range(expect):
+                    status, header = read_reply(f)
+                    with lock:
+                        tally[(prio, status)] += 1
+                if status == "bad":
+                    failures.append(header)
+                    return
+            except OSError as e:
+                failures.append(f"{line.split(' space=')[0]}: {e!r}")
+                return
+
+    start = time.monotonic()
+    threads = [threading.Thread(target=worker) for _ in range(args.concurrency)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.monotonic() - start
+
+    total = sum(tally.values())
+    print(f"{total} replies in {elapsed:.2f}s ({total / max(elapsed, 1e-9):.0f}/s)")
+    for prio, _ in CLASS_MIX:
+        row = {st: tally.get((prio, st), 0) for st in ("ok", "err", "busy", "bad")}
+        print(
+            f"  {prio:>11}: ok={row['ok']} err={row['err']} "
+            f"shed={row['busy']} bad={row['bad']}"
+        )
+    errs = sum(v for (_, st), v in tally.items() if st in ("err", "bad"))
+    if failures or errs:
+        for msg in failures[:20]:
+            print(f"failure: {msg}", file=sys.stderr)
+        sys.exit(f"{errs} bad replies, {len(failures)} connection failures")
+    if tally.get(("interactive", "ok"), 0) == 0:
+        sys.exit("no interactive job completed — the load never ran?")
+
+
+if __name__ == "__main__":
+    main()
