@@ -5,7 +5,7 @@
 //!
 //! Usage: `cargo run --release -p bench-harness --bin table1 [N] [--gcc]
 //! [--json FILE] [--trace FILE.json [--force]] [--dump-dir DIR]
-//! [--cache-dir DIR]`
+//! [--cache-dir DIR] [--profile FILE]`
 //! (N = problem size; default 64). With `--gcc` and a gcc on PATH, two
 //! extra column groups report the *real* `gcc -O3` compile time and the
 //! compiled binary's execution time — the paper's literal methodology.
@@ -33,6 +33,13 @@
 //! snapshot then report the `persist_*` hit/miss/degrade deltas. A broken
 //! or unwritable cache degrades to process-local caching (reported on
 //! stderr + counted), never a failure.
+//!
+//! With `--profile FILE`, the whole run executes under the sampling CPU
+//! profiler (`telemetry::profile`, the same engine behind the daemon's
+//! `/debug/pprof/profile`) and the collapsed-stack flamegraph text is
+//! written to FILE — feed it to `flamegraph.pl` or
+//! `scripts/check_profile.py`. Unsupported platforms warn and run
+//! unprofiled.
 
 use bench_harness::gcc::{gcc_available, measure_with_gcc};
 use bench_harness::{compare, generate, statements_of, trace_kernel, traces_match, Tool};
@@ -46,6 +53,7 @@ fn main() -> ExitCode {
     let mut dump_dir: Option<PathBuf> = None;
     let mut json_path: Option<PathBuf> = None;
     let mut cache_dir: Option<PathBuf> = None;
+    let mut profile_path: Option<PathBuf> = None;
     let mut n: i64 = 64;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -77,6 +85,13 @@ fn main() -> ExitCode {
                 Some(p) => cache_dir = Some(PathBuf::from(p)),
                 None => {
                     eprintln!("--cache-dir requires a directory argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--profile" => match args.next() {
+                Some(p) => profile_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--profile requires a file argument");
                     return ExitCode::FAILURE;
                 }
             },
@@ -114,6 +129,16 @@ fn main() -> ExitCode {
             ),
             Err(e) => eprintln!(
                 "persistent cache degraded ({}): {e}; continuing with process-local caching",
+                e.as_str()
+            ),
+        }
+    }
+    let mut profiling = false;
+    if profile_path.is_some() {
+        match telemetry::profile::start(telemetry::profile::Options::default()) {
+            Ok(()) => profiling = true,
+            Err(e) => eprintln!(
+                "--profile requested but the sampler is unavailable ({}); running unprofiled",
                 e.as_str()
             ),
         }
@@ -282,6 +307,28 @@ fn main() -> ExitCode {
         }
     }
     println!("\n(All rows verified: both tools execute identical statement traces.)");
+    if profiling {
+        match telemetry::profile::stop() {
+            Ok(profile) => {
+                let p = profile_path.as_ref().unwrap();
+                let resolved = profile.resolve();
+                if let Err(e) = std::fs::write(p, resolved.collapsed()) {
+                    eprintln!("cannot write profile {}: {e}", p.display());
+                    return ExitCode::FAILURE;
+                }
+                println!(
+                    "collapsed-stack cpu profile written to {} ({} samples, {} dropped)",
+                    p.display(),
+                    profile.samples.len(),
+                    profile.dropped
+                );
+            }
+            Err(e) => {
+                eprintln!("profiler stop failed: {}", e.as_str());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     if let Some(c) = &collector {
         let trace = c.finish();
         assert!(trace.is_well_formed(), "recorded trace is not well-formed");

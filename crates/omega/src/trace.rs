@@ -889,13 +889,38 @@ fn flight_hook() -> Option<FlightHook> {
     FLIGHT_HOOK.get().copied()
 }
 
-/// True when any span sink wants events: a collector on this thread
-/// *or* the process-wide flight hook. This is the gate the [`span!`] /
-/// [`root_span!`] macros check; without either sink it is one
-/// thread-local read plus one relaxed atomic load.
+/// A second process-wide span sink, for *sample attribution*: the
+/// continuous profiler (`telemetry::profile`) maintains a per-thread
+/// stack of currently-open span names so each stack sample can be tagged
+/// with the innermost solver phase (`sat_query`, `fm_eliminate`, `gist`,
+/// …) active when the SIGPROF fired. Same contract as [`FlightHook`]:
+/// called on the recording thread at every open (`begin == true`) and
+/// close, must be cheap, lock-free, allocation-free and panic-free —
+/// the profiler's implementation is a pair of thread-local atomic
+/// stores, safe to interleave with its own signal handler.
+pub type ProfileHook = fn(begin: bool, name: &'static str);
+
+static PROFILE_HOOK: OnceLock<ProfileHook> = OnceLock::new();
+
+/// Installs the process-wide [`ProfileHook`]. First call wins, as with
+/// [`install_flight_hook`].
+pub fn install_profile_hook(hook: ProfileHook) {
+    let _ = PROFILE_HOOK.set(hook);
+}
+
+#[inline]
+fn profile_hook() -> Option<ProfileHook> {
+    PROFILE_HOOK.get().copied()
+}
+
+/// True when any span sink wants events: a collector on this thread,
+/// the process-wide flight hook, *or* the profiler's span-attribution
+/// hook. This is the gate the [`span!`] / [`root_span!`] macros check;
+/// without any sink it is one thread-local read plus two relaxed atomic
+/// loads.
 #[inline]
 pub fn probes_live() -> bool {
-    active() || FLIGHT_HOOK.get().is_some()
+    active() || FLIGHT_HOOK.get().is_some() || PROFILE_HOOK.get().is_some()
 }
 
 /// The collector installed on the current thread, if any.
@@ -1045,6 +1070,8 @@ pub struct SpanGuard {
     /// Set when the flight hook saw this span open: its close is sent to
     /// the hook on drop, whether or not a collector is also recording.
     flight: Option<&'static str>,
+    /// Likewise for the profiler's span-attribution hook.
+    profile: Option<&'static str>,
 }
 
 impl SpanGuard {
@@ -1069,6 +1096,7 @@ impl SpanGuard {
         SpanGuard {
             slot: usize::MAX,
             flight: None,
+            profile: None,
         }
     }
 }
@@ -1077,6 +1105,13 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         if self.slot != usize::MAX {
             STATE.with(|s| close_top(&mut s.borrow_mut()));
+        }
+        // LIFO: the profiler's per-thread span stack pops on close, so the
+        // exit must fire in guard-drop order (which is LIFO by scoping).
+        if let Some(name) = self.profile {
+            if let Some(hook) = profile_hook() {
+                hook(false, name);
+            }
         }
         if let Some(name) = self.flight {
             if let Some(hook) = flight_hook() {
@@ -1101,16 +1136,24 @@ fn begin(name: &'static str, detached: bool) -> SpanGuard {
             id: None,
             detached,
         });
-        SpanGuard { slot, flight: None }
+        SpanGuard {
+            slot,
+            flight: None,
+            profile: None,
+        }
     })
 }
 
-/// Opens `name` toward both sinks: the flight hook sees the begin
-/// immediately; the collector (when installed) gets a stack entry. The
-/// returned guard closes whichever sinks saw the open.
+/// Opens `name` toward every sink: the flight and profile hooks see the
+/// begin immediately; the collector (when installed) gets a stack entry.
+/// The returned guard closes whichever sinks saw the open.
 fn begin_with_flight(name: &'static str, detached: bool) -> SpanGuard {
     let flight = flight_hook();
     if let Some(hook) = flight {
+        hook(true, name);
+    }
+    let profile = profile_hook();
+    if let Some(hook) = profile {
         hook(true, name);
     }
     let mut guard = if active() {
@@ -1119,6 +1162,7 @@ fn begin_with_flight(name: &'static str, detached: bool) -> SpanGuard {
         SpanGuard::inert()
     };
     guard.flight = flight.map(|_| name);
+    guard.profile = profile.map(|_| name);
     guard
 }
 

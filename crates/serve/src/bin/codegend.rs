@@ -10,7 +10,10 @@
 //!          [--queue-timeout-ms MS] [--quantum N] [--shards N]
 //!          [--dump-dir DIR] [--cache-dir DIR] [--cache-flush-ms MS]
 //!          [--slow-ms MS] [--slow-dir DIR] [--flight-kb KB]
-//!          [--log FILE] [--no-phase-trace]
+//!          [--log FILE] [--log-max-mb MB] [--log-keep N]
+//!          [--history-interval-ms MS] [--history-frames N]
+//!          [--slo-p99-ms MS] [--slo-shed-rate FRAC]
+//!          [--no-phase-trace]
 //! ```
 //!
 //! Defaults: jobs on 127.0.0.1:7077, HTTP on 127.0.0.1:9077, effort 1,
@@ -31,6 +34,19 @@
 //! `--slow-dir` (default `codegend-slow`); fast healthy jobs keep
 //! nothing. `--flight-kb` sizes the always-on flight recorder's
 //! per-thread rings (default 256), drained live at `/debug/flight`.
+//! `--log-max-mb` rotates a `--log FILE` when it would exceed that many
+//! MiB, keeping `--log-keep` numbered generations (default 3).
+//! `--history-interval-ms` sets the metrics-history snapshot cadence
+//! (default 1000) and `--history-frames` the ring capacity (default
+//! 600 — ten minutes at the default cadence), served windowed at
+//! `/debug/history`. `--slo-p99-ms` and `--slo-shed-rate` state service
+//! objectives; when either is set, the burn-rate watchdog evaluates
+//! them over 5 s and 60 s windows, flips `/healthz` to `degraded` while
+//! both windows burn, publishes `codegend_slo_burn` gauges, and
+//! auto-arms `--slow-ms`-style retention so offending requests leave
+//! artifacts. The sampling profiler is always serving at
+//! `/debug/pprof/profile?seconds=N` (pprof protobuf; add
+//! `format=collapsed` for flamegraph text).
 
 use serve::{spawn, Config, LogTarget};
 use std::path::PathBuf;
@@ -132,6 +148,48 @@ fn main() -> ExitCode {
                 _ => Err(()),
             },
             "--log" => val("--log").map(|v| cfg.log = LogTarget::File(PathBuf::from(v))),
+            "--log-max-mb" => match val("--log-max-mb").map(|v| v.parse()) {
+                Ok(Ok(mb)) if mb >= 1 => {
+                    cfg.log_max_mb = Some(mb);
+                    Ok(())
+                }
+                _ => Err(()),
+            },
+            "--log-keep" => match val("--log-keep").map(|v| v.parse()) {
+                Ok(Ok(n)) if n >= 1 => {
+                    cfg.log_keep = n;
+                    Ok(())
+                }
+                _ => Err(()),
+            },
+            "--history-interval-ms" => match val("--history-interval-ms").map(|v| v.parse()) {
+                Ok(Ok(ms)) if ms >= 1 => {
+                    cfg.history_interval = Duration::from_millis(ms);
+                    Ok(())
+                }
+                _ => Err(()),
+            },
+            "--history-frames" => match val("--history-frames").map(|v| v.parse()) {
+                Ok(Ok(n)) if n >= 2 => {
+                    cfg.history_frames = n;
+                    Ok(())
+                }
+                _ => Err(()),
+            },
+            "--slo-p99-ms" => match val("--slo-p99-ms").map(|v| v.parse()) {
+                Ok(Ok(ms)) if ms >= 1 => {
+                    cfg.slo_p99_ms = Some(ms);
+                    Ok(())
+                }
+                _ => Err(()),
+            },
+            "--slo-shed-rate" => match val("--slo-shed-rate").map(|v| v.parse::<f64>()) {
+                Ok(Ok(f)) if f > 0.0 && f <= 1.0 => {
+                    cfg.slo_shed_rate = Some(f);
+                    Ok(())
+                }
+                _ => Err(()),
+            },
             "--no-phase-trace" => {
                 cfg.phase_trace = false;
                 Ok(())
@@ -143,7 +201,10 @@ fn main() -> ExitCode {
                      \x20               [--queue-timeout-ms MS] [--quantum N] [--shards N]\n\
                      \x20               [--dump-dir DIR] [--cache-dir DIR] [--cache-flush-ms MS]\n\
                      \x20               [--slow-ms MS] [--slow-dir DIR] [--flight-kb KB]\n\
-                     \x20               [--log FILE] [--no-phase-trace]"
+                     \x20               [--log FILE] [--log-max-mb MB] [--log-keep N]\n\
+                     \x20               [--history-interval-ms MS] [--history-frames N]\n\
+                     \x20               [--slo-p99-ms MS] [--slo-shed-rate FRAC]\n\
+                     \x20               [--no-phase-trace]"
                 );
                 return ExitCode::SUCCESS;
             }

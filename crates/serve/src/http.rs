@@ -55,13 +55,11 @@ pub(crate) fn handle_conn(state: Arc<State>, mut stream: TcpStream) {
     };
     let mut parts = head.lines().next().unwrap_or("").split_whitespace();
     let method = parts.next().unwrap_or("").to_owned();
-    let path = parts
-        .next()
-        .unwrap_or("")
-        .split('?')
-        .next()
-        .unwrap_or("")
-        .to_owned();
+    let target = parts.next().unwrap_or("");
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_owned(), q.to_owned()),
+        None => (target.to_owned(), String::new()),
+    };
     if method == "POST" {
         let body = match read_body(&mut stream, &head, &mut rest) {
             Ok(body) => body,
@@ -87,7 +85,14 @@ pub(crate) fn handle_conn(state: Arc<State>, mut stream: TcpStream) {
         }
         return;
     }
-    let (status, content_type, body) = route(&state, &method, &path);
+    // The profile endpoint blocks its connection thread for the capture
+    // and may return binary (pprof protobuf), so it bypasses the
+    // string-bodied router.
+    if path == "/debug/pprof/profile" && (method == "GET" || method == "HEAD") {
+        get_profile(&state, &mut stream, &method, &query);
+        return;
+    }
+    let (status, content_type, body) = route(&state, &method, &path, &query);
     let _ = write!(
         stream,
         "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
@@ -99,7 +104,97 @@ pub(crate) fn handle_conn(state: Arc<State>, mut stream: TcpStream) {
     let _ = stream.flush();
 }
 
-fn route(state: &State, method: &str, path: &str) -> (&'static str, &'static str, String) {
+/// The value of `key` in a URL query string (no percent-decoding — the
+/// debug parameters are all plain tokens and integers).
+fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == key).then_some(v)
+    })
+}
+
+/// `GET /debug/pprof/profile?seconds=N&hz=N&mode=cpu|wall&format=pprof|collapsed`:
+/// run one profiling session for `seconds` (default 2, capped at 30),
+/// then stream the result — pprof protobuf by default, collapsed-stack
+/// flamegraph text with `format=collapsed`. `409` while another session
+/// runs, `501` where sampling is unsupported.
+fn get_profile(state: &State, stream: &mut TcpStream, method: &str, query: &str) {
+    let seconds = query_param(query, "seconds")
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(2)
+        .clamp(1, 30);
+    let hz = query_param(query, "hz")
+        .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(99);
+    let mode = match query_param(query, "mode") {
+        None | Some("cpu") => telemetry::profile::Mode::Cpu,
+        Some("wall") => telemetry::profile::Mode::Wall,
+        Some(other) => {
+            respond(
+                stream,
+                "400 Bad Request",
+                "application/json",
+                &error_body(&format!("mode must be cpu or wall, not {other:?}")),
+            );
+            return;
+        }
+    };
+    let collapsed = match query_param(query, "format") {
+        None | Some("pprof") => false,
+        Some("collapsed") => true,
+        Some(other) => {
+            respond(
+                stream,
+                "400 Bad Request",
+                "application/json",
+                &error_body(&format!("format must be pprof or collapsed, not {other:?}")),
+            );
+            return;
+        }
+    };
+    let opts = telemetry::profile::Options { mode, hz };
+    match state.profile_capture(opts, Duration::from_secs(seconds)) {
+        Ok(resolved) => {
+            let (content_type, body) = if collapsed {
+                (
+                    "text/plain; charset=utf-8",
+                    resolved.collapsed().into_bytes(),
+                )
+            } else {
+                ("application/octet-stream", resolved.pprof())
+            };
+            let _ = write!(
+                stream,
+                "HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+                body.len()
+            );
+            if method != "HEAD" {
+                let _ = stream.write_all(&body);
+            }
+            let _ = stream.flush();
+        }
+        Err(e) => {
+            let status = match e {
+                telemetry::profile::ProfileError::Busy => "409 Conflict",
+                telemetry::profile::ProfileError::Unsupported => "501 Not Implemented",
+                _ => "500 Internal Server Error",
+            };
+            respond(
+                stream,
+                status,
+                "application/json",
+                &error_body(&format!("profiler: {}", e.as_str())),
+            );
+        }
+    }
+}
+
+fn route(
+    state: &State,
+    method: &str,
+    path: &str,
+    query: &str,
+) -> (&'static str, &'static str, String) {
     if method != "GET" && method != "HEAD" {
         return (
             "405 Method Not Allowed",
@@ -120,13 +215,46 @@ fn route(state: &State, method: &str, path: &str) -> (&'static str, &'static str
         "/debug/flight" => ("200 OK", "application/json", state.debug_flight_json()),
         "/debug/stats" => ("200 OK", "application/json", state.debug_stats_json()),
         "/debug/config" => ("200 OK", "application/json", state.debug_config_json()),
+        "/debug/history" => get_history(state, query),
         _ => (
             "404 Not Found",
             "text/plain; charset=utf-8",
-            "not found (try /metrics, /healthz, /debug/requests, /debug/flight, /debug/stats, /debug/config, POST /v1/gen, POST /v1/batch)\n"
+            "not found (try /metrics, /healthz, /debug/requests, /debug/flight, /debug/stats, /debug/config, /debug/history, /debug/pprof/profile, POST /v1/gen, POST /v1/batch)\n"
                 .to_owned(),
         ),
     }
+}
+
+/// `GET /debug/history?window=MS&format=json|ndjson`: windowed deltas,
+/// rates, and quantiles-over-window from the metrics history ring
+/// (default window 60 s). NDJSON puts the meta line first, then one
+/// line per series — `jq`- and `grep`-friendly under incident pressure.
+fn get_history(state: &State, query: &str) -> (&'static str, &'static str, String) {
+    let window_ms = query_param(query, "window")
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(60_000)
+        .max(1);
+    let ndjson = match query_param(query, "format") {
+        None | Some("json") => false,
+        Some("ndjson") => true,
+        Some(other) => {
+            return (
+                "400 Bad Request",
+                "application/json",
+                error_body(&format!("format must be json or ndjson, not {other:?}")),
+            );
+        }
+    };
+    let content_type = if ndjson {
+        "application/x-ndjson"
+    } else {
+        "application/json"
+    };
+    (
+        "200 OK",
+        content_type,
+        state.debug_history_json(window_ms, ndjson),
+    )
 }
 
 // ---------------------------------------------------------------------------

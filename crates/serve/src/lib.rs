@@ -63,6 +63,7 @@ pub mod queue;
 pub mod report;
 
 mod http;
+mod watchdog;
 
 use crate::metrics::Metrics;
 use crate::proto::{parse_request, JobSource, JobSpec, Request};
@@ -160,6 +161,24 @@ pub struct Config {
     pub report_ring: usize,
     /// Structured request-log sink.
     pub log: LogTarget,
+    /// How often the whole metrics registry is snapshotted into the
+    /// in-process history ring behind `GET /debug/history` and the SLO
+    /// watchdog's windows.
+    pub history_interval: Duration,
+    /// Capacity of the history ring, in frames (600 × the default 1 s
+    /// interval ≈ 10 minutes of windowed history).
+    pub history_frames: usize,
+    /// SLO objective: the 99th-percentile request latency stays under
+    /// this many milliseconds. Arms the burn-rate watchdog.
+    pub slo_p99_ms: Option<u64>,
+    /// SLO objective: at most this fraction of submissions is shed at
+    /// admission. Arms the burn-rate watchdog.
+    pub slo_shed_rate: Option<f64>,
+    /// Size-rotate the request-log file (`LogTarget::File`) once it
+    /// exceeds this many MiB. `None` appends without bound.
+    pub log_max_mb: Option<u64>,
+    /// Rotated request-log generations to keep (`<log>.1` … `<log>.N`).
+    pub log_keep: usize,
 }
 
 impl Default for Config {
@@ -184,8 +203,32 @@ impl Default for Config {
             flight_bytes: 256 * 1024,
             report_ring: 256,
             log: LogTarget::Stderr,
+            history_interval: Duration::from_secs(1),
+            history_frames: 600,
+            slo_p99_ms: None,
+            slo_shed_rate: None,
+            log_max_mb: None,
+            log_keep: 3,
         }
     }
+}
+
+/// The build fingerprint reported on `/healthz` and `/debug/config`:
+/// crate version, target, and build profile — enough to tell *which*
+/// binary is misbehaving when several generations run behind one
+/// balancer.
+pub(crate) fn build_fingerprint() -> String {
+    format!(
+        "codegend/{} {}-{} {}",
+        env!("CARGO_PKG_VERSION"),
+        std::env::consts::ARCH,
+        std::env::consts::OS,
+        if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        },
+    )
 }
 
 /// Shared daemon state: config, metrics, logger, the scheduler, the
@@ -204,12 +247,23 @@ pub(crate) struct State {
     pub(crate) sched: Arc<Scheduler>,
     /// Resolved worker-pool size (`cfg.workers` with 0 resolved).
     workers: usize,
+    /// Windowed metrics history: the ring behind `/debug/history` and
+    /// the SLO watchdog's burn windows.
+    pub(crate) history: telemetry::history::History,
+    /// The watchdog's latest judgement, read by `/healthz`.
+    pub(crate) slo: std::sync::Mutex<watchdog::SloStatus>,
+    /// Watchdog-armed tail-sampling threshold in milliseconds;
+    /// `watchdog::AUTO_SLOW_DISARMED` when not armed. Only consulted
+    /// when `cfg.slow_ms` is unset.
+    pub(crate) auto_slow_ms: AtomicU64,
 }
 
 impl State {
-    /// The `/metrics` body: bridge the solver counters, refresh the
-    /// queue gauges and uptime, render the registry.
-    pub(crate) fn metrics_text(&self) -> String {
+    /// Refreshes the scrape-time gauges (uptime, queue depths, workers)
+    /// and the bridged solver counters — shared by `/metrics` scrapes
+    /// and the history sampler, so history frames carry the same values
+    /// a scrape at that instant would have.
+    fn refresh_gauges(&self) {
         self.metrics
             .uptime_seconds
             .set(self.started.elapsed().as_secs() as i64);
@@ -221,7 +275,23 @@ impl State {
         }
         self.metrics.workers.set(self.workers as i64);
         self.metrics.bridge_solver_stats();
+    }
+
+    /// The `/metrics` body: bridge the solver counters, refresh the
+    /// queue gauges and uptime, render the registry.
+    pub(crate) fn metrics_text(&self) -> String {
+        self.refresh_gauges();
         self.metrics.registry.expose()
+    }
+
+    /// The effective tail-sampling threshold: the operator's `--slow-ms`
+    /// when set, else whatever the SLO watchdog auto-armed (if burning).
+    pub(crate) fn effective_slow_ms(&self) -> Option<u64> {
+        if let Some(ms) = self.cfg.slow_ms {
+            return Some(ms);
+        }
+        let v = self.auto_slow_ms.load(Ordering::Relaxed);
+        (v != watchdog::AUTO_SLOW_DISARMED).then_some(v)
     }
 
     fn shed_total(&self) -> u64 {
@@ -238,13 +308,18 @@ impl State {
     pub(crate) fn healthz_json(&self) -> String {
         let stats = omega::stats::snapshot();
         let cg = CodeGen::new().threads(self.cfg.default_threads);
+        let slo = self.slo.lock().unwrap_or_else(|e| e.into_inner()).clone();
         let mut out = format!(
-            "{{\"status\":\"ready\",\"uptime_ms\":{},\"jobs_total\":{},\"inflight\":{},\"shed_total\":{},\
+            "{{\"status\":\"{}\",\"uptime_ms\":{},\"uptime_seconds\":{},\"build\":\"{}\",\
+             \"jobs_total\":{},\"inflight\":{},\"shed_total\":{},\
              \"queue\":{{\"depth\":{},\"capacity\":{},\"workers\":{},\"shards\":{}}},\
              \"threads\":{},\"intra_threads\":{},\
              \"degraded\":{{\"sat\":{},\"gist\":{},\"by_reason\":{{\"overflow\":{},\"budget\":{},\
              \"depth\":{},\"rowcap\":{},\"deadline\":{}}}}}",
+            if slo.degraded { "degraded" } else { "ready" },
             self.started.elapsed().as_millis(),
+            self.started.elapsed().as_secs(),
+            json_escape(&build_fingerprint()),
             self.jobs_total.load(Ordering::Relaxed),
             self.inflight.load(Ordering::Relaxed),
             self.shed_total(),
@@ -278,8 +353,166 @@ impl State {
             }
             None => out.push_str(",\"persist\":{\"enabled\":false}"),
         }
+        // The SLO watchdog's judgement, with one machine-readable reason
+        // per violated objective — a probe needs no metric math.
+        let _ = write!(
+            out,
+            ",\"slo\":{{\"configured\":{},\"degraded\":{},\"flips\":{},\"evaluations\":{},\
+             \"auto_retention\":{},\"reasons\":[",
+            self.cfg.slo_p99_ms.is_some() || self.cfg.slo_shed_rate.is_some(),
+            slo.degraded,
+            slo.flips,
+            slo.evaluations,
+            slo.auto_retention,
+        );
+        for (i, r) in slo.reasons.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"objective\":\"{}\",\"window_ms\":{},\"measured\":{:.6},\"target\":{:.6},\
+                 \"burn\":{:.3}}}",
+                r.objective, r.window_ms, r.measured, r.target, r.burn,
+            );
+        }
+        out.push_str("]}");
+        let h = self.history.stats();
+        let _ = write!(
+            out,
+            ",\"history\":{{\"interval_ms\":{},\"capacity\":{},\"frames\":{},\"recorded\":{},\
+             \"rejected\":{}}}",
+            self.cfg.history_interval.as_millis(),
+            h.capacity,
+            h.len,
+            h.recorded,
+            h.rejected,
+        );
+        let p = telemetry::profile::state();
+        let _ = write!(
+            out,
+            ",\"profiler\":{{\"supported\":{},\"active\":{},\"sessions\":{},\"last_samples\":{},\
+             \"pc_only\":{}}}",
+            p.supported, p.active, p.sessions, p.last_samples, p.pc_only,
+        );
         out.push_str("}\n");
         out
+    }
+
+    /// The `/debug/history` body: ring stats plus one window diff.
+    /// `ndjson` renders a `meta` line followed by one line per series —
+    /// grep-able; plain JSON nests the same data in one object.
+    pub(crate) fn debug_history_json(&self, window_ms: u64, ndjson: bool) -> String {
+        let h = self.history.stats();
+        let mut meta = format!(
+            "{{\"window_ms\":{window_ms},\"interval_ms\":{},\"capacity\":{},\"frames\":{},\
+             \"recorded\":{},\"rejected\":{}",
+            self.cfg.history_interval.as_millis(),
+            h.capacity,
+            h.len,
+            h.recorded,
+            h.rejected,
+        );
+        let report = self.history.window(window_ms);
+        match &report {
+            Some(r) => {
+                let _ = write!(
+                    meta,
+                    ",\"span_ms\":{},\"start_at_ms\":{},\"end_at_ms\":{}}}",
+                    r.span_ms, r.start_at_ms, r.end_at_ms
+                );
+            }
+            None => meta.push_str(",\"span_ms\":null}"),
+        }
+        let mut lines: Vec<String> = Vec::new();
+        if let Some(r) = &report {
+            for s in &r.series {
+                let mut line = String::from("{\"series\":\"");
+                json::escape_into(&s.key, &mut line);
+                line.push('"');
+                match &s.value {
+                    telemetry::history::WindowValue::Counter {
+                        total,
+                        delta,
+                        rate_per_sec,
+                    } => {
+                        let _ = write!(
+                            line,
+                            ",\"type\":\"counter\",\"total\":{total},\"delta\":{delta},\
+                             \"rate_per_sec\":{rate_per_sec:.6}"
+                        );
+                    }
+                    telemetry::history::WindowValue::Gauge { value } => {
+                        let _ = write!(line, ",\"type\":\"gauge\",\"value\":{value}");
+                    }
+                    telemetry::history::WindowValue::Histogram(wh) => {
+                        let _ = write!(
+                            line,
+                            ",\"type\":\"histogram\",\"count_total\":{},\"count_delta\":{},\
+                             \"rate_per_sec\":{:.6},\"sum_seconds_delta\":{:.9}",
+                            wh.total_count,
+                            wh.delta.count,
+                            wh.rate_per_sec,
+                            wh.delta.sum_ns as f64 / 1e9,
+                        );
+                        // Window quantiles; null (not 0) when the window
+                        // saw no observations — the same convention
+                        // scripts/check_metrics.py enforces for scrapes.
+                        for (tag, q) in [("p50", 0.5), ("p90", 0.9), ("p99", 0.99)] {
+                            match wh.quantile(q) {
+                                Some(v) => {
+                                    let _ = write!(line, ",\"{tag}\":{v:.9}");
+                                }
+                                None => {
+                                    let _ = write!(line, ",\"{tag}\":null");
+                                }
+                            }
+                        }
+                    }
+                }
+                line.push('}');
+                lines.push(line);
+            }
+        }
+        if ndjson {
+            let mut out = String::with_capacity(meta.len() + lines.len() * 64);
+            let _ = writeln!(out, "{{\"meta\":{meta}}}");
+            for l in &lines {
+                let _ = writeln!(out, "{l}");
+            }
+            out
+        } else {
+            let mut out = format!("{{\"meta\":{meta},\"series\":[");
+            for (i, l) in lines.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(l);
+            }
+            out.push_str("]}\n");
+            out
+        }
+    }
+
+    /// Captures one profiling session for `/debug/pprof/profile`:
+    /// blocks the calling connection thread for `duration`, then
+    /// symbolizes. Logs a `profile` record with the capture facts.
+    pub(crate) fn profile_capture(
+        &self,
+        opts: telemetry::profile::Options,
+        duration: Duration,
+    ) -> Result<telemetry::profile::ResolvedProfile, telemetry::profile::ProfileError> {
+        let profile = telemetry::profile::run_for(opts, duration)?;
+        let resolved = profile.resolve();
+        self.logger.log(
+            Record::new("profile")
+                .str("mode", resolved.mode.as_str())
+                .int("duration_ms", duration.as_millis() as i128)
+                .int("samples", resolved.sample_count as i128)
+                .int("dropped", resolved.dropped as i128)
+                .int("stacks", resolved.stacks.len() as i128),
+        );
+        Ok(resolved)
     }
 
     /// The `/debug/requests` body: recent [`QueryReport`]s, oldest first.
@@ -378,12 +611,45 @@ impl State {
             }
             None => out.push_str(",\"slow_ms\":null"),
         }
-        let _ = writeln!(
+        let _ = write!(
             out,
-            ",\"slow_dir\":\"{}\",\"flight_bytes\":{},\"report_ring\":{}}}",
+            ",\"slow_dir\":\"{}\",\"flight_bytes\":{},\"report_ring\":{}",
             json_escape(&c.slow_dir.display().to_string()),
             c.flight_bytes,
             c.report_ring,
+        );
+        let _ = write!(
+            out,
+            ",\"history_interval_ms\":{},\"history_frames\":{}",
+            c.history_interval.as_millis(),
+            c.history_frames,
+        );
+        match c.slo_p99_ms {
+            Some(ms) => {
+                let _ = write!(out, ",\"slo_p99_ms\":{ms}");
+            }
+            None => out.push_str(",\"slo_p99_ms\":null"),
+        }
+        match c.slo_shed_rate {
+            Some(r) => {
+                let _ = write!(out, ",\"slo_shed_rate\":{r}");
+            }
+            None => out.push_str(",\"slo_shed_rate\":null"),
+        }
+        match c.log_max_mb {
+            Some(mb) => {
+                let _ = write!(out, ",\"log_max_mb\":{mb}");
+            }
+            None => out.push_str(",\"log_max_mb\":null"),
+        }
+        let p = telemetry::profile::state();
+        let _ = writeln!(
+            out,
+            ",\"log_keep\":{},\"log_rotations\":{},\"build\":\"{}\",\"profiler_supported\":{}}}",
+            c.log_keep,
+            self.logger.rotations(),
+            json_escape(&build_fingerprint()),
+            p.supported,
         );
         out
     }
@@ -418,9 +684,10 @@ pub fn spawn(cfg: Config) -> io::Result<Daemon> {
     let http = TcpListener::bind(&cfg.http_addr)?;
     let jobs_addr = jobs.local_addr()?;
     let http_addr = http.local_addr()?;
-    let logger = match &cfg.log {
-        LogTarget::Stderr => Logger::stderr(),
-        LogTarget::File(p) => Logger::file(p)?,
+    let logger = match (&cfg.log, cfg.log_max_mb) {
+        (LogTarget::Stderr, _) => Logger::stderr(),
+        (LogTarget::File(p), None) => Logger::file(p)?,
+        (LogTarget::File(p), Some(mb)) => Logger::rotating_file(p, mb << 20, cfg.log_keep)?,
     };
     // The always-on flight recorder: bounded per-thread rings fed by every
     // span probe in the process via the omega trace hook. Both calls are
@@ -428,6 +695,10 @@ pub fn spawn(cfg: Config) -> io::Result<Daemon> {
     // one process (the tests do) shares one recorder.
     telemetry::flight::enable(cfg.flight_bytes);
     omega::trace::install_flight_hook(flight_bridge);
+    // The profiler's span-attribution hook: every span open/close also
+    // maintains the per-thread span stack `/debug/pprof/profile` samples
+    // tag their stacks with. Idempotent like the flight hook.
+    omega::trace::install_profile_hook(profile_bridge);
     let workers = if cfg.workers == 0 {
         thread::available_parallelism()
             .map(|n| n.get())
@@ -441,6 +712,7 @@ pub fn spawn(cfg: Config) -> io::Result<Daemon> {
         cfg.shards
     };
     let sched = Arc::new(Scheduler::new(shards, cfg.queue_depth, cfg.drr_quantum));
+    let history = telemetry::history::History::new(cfg.history_frames);
     let state = Arc::new(State {
         metrics: Metrics::new(),
         logger,
@@ -452,9 +724,22 @@ pub fn spawn(cfg: Config) -> io::Result<Daemon> {
         reports: report::ReportRing::new(cfg.report_ring),
         sched,
         workers,
+        history,
+        slo: std::sync::Mutex::new(watchdog::SloStatus::default()),
+        auto_slow_ms: AtomicU64::new(watchdog::AUTO_SLOW_DISARMED),
         cfg,
     });
+    state
+        .logger
+        .set_rotation_counter(Arc::clone(&state.metrics.log_rotations));
     state.metrics.workers.set(workers as i64);
+    // Pre-register the watchdog's burn gauges so a scrape shows explicit
+    // zeros before the first evaluation.
+    for objective in ["p99", "shed"] {
+        for window in ["5s", "60s"] {
+            state.metrics.slo_burn.with(&[objective, window]).set(0);
+        }
+    }
     // Pre-register every class-labeled series so a scrape before (or
     // without) traffic shows explicit zeros — a gate asserting
     // `codegend_jobs_timeout_total == 0` must distinguish "none" from
@@ -521,6 +806,25 @@ pub fn spawn(cfg: Config) -> io::Result<Daemon> {
             thread::Builder::new()
                 .name("codegend-cache-flush".into())
                 .spawn(move || cache_flush_loop(state))?,
+        );
+    }
+    {
+        // The history sampler: one registry snapshot per interval into
+        // the bounded ring — the data source for /debug/history windows
+        // and the SLO watchdog's burn rates.
+        let state = Arc::clone(&state);
+        accept_threads.push(
+            thread::Builder::new()
+                .name("codegend-history".into())
+                .spawn(move || history_loop(state))?,
+        );
+    }
+    if state.cfg.slo_p99_ms.is_some() || state.cfg.slo_shed_rate.is_some() {
+        let state = Arc::clone(&state);
+        accept_threads.push(
+            thread::Builder::new()
+                .name("codegend-watchdog".into())
+                .spawn(move || watchdog::watchdog_loop(state))?,
         );
     }
     {
@@ -602,6 +906,30 @@ fn cache_flush_loop(state: Arc<State>) {
         }
     }
     omega::persist::flush();
+}
+
+/// The history sampler: every `--history-interval-ms`, refresh the
+/// scrape-time gauges and snapshot the whole registry into the history
+/// ring, stamped with wall-clock milliseconds. A backwards wall-clock
+/// step makes the ring *reject* the frame (counted in `rejected`) rather
+/// than corrupt window ordering; sampling resumes once the clock passes
+/// its previous high-water mark. Sleeps in short steps so shutdown is
+/// prompt.
+fn history_loop(state: Arc<State>) {
+    let interval = state.cfg.history_interval.max(Duration::from_millis(10));
+    let step = interval.min(Duration::from_millis(100));
+    let mut since = Duration::ZERO;
+    while !state.stop.load(Ordering::SeqCst) {
+        thread::sleep(step);
+        since += step;
+        if since >= interval {
+            state.refresh_gauges();
+            state
+                .history
+                .record(report::now_ms(), state.metrics.registry.snapshot_series());
+            since = Duration::ZERO;
+        }
+    }
 }
 
 fn accept_loop(listener: TcpListener, state: Arc<State>, handler: fn(Arc<State>, TcpStream)) {
@@ -969,7 +1297,11 @@ fn execute_task(
     // the artifact a slow job retains. Dumps go straight to --dump-dir
     // when set; otherwise (tail sampling only) they are buffered in
     // memory so the keep/discard decision can happen after the job.
-    let slow_armed = state.cfg.slow_ms.is_some();
+    // The effective threshold (operator --slow-ms, or the watchdog's
+    // auto-armed value while an SLO burns) is read once so the arming
+    // decision and the retention decision can't disagree mid-request.
+    let slow_ms = state.effective_slow_ms();
+    let slow_armed = slow_ms.is_some();
     let collector = (state.cfg.phase_trace || state.cfg.dump_dir.is_some() || slow_armed)
         .then(omega::trace::Collector::new);
     let dump = match (&collector, &state.cfg.dump_dir) {
@@ -1064,7 +1396,7 @@ fn execute_task(
     // Tail sampling: keep the full trace and provenance only for jobs
     // worth a second look — over the latency threshold, errored, or
     // degraded. Everything else leaves no artifacts.
-    if let Some(ms) = state.cfg.slow_ms {
+    if let Some(ms) = slow_ms {
         let degraded = rep.certainty.starts_with("approximate");
         let reason = if rep.status == "err" {
             Some("error")
@@ -1303,6 +1635,17 @@ fn flight_bridge(begin: bool, name: &'static str) {
         },
         name,
     );
+}
+
+/// The [`omega::trace::ProfileHook`] maintaining the profiler's
+/// per-thread span stack, so SIGPROF samples are attributed to the
+/// innermost active solver phase.
+fn profile_bridge(begin: bool, name: &'static str) {
+    if begin {
+        telemetry::profile::span_enter(name);
+    } else {
+        telemetry::profile::span_exit();
+    }
 }
 
 #[cfg(test)]

@@ -60,6 +60,12 @@ pub struct Metrics {
     pub solver_events: Arc<Family<Counter>>,
     /// Seconds since the daemon started (set at scrape time).
     pub uptime_seconds: Arc<Gauge>,
+    /// SLO burn rate ×1000 (gauges are integral; 1000 = exactly at
+    /// target), by `objective` (`p99`/`shed`) and `window` (`5s`/`60s`).
+    /// Published by the watchdog each evaluation.
+    pub slo_burn: Arc<Family<Gauge>>,
+    /// Request-log file rotations (`--log-max-mb`).
+    pub log_rotations: Arc<Counter>,
 }
 
 impl Metrics {
@@ -137,6 +143,15 @@ impl Metrics {
             uptime_seconds: registry.gauge(
                 "codegend_uptime_seconds",
                 "Seconds since the daemon started.",
+            ),
+            slo_burn: registry.gauge_vec(
+                "codegend_slo_burn",
+                "SLO burn rate x1000 (1000 = at target), by objective (p99/shed) and window (5s/60s).",
+                &["objective", "window"],
+            ),
+            log_rotations: registry.counter(
+                "codegend_log_rotations",
+                "Size-based request-log file rotations.",
             ),
             registry,
         }

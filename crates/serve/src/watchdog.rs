@@ -1,0 +1,437 @@
+//! The SLO burn-rate watchdog.
+//!
+//! Operators state objectives on the command line — `--slo-p99-ms 50`
+//! ("the 99th-percentile request latency stays under 50 ms") and/or
+//! `--slo-shed-rate 0.05` ("at most 5% of submissions are shed") — and
+//! the watchdog turns the windowed metrics history
+//! ([`telemetry::history`]) into a judgement the rest of the system can
+//! act on:
+//!
+//! * **Multi-window burn rates.** For each objective, the measured value
+//!   over a *fast* (5 s) and a *slow* (60 s) window is divided by the
+//!   target; the quotient is the burn rate (1.0 = exactly at target).
+//!   The service is *degraded* only while **both** windows burn — the
+//!   fast window alone flaps on a single slow request, the slow window
+//!   alone drags minutes behind a recovery; requiring both is the
+//!   classic two-window construction that is simultaneously prompt and
+//!   stable.
+//! * **`/healthz` flips.** While degraded, the health endpoint reports
+//!   `"status":"degraded"` with one machine-readable reason per
+//!   violated objective (objective, window, measured, target, burn) —
+//!   a load balancer or probe needs no metric math of its own.
+//! * **`codegend_slo_burn` gauges.** Every evaluation publishes each
+//!   objective×window burn rate (scaled ×1000 — gauges are integral) so
+//!   dashboards see the approach to the cliff, not just the fall.
+//! * **`slo_violation` log records.** Each violating evaluation logs
+//!   the same facts the health endpoint reports.
+//! * **Auto-armed retention.** While burning, if `--slow-ms` tail
+//!   sampling is not already armed, the watchdog arms it at the p99
+//!   target (or the measured p99 when only a shed objective is set), so
+//!   the requests that *caused* the breach leave traces and provenance
+//!   to debug from — and disarms it on recovery, returning to the
+//!   leave-nothing-behind steady state.
+
+use crate::State;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+use telemetry::history::History;
+use telemetry::log::Record;
+
+/// The fast window: prompt detection, noisy alone.
+pub(crate) const FAST_MS: u64 = 5_000;
+/// The slow window: stable confirmation, laggy alone.
+pub(crate) const SLOW_MS: u64 = 60_000;
+/// Evaluation cadence.
+const TICK: Duration = Duration::from_secs(1);
+
+/// Disarmed sentinel for [`State`]'s `auto_slow_ms`.
+pub(crate) const AUTO_SLOW_DISARMED: u64 = u64::MAX;
+
+/// One violated objective, as reported on `/healthz` and in
+/// `slo_violation` records.
+#[derive(Clone, Debug)]
+pub(crate) struct SloReason {
+    /// `"p99"` or `"shed"`.
+    pub(crate) objective: &'static str,
+    /// The confirming (fast) window.
+    pub(crate) window_ms: u64,
+    /// Measured value over the fast window: seconds for `p99`, a
+    /// fraction for `shed`.
+    pub(crate) measured: f64,
+    /// The configured target, same unit as `measured`.
+    pub(crate) target: f64,
+    /// `measured / target` over the fast window.
+    pub(crate) burn: f64,
+}
+
+/// The watchdog's current judgement, read by `/healthz`.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct SloStatus {
+    /// True while every violated objective burns in both windows.
+    pub(crate) degraded: bool,
+    /// One entry per objective violated right now.
+    pub(crate) reasons: Vec<SloReason>,
+    /// ready→degraded transitions since boot.
+    pub(crate) flips: u64,
+    /// Completed evaluations since boot.
+    pub(crate) evaluations: u64,
+    /// True while the watchdog has tail-sampling retention auto-armed.
+    pub(crate) auto_retention: bool,
+}
+
+/// One objective×window burn measurement.
+struct Burn {
+    objective: &'static str,
+    window_ms: u64,
+    measured: f64,
+    target: f64,
+    burn: f64,
+}
+
+/// Burn of the p99 latency objective over `window_ms`, when the window
+/// has at least two frames. An empty window (frames exist but no
+/// requests completed) measures 0 — no traffic cannot violate a latency
+/// objective.
+fn p99_burn(history: &History, window_ms: u64, target_ms: u64) -> Option<Burn> {
+    let report = history.window(window_ms)?;
+    let measured = report
+        .merged_histogram("codegend_request_seconds")
+        .and_then(|h| h.quantile(0.99))
+        .unwrap_or(0.0);
+    let target = target_ms as f64 / 1e3;
+    Some(Burn {
+        objective: "p99",
+        window_ms,
+        measured,
+        target,
+        burn: measured / target.max(f64::MIN_POSITIVE),
+    })
+}
+
+/// Burn of the shed-rate objective over `window_ms`: sheds as a fraction
+/// of submissions (`codegend_jobs_shed` over `codegend_requests`, both
+/// summed across labels — a shed is also counted as a `busy` request, so
+/// the denominator covers every admission decision). An empty window
+/// measures 0.
+fn shed_burn(history: &History, window_ms: u64, target: f64) -> Option<Burn> {
+    let report = history.window(window_ms)?;
+    let shed = report.counter_delta("codegend_jobs_shed") as f64;
+    let requests = report.counter_delta("codegend_requests") as f64;
+    let measured = if requests > 0.0 { shed / requests } else { 0.0 };
+    Some(Burn {
+        objective: "shed",
+        window_ms,
+        measured,
+        target,
+        burn: measured / target.max(f64::MIN_POSITIVE),
+    })
+}
+
+/// Measures every configured objective's burn over both windows.
+/// Split from [`evaluate`] so the unit matrix can drive it against a
+/// hand-built [`History`] without a daemon.
+fn measure(
+    history: &History,
+    p99_ms: Option<u64>,
+    shed_rate: Option<f64>,
+) -> Vec<[Option<Burn>; 2]> {
+    let mut pairs = Vec::new();
+    if let Some(target_ms) = p99_ms {
+        pairs.push([
+            p99_burn(history, FAST_MS, target_ms),
+            p99_burn(history, SLOW_MS, target_ms),
+        ]);
+    }
+    if let Some(target) = shed_rate {
+        pairs.push([
+            shed_burn(history, FAST_MS, target),
+            shed_burn(history, SLOW_MS, target),
+        ]);
+    }
+    pairs
+}
+
+/// The two-window rule: an objective violates only when **both** its
+/// windows burn past 1.0. Reasons report the fast window (the prompt,
+/// current measurement).
+fn violations(pairs: &[[Option<Burn>; 2]]) -> Vec<SloReason> {
+    let mut reasons = Vec::new();
+    for [fast, slow] in pairs {
+        if let (Some(f), Some(s)) = (fast, slow) {
+            if f.burn > 1.0 && s.burn > 1.0 {
+                reasons.push(SloReason {
+                    objective: f.objective,
+                    window_ms: f.window_ms,
+                    measured: f.measured,
+                    target: f.target,
+                    burn: f.burn,
+                });
+            }
+        }
+    }
+    reasons
+}
+
+/// Evaluates every configured objective against both windows, publishes
+/// the burn gauges, and returns the new status (carrying forward the
+/// previous flip/evaluation counts).
+pub(crate) fn evaluate(state: &State, prev: &SloStatus) -> SloStatus {
+    let pairs = measure(
+        &state.history,
+        state.cfg.slo_p99_ms,
+        state.cfg.slo_shed_rate,
+    );
+    for [fast, slow] in &pairs {
+        for b in [fast, slow].into_iter().flatten() {
+            let label = if b.window_ms == FAST_MS { "5s" } else { "60s" };
+            state
+                .metrics
+                .slo_burn
+                .with(&[b.objective, label])
+                .set((b.burn * 1e3) as i64);
+        }
+    }
+    let reasons = violations(&pairs);
+    let degraded = !reasons.is_empty();
+    SloStatus {
+        degraded,
+        reasons,
+        flips: prev.flips + u64::from(degraded && !prev.degraded),
+        evaluations: prev.evaluations + 1,
+        auto_retention: prev.auto_retention,
+    }
+}
+
+/// Applies one evaluation's side effects: `slo_violation` /
+/// `slo_recovered` records and the retention auto-arm.
+fn apply(state: &State, prev: &SloStatus, next: &mut SloStatus) {
+    if next.degraded {
+        for r in &next.reasons {
+            state.logger.log(
+                Record::new("slo_violation")
+                    .str("objective", r.objective)
+                    .int("window_ms", r.window_ms as i64)
+                    .float("measured", r.measured)
+                    .float("target", r.target)
+                    .float("burn", r.burn)
+                    .bool("flip", !prev.degraded),
+            );
+        }
+        // Arm tail sampling so the offending requests leave artifacts;
+        // never fight an operator who armed --slow-ms explicitly.
+        if state.cfg.slow_ms.is_none() && !prev.auto_retention {
+            let ms = state.cfg.slo_p99_ms.unwrap_or_else(|| {
+                next.reasons
+                    .iter()
+                    .find(|r| r.objective == "p99")
+                    .map(|r| (r.measured * 1e3) as u64)
+                    .unwrap_or(0)
+            });
+            state.auto_slow_ms.store(ms, Ordering::Relaxed);
+            next.auto_retention = true;
+            state.logger.log(
+                Record::new("slow_retention_armed")
+                    .str("by", "slo-watchdog")
+                    .int("slow_ms", ms as i64),
+            );
+        }
+    } else if prev.degraded {
+        state
+            .logger
+            .log(Record::new("slo_recovered").int("flips", next.flips as i64));
+        if next.auto_retention {
+            state
+                .auto_slow_ms
+                .store(AUTO_SLOW_DISARMED, Ordering::Relaxed);
+            next.auto_retention = false;
+            state
+                .logger
+                .log(Record::new("slow_retention_disarmed").str("by", "slo-watchdog"));
+        }
+    }
+}
+
+/// One watchdog tick: evaluate, apply side effects, publish to
+/// `/healthz`. Split from the loop so tests can drive it directly.
+pub(crate) fn tick(state: &State) {
+    let prev = state.slo.lock().unwrap_or_else(|e| e.into_inner()).clone();
+    let mut next = evaluate(state, &prev);
+    apply(state, &prev, &mut next);
+    *state.slo.lock().unwrap_or_else(|e| e.into_inner()) = next;
+}
+
+/// The watchdog thread: evaluate every second until shutdown. Sleeps in
+/// short steps so shutdown stays prompt.
+pub(crate) fn watchdog_loop(state: Arc<State>) {
+    let step = Duration::from_millis(100);
+    let mut since = Duration::ZERO;
+    while !state.stop.load(Ordering::SeqCst) {
+        thread::sleep(step);
+        since += step;
+        if since >= TICK {
+            tick(&state);
+            since = Duration::ZERO;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telemetry::{SeriesSnapshot, SeriesValue};
+
+    fn counter(name: &str, v: u64) -> SeriesSnapshot {
+        SeriesSnapshot {
+            name: name.to_owned(),
+            label_names: Vec::new(),
+            label_values: Vec::new(),
+            value: SeriesValue::Counter(v),
+        }
+    }
+
+    /// A cumulative `codegend_request_seconds` snapshot holding
+    /// `fast_1ms` one-millisecond plus `slow_1s` one-second observations.
+    fn latency(fast_1ms: u64, slow_1s: u64) -> SeriesSnapshot {
+        let h = telemetry::Histogram::default();
+        for _ in 0..fast_1ms {
+            h.observe_ns(1_000_000);
+        }
+        for _ in 0..slow_1s {
+            h.observe_ns(1_000_000_000);
+        }
+        SeriesSnapshot {
+            name: "codegend_request_seconds".to_owned(),
+            label_names: Vec::new(),
+            label_values: Vec::new(),
+            value: SeriesValue::Histogram(Box::new(h.snapshot())),
+        }
+    }
+
+    /// Frames spanning both windows: t=0, t=end-5s, t=end. The cumulative
+    /// latency counts at each endpoint shape each window's delta.
+    fn three_frames(at_55s: (u64, u64), at_60s: (u64, u64)) -> History {
+        let h = History::new(8);
+        h.record(1, vec![latency(0, 0)]);
+        h.record(60_001 - FAST_MS, vec![latency(at_55s.0, at_55s.1)]);
+        h.record(60_001, vec![latency(at_60s.0, at_60s.1)]);
+        h
+    }
+
+    #[test]
+    fn empty_window_cannot_violate() {
+        // Frames exist but no requests completed in either window.
+        let h = three_frames((0, 0), (0, 0));
+        let pairs = measure(&h, Some(50), Some(0.05));
+        assert_eq!(pairs.len(), 2);
+        for [fast, slow] in &pairs {
+            for b in [fast, slow].iter().filter_map(|b| b.as_ref()) {
+                assert_eq!(b.measured, 0.0, "{} measured", b.objective);
+                assert_eq!(b.burn, 0.0, "{} burn", b.objective);
+            }
+        }
+        assert!(violations(&pairs).is_empty());
+    }
+
+    #[test]
+    fn no_frames_yields_no_measurement() {
+        let h = History::new(8);
+        assert!(measure(&h, Some(50), Some(0.05))
+            .iter()
+            .all(|[f, s]| f.is_none() && s.is_none()));
+        h.record(1, vec![latency(0, 0)]);
+        // One frame is still not a window.
+        assert!(measure(&h, Some(50), None)[0][0].is_none());
+    }
+
+    #[test]
+    fn fast_window_alone_does_not_degrade() {
+        // 1000 fast requests early, 10 slow ones in the last 5 s: the
+        // fast window's p99 is ~1 s (burning against a 100 ms target),
+        // but the 60 s window's p99 is still ~1 ms.
+        let h = three_frames((1000, 0), (1000, 10));
+        let pairs = measure(&h, Some(100), None);
+        let [fast, slow] = &pairs[0];
+        assert!(fast.as_ref().unwrap().burn > 1.0);
+        assert!(slow.as_ref().unwrap().burn < 1.0);
+        assert!(violations(&pairs).is_empty());
+    }
+
+    #[test]
+    fn both_windows_burning_violates_with_fast_measurement() {
+        // Slow requests throughout: both windows' p99 is ~1 s.
+        let h = three_frames((0, 100), (0, 110));
+        let pairs = measure(&h, Some(100), None);
+        let reasons = violations(&pairs);
+        assert_eq!(reasons.len(), 1);
+        let r = &reasons[0];
+        assert_eq!(r.objective, "p99");
+        assert_eq!(r.window_ms, FAST_MS);
+        assert!(r.measured >= 1.0, "fast-window p99 {} s", r.measured);
+        assert_eq!(r.target, 0.1);
+        assert!(r.burn > 1.0);
+    }
+
+    #[test]
+    fn shed_rate_is_sheds_over_requests() {
+        let h = History::new(8);
+        h.record(
+            1,
+            vec![
+                counter("codegend_requests", 0),
+                counter("codegend_jobs_shed", 0),
+            ],
+        );
+        h.record(
+            FAST_MS + 1,
+            vec![
+                counter("codegend_requests", 200),
+                counter("codegend_jobs_shed", 20),
+            ],
+        );
+        let b = shed_burn(&h, FAST_MS, 0.05).unwrap();
+        assert!((b.measured - 0.1).abs() < 1e-12);
+        assert!((b.burn - 2.0).abs() < 1e-9);
+        // Tighter traffic than the window: span falls back, rate intact.
+        let b = shed_burn(&h, SLOW_MS, 0.25).unwrap();
+        assert!((b.burn - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counter_reset_measures_restart_not_garbage() {
+        // The daemon's counters restarted mid-window (e.g. a registry
+        // swap): deltas must treat the end value as the whole delta, not
+        // underflow.
+        let h = History::new(8);
+        h.record(
+            1,
+            vec![
+                counter("codegend_requests", 1000),
+                counter("codegend_jobs_shed", 900),
+            ],
+        );
+        h.record(
+            FAST_MS + 1,
+            vec![
+                counter("codegend_requests", 50),
+                counter("codegend_jobs_shed", 1),
+            ],
+        );
+        let b = shed_burn(&h, FAST_MS, 0.05).unwrap();
+        assert!((b.measured - 0.02).abs() < 1e-12);
+        assert!(b.burn < 1.0);
+    }
+
+    #[test]
+    fn stepped_clock_frames_are_rejected_not_measured() {
+        let h = three_frames((0, 100), (0, 110));
+        let before = p99_burn(&h, FAST_MS, 100).unwrap().burn;
+        // A clock step backwards: the frame is refused, the measurement
+        // unchanged — no window ever spans a time warp.
+        assert!(!h.record(30_000, vec![latency(5000, 0)]));
+        assert_eq!(h.stats().rejected, 1);
+        let after = p99_burn(&h, FAST_MS, 100).unwrap().burn;
+        assert_eq!(before, after);
+    }
+}

@@ -1,0 +1,421 @@
+//! Windowed metrics history: a fixed-capacity ring of whole-registry
+//! snapshots.
+//!
+//! The `/metrics` scrape exposes process-lifetime cumulatives; an operator
+//! mid-incident wants "p99 over the last 10 seconds". This module closes
+//! that gap without a remote TSDB: a sampler thread calls
+//! [`History::record`] with [`Registry::snapshot_series`] output every
+//! interval, and [`History::window`] later diffs the newest frame against
+//! the frame one window back to produce counter deltas/rates and
+//! histogram quantiles *over the window* — the same arithmetic a
+//! Prometheus `rate()`/`histogram_quantile()` pair would do, computed
+//! in-process and served from `/debug/history`.
+//!
+//! Frames must advance in time: a frame whose timestamp does not exceed
+//! the newest recorded one (a stepped clock, a duplicate tick) is rejected
+//! and counted rather than corrupting the ring's monotonicity, which the
+//! window search relies on.
+
+use crate::histogram::HistogramSnapshot;
+use crate::registry::{lock, SeriesSnapshot, SeriesValue};
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// One whole-registry snapshot at a point in time.
+#[derive(Clone, Debug)]
+pub struct Frame {
+    /// Milliseconds on the recorder's clock (monotonic within a ring).
+    pub at_ms: u64,
+    /// Every registered series' value at that instant.
+    pub series: Vec<SeriesSnapshot>,
+}
+
+/// A fixed-capacity ring of [`Frame`]s; oldest evicted first.
+pub struct History {
+    inner: Mutex<Inner>,
+}
+
+struct Inner {
+    frames: VecDeque<Frame>,
+    capacity: usize,
+    recorded: u64,
+    rejected: u64,
+}
+
+/// Occupancy and health of a [`History`] ring.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistoryStats {
+    /// Maximum frames retained.
+    pub capacity: usize,
+    /// Frames currently held.
+    pub len: usize,
+    /// Frames accepted over the ring's lifetime.
+    pub recorded: u64,
+    /// Frames rejected for non-monotonic timestamps.
+    pub rejected: u64,
+    /// Timestamp of the oldest retained frame.
+    pub oldest_at_ms: Option<u64>,
+    /// Timestamp of the newest retained frame.
+    pub newest_at_ms: Option<u64>,
+}
+
+impl History {
+    /// A ring retaining at most `capacity` frames (min 2 — a window needs
+    /// two endpoints).
+    pub fn new(capacity: usize) -> History {
+        History {
+            inner: Mutex::new(Inner {
+                frames: VecDeque::new(),
+                capacity: capacity.max(2),
+                recorded: 0,
+                rejected: 0,
+            }),
+        }
+    }
+
+    /// Appends a frame. Returns `false` (and counts the rejection) when
+    /// `at_ms` does not advance past the newest retained frame.
+    pub fn record(&self, at_ms: u64, series: Vec<SeriesSnapshot>) -> bool {
+        let mut inner = lock(&self.inner);
+        if let Some(last) = inner.frames.back() {
+            if at_ms <= last.at_ms {
+                inner.rejected += 1;
+                return false;
+            }
+        }
+        if inner.frames.len() == inner.capacity {
+            inner.frames.pop_front();
+        }
+        inner.frames.push_back(Frame { at_ms, series });
+        inner.recorded += 1;
+        true
+    }
+
+    /// Current occupancy.
+    pub fn stats(&self) -> HistoryStats {
+        let inner = lock(&self.inner);
+        HistoryStats {
+            capacity: inner.capacity,
+            len: inner.frames.len(),
+            recorded: inner.recorded,
+            rejected: inner.rejected,
+            oldest_at_ms: inner.frames.front().map(|f| f.at_ms),
+            newest_at_ms: inner.frames.back().map(|f| f.at_ms),
+        }
+    }
+
+    /// Diffs the newest frame against the newest frame at least
+    /// `window_ms` older (falling back to the oldest retained frame when
+    /// the ring is shorter than the window — `span_ms` reports the actual
+    /// distance). `None` until two frames exist.
+    pub fn window(&self, window_ms: u64) -> Option<WindowReport> {
+        let inner = lock(&self.inner);
+        let end = inner.frames.back()?;
+        let cutoff = end.at_ms.saturating_sub(window_ms);
+        // Newest frame at or before the cutoff; the ring is small (a few
+        // hundred frames), so a linear scan from the back is fine.
+        let start = inner
+            .frames
+            .iter()
+            .rev()
+            .skip(1)
+            .find(|f| f.at_ms <= cutoff)
+            .or_else(|| {
+                let first = inner.frames.front()?;
+                (first.at_ms < end.at_ms).then_some(first)
+            })?;
+        Some(diff_frames(start, end, window_ms))
+    }
+}
+
+/// The diff of two frames: per-series deltas, rates and window quantiles.
+#[derive(Clone, Debug)]
+pub struct WindowReport {
+    /// The window the caller asked for.
+    pub requested_ms: u64,
+    /// Actual distance between the two frames diffed.
+    pub span_ms: u64,
+    /// Timestamp of the start frame.
+    pub start_at_ms: u64,
+    /// Timestamp of the end frame.
+    pub end_at_ms: u64,
+    /// One entry per series present in the end frame.
+    pub series: Vec<WindowSeries>,
+}
+
+/// One series' windowed view.
+#[derive(Clone, Debug)]
+pub struct WindowSeries {
+    /// Canonical `name{k="v",…}` identity.
+    pub key: String,
+    /// Family name (no suffixes).
+    pub name: String,
+    /// The windowed value.
+    pub value: WindowValue,
+}
+
+/// A windowed series value.
+#[derive(Clone, Debug)]
+pub enum WindowValue {
+    /// Counter: cumulative end value, reset-aware window delta, and rate.
+    Counter {
+        /// Cumulative value at the end frame.
+        total: u64,
+        /// Increase over the window (= `total` after a counter reset).
+        delta: u64,
+        /// `delta / span` in events per second.
+        rate_per_sec: f64,
+    },
+    /// Gauge: the instantaneous value at the end frame.
+    Gauge {
+        /// Value at the end frame.
+        value: i64,
+    },
+    /// Histogram over the window (boxed: the 64-bucket delta dwarfs the
+    /// scalar variants).
+    Histogram(Box<WindowHistogram>),
+}
+
+/// A histogram's windowed view: the bucket-wise delta plus derived stats.
+#[derive(Clone, Debug)]
+pub struct WindowHistogram {
+    /// Bucket-wise `end − start` (reset-aware); `delta.count` and
+    /// `delta.sum_ns` are the window totals.
+    pub delta: HistogramSnapshot,
+    /// Cumulative observation count at the end frame.
+    pub total_count: u64,
+    /// Window observations per second.
+    pub rate_per_sec: f64,
+}
+
+impl WindowHistogram {
+    /// Window `q`-quantile in seconds; `None` when the window saw no
+    /// observations.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        self.delta.quantile(q)
+    }
+}
+
+impl WindowReport {
+    /// Sum of window deltas of every counter series in family `name` —
+    /// e.g. total requests over the window regardless of class/status.
+    pub fn counter_delta(&self, name: &str) -> u64 {
+        self.series
+            .iter()
+            .filter(|s| s.name == name)
+            .filter_map(|s| match &s.value {
+                WindowValue::Counter { delta, .. } => Some(*delta),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Bucket-wise merge of every histogram series in family `name` over
+    /// the window, for family-wide quantiles. `None` when the family has
+    /// no histogram series in the end frame.
+    pub fn merged_histogram(&self, name: &str) -> Option<WindowHistogram> {
+        let mut merged: Option<WindowHistogram> = None;
+        let span_secs = (self.span_ms as f64 / 1e3).max(f64::MIN_POSITIVE);
+        for s in self.series.iter().filter(|s| s.name == name) {
+            let WindowValue::Histogram(h) = &s.value else {
+                continue;
+            };
+            let m = merged.get_or_insert(WindowHistogram {
+                delta: HistogramSnapshot {
+                    buckets: [0; 64],
+                    count: 0,
+                    sum_ns: 0,
+                },
+                total_count: 0,
+                rate_per_sec: 0.0,
+            });
+            for (dst, src) in m.delta.buckets.iter_mut().zip(&h.delta.buckets) {
+                *dst += src;
+            }
+            m.delta.count += h.delta.count;
+            m.delta.sum_ns = m.delta.sum_ns.saturating_add(h.delta.sum_ns);
+            m.total_count += h.total_count;
+        }
+        if let Some(m) = merged.as_mut() {
+            m.rate_per_sec = m.delta.count as f64 / span_secs;
+        }
+        merged
+    }
+}
+
+fn diff_frames(start: &Frame, end: &Frame, requested_ms: u64) -> WindowReport {
+    let span_ms = end.at_ms - start.at_ms;
+    let span_secs = (span_ms as f64 / 1e3).max(f64::MIN_POSITIVE);
+    let series = end
+        .series
+        .iter()
+        .map(|e| {
+            let key = e.key();
+            // Series are appended in registration order in both frames, so
+            // the match is usually at the same index; fall back to a scan.
+            let s = start.series.iter().find(|s| s.key() == key);
+            let value = diff_series(s.map(|s| &s.value), &e.value, span_secs);
+            WindowSeries {
+                key,
+                name: e.name.clone(),
+                value,
+            }
+        })
+        .collect();
+    WindowReport {
+        requested_ms,
+        span_ms,
+        start_at_ms: start.at_ms,
+        end_at_ms: end.at_ms,
+        series,
+    }
+}
+
+/// A series absent from the start frame (registered mid-window) diffs
+/// against an implicit zero.
+fn diff_series(start: Option<&SeriesValue>, end: &SeriesValue, span_secs: f64) -> WindowValue {
+    match end {
+        SeriesValue::Counter(e) => {
+            let s = match start {
+                Some(SeriesValue::Counter(s)) => *s,
+                _ => 0,
+            };
+            // Counter reset (process kept the registry, source restarted):
+            // assume the counter restarted from zero, like rate().
+            let delta = if *e < s { *e } else { *e - s };
+            WindowValue::Counter {
+                total: *e,
+                delta,
+                rate_per_sec: delta as f64 / span_secs,
+            }
+        }
+        SeriesValue::Gauge(e) => WindowValue::Gauge { value: *e },
+        SeriesValue::Histogram(e) => {
+            let zero = HistogramSnapshot {
+                buckets: [0; 64],
+                count: 0,
+                sum_ns: 0,
+            };
+            let s = match start {
+                Some(SeriesValue::Histogram(s)) => s,
+                _ => &zero,
+            };
+            let delta = e.delta_since(s);
+            WindowValue::Histogram(Box::new(WindowHistogram {
+                rate_per_sec: delta.count as f64 / span_secs,
+                total_count: e.count,
+                delta,
+            }))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn reg_with_counter(n: u64) -> Registry {
+        let reg = Registry::new();
+        reg.counter("jobs", "Jobs.").add(n);
+        reg
+    }
+
+    #[test]
+    fn needs_two_frames() {
+        let h = History::new(8);
+        assert!(h.window(1000).is_none());
+        h.record(100, reg_with_counter(1).snapshot_series());
+        assert!(h.window(1000).is_none());
+        h.record(200, reg_with_counter(3).snapshot_series());
+        let w = h.window(1000).unwrap();
+        assert_eq!(w.span_ms, 100);
+        assert_eq!(w.counter_delta("jobs"), 2);
+    }
+
+    #[test]
+    fn rejects_non_monotonic_frames() {
+        let h = History::new(8);
+        assert!(h.record(100, Vec::new()));
+        assert!(!h.record(100, Vec::new()));
+        assert!(!h.record(50, Vec::new()));
+        assert!(h.record(101, Vec::new()));
+        let s = h.stats();
+        assert_eq!((s.recorded, s.rejected, s.len), (2, 2, 2));
+    }
+
+    #[test]
+    fn window_picks_frame_one_window_back() {
+        let h = History::new(64);
+        for t in 0..10u64 {
+            h.record(t * 100, reg_with_counter(t * 5).snapshot_series());
+        }
+        // end at 900; cutoff 900-300=600 → start frame at exactly 600.
+        let w = h.window(300).unwrap();
+        assert_eq!((w.start_at_ms, w.end_at_ms, w.span_ms), (600, 900, 300));
+        assert_eq!(w.counter_delta("jobs"), 15);
+        // Window larger than retention: falls back to the oldest frame.
+        let w = h.window(100_000).unwrap();
+        assert_eq!(w.span_ms, 900);
+        assert_eq!(w.counter_delta("jobs"), 45);
+    }
+
+    #[test]
+    fn counter_reset_is_treated_as_restart_from_zero() {
+        let h = History::new(8);
+        h.record(0, reg_with_counter(100).snapshot_series());
+        h.record(1000, reg_with_counter(7).snapshot_series());
+        let w = h.window(1000).unwrap();
+        assert_eq!(w.counter_delta("jobs"), 7);
+    }
+
+    #[test]
+    fn histogram_window_quantile_uses_only_window_observations() {
+        let reg = Registry::new();
+        let hist = reg.histogram("lat_seconds", "Latency.");
+        // Old traffic: fast (1 µs).
+        for _ in 0..1000 {
+            hist.observe_ns(1_000);
+        }
+        let h = History::new(8);
+        h.record(0, reg.snapshot_series());
+        // Window traffic: slow (1 ms).
+        for _ in 0..10 {
+            hist.observe_ns(1_000_000);
+        }
+        h.record(1000, reg.snapshot_series());
+        let w = h.window(1000).unwrap();
+        let m = w.merged_histogram("lat_seconds").unwrap();
+        assert_eq!(m.delta.count, 10);
+        assert_eq!(m.total_count, 1010);
+        // All 10 window samples are ~1 ms; the cumulative p99 would still
+        // be ~1 µs.
+        assert!(m.quantile(0.99).unwrap() >= 1e-3);
+        assert!((m.rate_per_sec - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_window_histogram_has_no_quantile() {
+        let reg = Registry::new();
+        reg.histogram("lat_seconds", "Latency.");
+        let h = History::new(8);
+        h.record(0, reg.snapshot_series());
+        h.record(1000, reg.snapshot_series());
+        let w = h.window(1000).unwrap();
+        let m = w.merged_histogram("lat_seconds").unwrap();
+        assert_eq!(m.delta.count, 0);
+        assert_eq!(m.quantile(0.99), None);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let h = History::new(4);
+        for t in 1..=10u64 {
+            h.record(t, Vec::new());
+        }
+        let s = h.stats();
+        assert_eq!(s.len, 4);
+        assert_eq!(s.oldest_at_ms, Some(7));
+        assert_eq!(s.newest_at_ms, Some(10));
+    }
+}

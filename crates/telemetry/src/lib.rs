@@ -48,11 +48,13 @@
 #![warn(rust_2018_idioms)]
 
 pub mod flight;
+pub mod history;
 pub mod log;
+pub mod profile;
 
 mod expose;
 mod histogram;
 mod registry;
 
 pub use histogram::{Histogram, HistogramSnapshot};
-pub use registry::{Counter, Family, Gauge, Registry};
+pub use registry::{Counter, Family, Gauge, Registry, SeriesSnapshot, SeriesValue};

@@ -1,0 +1,260 @@
+//! Minimal pprof `profile.proto` encoder.
+//!
+//! The workspace is dependency-free, so the handful of protobuf
+//! constructs pprof needs — varints, length-delimited submessages, packed
+//! repeated scalars — are hand-rolled here (~wire format only, no
+//! reflection). The emitted `Profile` message carries `sample_type`
+//! `[samples/count, time/nanoseconds]`, one `Sample` per aggregated
+//! stack (leaf-first location ids, the pprof convention), a `Location` +
+//! `Function` per distinct frame name, the active span as a
+//! `Label{key="span"}` on each sample, and `period`/`duration` metadata —
+//! enough for `go tool pprof`, `pprof -http`, or speedscope to read
+//! directly (they accept uncompressed profiles).
+
+use std::collections::HashMap;
+
+/// One aggregated stack: symbolized frames, leaf first.
+#[derive(Clone, Debug)]
+pub struct StackSample {
+    /// Frame names, innermost (leaf) first.
+    pub frames: Vec<String>,
+    /// Innermost `omega::trace` span active at capture, if any.
+    pub span: Option<String>,
+    /// Number of raw samples that collapsed into this stack.
+    pub count: u64,
+}
+
+fn varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            break;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+fn tag(out: &mut Vec<u8>, field: u32, wire: u8) {
+    varint(out, ((field as u64) << 3) | wire as u64);
+}
+
+/// `field`: varint-encoded scalar.
+fn put_uint(out: &mut Vec<u8>, field: u32, v: u64) {
+    if v != 0 {
+        tag(out, field, 0);
+        varint(out, v);
+    }
+}
+
+/// `field`: length-delimited payload (submessage, string, packed array).
+fn put_bytes(out: &mut Vec<u8>, field: u32, payload: &[u8]) {
+    tag(out, field, 2);
+    varint(out, payload.len() as u64);
+    out.extend_from_slice(payload);
+}
+
+/// `field`: packed repeated uint64/int64 (non-negative).
+fn put_packed(out: &mut Vec<u8>, field: u32, vals: &[u64]) {
+    if vals.is_empty() {
+        return;
+    }
+    let mut payload = Vec::new();
+    for &v in vals {
+        varint(&mut payload, v);
+    }
+    put_bytes(out, field, &payload);
+}
+
+/// Interned string table; index 0 is the mandatory empty string.
+struct Strings {
+    table: Vec<String>,
+    index: HashMap<String, u64>,
+}
+
+impl Strings {
+    fn new() -> Strings {
+        let mut s = Strings {
+            table: Vec::new(),
+            index: HashMap::new(),
+        };
+        s.id("");
+        s
+    }
+
+    fn id(&mut self, s: &str) -> u64 {
+        if let Some(&i) = self.index.get(s) {
+            return i;
+        }
+        let i = self.table.len() as u64;
+        self.table.push(s.to_owned());
+        self.index.insert(s.to_owned(), i);
+        i
+    }
+}
+
+fn value_type(strings: &mut Strings, ty: &str, unit: &str) -> Vec<u8> {
+    let (t, u) = (strings.id(ty), strings.id(unit));
+    let mut m = Vec::new();
+    put_uint(&mut m, 1, t);
+    put_uint(&mut m, 2, u);
+    m
+}
+
+/// Encodes aggregated stacks as an uncompressed pprof `Profile`.
+///
+/// * `period_type` — `"cpu"` or `"wall"`.
+/// * `period_ns` — sampling period; each sample's time value is
+///   `count * period_ns`.
+/// * `time_unix_nanos` / `duration_ns` — capture metadata.
+pub fn encode(
+    stacks: &[StackSample],
+    period_type: &str,
+    period_ns: u64,
+    time_unix_nanos: u64,
+    duration_ns: u64,
+) -> Vec<u8> {
+    let mut strings = Strings::new();
+    let mut out = Vec::new();
+
+    // sample_type: [samples/count, time/nanoseconds]
+    let st1 = value_type(&mut strings, "samples", "count");
+    let st2 = value_type(&mut strings, "time", "nanoseconds");
+    put_bytes(&mut out, 1, &st1);
+    put_bytes(&mut out, 1, &st2);
+
+    // Function + Location per distinct frame name (ids are 1-based).
+    let mut loc_ids: HashMap<String, u64> = HashMap::new();
+    let mut functions = Vec::new();
+    let mut locations = Vec::new();
+
+    let span_key = strings.id("span");
+    let mut samples = Vec::new();
+    for s in stacks {
+        let mut loc_list = Vec::new();
+        for f in &s.frames {
+            let next = loc_ids.len() as u64 + 1;
+            let id = match loc_ids.get(f.as_str()) {
+                Some(&id) => id,
+                None => {
+                    let name_id = strings.id(f);
+                    let mut func = Vec::new();
+                    put_uint(&mut func, 1, next);
+                    put_uint(&mut func, 2, name_id);
+                    put_uint(&mut func, 3, name_id);
+                    put_bytes(&mut functions, 5, &func);
+                    let mut line = Vec::new();
+                    put_uint(&mut line, 1, next);
+                    let mut loc = Vec::new();
+                    put_uint(&mut loc, 1, next);
+                    put_bytes(&mut loc, 4, &line);
+                    put_bytes(&mut locations, 4, &loc);
+                    loc_ids.insert(f.clone(), next);
+                    next
+                }
+            };
+            loc_list.push(id);
+        }
+        let mut sample = Vec::new();
+        put_packed(&mut sample, 1, &loc_list);
+        put_packed(&mut sample, 2, &[s.count, s.count * period_ns]);
+        if let Some(span) = &s.span {
+            let v = strings.id(span);
+            let mut label = Vec::new();
+            put_uint(&mut label, 1, span_key);
+            put_uint(&mut label, 2, v);
+            put_bytes(&mut sample, 3, &label);
+        }
+        put_bytes(&mut samples, 2, &sample);
+    }
+    out.extend_from_slice(&samples);
+    out.extend_from_slice(&locations);
+    out.extend_from_slice(&functions);
+
+    let pt = value_type(&mut strings, period_type, "nanoseconds");
+    for s in &strings.table {
+        put_bytes(&mut out, 6, s.as_bytes());
+    }
+    put_uint(&mut out, 9, time_unix_nanos);
+    put_uint(&mut out, 10, duration_ns);
+    put_bytes(&mut out, 11, &pt);
+    put_uint(&mut out, 12, period_ns);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tolerant field-walker: yields `(field, wire, varint-or-len)`.
+    fn fields(buf: &[u8]) -> Vec<(u32, u8, u64, usize)> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < buf.len() {
+            let (key, n) = read_varint(&buf[i..]);
+            i += n;
+            let field = (key >> 3) as u32;
+            let wire = (key & 7) as u8;
+            match wire {
+                0 => {
+                    let (v, n) = read_varint(&buf[i..]);
+                    out.push((field, wire, v, i));
+                    i += n;
+                }
+                2 => {
+                    let (len, n) = read_varint(&buf[i..]);
+                    i += n;
+                    out.push((field, wire, len, i));
+                    i += len as usize;
+                }
+                _ => panic!("unexpected wire type {wire}"),
+            }
+        }
+        out
+    }
+
+    fn read_varint(buf: &[u8]) -> (u64, usize) {
+        let mut v = 0u64;
+        let mut i = 0;
+        loop {
+            let b = buf[i];
+            v |= ((b & 0x7f) as u64) << (7 * i);
+            i += 1;
+            if b & 0x80 == 0 {
+                return (v, i);
+            }
+        }
+    }
+
+    #[test]
+    fn wire_format_roundtrips() {
+        let stacks = vec![
+            StackSample {
+                frames: vec!["leaf".into(), "mid".into(), "root".into()],
+                span: Some("fm_eliminate".into()),
+                count: 3,
+            },
+            StackSample {
+                frames: vec!["leaf".into(), "root".into()],
+                span: None,
+                count: 1,
+            },
+        ];
+        let buf = encode(&stacks, "cpu", 10_000_000, 1_700_000_000_000, 2_000_000_000);
+        let top = fields(&buf);
+        let count = |f: u32| top.iter().filter(|(fld, ..)| *fld == f).count();
+        assert_eq!(count(1), 2, "two sample_types");
+        assert_eq!(count(2), 2, "two samples");
+        assert_eq!(count(4), 3, "three distinct locations");
+        assert_eq!(count(5), 3, "three functions");
+        assert!(count(6) >= 6, "string table has entries");
+        assert_eq!(count(11), 1, "period_type");
+        // String table index 0 must be the empty string.
+        let (_, _, len, off) = *top.iter().find(|(f, ..)| *f == 6).unwrap();
+        assert_eq!(len, 0, "first string_table entry empty at {off}");
+        // period value appears as field 12.
+        let period = top.iter().find(|(f, ..)| *f == 12).unwrap();
+        assert_eq!(period.2, 10_000_000);
+    }
+}

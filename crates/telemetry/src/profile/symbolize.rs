@@ -1,0 +1,448 @@
+//! Lazy in-process symbolization: `/proc/self/maps` + the ELF symbol
+//! table.
+//!
+//! Symbolization happens at *export* time, never in the signal handler —
+//! samples carry raw program-counter values, and this module resolves
+//! them to function names once, after the sampling session ends. Release
+//! profiles keep the ELF `.symtab` (cargo's default `strip = "debuginfo"`
+//! drops DWARF, not symbols), so our own binary resolves fully; frames in
+//! stripped system libraries fall back to `module+0xoffset`.
+//!
+//! Legacy Rust mangling (`_ZN…17h<hash>E`) is demangled in-process with
+//! the usual `$LT$`-style escape decoding; v0 (`_R…`) and foreign names
+//! pass through raw, which is still grep-able by tooling.
+
+use std::collections::HashMap;
+use std::fs;
+
+/// One executable mapping of a backing file.
+struct Map {
+    start: u64,
+    end: u64,
+    offset: u64,
+    path: String,
+    /// Runtime load bias of this mapping: `pc - bias` is the link-time
+    /// vaddr symbol tables speak. Computed from the object's `PT_LOAD`
+    /// program headers — `p_vaddr` and `p_offset` of a segment need only
+    /// be congruent mod page size, not equal (modern linkers separate
+    /// them by a page or two), so `start - offset` alone is wrong.
+    bias: u64,
+}
+
+/// A sorted function-symbol table for one mapped object.
+struct SymTable {
+    syms: Vec<Sym>,
+}
+
+struct Sym {
+    addr: u64,
+    size: u64,
+    name: String,
+}
+
+/// Resolves sampled program counters to human-readable frames.
+pub struct Symbolizer {
+    maps: Vec<Map>,
+    tables: HashMap<String, SymTable>,
+    cache: HashMap<u64, String>,
+}
+
+impl Symbolizer {
+    /// Builds a symbolizer for the current process. Missing `/proc` or
+    /// unreadable objects degrade to hex frames, never errors.
+    pub fn for_self() -> Symbolizer {
+        let mut maps = fs::read_to_string("/proc/self/maps")
+            .map(|s| parse_maps(&s))
+            .unwrap_or_default();
+        let mut tables: HashMap<String, SymTable> = HashMap::new();
+        let mut segments: HashMap<String, Vec<LoadSegment>> = HashMap::new();
+        for m in &maps {
+            if segments.contains_key(&m.path) {
+                continue;
+            }
+            let (loads, table) = fs::read(&m.path)
+                .ok()
+                .map(|bytes| (parse_load_segments(&bytes), parse_elf_symbols(&bytes)))
+                .unwrap_or((Vec::new(), None));
+            segments.insert(m.path.clone(), loads);
+            if let Some(t) = table {
+                tables.insert(m.path.clone(), t);
+            }
+        }
+        for m in &mut maps {
+            // The PT_LOAD segment backing this (executable) mapping ties
+            // the runtime address back to the link-time vaddr. The map's
+            // file offset is the *page-rounded* p_offset, so match the
+            // segment whose true p_offset lands inside the mapped file
+            // range, preferring the executable one.
+            let len = m.end - m.start;
+            let Some(seg) = segments.get(&m.path).map(|loads| {
+                loads
+                    .iter()
+                    .filter(|s| s.offset >= m.offset && s.offset < m.offset + len)
+                    .max_by_key(|s| s.executable)
+            }) else {
+                continue;
+            };
+            if let Some(seg) = seg {
+                m.bias = m
+                    .start
+                    .wrapping_add(seg.offset - m.offset)
+                    .wrapping_sub(seg.vaddr);
+            }
+        }
+        Symbolizer {
+            maps,
+            tables,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// The frame name for `pc`: the demangled enclosing function, else
+    /// `module+0xoff`, else `0xpc`.
+    pub fn resolve(&mut self, pc: u64) -> String {
+        if let Some(s) = self.cache.get(&pc) {
+            return s.clone();
+        }
+        let s = self.resolve_uncached(pc);
+        self.cache.insert(pc, s.clone());
+        s
+    }
+
+    fn resolve_uncached(&self, pc: u64) -> String {
+        let Some(map) = self.maps.iter().find(|m| pc >= m.start && pc < m.end) else {
+            return format!("{pc:#x}");
+        };
+        if let Some(table) = self.tables.get(&map.path) {
+            let vaddr = pc.wrapping_sub(map.bias);
+            let i = table.syms.partition_point(|s| s.addr <= vaddr);
+            if i > 0 {
+                let sym = &table.syms[i - 1];
+                // Zero-sized symbols (assembly stubs) match any pc up to
+                // the next symbol; sized ones must contain the pc.
+                if sym.size == 0 || vaddr < sym.addr + sym.size {
+                    return demangle(&sym.name);
+                }
+            }
+        }
+        let module = map.path.rsplit('/').next().unwrap_or(&map.path);
+        format!("{module}+{:#x}", pc - map.start + map.offset)
+    }
+}
+
+fn parse_maps(text: &str) -> Vec<Map> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        // start-end perms offset dev inode path
+        let mut f = line.split_whitespace();
+        let (Some(range), Some(perms), Some(offset)) = (f.next(), f.next(), f.next()) else {
+            continue;
+        };
+        if !perms.contains('x') {
+            continue;
+        }
+        let path = match f.nth(2) {
+            Some(p) if p.starts_with('/') => p.to_owned(),
+            _ => continue,
+        };
+        let Some((start, end)) = range.split_once('-') else {
+            continue;
+        };
+        let (Ok(start), Ok(end), Ok(offset)) = (
+            u64::from_str_radix(start, 16),
+            u64::from_str_radix(end, 16),
+            u64::from_str_radix(offset, 16),
+        ) else {
+            continue;
+        };
+        out.push(Map {
+            start,
+            end,
+            offset,
+            path,
+            // Refined from program headers in `for_self`; the raw
+            // difference is the right answer for simple layouts.
+            bias: start.wrapping_sub(offset),
+        });
+    }
+    out
+}
+
+fn u16le(b: &[u8], off: usize) -> Option<u16> {
+    Some(u16::from_le_bytes(b.get(off..off + 2)?.try_into().ok()?))
+}
+
+fn u32le(b: &[u8], off: usize) -> Option<u32> {
+    Some(u32::from_le_bytes(b.get(off..off + 4)?.try_into().ok()?))
+}
+
+fn u64le(b: &[u8], off: usize) -> Option<u64> {
+    Some(u64::from_le_bytes(b.get(off..off + 8)?.try_into().ok()?))
+}
+
+/// A `PT_LOAD` program header: the file-offset ↔ vaddr correspondence
+/// needed to compute a mapping's load bias.
+#[derive(Clone, Copy, Debug)]
+struct LoadSegment {
+    offset: u64,
+    vaddr: u64,
+    executable: bool,
+}
+
+fn parse_load_segments(bytes: &[u8]) -> Vec<LoadSegment> {
+    const PT_LOAD: u32 = 1;
+    const PF_X: u32 = 1;
+    let Some(phoff) = u64le(bytes, 32) else {
+        return Vec::new();
+    };
+    let (Some(phentsize), Some(phnum)) = (u16le(bytes, 54), u16le(bytes, 56)) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for i in 0..phnum as usize {
+        let off = phoff as usize + i * phentsize as usize;
+        let (Some(p_type), Some(p_flags), Some(p_offset), Some(p_vaddr)) = (
+            u32le(bytes, off),
+            u32le(bytes, off + 4),
+            u64le(bytes, off + 8),
+            u64le(bytes, off + 16),
+        ) else {
+            continue;
+        };
+        if p_type == PT_LOAD {
+            out.push(LoadSegment {
+                offset: p_offset,
+                vaddr: p_vaddr,
+                executable: p_flags & PF_X != 0,
+            });
+        }
+    }
+    out
+}
+
+/// Function symbols from `.symtab` (preferred) and `.dynsym`, sorted by
+/// link-time vaddr.
+fn parse_elf_symbols(bytes: &[u8]) -> Option<SymTable> {
+    const ELF_MAGIC: [u8; 4] = [0x7f, b'E', b'L', b'F'];
+    const ELFCLASS64: u8 = 2;
+    const SHT_SYMTAB: u32 = 2;
+    const SHT_DYNSYM: u32 = 11;
+    const STT_FUNC: u8 = 2;
+
+    if bytes.get(..4)? != ELF_MAGIC || *bytes.get(4)? != ELFCLASS64 {
+        return None;
+    }
+    let shoff = u64le(bytes, 40)? as usize;
+    let shentsize = u16le(bytes, 58)? as usize;
+    let shnum = u16le(bytes, 60)? as usize;
+    if shentsize < 64 {
+        return None;
+    }
+    let section = |i: usize| -> Option<(u32, usize, usize, usize)> {
+        let off = shoff + i * shentsize;
+        let sh_type = u32le(bytes, off + 4)?;
+        let sh_offset = u64le(bytes, off + 24)? as usize;
+        let sh_size = u64le(bytes, off + 32)? as usize;
+        let sh_link = u32le(bytes, off + 40)? as usize;
+        Some((sh_type, sh_offset, sh_size, sh_link))
+    };
+    let mut syms = Vec::new();
+    for kind in [SHT_SYMTAB, SHT_DYNSYM] {
+        for i in 0..shnum {
+            let Some((sh_type, off, size, link)) = section(i) else {
+                continue;
+            };
+            if sh_type != kind {
+                continue;
+            }
+            let Some((_, str_off, str_size, _)) = section(link) else {
+                continue;
+            };
+            let strtab = bytes.get(str_off..str_off + str_size)?;
+            for ent in bytes.get(off..off + size)?.chunks_exact(24) {
+                let st_name = u32::from_le_bytes(ent[0..4].try_into().ok()?) as usize;
+                let st_info = ent[4];
+                if st_info & 0xf != STT_FUNC {
+                    continue;
+                }
+                let addr = u64::from_le_bytes(ent[8..16].try_into().ok()?);
+                let size = u64::from_le_bytes(ent[16..24].try_into().ok()?);
+                if addr == 0 {
+                    continue;
+                }
+                let name = strtab
+                    .get(st_name..)
+                    .and_then(|s| s.split(|&b| b == 0).next())
+                    .and_then(|s| std::str::from_utf8(s).ok())
+                    .unwrap_or("");
+                if name.is_empty() {
+                    continue;
+                }
+                syms.push(Sym {
+                    addr,
+                    size,
+                    name: name.to_owned(),
+                });
+            }
+        }
+        // .symtab is a superset of .dynsym; only fall back when absent.
+        if !syms.is_empty() {
+            break;
+        }
+    }
+    if syms.is_empty() {
+        return None;
+    }
+    syms.sort_by_key(|s| s.addr);
+    syms.dedup_by(|a, b| a.addr == b.addr);
+    Some(SymTable { syms })
+}
+
+/// Demangles legacy Rust symbols (`_ZN<len><seg>…17h<hex>E`) into
+/// `seg::seg` form, decoding the `$LT$`/`$u7b$` escapes; anything else
+/// (v0 `_R…`, C symbols) passes through unchanged.
+pub fn demangle(name: &str) -> String {
+    let Some(rest) = name.strip_prefix("_ZN") else {
+        return name.to_owned();
+    };
+    // Ignore linker-appended suffixes like `.llvm.12345`.
+    let rest = rest.split('.').next().unwrap_or(rest);
+    let mut segs: Vec<&str> = Vec::new();
+    let bytes = rest.as_bytes();
+    let mut i = 0;
+    loop {
+        if i >= bytes.len() {
+            return name.to_owned(); // ran off the end: not legacy mangling
+        }
+        if bytes[i] == b'E' {
+            break;
+        }
+        let mut len = 0usize;
+        let start = i;
+        while i < bytes.len() && bytes[i].is_ascii_digit() {
+            len = len * 10 + (bytes[i] - b'0') as usize;
+            i += 1;
+        }
+        if i == start || len == 0 || i + len > bytes.len() {
+            return name.to_owned();
+        }
+        segs.push(&rest[i..i + len]);
+        i += len;
+    }
+    // Drop the trailing `h<16 hex>` disambiguator segment.
+    if let Some(last) = segs.last() {
+        if last.len() == 17
+            && last.starts_with('h')
+            && last[1..].bytes().all(|b| b.is_ascii_hexdigit())
+        {
+            segs.pop();
+        }
+    }
+    segs.iter()
+        .map(|s| {
+            // Segments can't start with `$`, so rustc prefixes an
+            // underscore (`_$LT$…`) that the demangled form drops.
+            let s = if s.starts_with("_$") { &s[1..] } else { s };
+            decode_escapes(s)
+        })
+        .collect::<Vec<_>>()
+        .join("::")
+}
+
+fn decode_escapes(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(pos) = rest.find('$') {
+        out.push_str(&rest[..pos]);
+        let tail = &rest[pos + 1..];
+        let Some(end) = tail.find('$') else {
+            out.push_str(&rest[pos..]);
+            return out;
+        };
+        let token = &tail[..end];
+        match token {
+            "SP" => out.push('@'),
+            "BP" => out.push('*'),
+            "RF" => out.push('&'),
+            "LT" => out.push('<'),
+            "GT" => out.push('>'),
+            "LP" => out.push('('),
+            "RP" => out.push(')'),
+            "C" => out.push(','),
+            t => {
+                if let Some(hex) = t.strip_prefix('u') {
+                    if let Ok(v) = u32::from_str_radix(hex, 16) {
+                        if let Some(c) = char::from_u32(v) {
+                            out.push(c);
+                            rest = &tail[end + 1..];
+                            continue;
+                        }
+                    }
+                }
+                // Unknown token: keep it verbatim, dollars and all.
+                out.push('$');
+                out.push_str(token);
+                out.push('$');
+            }
+        }
+        rest = &tail[end + 1..];
+    }
+    out.push_str(rest);
+    // `..` encodes `::` in path-ish positions (e.g. `..Trait..impl`);
+    // leaving them as dots is readable enough, so no rewrite here.
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demangles_legacy_symbols() {
+        assert_eq!(
+            demangle("_ZN5omega3sat9fm_reduce17h0123456789abcdefE"),
+            "omega::sat::fm_reduce"
+        );
+        assert_eq!(
+            demangle("_ZN4core3fmt5Write9write_fmt17habcdefABCDEF0123E"),
+            "core::fmt::Write::write_fmt"
+        );
+        assert_eq!(
+            demangle("_ZN28_$LT$Vec$u20$as$u20$Drop$GT$4drop17h0000000000000000E"),
+            "<Vec as Drop>::drop"
+        );
+    }
+
+    #[test]
+    fn non_legacy_names_pass_through() {
+        assert_eq!(demangle("main"), "main");
+        assert_eq!(demangle("_RNvNtCs123_5omega3sat"), "_RNvNtCs123_5omega3sat");
+        assert_eq!(demangle("_ZNnot-a-length"), "_ZNnot-a-length");
+    }
+
+    #[test]
+    fn maps_parser_keeps_executable_file_mappings() {
+        let text = "\
+55d0a0a00000-55d0a0b00000 r-xp 00040000 fd:01 123 /usr/bin/x\n\
+55d0a0b00000-55d0a0c00000 rw-p 00000000 00:00 0\n\
+7f0000000000-7f0000001000 r--p 00000000 fd:01 456 /lib/y.so\n\
+7fff0000-7fff1000 r-xp 00000000 00:00 0 [vdso]\n";
+        let maps = parse_maps(text);
+        assert_eq!(maps.len(), 1);
+        assert_eq!(maps[0].path, "/usr/bin/x");
+        assert_eq!(maps[0].offset, 0x40000);
+    }
+
+    #[test]
+    fn own_binary_symbolizes_this_function() {
+        let mut sym = Symbolizer::for_self();
+        let pc = own_binary_symbolizes_this_function as *const () as usize as u64;
+        let name = sym.resolve(pc);
+        // Release/debug, any mangling scheme: the function's name must
+        // survive into the resolved frame.
+        assert!(
+            name.contains("own_binary_symbolizes_this_function"),
+            "resolved {name:?}"
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! Property tests for the metrics-history ring ([`telemetry::history`]):
+//! ring-wrap bookkeeping under arbitrary record sequences, window-delta
+//! arithmetic against a straight-line reference computed from the raw
+//! sequence, and quantiles-over-window agreeing with a histogram built
+//! from only the window's observations.
+
+use proptest::prelude::*;
+use telemetry::history::{History, WindowValue};
+use telemetry::Registry;
+
+/// (capacity, strictly increasing timestamps, per-step counter increments).
+fn recordings() -> impl Strategy<Value = (usize, Vec<(u64, u64)>)> {
+    (
+        2usize..=12,
+        prop::collection::vec((1u64..=500, 0u64..=100), 2..48),
+    )
+        .prop_map(|(cap, steps)| {
+            // Strictly increasing clock: cumulative-sum the positive gaps.
+            let mut at = 0u64;
+            let steps = steps
+                .into_iter()
+                .map(|(gap, inc)| {
+                    at += gap;
+                    (at, inc)
+                })
+                .collect();
+            (cap, steps)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The ring never exceeds capacity, evicts oldest-first, counts every
+    /// accepted frame, and its retained tail is exactly the last
+    /// `min(len, capacity)` recordings.
+    #[test]
+    fn ring_wrap_keeps_exactly_the_newest_frames((cap, steps) in recordings()) {
+        let h = History::new(cap);
+        for &(at, _) in &steps {
+            prop_assert!(h.record(at, Vec::new()));
+        }
+        let s = h.stats();
+        prop_assert_eq!(s.capacity, cap);
+        prop_assert_eq!(s.recorded, steps.len() as u64);
+        prop_assert_eq!(s.rejected, 0);
+        let kept = steps.len().min(cap);
+        prop_assert_eq!(s.len, kept);
+        prop_assert_eq!(s.oldest_at_ms, Some(steps[steps.len() - kept].0));
+        prop_assert_eq!(s.newest_at_ms, Some(steps[steps.len() - 1].0));
+    }
+
+    /// Replaying the same timestamps (or older ones) is always rejected
+    /// and never perturbs the retained frames.
+    #[test]
+    fn non_monotone_timestamps_are_rejected((cap, steps) in recordings()) {
+        let h = History::new(cap);
+        for &(at, _) in &steps {
+            h.record(at, Vec::new());
+        }
+        let before = h.stats();
+        // A stepped-back clock: every already-seen timestamp is refused.
+        for &(at, _) in &steps {
+            prop_assert!(!h.record(at, Vec::new()));
+            prop_assert!(!h.record(at.saturating_sub(1), Vec::new()));
+        }
+        let after = h.stats();
+        prop_assert_eq!(after.recorded, before.recorded);
+        prop_assert_eq!(after.rejected, before.rejected + 2 * steps.len() as u64);
+        prop_assert_eq!(after.len, before.len);
+        prop_assert_eq!(after.newest_at_ms, before.newest_at_ms);
+    }
+
+    /// For any requested window, the counter delta reported equals the sum
+    /// of increments strictly after the chosen start frame, and the chosen
+    /// start frame is the newest retained frame at least one window back
+    /// (or the oldest retained as the documented fallback).
+    #[test]
+    fn window_delta_matches_straight_line_reference(
+        (cap, steps) in recordings(),
+        window in 1u64..=4000,
+    ) {
+        let reg = Registry::new();
+        let c = reg.counter("jobs", "Jobs.");
+        let h = History::new(cap);
+        for &(at, inc) in &steps {
+            c.add(inc);
+            h.record(at, reg.snapshot_series());
+        }
+        let kept: Vec<&(u64, u64)> = steps.iter().rev().take(cap).rev().collect();
+        let w = h.window(window).unwrap();
+        let end = kept[kept.len() - 1].0;
+        // Reference: newest retained frame at or before end - window,
+        // else the oldest retained frame.
+        let cutoff = end.saturating_sub(window);
+        let start = kept[..kept.len() - 1]
+            .iter()
+            .rev()
+            .find(|(at, _)| *at <= cutoff)
+            .map(|(at, _)| *at)
+            .unwrap_or(kept[0].0);
+        prop_assert_eq!(w.start_at_ms, start);
+        prop_assert_eq!(w.end_at_ms, end);
+        prop_assert_eq!(w.span_ms, end - start);
+        let expected: u64 = steps
+            .iter()
+            .filter(|(at, _)| *at > start && *at <= end)
+            .map(|(_, inc)| inc)
+            .sum();
+        prop_assert_eq!(w.counter_delta("jobs"), expected);
+        // The reported rate is delta over the actual span.
+        let series = w.series.iter().find(|s| s.name == "jobs").unwrap();
+        if let WindowValue::Counter { total, delta, rate_per_sec } = series.value {
+            prop_assert_eq!(total, steps.iter().map(|(_, i)| i).sum::<u64>());
+            prop_assert_eq!(delta, expected);
+            let span_secs = (w.span_ms as f64 / 1e3).max(f64::MIN_POSITIVE);
+            prop_assert!((rate_per_sec - expected as f64 / span_secs).abs() < 1e-9);
+        } else {
+            prop_assert!(false, "jobs series is not a counter");
+        }
+    }
+
+    /// A window quantile equals the quantile of a histogram fed only the
+    /// observations that landed inside the window — earlier traffic
+    /// (already summed into the cumulative snapshot) must not bleed in.
+    #[test]
+    fn window_quantile_sees_only_window_observations(
+        before in prop::collection::vec(1u64..=1u64 << 40, 0..64),
+        inside in prop::collection::vec(1u64..=1u64 << 40, 0..64),
+    ) {
+        let reg = Registry::new();
+        let hist = reg.histogram("lat_seconds", "Latency.");
+        for &v in &before {
+            hist.observe_ns(v);
+        }
+        let h = History::new(4);
+        h.record(1_000, reg.snapshot_series());
+        for &v in &inside {
+            hist.observe_ns(v);
+        }
+        h.record(2_000, reg.snapshot_series());
+        let w = h.window(1_000).unwrap();
+        let m = w.merged_histogram("lat_seconds").unwrap();
+        prop_assert_eq!(m.delta.count, inside.len() as u64);
+        prop_assert_eq!(m.total_count, (before.len() + inside.len()) as u64);
+        // Reference: a fresh histogram fed only the window's samples.
+        let only = telemetry::Histogram::default();
+        for &v in &inside {
+            only.observe_ns(v);
+        }
+        for q in [0.5, 0.9, 0.99] {
+            prop_assert_eq!(m.quantile(q), only.snapshot().quantile(q));
+        }
+    }
+}

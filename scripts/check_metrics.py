@@ -29,7 +29,11 @@ A bare selector sums every matching sample (labels are subset-matched);
 `pNN(family{...})` reads the family's cumulative `le` buckets and
 returns the smallest edge covering the NN-th percentile; `count()` and
 `avg()` count and average matching samples. A selector matching nothing
-is an error, not zero — a typo must not pass a gate.
+is an error, not zero — a typo must not pass a gate. Likewise a
+quantile over a histogram with zero observations is an error — "p99=0
+because nothing ran" would pass any latency gate vacuously; pass
+`--allow-empty` to treat empty histograms as 0.0 when a gate must
+tolerate idle scrapes.
 
 Usage:
     check_metrics.py FILE        validate a scrape saved to FILE ('-' = stdin)
@@ -249,12 +253,13 @@ def select(samples, sel, suffix=""):
     ]
 
 
-def quantile(samples, sel, q):
+def quantile(samples, sel, q, allow_empty=False):
     """The q-quantile of a histogram family: merges the cumulative `le`
     buckets of every matching series and returns the smallest edge whose
-    count covers q of the total. An empty histogram is 0.0; a quantile
-    past the last finite edge is +Inf (which fails any `<=` gate —
-    honest, not forgiving)."""
+    count covers q of the total. A histogram with zero observations is
+    an error unless `allow_empty` (a vacuous p99=0 must not pass a
+    latency gate); a quantile past the last finite edge is +Inf (which
+    fails any `<=` gate — honest, not forgiving)."""
     by_le = {}
     for _, ls, v in select(samples, sel, "_bucket"):
         le = parse_le(ls.get("le", ""))
@@ -265,7 +270,12 @@ def quantile(samples, sel, q):
         raise EvalError(f"{sel!r} has no +Inf bucket (not a histogram?)")
     total = by_le[math.inf]
     if total == 0:
-        return 0.0
+        if allow_empty:
+            return 0.0
+        raise EvalError(
+            f"{sel!r} histogram has no observations — a quantile over "
+            "nothing proves nothing (pass --allow-empty to read it as 0)"
+        )
     rank = q * total
     for le in sorted(by_le):
         if by_le[le] >= rank - 1e-9:
@@ -309,10 +319,11 @@ class Parser:
 
     FUNCS = ("sum", "avg", "count")
 
-    def __init__(self, tokens, samples):
+    def __init__(self, tokens, samples, allow_empty=False):
         self.tokens = tokens
         self.pos = 0
         self.samples = samples
+        self.allow_empty = allow_empty
 
     def peek(self):
         return self.tokens[self.pos] if self.pos < len(self.tokens) else None
@@ -391,7 +402,9 @@ class Parser:
     def call(self, func, arg):
         m = re.fullmatch(r"p(\d{1,2})", func)
         if m:
-            return quantile(self.samples, arg, int(m.group(1)) / 100.0)
+            return quantile(
+                self.samples, arg, int(m.group(1)) / 100.0, self.allow_empty
+            )
         if func not in self.FUNCS:
             raise EvalError(f"unknown function {func!r} (want pNN/sum/avg/count)")
         matched = select(self.samples, arg)
@@ -409,9 +422,9 @@ class Parser:
         return sum(v for _, _, v in matched)
 
 
-def evaluate(expr, samples):
+def evaluate(expr, samples, allow_empty=False):
     """Returns (ok, rendered) for one assertion expression."""
-    ok, left, op, right = Parser(tokenize(expr), samples).comparison()
+    ok, left, op, right = Parser(tokenize(expr), samples, allow_empty).comparison()
     return ok, f"{left:.6g} {op} {right:.6g}"
 
 
@@ -579,6 +592,11 @@ codegend_service_seconds_bucket{class="interactive",le="0.001"} 50
 codegend_service_seconds_bucket{class="interactive",le="+Inf"} 100
 codegend_service_seconds_count{class="interactive"} 100
 codegend_service_seconds_sum{class="interactive"} 0.3
+# TYPE codegend_codegen_seconds histogram
+codegend_codegen_seconds_bucket{le="0.001"} 0
+codegend_codegen_seconds_bucket{le="+Inf"} 0
+codegend_codegen_seconds_count 0
+codegend_codegen_seconds_sum 0
 # EOF
 """
 
@@ -599,6 +617,18 @@ ASSERT_CASES = [
     ("p99(codegend_requests_total) > 0", EvalError),  # not a histogram
     ("codegend_requests_total", EvalError),  # not a comparison
     ("codegend_requests_total / (1 - 1) > 0", EvalError),  # div by zero
+    # A zero-observation histogram must not pass a latency gate as p99=0.
+    ("p99(codegend_codegen_seconds) <= 1", EvalError),
+    ('p99(codegend_service_seconds{class="bulk"}) <= 1', EvalError),
+]
+
+# The --allow-empty escape hatch: the same empty-histogram quantiles
+# read as 0.0 instead of erroring; everything else is unchanged.
+ALLOW_EMPTY_CASES = [
+    ("p99(codegend_codegen_seconds) <= 1", True),
+    ("p99(codegend_codegen_seconds) == 0", True),
+    ('p99(codegend_queue_wait_seconds{class="interactive"}) <= 0.004', True),
+    ("no_such_metric > 0", EvalError),  # typos still fail loudly
 ]
 
 
@@ -619,23 +649,24 @@ def self_test():
                 file=sys.stderr,
             )
     samples = parse_samples(ASSERT_SCRAPE)
-    for expr, want in ASSERT_CASES:
-        try:
-            ok, rendered = evaluate(expr, samples)
-        except EvalError as e:
-            if want is not EvalError:
+    for cases, allow_empty in ((ASSERT_CASES, False), (ALLOW_EMPTY_CASES, True)):
+        for expr, want in cases:
+            try:
+                ok, rendered = evaluate(expr, samples, allow_empty)
+            except EvalError as e:
+                if want is not EvalError:
+                    failures += 1
+                    print(f"self-test: {expr!r} raised {e}", file=sys.stderr)
+                continue
+            if want is EvalError:
                 failures += 1
-                print(f"self-test: {expr!r} raised {e}", file=sys.stderr)
-            continue
-        if want is EvalError:
-            failures += 1
-            print(f"self-test: {expr!r} should be rejected", file=sys.stderr)
-        elif ok is not want:
-            failures += 1
-            print(
-                f"self-test: {expr!r} -> {ok} ({rendered}), want {want}",
-                file=sys.stderr,
-            )
+                print(f"self-test: {expr!r} should be rejected", file=sys.stderr)
+            elif ok is not want:
+                failures += 1
+                print(
+                    f"self-test: {expr!r} -> {ok} ({rendered}), want {want}",
+                    file=sys.stderr,
+                )
     md = summarize(ASSERT_SCRAPE)
     for needle in ("| interactive | 100 |", "1.00ms", "4.00ms", "1.96% shed rate"):
         if needle not in md:
@@ -646,7 +677,7 @@ def self_test():
         return 1
     print(
         f"self-test: ok (1 good, {len(BAD)} bad expositions, "
-        f"{len(ASSERT_CASES)} assertions)"
+        f"{len(ASSERT_CASES) + len(ALLOW_EMPTY_CASES)} assertions)"
     )
     return 0
 
@@ -673,6 +704,12 @@ def main():
         "(repeatable; all must hold)",
     )
     ap.add_argument(
+        "--allow-empty",
+        action="store_true",
+        help="treat quantiles over zero-observation histograms as 0.0 "
+        "instead of erroring (for gates that must tolerate idle scrapes)",
+    )
+    ap.add_argument(
         "--summary",
         action="store_true",
         help="print the per-class queue table as GitHub-flavored markdown",
@@ -693,7 +730,7 @@ def main():
     failed = 0
     for expr in args.asserts:
         try:
-            ok, rendered = evaluate(expr, samples)
+            ok, rendered = evaluate(expr, samples, args.allow_empty)
         except EvalError as e:
             failed += 1
             print(f"assert ERROR {expr}  ({e})", file=sys.stderr)

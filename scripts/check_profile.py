@@ -1,0 +1,267 @@
+#!/usr/bin/env python3
+"""Validate a collapsed-stack profile (the `format=collapsed` output of
+codegend's `GET /debug/pprof/profile`, or `table1 --profile FILE`) and
+optionally render it as a self-contained SVG flamegraph.
+
+A collapsed profile is one line per distinct stack:
+
+    frame;frame;...;leaf count
+
+Checks:
+
+* every line parses as `stack<space>count` with a positive integer
+  count and no empty frames;
+* the profile is non-empty and holds at least `--min-samples` samples;
+* every `--require SUBSTR` (repeatable) matches some frame of some
+  stack — the CI lanes use this to assert that solver/queue frames
+  (`serve::execute_task`, `omega::`) are identifiable under load, i.e.
+  that symbolization and frame-pointer unwinding actually worked;
+* `--require-span` asserts at least one sample is span-attributed (a
+  synthetic `span:<name>` root frame), proving the omega::trace
+  profiler hook fired during the capture.
+
+With `--flamegraph OUT.svg`, a dependency-free flamegraph is written
+(width-proportional boxes, hover titles) — small enough to upload as a
+CI artifact next to the raw profile.
+
+Usage:
+    check_profile.py FILE [--min-samples N] [--require SUBSTR ...]
+                          [--require-span] [--flamegraph OUT.svg] [--top N]
+    check_profile.py --self-test
+
+Exit status: 0 valid, 1 validation failure, 2 usage error.
+"""
+
+import argparse
+import html
+import sys
+
+
+def parse_collapsed(text):
+    """Returns (stacks, errors): stacks as a list of ([frames], count)."""
+    stacks, errors = [], []
+    for i, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        stack, sep, count = line.rpartition(" ")
+        if not sep or not stack:
+            errors.append(f"line {i}: not 'stack<space>count': {line[:120]!r}")
+            continue
+        try:
+            n = int(count)
+        except ValueError:
+            errors.append(f"line {i}: count {count!r} is not an integer")
+            continue
+        if n <= 0:
+            errors.append(f"line {i}: count must be positive, got {n}")
+            continue
+        frames = stack.split(";")
+        if any(not f for f in frames):
+            errors.append(f"line {i}: empty frame in {stack[:120]!r}")
+            continue
+        stacks.append((frames, n))
+    return stacks, errors
+
+
+def check(stacks, errors, min_samples, require, require_span):
+    """Appends semantic failures to `errors`; returns total sample count."""
+    total = sum(n for _, n in stacks)
+    if not stacks:
+        errors.append("profile holds no stacks at all")
+    if total < min_samples:
+        errors.append(f"only {total} samples, need at least {min_samples}")
+    for want in require:
+        if not any(want in f for frames, _ in stacks for f in frames):
+            errors.append(f"no frame contains {want!r} in any stack")
+    if require_span and not any(
+        frames[0].startswith("span:") for frames, _ in stacks
+    ):
+        errors.append(
+            "no span-attributed sample (span:<name> root) — "
+            "the omega::trace profiler hook never fired during the capture"
+        )
+    return total
+
+
+def hottest(stacks, top):
+    """(frame, inclusive-count) for the `top` hottest non-root frames."""
+    by_frame = {}
+    for frames, n in stacks:
+        for f in set(frames):
+            by_frame[f] = by_frame.get(f, 0) + n
+    ranked = sorted(by_frame.items(), key=lambda kv: (-kv[1], kv[0]))
+    return ranked[:top]
+
+
+# ---------------------------------------------------------------------------
+# SVG flamegraph
+# ---------------------------------------------------------------------------
+
+FRAME_H = 16
+WIDTH = 1200
+PALETTE = ["#e66", "#e86", "#ea6", "#ec6", "#d95", "#c84"]
+
+
+def _tree(stacks):
+    """Merges stacks root-first into a nested {frame: [count, children]}."""
+    root = {}
+    for frames, n in stacks:
+        node = root
+        for f in frames:
+            entry = node.setdefault(f, [0, {}])
+            entry[0] += n
+            node = entry[1]
+    return root
+
+
+def _emit(out, node, x, y, scale, depth):
+    for name, (count, children) in sorted(node.items()):
+        w = count * scale
+        if w >= 0.5:  # sub-half-pixel boxes add bytes, not information
+            color = PALETTE[(depth + len(name)) % len(PALETTE)]
+            title = html.escape(f"{name} ({count} samples)", quote=True)
+            label = html.escape(name[: max(0, int(w / 7))])
+            out.append(
+                f'<g><title>{title}</title>'
+                f'<rect x="{x:.1f}" y="{y}" width="{w:.1f}" height="{FRAME_H - 1}" fill="{color}"/>'
+                f'<text x="{x + 2:.1f}" y="{y + 12}" font-size="11" font-family="monospace">{label}</text></g>'
+            )
+            _emit(out, children, x, y + FRAME_H, scale, depth + 1)
+        x += w
+
+
+def flamegraph_svg(stacks):
+    total = sum(n for _, n in stacks) or 1
+    depth = max((len(f) for f, _ in stacks), default=0)
+    height = (depth + 2) * FRAME_H
+    out = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{height}" '
+        f'viewBox="0 0 {WIDTH} {height}">',
+        f'<text x="4" y="{height - 4}" font-size="11" font-family="monospace">'
+        f"{total} samples</text>",
+    ]
+    _emit(out, _tree(stacks), 0.0, 0, WIDTH / total, 0)
+    out.append("</svg>")
+    return "\n".join(out) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Self-test corpus
+# ---------------------------------------------------------------------------
+
+GOOD = """\
+span:sat_query;start;serve::worker_loop;serve::execute_task;omega::sat 7
+start;serve::worker_loop;serve::execute_task;omega::fm::eliminate 3
+start;serve::accept_loop 1
+"""
+
+BAD = [
+    ("not 'stack<space>count'", "no_count_here\n"),
+    ("is not an integer", "a;b many\n"),
+    ("must be positive", "a;b 0\n"),
+    ("empty frame", "a;;b 4\n"),
+]
+
+
+def self_test():
+    failures = 0
+    stacks, errors = parse_collapsed(GOOD)
+    total = check(
+        stacks, errors, 5, ["serve::execute_task", "omega::"], True
+    )
+    if errors or total != 11:
+        failures += 1
+        print(f"self-test: GOOD corpus rejected: {errors} ({total})", file=sys.stderr)
+    for pattern, text in BAD:
+        _, errors = parse_collapsed(text)
+        if not any(pattern in e for e in errors):
+            failures += 1
+            print(
+                f"self-test: BAD corpus not caught (wanted {pattern!r}, got {errors})",
+                file=sys.stderr,
+            )
+    # Missing required frame and missing span attribution are failures.
+    stacks, errors = parse_collapsed("a;b 2\n")
+    check(stacks, errors, 1, ["not_present"], True)
+    if len(errors) != 2:
+        failures += 1
+        print(f"self-test: wanted 2 semantic failures, got {errors}", file=sys.stderr)
+    # Sample floor.
+    stacks, errors = parse_collapsed("a 1\n")
+    check(stacks, errors, 100, [], False)
+    if not any("need at least 100" in e for e in errors):
+        failures += 1
+        print(f"self-test: sample floor not enforced: {errors}", file=sys.stderr)
+    # The flamegraph renders every frame of the corpus.
+    svg = flamegraph_svg(parse_collapsed(GOOD)[0])
+    for needle in ("<svg", "serve::worker_loop", "11 samples", "</svg>"):
+        if needle not in svg:
+            failures += 1
+            print(f"self-test: flamegraph missing {needle!r}", file=sys.stderr)
+    if failures:
+        print(f"self-test: {failures} failure(s)", file=sys.stderr)
+        return 1
+    print(f"self-test: ok (1 good, {len(BAD)} bad profiles, flamegraph rendered)")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("file", nargs="?", help="collapsed profile ('-' = stdin)")
+    ap.add_argument("--self-test", action="store_true", help="run the embedded corpus")
+    ap.add_argument(
+        "--min-samples",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fail unless the profile holds at least N samples (default 1)",
+    )
+    ap.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="SUBSTR",
+        help="fail unless some frame contains SUBSTR (repeatable; "
+        "e.g. --require serve::execute_task --require omega::)",
+    )
+    ap.add_argument(
+        "--require-span",
+        action="store_true",
+        help="fail unless at least one sample carries a span:<name> root",
+    )
+    ap.add_argument(
+        "--flamegraph",
+        metavar="OUT.svg",
+        help="also render a self-contained SVG flamegraph to OUT.svg",
+    )
+    ap.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="print the N hottest frames by inclusive samples (default 10)",
+    )
+    args = ap.parse_args()
+    if args.self_test:
+        sys.exit(self_test())
+    if not args.file:
+        ap.error("FILE required unless --self-test")
+    text = sys.stdin.read() if args.file == "-" else open(args.file).read()
+    stacks, errors = parse_collapsed(text)
+    total = check(stacks, errors, args.min_samples, args.require, args.require_span)
+    if args.flamegraph and stacks:
+        with open(args.flamegraph, "w") as f:
+            f.write(flamegraph_svg(stacks))
+        print(f"flamegraph written to {args.flamegraph}")
+    for e in errors:
+        print(e, file=sys.stderr)
+    if errors:
+        print(f"{len(errors)} error(s) in {len(stacks)} stacks", file=sys.stderr)
+        sys.exit(1)
+    print(f"ok: {total} samples across {len(stacks)} distinct stacks")
+    for frame, n in hottest(stacks, args.top):
+        print(f"  {n:>8}  {frame}")
+
+
+if __name__ == "__main__":
+    main()
